@@ -1,0 +1,55 @@
+"""Ablation: complex gates (CSC) vs basic gates (MC).
+
+The paper's introduction motivates the whole work with this contrast:
+complex-gate theory [3, 8, 12] needs only Complete State Coding, but
+"the required combinational logic functions are too complex to have
+single complex gate implementations from a standard library".  This
+harness quantifies the trade on the paper's own figures:
+
+* Figure 1 satisfies CSC: a complex-gate implementation exists with *no*
+  inserted signals and is hazard-free (each gate atomic) -- but its
+  functions are feedback-laden SOPs no basic-gate library provides;
+* the basic-gate route pays one inserted state signal and gets an
+  implementation made exclusively of AND/OR/C elements.
+"""
+
+from repro.core.complexgate import complex_gate_netlist, complex_gate_synthesize
+from repro.core.insertion import insert_state_signals
+from repro.core.synthesis import synthesize
+from repro.netlist.hazards import verify_speed_independence
+from repro.netlist.netlist import netlist_from_implementation
+
+
+def test_complex_gate_route(fig1, benchmark):
+    impl = benchmark(complex_gate_synthesize, fig1)
+    netlist = complex_gate_netlist(impl)
+    report = verify_speed_independence(netlist, fig1)
+    assert report.hazard_free
+    print("\n[complex gates, no insertion needed]")
+    print(impl.equations())
+    print(f"literals: {impl.literal_count()}")
+
+
+def test_basic_gate_route(fig1, benchmark):
+    def full_route():
+        result = insert_state_signals(fig1, max_models=400)
+        return result, synthesize(result.sg, share_gates=True)
+
+    result, impl = benchmark(full_route)
+    netlist = netlist_from_implementation(impl, "C")
+    report = verify_speed_independence(netlist, result.sg)
+    assert report.hazard_free
+    print(f"\n[basic gates, {len(result.added_signals)} signal(s) inserted]")
+    print(impl.equations())
+    print(f"literals: {impl.literal_count()}, gates: {netlist.gate_count()}")
+
+
+def test_csc_insufficiency_for_basic_gates(fig1, benchmark):
+    """CSC holds but the basic-gate architecture still needs repair --
+    exactly the gap between Chu's condition and the MC requirement."""
+    from repro.core.mc import analyze_mc
+    from repro.sg.csc import has_csc
+
+    assert has_csc(fig1)
+    report = benchmark(analyze_mc, fig1)
+    assert not report.satisfied

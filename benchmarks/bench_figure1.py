@@ -1,0 +1,60 @@
+"""Figure 1 / Example 1 (baseline side): equations (1).
+
+Regenerates the paper's analysis of the running example:
+
+* ER(+d_1) admits no single correct cover cube -- two cubes are needed
+  (the paper prints them as ``ab`` and ``bc``; with overbars restored,
+  ``a + b'c`` / ``ab' + b'c`` -- any minimal pair);
+* the full Beerel-style implementation, equations (1):
+  ``Sd = <2 cubes>; Rd = a'b'c'; Sc = a + bd'; Rc = a'bd``;
+* the MC analysis verdict: ER(+d_1) (and the isolated ER(+d_2)) violate
+  the Monotonous Cover requirement, everything else satisfies it.
+
+The pytest-benchmark timings measure the region analysis and the
+baseline synthesis on the 14-state graph.
+"""
+
+from repro.boolean.cube import Cube
+from repro.core.baseline import baseline_synthesize
+from repro.core.covers import find_correct_cover_cubes, find_monotonous_cover
+from repro.core.mc import analyze_mc
+from repro.sg.regions import excitation_regions
+
+
+def er_of(sg, signal, direction, index=1):
+    for er in excitation_regions(sg, signal):
+        if er.direction == direction and er.index == index:
+            return er
+    raise AssertionError
+
+
+def test_er_d1_needs_two_cubes(fig1, benchmark):
+    er = er_of(fig1, "d", +1, 1)
+    cubes = benchmark(find_correct_cover_cubes, fig1, er)
+    assert len(cubes) == 2
+    print("\n[fig1] correct cover of ER(+d1):", cubes)
+
+
+def test_er_d1_has_no_monotonous_cover(fig1, benchmark):
+    er = er_of(fig1, "d", +1, 1)
+    result = benchmark(find_monotonous_cover, fig1, er)
+    assert result is None
+
+
+def test_equations_1(fig1, benchmark):
+    impl = benchmark(baseline_synthesize, fig1)
+    print("\n[fig1] Beerel-style implementation (paper equations (1)):")
+    print(impl.equations())
+    d = impl.network("d")
+    assert len(d.set_cover) == 2
+    assert d.reset_cover.cubes == (Cube({"a": 0, "b": 0, "c": 0}),)
+    c = impl.network("c")
+    assert Cube({"a": 1}) in c.set_cover.cubes
+    assert Cube({"b": 1, "d": 0}) in c.set_cover.cubes
+
+
+def test_mc_analysis_verdict(fig1, benchmark):
+    report = benchmark(analyze_mc, fig1)
+    assert not report.satisfied
+    assert {v.er.transition_name for v in report.failed} == {"d+/1", "d+/2"}
+    print("\n[fig1] " + report.describe())

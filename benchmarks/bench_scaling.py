@@ -1,0 +1,61 @@
+"""Scaling study (extension; not a table in the paper).
+
+The paper reports only that its examples finish "within a 5 minutes
+timeout on a DEC 5000" and that large speed-ups are possible.  This
+harness charts how the pipeline's phases scale on three parameterised
+specification families:
+
+* sequential growth (``token_ring``): linear state count;
+* concurrency growth (``concurrent_fork``): exponential state count --
+  the classic state-explosion stress for region analysis;
+* insertion difficulty (``alternator``): the number of state signals
+  grows logarithmically while the SAT search space grows quickly.
+"""
+
+import pytest
+
+from repro.bench.generators import alternator, concurrent_fork, token_ring
+from repro.core.insertion import insert_state_signals
+from repro.core.mc import analyze_mc
+from repro.stg.reachability import stg_to_state_graph
+
+
+@pytest.mark.parametrize("n", [2, 4, 8, 12])
+def test_token_ring_analysis(n, benchmark):
+    sg = stg_to_state_graph(token_ring(n))
+    report = benchmark(analyze_mc, sg)
+    assert report.satisfied
+    print(f"\n[scaling] token_ring({n}): {len(sg)} states, MC clean")
+
+
+@pytest.mark.parametrize("n", [2, 3, 4, 5])
+def test_concurrent_fork_analysis(n, benchmark):
+    sg = stg_to_state_graph(concurrent_fork(n))
+    report = benchmark(analyze_mc, sg)
+    assert report.satisfied
+    print(f"\n[scaling] concurrent_fork({n}): {len(sg)} states, MC clean")
+
+
+@pytest.mark.parametrize("n", [3, 5])
+def test_concurrent_fork_reachability(n, benchmark):
+    stg = concurrent_fork(n)
+    sg = benchmark(stg_to_state_graph, stg)
+    assert len(sg) > 2 ** n  # the concurrency diamond dominates
+
+
+@pytest.mark.parametrize("n", [2, 3])
+def test_alternator_insertion(n, benchmark):
+    sg = stg_to_state_graph(alternator(n))
+    result = benchmark.pedantic(
+        insert_state_signals,
+        args=(sg,),
+        kwargs={"max_models": 400},
+        rounds=1,
+        iterations=1,
+    )
+    expected = 1 if n == 2 else 2
+    assert len(result.added_signals) == expected
+    print(
+        f"\n[scaling] alternator({n}): {len(sg)} states, "
+        f"{len(result.added_signals)} signals inserted"
+    )

@@ -1,0 +1,20 @@
+"""Shared fixtures for the benchmark harness."""
+
+import pytest
+
+from repro.bench.figures import figure1_sg, figure3_sg, figure4_sg
+
+
+@pytest.fixture(scope="session")
+def fig1():
+    return figure1_sg()
+
+
+@pytest.fixture(scope="session")
+def fig3():
+    return figure3_sg()
+
+
+@pytest.fixture(scope="session")
+def fig4():
+    return figure4_sg()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Export the paper's figures and implementations as Graphviz/Verilog.
+
+Writes, into ``./out`` (created if missing):
+
+* ``fig1.dot``, ``fig3.dot``, ``fig4.dot`` -- the state graphs with the
+  paper's asterisk labels;
+* ``fig3_impl.dot`` -- the synthesised netlist of Figure 3;
+* ``fig3_impl.v`` -- the same circuit as structural Verilog;
+* ``fig3_impl.json`` -- the netlist in the library's JSON format.
+
+Render the ``.dot`` files with ``dot -Tpdf fig1.dot -o fig1.pdf``.
+"""
+
+import os
+
+from repro.bench.figures import figure1_sg, figure3_sg, figure4_sg
+from repro.core.synthesis import synthesize
+from repro.netlist.io import save_netlist
+from repro.netlist.netlist import netlist_from_implementation
+from repro.netlist.render import netlist_to_dot, netlist_to_verilog, sg_to_dot
+
+
+def main() -> None:
+    os.makedirs("out", exist_ok=True)
+
+    for sg in (figure1_sg(), figure3_sg(), figure4_sg()):
+        path = os.path.join("out", f"{sg.name}.dot")
+        with open(path, "w") as handle:
+            handle.write(sg_to_dot(sg))
+        print(f"wrote {path} ({len(sg)} states)")
+
+    fig3 = figure3_sg()
+    netlist = netlist_from_implementation(
+        synthesize(fig3, share_gates=True), "C"
+    )
+    with open(os.path.join("out", "fig3_impl.dot"), "w") as handle:
+        handle.write(netlist_to_dot(netlist))
+    with open(os.path.join("out", "fig3_impl.v"), "w") as handle:
+        handle.write(netlist_to_verilog(netlist))
+    save_netlist(netlist, os.path.join("out", "fig3_impl.json"))
+    print(f"wrote out/fig3_impl.dot, out/fig3_impl.v, out/fig3_impl.json "
+          f"({sum(netlist.gate_count().values())} gates)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Watching the Figure-4 hazard dynamically with random gate delays.
+
+The static verifier proves the Figure-4 baseline hazardous by exhausting
+the circuit-level state graph.  This script confirms it the engineer's
+way: Monte-Carlo simulation of the closed loop under the pure delay
+model.  With slow gates and a fast environment, a fraction of runs shows
+the ``t = c'd`` AND gate's pending rise being withdrawn -- the exact
+race the paper narrates.  The MC-repaired circuit stays clean under the
+same delay regime (and any other: Theorem 3).
+"""
+
+from repro.bench.figures import figure4_sg
+from repro.core.baseline import baseline_synthesize
+from repro.core.insertion import insert_state_signals
+from repro.core.synthesis import synthesize
+from repro.netlist.netlist import netlist_from_implementation
+from repro.netlist.simulate import simulate
+
+SLOW_GATES = dict(gate_delay=(1.0, 30.0), input_delay=(1.0, 5.0))
+
+
+def run_batch(netlist, spec, runs=100):
+    hazardous = 0
+    witnesses = []
+    for seed in range(runs):
+        report = simulate(netlist, spec, max_events=400, seed=seed, **SLOW_GATES)
+        if not report.hazard_free:
+            hazardous += 1
+            witnesses += report.disablings[:1]
+    return hazardous, witnesses
+
+
+def main() -> None:
+    fig4 = figure4_sg()
+
+    baseline_net = netlist_from_implementation(baseline_synthesize(fig4), "C")
+    hazardous, witnesses = run_batch(baseline_net, fig4)
+    print(f"baseline (t = c'd; b = a + t): {hazardous}/100 runs glitch")
+    for witness in witnesses[:3]:
+        print(f"  {witness}")
+
+    result = insert_state_signals(fig4, max_models=400)
+    repaired_net = netlist_from_implementation(synthesize(result.sg), "C")
+    hazardous, _ = run_batch(repaired_net, result.sg)
+    print(f"MC-repaired (+{len(result.added_signals)} signal): "
+          f"{hazardous}/100 runs glitch")
+    assert hazardous == 0
+
+
+if __name__ == "__main__":
+    main()

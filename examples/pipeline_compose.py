@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Building a system from components with parallel composition.
+
+Two stage controllers are specified independently and composed on their
+shared signal: stage 1 turns the environment request `r` into an
+internal request `m`; stage 2 answers `m` with the final acknowledge
+`a`.  The composite state graph is then pushed through the standard
+pipeline -- MC analysis, synthesis, verification -- exactly as if it
+had been written monolithically.
+"""
+
+from repro import synthesize_from_state_graph
+from repro.sg.builder import sg_from_arcs
+from repro.sg.compose import compose
+
+
+def stage1():
+    """r+ -> m+ -> r- -> m- (m driven here)."""
+    return sg_from_arcs(
+        ("r", "m"),
+        ("r",),
+        (0, 0),
+        [
+            ("s0", "r+", "s1"),
+            ("s1", "m+", "s2"),
+            ("s2", "r-", "s3"),
+            ("s3", "m-", "s0"),
+        ],
+        initial="s0",
+        name="stage1",
+    )
+
+
+def stage2():
+    """m+ -> a+ -> m- -> a- (m read here, a driven)."""
+    return sg_from_arcs(
+        ("m", "a"),
+        ("m",),
+        (0, 0),
+        [
+            ("t0", "m+", "t1"),
+            ("t1", "a+", "t2"),
+            ("t2", "m-", "t3"),
+            ("t3", "a-", "t0"),
+        ],
+        initial="t0",
+        name="stage2",
+    )
+
+
+def main() -> None:
+    system = compose(stage1(), stage2(), name="two_stage")
+    print(f"composite: {system}")
+    print(f"inputs:  {sorted(system.inputs)}")
+    print(f"outputs: {sorted(system.non_inputs)}")
+
+    result = synthesize_from_state_graph(system, share_gates=True)
+    print(f"\ninserted signals: {result.added_signals or 'none'}")
+    print(result.implementation.equations())
+    print()
+    print(result.hazard_report.describe())
+    assert result.hazard_free
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+#!/usr/bin/env python
+"""Regenerate the paper's Table 1 (MC-reduction results).
+
+Runs the full pipeline -- STG elaboration, MC analysis, state-signal
+insertion, synthesis, gate-level verification -- on all nine benchmark
+designs and prints the table with the paper's added-signal column for
+comparison.  Pass benchmark names as arguments to run a subset.
+"""
+
+import sys
+
+from repro.bench.suite import BENCHMARKS, format_table1, run_pipeline
+
+
+def main() -> None:
+    names = sys.argv[1:] or list(BENCHMARKS)
+    results = []
+    for name in names:
+        print(f"running {name} ...", flush=True)
+        results.append(run_pipeline(name, verify=True))
+    print()
+    print(format_table1(results))
+    print()
+    for result in results:
+        print(f"=== {result.name} ===")
+        print(result.implementation.equations())
+        print()
+
+
+if __name__ == "__main__":
+    main()

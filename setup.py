@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so environments without the `wheel` package (offline boxes) can
+still do editable installs via `pip install -e .` (setuptools falls back
+to the develop command) -- all real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

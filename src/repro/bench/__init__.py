@@ -1,0 +1,13 @@
+"""Benchmark designs: the paper's figures and the Table-1 suite.
+
+* :mod:`repro.bench.figures` -- the state graphs of Figures 1 and 4,
+  entered state-by-state from the paper.
+* :mod:`repro.bench.suite` -- the nine Table-1 designs, reconstructed as
+  STGs with the interface sizes the table reports (see DESIGN.md for the
+  substitution rationale), plus a registry for the harness.
+"""
+
+from repro.bench.figures import figure1_sg, figure3_sg, figure4_sg
+from repro.bench.suite import BENCHMARKS, load_benchmark
+
+__all__ = ["figure1_sg", "figure3_sg", "figure4_sg", "BENCHMARKS", "load_benchmark"]

@@ -1,0 +1,315 @@
+"""A library of standard asynchronous handshake components.
+
+The building blocks of handshake-circuit design (van Berkel's Tangram /
+Philips style and the classic Sutherland micropipeline cells), each as
+an STG ready for the synthesis pipeline:
+
+========== ==========================================================
+component  behaviour (all channels 4-phase: req+/ack+/req-/ack-)
+========== ==========================================================
+buffer     passive in (r,a) then active out (ro,ai), sequential
+fork2      one input handshake forks to two concurrent outputs
+join2      two concurrent input handshakes joined into one output
+sequencer  activates two output channels one after the other
+par        activates two output channels in parallel, joins the acks
+call2      two mutually exclusive callers share one server channel
+toggle2    successive input handshakes steered alternately to two outputs
+celement   the C-element itself as a specification (2 inputs, 1 output)
+mutex_free merge of two exclusive requests onto one output channel
+========== ==========================================================
+
+Every component is cyclic, live and 1-safe; the test-suite pushes each
+through the full pipeline (insertion where needed, synthesis, gate-level
+verification).
+"""
+
+from __future__ import annotations
+
+from repro.stg.parser import parse_g
+from repro.stg.stg import STG
+
+
+def buffer() -> STG:
+    """One-place handshake buffer: accept, pass on, acknowledge."""
+    return parse_g(
+        """
+        .inputs r ai
+        .outputs a ro
+        .graph
+        r+ ro+
+        ro+ ai+
+        ai+ ro-
+        ro- ai-
+        ai- a+
+        a+ r-
+        r- a-
+        a- r+
+        .marking { <a-,r+> }
+        .end
+        """,
+        name="buffer",
+    )
+
+
+def fork2() -> STG:
+    """One request forked into two concurrent output handshakes."""
+    return parse_g(
+        """
+        .inputs r a1 a2
+        .outputs a r1 r2
+        .graph
+        r+ r1+ r2+
+        r1+ a1+
+        r2+ a2+
+        a1+ a+
+        a2+ a+
+        a+ r-
+        r- r1- r2-
+        r1- a1-
+        r2- a2-
+        a1- a-
+        a2- a-
+        a- r+
+        .marking { <a-,r+> }
+        .end
+        """,
+        name="fork2",
+    )
+
+
+def join2() -> STG:
+    """Two concurrent input handshakes joined into one output."""
+    return parse_g(
+        """
+        .inputs r1 r2 a
+        .outputs a1 a2 r
+        .graph
+        r1+ r+
+        r2+ r+
+        r+ a+
+        a+ a1+ a2+
+        a1+ r1-
+        a2+ r2-
+        r1- r-
+        r2- r-
+        r- a-
+        a- a1- a2-
+        a1- r1+
+        a2- r2+
+        .marking { <a1-,r1+> <a2-,r2+> }
+        .end
+        """,
+        name="join2",
+    )
+
+
+def sequencer() -> STG:
+    """Activate channel 1, then channel 2, then acknowledge the parent."""
+    return parse_g(
+        """
+        .inputs r d1 d2
+        .outputs a q1 q2
+        .graph
+        r+ q1+
+        q1+ d1+
+        d1+ q1-
+        q1- d1-
+        d1- q2+
+        q2+ d2+
+        d2+ q2-
+        q2- d2-
+        d2- a+
+        a+ r-
+        r- a-
+        a- r+
+        .marking { <a-,r+> }
+        .end
+        """,
+        name="sequencer",
+    )
+
+
+def par() -> STG:
+    """Activate two child channels in parallel; join their completions."""
+    return parse_g(
+        """
+        .inputs r d1 d2
+        .outputs a q1 q2
+        .graph
+        r+ q1+ q2+
+        q1+ d1+
+        q2+ d2+
+        d1+ q1-
+        d2+ q2-
+        q1- d1-
+        q2- d2-
+        d1- a+
+        d2- a+
+        a+ r-
+        r- a-
+        a- r+
+        .marking { <a-,r+> }
+        .end
+        """,
+        name="par",
+    )
+
+
+def call2() -> STG:
+    """Two mutually exclusive callers multiplexed onto one server.
+
+    The environment raises r1 or r2 (free choice); the call module
+    forwards to the shared server channel (s, ds) and routes the
+    acknowledgement back to the requesting side.
+    """
+    return parse_g(
+        """
+        .inputs r1 r2 ds
+        .outputs a1 a2 s
+        .graph
+        p0 r1+ r2+
+        r1+ s+
+        s+ ds+
+        ds+ s-
+        s- ds-
+        ds- a1+
+        a1+ r1-
+        r1- a1-
+        a1- p0
+        r2+ s+/2
+        s+/2 ds+/2
+        ds+/2 s-/2
+        s-/2 ds-/2
+        ds-/2 a2+
+        a2+ r2-
+        r2- a2-
+        a2- p0
+        .marking { p0 }
+        .end
+        """,
+        name="call2",
+    )
+
+
+def toggle2() -> STG:
+    """Successive input handshakes steered alternately to two outputs."""
+    return parse_g(
+        """
+        .inputs r
+        .outputs t1 t2
+        .graph
+        r+ t1+
+        t1+ r-
+        r- t1-
+        t1- r+/2
+        r+/2 t2+
+        t2+ r-/2
+        r-/2 t2-
+        t2- r+
+        .marking { <t2-,r+> }
+        .end
+        """,
+        name="toggle2",
+    )
+
+
+def celement() -> STG:
+    """The Muller C-element as a specification: c follows a AND b."""
+    return parse_g(
+        """
+        .inputs a b
+        .outputs c
+        .graph
+        a+ c+
+        b+ c+
+        c+ a- b-
+        a- c-
+        b- c-
+        c- a+ b+
+        .marking { <c-,a+> <c-,b+> }
+        .end
+        """,
+        name="celement",
+    )
+
+
+def mutex_free_merge() -> STG:
+    """Merge of two exclusive input handshakes onto one output channel."""
+    return parse_g(
+        """
+        .inputs r1 r2 d
+        .outputs a1 a2 q
+        .graph
+        p0 r1+ r2+
+        r1+ q+
+        q+ d+
+        d+ q-
+        q- d-
+        d- a1+
+        a1+ r1-
+        r1- a1-
+        a1- p0
+        r2+ q+/2
+        q+/2 d+/2
+        d+/2 q-/2
+        q-/2 d-/2
+        d-/2 a2+
+        a2+ r2-
+        r2- a2-
+        a2- p0
+        .marking { p0 }
+        .end
+        """,
+        name="mutex_free_merge",
+    )
+
+
+#: name -> constructor, for enumeration in tests and docs
+COMPONENTS = {
+    "buffer": buffer,
+    "fork2": fork2,
+    "join2": join2,
+    "sequencer": sequencer,
+    "par": par,
+    "call2": call2,
+    "toggle2": toggle2,
+    "celement": celement,
+    "mutex_free_merge": mutex_free_merge,
+}
+
+
+def mutex_request() -> STG:
+    """Two *concurrent* requesters competing for one grant -- NOT
+    speed-independent-synthesisable.
+
+    Unlike :func:`call2` (whose requests are mutually exclusive by
+    construction), both requests can be pending at once and the
+    component must *arbitrate*: one grant output must win and disable
+    the other.  At the state-graph level that is an internal conflict
+    (an excited non-input transition gets disabled), so the behaviour is
+    not output semi-modular and lies outside the paper's theory -- real
+    designs use a dedicated mutual-exclusion element with an analogue
+    metastability filter.  Kept in the library as the canonical
+    boundary example; the test-suite asserts the pipeline rejects it.
+    """
+    return parse_g(
+        """
+        .inputs r1 r2
+        .outputs g1 g2
+        .graph
+        r1+ g1+
+        r2+ g2+
+        g1+ r1-
+        g2+ r2-
+        r1- g1-
+        r2- g2-
+        g1- r1+
+        g2- r2+
+        p0 g1+ g2+
+        g1- p0
+        g2- p0
+        .marking { <g1-,r1+> <g2-,r2+> p0 }
+        .end
+        """,
+        name="mutex_request",
+    )

@@ -1,0 +1,17 @@
+# Sequencer in the style of van Berkel's handshake circuits: the left
+# handshake (r/a) encloses one right handshake (r2/a2) performed before
+# the left acknowledge.  Code 1000 repeats with different futures.
+.model berkel2
+.inputs r a2
+.outputs a r2
+.graph
+r+ r2+
+r2+ a2+
+a2+ r2-
+r2- a2-
+a2- a+
+a+ r-
+r- a-
+a- r+
+.marking { <a-,r+> }
+.end

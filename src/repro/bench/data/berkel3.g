@@ -1,0 +1,22 @@
+# Mixer in the style of van Berkel's handshake circuits: two enclosed
+# right handshakes with the left acknowledge raised between the second
+# request and its release.  As in the duplicator, the two service
+# rounds alias in state code and need two inserted state signals.
+.model berkel3
+.inputs r a2
+.outputs a r2
+.graph
+r+ r2+
+r2+ r-
+r- a2+
+a2+ r2-
+r2- a2-
+a2- r2+/2
+r2+/2 a2+/2
+a2+/2 a+
+a+ r2-/2
+r2-/2 a2-/2
+a2-/2 a-
+a- r+
+.marking { <a-,r+> }
+.end

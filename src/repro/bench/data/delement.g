@@ -1,0 +1,18 @@
+# Varshavsky's D-element: a passive-to-active handshake adapter.
+# Left handshake: request a (input), acknowledge b (output).
+# Right handshake: request c (output), acknowledge d (input).
+# The classic CSC conflict: code 1000 occurs both before c+ and before b+.
+.model delement
+.inputs a d
+.outputs b c
+.graph
+a+ c+
+c+ d+
+d+ c-
+c- d-
+d- b+
+b+ a-
+a- b-
+b- a+
+.marking { <b-,a+> }
+.end

@@ -1,0 +1,24 @@
+# Handshake duplicator (reshuffled): one handshake on the left channel
+# (r in / a1 out) encloses two complete handshakes on the right channel
+# (r2 out / a2 in).  The request r is released early and the final right
+# acknowledge is withdrawn after a1+, so the controller must remember
+# which of the two right handshakes it is serving across code-aliased
+# states -- two state signals are required, as in the paper's Table 1.
+.model duplicator
+.inputs r a2
+.outputs a1 r2
+.graph
+r+ r2+
+r2+ r-
+r- a2+
+a2+ r2-
+r2- a2-
+a2- r2+/2
+r2+/2 a2+/2
+a2+/2 r2-/2
+r2-/2 a1+
+a1+ a2-/2
+a2-/2 a1-
+a1- r+
+.marking { <a1-,r+> }
+.end

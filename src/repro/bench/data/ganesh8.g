@@ -1,0 +1,23 @@
+# Repeater with early acknowledge: the left acknowledge a1 pulses while
+# the first right handshake is still completing, and a second right
+# handshake follows.  The interleaving aliases the idle codes of the two
+# right handshakes in incompatible windows, so one state signal cannot
+# disambiguate both -- two are inserted.
+.model ganesh8
+.inputs r a2
+.outputs a1 r2
+.graph
+r+ r2+
+r2+ r-
+r- a2+
+a2+ r2-
+r2- a1+
+a1+ a1-
+a1- a2-
+a2- r2+/2
+r2+/2 a2+/2
+a2+/2 r2-/2
+r2-/2 a2-/2
+a2-/2 r+
+.marking { <a2-/2,r+> }
+.end

@@ -1,0 +1,18 @@
+# One-input alternator: successive pulses of r are steered to y1, y2.
+# After y1- the state code returns to 000 although the controller must
+# remember that the next pulse goes to y2 -- a CSC conflict repaired by
+# one state signal.
+.model luciano
+.inputs r
+.outputs y1 y2
+.graph
+r+ y1+
+y1+ r-
+r- y1-
+y1- r+/2
+r+/2 y2+
+y2+ r-/2
+r-/2 y2-
+y2- r+
+.marking { <y2-,r+> }
+.end

@@ -1,0 +1,23 @@
+# Packet-forwarding controller: an incoming request is enabled, two
+# downstream requests fire concurrently and join before acknowledging.
+# Every signal switches once per cycle; the graph satisfies MC as given.
+.model mp-forward-pkt
+.inputs r1 a2 a3
+.outputs a1 r2 r3 en
+.graph
+r1+ en+
+en+ r2+ r3+
+r2+ a2+
+r3+ a3+
+a2+ a1+
+a3+ a1+
+a1+ r1-
+r1- en-
+en- r2- r3-
+r2- a2-
+r3- a3-
+a2- a1-
+a3- a1-
+a1- r1+
+.marking { <a1-,r1+> }
+.end

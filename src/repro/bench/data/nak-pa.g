@@ -1,0 +1,27 @@
+# Negative-acknowledgement protocol adapter: an incoming request is
+# granted (g+), forwarded over two sequential downstream handshakes, and
+# the grant phase must be remembered across the return path.
+.model nak-pa
+.inputs r1 a2 a3 d
+.outputs a1 r2 r3 g q
+.graph
+r1+ g+
+g+ r2+
+r2+ a2+
+a2+ r2-
+r2- a2-
+a2- r3+
+r3+ a3+
+a3+ q+
+q+ d+
+d+ r3-
+r3- a3-
+a3- g-
+g- a1+
+a1+ r1-
+r1- q-
+q- d-
+d- a1-
+a1- r1+
+.marking { <a1-,r1+> }
+.end

@@ -1,0 +1,27 @@
+# Two-channel request server: the environment raises one of two requests
+# (free input choice); the controller runs a downstream handshake (z/c)
+# and acknowledges with y.  On each branch the code after c- aliases the
+# code right after the request, so a state signal is inserted.
+.model nowick
+.inputs a b c
+.outputs y z
+.graph
+p0 a+ b+
+a+ z+
+z+ c+
+c+ z-
+z- c-
+c- y+
+y+ a-
+a- y-
+y- p0
+b+ z+/2
+z+/2 c+/2
+c+/2 z-/2
+z-/2 c-/2
+c-/2 y+/2
+y+/2 b-
+b- y-/2
+y-/2 p0
+.marking { p0 }
+.end

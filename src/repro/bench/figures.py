@@ -1,0 +1,137 @@
+"""The paper's example state graphs, entered from the figures.
+
+**Figure 1** (inputs ``a, b``; outputs ``c, d``): the running example.
+Key facts the paper states about it, all checked in the test-suite:
+
+* the initial state ``0*0*00`` is an *input* conflict state (firing ``a``
+  disables ``b`` and vice versa); the SG is output semi-modular and
+  output distributive;
+* ER(+d_1) = {1000, 1010, 0010} with unique minimal state ``100*0*``;
+* trigger ``+a`` of ER(+d_1) is non-persistent (``a-`` is excited inside
+  the region at state ``1*010*``);
+* no single cube covers ER(+d_1) correctly -- the Beerel-style correct
+  cover needs two cubes ``a b'`` + ``b' c`` (the paper prints them without
+  the overbars as ``ab`` and ``bc``), giving equations (1);
+* one inserted signal restores the MC requirement, giving equations (2).
+
+**Figure 3** (signals ``a b c d x``): the MC reduction of Figure 1 by one
+inserted internal signal ``x``, entered verbatim (17 states).  It is the
+paper's reference solution: ``x`` rises at 0001 (before ``d-``), falls
+once on each branch after ``a`` rises, and the implementation collapses
+``d`` to a wire from ``x`` (equations (2)).  Projecting ``x`` away gives
+back Figure 1 exactly, which pins down the one ambiguous OCR reading in
+Figure 1 (state ``1110*``: code 1110 with ``d+`` excited).
+
+**Figure 4** (inputs ``a, c, d``; output ``b``): a *persistent* SG on
+which Beerel's conditions hold, yet the cover cube ``a`` of ER(+b_1) also
+covers state ``10*01`` of ER(+b_2), so the AND gate ``t = c'd`` can fire
+unacknowledged -- a hazard.  The graph has two distinct states with code
+1100 (a USC violation that is *not* a CSC violation, since neither state
+excites the output), so it is entered via named states rather than
+asterisk notation.
+"""
+
+from __future__ import annotations
+
+from repro.sg.builder import sg_from_arcs, sg_from_asterisk_states
+from repro.sg.graph import StateGraph
+
+#: Figure 1 states in the paper's asterisk notation, signal order a b c d.
+FIGURE1_STATES = [
+    "0*0*00",  # initial: input choice between a+ and b+
+    "100*0*",
+    "010*0",
+    "1*010*",
+    "100*1",
+    "0*110",
+    "1*0*11",
+    "1110*",
+    "0010*",
+    "1*111",
+    "011*1",
+    "01*01",
+    "00*11",
+    "0001*",
+]
+
+
+def figure1_sg() -> StateGraph:
+    """The state graph of Figure 1."""
+    return sg_from_asterisk_states(
+        signals=("a", "b", "c", "d"),
+        inputs=("a", "b"),
+        states=FIGURE1_STATES,
+        initial="0*0*00",
+        name="fig1",
+    )
+
+
+#: Figure 3 states in asterisk notation, signal order a b c d x.  The
+#: initial state is the Figure-1 initial state 0000 with x already at 1
+#: (x rises at 0001, just before d falls back to the initial code).
+FIGURE3_STATES = [
+    "0*0*001",
+    "10001*",
+    "010*01",
+    "100*0*0",
+    "0*1101",
+    "1*010*0",
+    "100*10",
+    "11101*",
+    "1110*0",
+    "1*0*110",
+    "0010*0",
+    "1*1110",
+    "011*10",
+    "00*110",
+    "01*010",
+    "00010*",
+    "0001*1",
+]
+
+
+def figure3_sg() -> StateGraph:
+    """The state graph of Figure 3 (Figure 1 reduced to MC form)."""
+    return sg_from_asterisk_states(
+        signals=("a", "b", "c", "d", "x"),
+        inputs=("a", "b"),
+        states=FIGURE3_STATES,
+        initial="0*0*001",
+        name="fig3",
+    )
+
+
+#: Figure 4 arcs.  Two states share code 1100: ``s1100c`` (left branch,
+#: ``c+`` excited) and ``s1100a`` (right branch, ``a-`` excited).
+FIGURE4_ARCS = [
+    ("s0000", "a+", "s1000"),
+    ("s1000", "b+", "s1100c"),
+    ("s1000", "c+", "s1010"),
+    ("s1100c", "c+", "s1110"),
+    ("s1010", "b+", "s1110"),
+    ("s1010", "d+", "s1011"),
+    ("s1110", "d+", "s1111"),
+    ("s1011", "b+", "s1111"),
+    ("s1111", "a-", "s0111"),
+    ("s0111", "b-", "s0011"),
+    ("s0011", "c-", "s0001"),
+    ("s0001", "a+", "s1001"),
+    ("s0001", "b+", "s0101"),
+    ("s1001", "b+", "s1101"),
+    ("s0101", "a+", "s1101"),
+    ("s1101", "d-", "s1100a"),
+    ("s1100a", "a-", "s0100"),
+    ("s0100", "b-", "s0000"),
+]
+
+
+def figure4_sg() -> StateGraph:
+    """The state graph of Figure 4."""
+    return sg_from_arcs(
+        signals=("a", "b", "c", "d"),
+        inputs=("a", "c", "d"),
+        initial_code=(0, 0, 0, 0),
+        arcs=FIGURE4_ARCS,
+        initial="s0000",
+        name="fig4",
+    )

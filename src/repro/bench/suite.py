@@ -1,0 +1,156 @@
+"""The Table-1 benchmark suite and the end-to-end pipeline driver.
+
+Table 1 of the paper reports, for nine asynchronous-controller designs,
+the interface size and the number of state signals the MC-driven state
+assignment inserts.  The original 1994 ``.tim`` files are not available;
+each design here is a reconstruction as an STG with the *same interface
+size* and the control structure its name denotes in the asynchronous
+benchmark literature (see DESIGN.md).  The reproduction target is the
+shape of the table: how many signals MC reduction needs (0-2 per
+design), with every run far under the paper's 5-minute timeout.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.insertion import InsertionResult, insert_state_signals
+from repro.core.mc import analyze_mc
+from repro.core.synthesis import Implementation, synthesize
+from repro.netlist.hazards import HazardReport, verify_speed_independence
+from repro.netlist.netlist import netlist_from_implementation
+from repro.sg.graph import StateGraph
+from repro.stg.parser import load_g
+from repro.stg.reachability import stg_to_state_graph
+from repro.stg.stg import STG
+
+_DATA_DIR = os.path.join(os.path.dirname(__file__), "data")
+
+#: benchmark name -> (file, paper's (inputs, outputs, added signals))
+BENCHMARKS: Dict[str, Tuple[str, Tuple[int, int, int]]] = {
+    "nak-pa": ("nak-pa.g", (4, 5, 1)),
+    "nowick": ("nowick.g", (3, 2, 1)),
+    "duplicator": ("duplicator.g", (2, 2, 2)),
+    "ganesh8": ("ganesh8.g", (2, 2, 2)),
+    "berkel2": ("berkel2.g", (2, 2, 1)),
+    "berkel3": ("berkel3.g", (2, 2, 2)),
+    "mp-forward-pkt": ("mp-forward-pkt.g", (3, 4, 0)),
+    "luciano": ("luciano.g", (1, 2, 1)),
+    "delement": ("delement.g", (2, 2, 1)),
+}
+
+
+def load_benchmark(name: str) -> STG:
+    """Load one of the Table-1 designs by name."""
+    try:
+        filename, _ = BENCHMARKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {sorted(BENCHMARKS)}"
+        ) from None
+    return load_g(os.path.join(_DATA_DIR, filename))
+
+
+def paper_row(name: str) -> Tuple[int, int, int]:
+    """The paper's (inputs, outputs, added signals) for a design."""
+    return BENCHMARKS[name][1]
+
+
+@dataclass
+class PipelineResult:
+    """Everything the Table-1 harness reports for one design."""
+
+    name: str
+    stg: STG
+    spec_sg: StateGraph
+    insertion: InsertionResult
+    implementation: Implementation
+    hazard_report: Optional[HazardReport]
+    elapsed_seconds: float
+
+    @property
+    def added_signals(self) -> int:
+        return len(self.insertion.added_signals)
+
+    @property
+    def row(self) -> Tuple[str, int, int, int]:
+        return (
+            self.name,
+            len(self.stg.inputs),
+            len(self.stg.non_inputs),
+            self.added_signals,
+        )
+
+
+def run_pipeline(
+    name: str,
+    verify: bool = True,
+    style: str = "C",
+    max_models: int = 400,
+) -> PipelineResult:
+    """Full MC-reduction pipeline for one benchmark.
+
+    STG -> state graph -> MC-driven state-signal insertion -> standard
+    implementation -> (optionally) circuit-level speed-independence
+    verification.
+    """
+    started = time.perf_counter()
+    stg = load_benchmark(name)
+    spec_sg = stg_to_state_graph(stg)
+    insertion = insert_state_signals(spec_sg, max_models=max_models)
+    implementation = synthesize(insertion.sg)
+    report = None
+    if verify:
+        netlist = netlist_from_implementation(implementation, style)
+        report = verify_speed_independence(netlist, insertion.sg)
+    return PipelineResult(
+        name=name,
+        stg=stg,
+        spec_sg=spec_sg,
+        insertion=insertion,
+        implementation=implementation,
+        hazard_report=report,
+        elapsed_seconds=time.perf_counter() - started,
+    )
+
+
+def run_table1(verify: bool = True, names: Optional[List[str]] = None) -> List[PipelineResult]:
+    """Run the whole Table-1 suite; returns one result per design."""
+    return [run_pipeline(name, verify=verify) for name in (names or BENCHMARKS)]
+
+
+def format_table1(results: List[PipelineResult]) -> str:
+    """Render the paper's Table 1 with measured columns alongside.
+
+    ``area`` is the static-CMOS transistor estimate of the standard
+    C-implementation (an extension column; the paper reports none).
+    """
+    from repro.netlist.area import area_estimate
+
+    header = (
+        f"{'Example':<16}{'in':>4}{'out':>5}{'added':>7}{'paper':>7}"
+        f"{'states':>8}{'SI':>6}{'area':>6}{'time[s]':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for result in results:
+        paper_added = paper_row(result.name)[2]
+        hazard_free = (
+            "yes"
+            if result.hazard_report and result.hazard_report.hazard_free
+            else ("-" if result.hazard_report is None else "NO")
+        )
+        if result.hazard_report is not None:
+            netlist = result.hazard_report.netlist
+        else:
+            netlist = netlist_from_implementation(result.implementation, "C")
+        lines.append(
+            f"{result.name:<16}{len(result.stg.inputs):>4}"
+            f"{len(result.stg.non_inputs):>5}{result.added_signals:>7}"
+            f"{paper_added:>7}{len(result.insertion.sg):>8}"
+            f"{hazard_free:>6}{area_estimate(netlist):>6}"
+            f"{result.elapsed_seconds:>9.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,229 @@
+"""Reduced ordered binary decision diagrams (ROBDDs).
+
+A compact canonical representation of Boolean functions over named
+signals, used as an independent semantic oracle for the cube/cover
+algebra (equivalence, tautology, containment checks in the tests) and
+available to users for function-level reasoning about excitation
+functions.
+
+The manager hash-conses nodes, memoises ``apply``, and fixes the
+variable order at construction (signal order = BDD order).  Functions
+are referenced by integer node ids; 0 and 1 are the terminals.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.boolean.cover import Cover
+from repro.boolean.cube import Cube
+
+
+class BDD:
+    """A ROBDD manager over a fixed signal order."""
+
+    ZERO = 0
+    ONE = 1
+
+    def __init__(self, signals: Sequence[str]):
+        self.signals: Tuple[str, ...] = tuple(signals)
+        if len(set(self.signals)) != len(self.signals):
+            raise ValueError("duplicate signals in BDD order")
+        self._level: Dict[str, int] = {s: i for i, s in enumerate(self.signals)}
+        # node id -> (level, low, high); terminals are pseudo-nodes
+        self._nodes: List[Tuple[int, int, int]] = [
+            (len(self.signals), 0, 0),  # 0 terminal
+            (len(self.signals), 1, 1),  # 1 terminal
+        ]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._apply_cache: Dict[Tuple[str, int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # Node construction
+    # ------------------------------------------------------------------
+    def _make(self, level: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (level, low, high)
+        existing = self._unique.get(key)
+        if existing is not None:
+            return existing
+        node = len(self._nodes)
+        self._nodes.append(key)
+        self._unique[key] = node
+        return node
+
+    def var(self, signal: str) -> int:
+        """The function ``signal == 1``."""
+        return self._make(self._level[signal], self.ZERO, self.ONE)
+
+    def nvar(self, signal: str) -> int:
+        return self._make(self._level[signal], self.ONE, self.ZERO)
+
+    def constant(self, value: bool) -> int:
+        return self.ONE if value else self.ZERO
+
+    # ------------------------------------------------------------------
+    # Boolean operations
+    # ------------------------------------------------------------------
+    def _cofactors(self, node: int, level: int) -> Tuple[int, int]:
+        node_level, low, high = self._nodes[node]
+        if node_level == level:
+            return low, high
+        return node, node
+
+    def apply(self, op: str, left: int, right: int) -> int:
+        """Binary apply for op in {'and', 'or', 'xor'}."""
+        terminal = {
+            "and": lambda a, b: a & b,
+            "or": lambda a, b: a | b,
+            "xor": lambda a, b: a ^ b,
+        }[op]
+        key = (op, left, right)
+        cached = self._apply_cache.get(key)
+        if cached is not None:
+            return cached
+        if left <= 1 and right <= 1:
+            result = terminal(left, right)
+        else:
+            # short circuits
+            if op == "and" and (left == 0 or right == 0):
+                result = 0
+            elif op == "and" and left == 1:
+                result = right
+            elif op == "and" and right == 1:
+                result = left
+            elif op == "or" and (left == 1 or right == 1):
+                result = 1
+            elif op == "or" and left == 0:
+                result = right
+            elif op == "or" and right == 0:
+                result = left
+            else:
+                level = min(self._nodes[left][0], self._nodes[right][0])
+                l0, l1 = self._cofactors(left, level)
+                r0, r1 = self._cofactors(right, level)
+                result = self._make(
+                    level, self.apply(op, l0, r0), self.apply(op, l1, r1)
+                )
+        self._apply_cache[key] = result
+        return result
+
+    def conj(self, left: int, right: int) -> int:
+        return self.apply("and", left, right)
+
+    def disj(self, left: int, right: int) -> int:
+        return self.apply("or", left, right)
+
+    def xor(self, left: int, right: int) -> int:
+        return self.apply("xor", left, right)
+
+    def negate(self, node: int) -> int:
+        return self.xor(node, self.ONE)
+
+    def implies(self, left: int, right: int) -> bool:
+        return self.conj(left, self.negate(right)) == self.ZERO
+
+    def restrict(self, node: int, signal: str, value: int) -> int:
+        """Cofactor with respect to ``signal = value``."""
+        target_level = self._level[signal]
+        memo: Dict[int, int] = {}
+
+        def walk(current: int) -> int:
+            if current <= 1:
+                return current
+            cached = memo.get(current)
+            if cached is not None:
+                return cached
+            level, low, high = self._nodes[current]
+            if level == target_level:
+                result = high if value else low
+            elif level > target_level:
+                result = current
+            else:
+                result = self._make(level, walk(low), walk(high))
+            memo[current] = result
+            return result
+
+        return walk(node)
+
+    # ------------------------------------------------------------------
+    # Conversions and queries
+    # ------------------------------------------------------------------
+    def from_cube(self, cube: Cube) -> int:
+        node = self.ONE
+        for signal, value in sorted(
+            cube.literals, key=lambda lit: -self._level[lit[0]]
+        ):
+            literal = self.var(signal) if value else self.nvar(signal)
+            node = self.conj(node, literal)
+        return node
+
+    def from_cover(self, cover: Cover) -> int:
+        node = self.ZERO
+        for cube in cover:
+            node = self.disj(node, self.from_cube(cube))
+        return node
+
+    def evaluate(self, node: int, point: Mapping[str, int]) -> bool:
+        while node > 1:
+            level, low, high = self._nodes[node]
+            node = high if point[self.signals[level]] else low
+        return node == self.ONE
+
+    def is_tautology(self, node: int) -> bool:
+        return node == self.ONE
+
+    def equivalent(self, left: int, right: int) -> bool:
+        return left == right  # canonical form
+
+    def satisfy_count(self, node: int) -> int:
+        """Number of satisfying assignments over the full signal set."""
+        memo: Dict[int, int] = {}
+
+        def walk(current: int) -> int:
+            # count over the variables at levels >= level(current)
+            if current == self.ZERO:
+                return 0
+            if current == self.ONE:
+                return 1
+            cached = memo.get(current)
+            if cached is not None:
+                return cached
+            level, low, high = self._nodes[current]
+            low_level = self._nodes[low][0]
+            high_level = self._nodes[high][0]
+            total = walk(low) * (1 << (low_level - level - 1)) + walk(high) * (
+                1 << (high_level - level - 1)
+            )
+            memo[current] = total
+            return total
+
+        return walk(node) * (1 << self._nodes[node][0])
+
+    def one_sat(self, node: int) -> Optional[Dict[str, int]]:
+        """A satisfying assignment (partial signals defaulted to 0)."""
+        if node == self.ZERO:
+            return None
+        point = {s: 0 for s in self.signals}
+        while node > 1:
+            level, low, high = self._nodes[node]
+            if low != self.ZERO:
+                point[self.signals[level]] = 0
+                node = low
+            else:
+                point[self.signals[level]] = 1
+                node = high
+        return point
+
+    def node_count(self, node: int) -> int:
+        seen = set()
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current <= 1 or current in seen:
+                continue
+            seen.add(current)
+            _, low, high = self._nodes[current]
+            stack += [low, high]
+        return len(seen)

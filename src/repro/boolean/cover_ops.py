@@ -1,0 +1,127 @@
+"""Shannon-recursion algorithms on covers (espresso-style).
+
+Unate-recursive-paradigm classics over the cube-list representation:
+tautology checking, complementation, cofactoring and semantic
+containment/equivalence.  These complement the explicit on-set
+minimiser (:mod:`repro.boolean.minimize`) with algorithms that never
+enumerate minterms, so they stay usable when the signal count grows.
+
+All functions take an explicit ``signals`` universe: a cover is a
+function of exactly those variables (literals on other signals are
+rejected).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.boolean.cover import Cover
+from repro.boolean.cube import Cube
+
+
+def _check_signals(cover: Cover, signals: Sequence[str]) -> None:
+    extra = cover.signals - set(signals)
+    if extra:
+        raise ValueError(f"cover uses signals outside the universe: {sorted(extra)}")
+
+
+def cofactor(cover: Cover, signal: str, value: int) -> Cover:
+    """The Shannon cofactor of the cover with respect to ``signal = value``."""
+    kept: List[Cube] = []
+    for cube in cover:
+        lit = cube.value_of(signal)
+        if lit is None:
+            kept.append(cube)
+        elif lit == value:
+            kept.append(cube.without((signal,)))
+    return Cover(kept)
+
+
+def _select_split(cover: Cover, signals: Sequence[str]) -> Optional[str]:
+    """The most frequently constrained signal -- a classic binate heuristic."""
+    counts = {s: 0 for s in signals}
+    for cube in cover:
+        for signal, _ in cube.literals:
+            counts[signal] += 1
+    best, best_count = None, 0
+    for signal in signals:
+        if counts[signal] > best_count:
+            best, best_count = signal, counts[signal]
+    return best
+
+
+def is_tautology(cover: Cover, signals: Sequence[str]) -> bool:
+    """True iff the cover is 1 on every assignment of ``signals``."""
+    _check_signals(cover, signals)
+
+    def recurse(current: Cover, remaining: Tuple[str, ...]) -> bool:
+        if any(len(cube) == 0 for cube in current):
+            return True  # contains the universal cube
+        if current.is_empty():
+            return False
+        split = _select_split(current, remaining)
+        if split is None:
+            # no literals at all and no universal cube: impossible since
+            # non-empty covers without literals contain a universal cube
+            return False
+        rest = tuple(s for s in remaining if s != split)
+        return recurse(cofactor(current, split, 0), rest) and recurse(
+            cofactor(current, split, 1), rest
+        )
+
+    return recurse(cover, tuple(signals))
+
+
+def complement(cover: Cover, signals: Sequence[str]) -> Cover:
+    """A cover of the complement function (not guaranteed minimal)."""
+    _check_signals(cover, signals)
+
+    def recurse(current: Cover, remaining: Tuple[str, ...]) -> Cover:
+        if current.is_empty():
+            return Cover([Cube()])
+        if any(len(cube) == 0 for cube in current):
+            return Cover()
+        if len(current) == 1:
+            # De Morgan on a single cube
+            return Cover(
+                [Cube({s: 1 - v}) for s, v in current.cubes[0].literals]
+            )
+        split = _select_split(current, remaining)
+        rest = tuple(s for s in remaining if s != split)
+        negative = recurse(cofactor(current, split, 0), rest)
+        positive = recurse(cofactor(current, split, 1), rest)
+        cubes: List[Cube] = []
+        for cube in negative:
+            cubes.append(cube.with_literal(split, 0))
+        for cube in positive:
+            cubes.append(cube.with_literal(split, 1))
+        return Cover(cubes).irredundant()
+
+    return recurse(cover, tuple(signals))
+
+
+def covers_implies(left: Cover, right: Cover, signals: Sequence[str]) -> bool:
+    """Semantic containment: every point of ``left`` is in ``right``.
+
+    Implemented as tautology of ``right + complement(left)`` restricted
+    the cheap way: ``left <= right`` iff each cube of ``left`` cofactored
+    into ``right`` leaves a tautology.
+    """
+    _check_signals(left, signals)
+    _check_signals(right, signals)
+    for cube in left:
+        reduced = right
+        remaining = [s for s in signals]
+        for signal, value in cube.literals:
+            reduced = cofactor(reduced, signal, value)
+            remaining.remove(signal)
+        if not is_tautology(reduced, remaining):
+            return False
+    return True
+
+
+def covers_equivalent(left: Cover, right: Cover, signals: Sequence[str]) -> bool:
+    """Semantic equality of the two functions."""
+    return covers_implies(left, right, signals) and covers_implies(
+        right, left, signals
+    )

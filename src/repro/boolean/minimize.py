@@ -1,0 +1,184 @@
+"""Exact two-level minimisation of incompletely specified functions.
+
+The synthesis flow uses this for the Section-VI optimisation: once the set
+of candidate (generalised) monotonous-cover cubes is known, picking the
+smallest subset that covers every excitation region exactly once is a
+covering problem.  The machinery here is a classic Quine--McCluskey prime
+generator plus a branch-and-bound unate-covering solver, over functions
+given as explicit on/off/dc sets of state codes.
+
+Functions are specified over *named* signals (consistent with the rest of
+the library); internally minterms are bit vectors over a fixed ordering.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.boolean.cube import Cube
+from repro.boolean.cover import Cover
+
+# An implicant is a pair (mask, value): ``mask`` has a 1-bit for every
+# *don't-care* position, ``value`` holds the fixed bits (0 where masked).
+_Implicant = Tuple[int, int]
+
+
+def _code_to_int(code: Mapping[str, int], signals: Sequence[str]) -> int:
+    word = 0
+    for i, signal in enumerate(signals):
+        if code[signal]:
+            word |= 1 << i
+    return word
+
+
+def _implicant_to_cube(implicant: _Implicant, signals: Sequence[str]) -> Cube:
+    mask, value = implicant
+    literals = {}
+    for i, signal in enumerate(signals):
+        bit = 1 << i
+        if not mask & bit:
+            literals[signal] = 1 if value & bit else 0
+    return Cube(literals)
+
+
+def _implicant_covers(implicant: _Implicant, minterm: int) -> bool:
+    mask, value = implicant
+    return (minterm | mask) == (value | mask)
+
+
+def generate_primes(
+    on_minterms: Set[int], dc_minterms: Set[int], width: int
+) -> List[_Implicant]:
+    """All prime implicants of the function (Quine--McCluskey).
+
+    ``on_minterms``/``dc_minterms`` are disjoint sets of integer minterms
+    over ``width`` variables.  Returns implicants as (mask, value) pairs.
+    """
+    current: Set[_Implicant] = {(0, m) for m in on_minterms | dc_minterms}
+    primes: Set[_Implicant] = set()
+    while current:
+        merged_from: Set[_Implicant] = set()
+        next_level: Set[_Implicant] = set()
+        grouped: Dict[int, List[_Implicant]] = {}
+        for implicant in current:
+            grouped.setdefault(implicant[0], []).append(implicant)
+        for mask, implicants in grouped.items():
+            by_value = set(v for _, v in implicants)
+            for value in by_value:
+                for bit_index in range(width):
+                    bit = 1 << bit_index
+                    if mask & bit:
+                        continue
+                    partner = value ^ bit
+                    if partner in by_value and value & bit == 0:
+                        next_level.add((mask | bit, value))
+                        merged_from.add((mask, value))
+                        merged_from.add((mask, partner))
+        primes |= current - merged_from
+        current = next_level
+    # Primes consisting purely of don't-cares are useless for covering but
+    # harmless; filter those covering no on-set minterm.
+    return [p for p in primes if any(_implicant_covers(p, m) for m in on_minterms)]
+
+
+def solve_covering(
+    rows: Sequence[FrozenSet[int]],
+    universe: Set[int],
+    cost: Optional[Sequence[int]] = None,
+) -> List[int]:
+    """Minimum-cost set cover by branch and bound.
+
+    ``rows[i]`` is the subset of ``universe`` covered by candidate ``i``;
+    ``cost[i]`` its cost (default 1 each).  Returns indices of a
+    minimum-cost cover.  Raises ``ValueError`` if the universe cannot be
+    covered.
+    """
+    if cost is None:
+        cost = [1] * len(rows)
+    reachable = set()
+    for row in rows:
+        reachable |= row
+    if not universe <= reachable:
+        missing = universe - reachable
+        raise ValueError(f"universe elements not coverable: {sorted(missing)[:5]}")
+
+    best_choice: List[int] = list(range(len(rows)))
+    best_cost = sum(cost) + 1
+
+    def essential_and_reduce(
+        remaining: Set[int], available: List[int]
+    ) -> Tuple[List[int], Set[int], List[int]]:
+        """Pick essential candidates and drop dominated ones."""
+        chosen: List[int] = []
+        remaining = set(remaining)
+        available = list(available)
+        changed = True
+        while changed and remaining:
+            changed = False
+            for element in list(remaining):
+                covering = [i for i in available if element in rows[i]]
+                if len(covering) == 1:
+                    index = covering[0]
+                    chosen.append(index)
+                    remaining -= rows[index]
+                    available.remove(index)
+                    changed = True
+                    break
+        return chosen, remaining, available
+
+    def branch(remaining: Set[int], available: List[int], spent: int, picked: List[int]):
+        nonlocal best_choice, best_cost
+        chosen, remaining, available = essential_and_reduce(remaining, available)
+        spent += sum(cost[i] for i in chosen)
+        picked = picked + chosen
+        if spent >= best_cost:
+            return
+        if not remaining:
+            best_choice = picked
+            best_cost = spent
+            return
+        # Branch on the element covered by the fewest candidates.
+        element = min(
+            remaining, key=lambda e: sum(1 for i in available if e in rows[i])
+        )
+        covering = sorted(
+            (i for i in available if element in rows[i]),
+            key=lambda i: (cost[i] / max(1, len(rows[i] & remaining))),
+        )
+        if not covering:
+            return
+        for index in covering:
+            rest = [i for i in available if i != index]
+            branch(remaining - rows[index], rest, spent + cost[index], picked + [index])
+
+    branch(set(universe), list(range(len(rows))), 0, [])
+    if best_cost > sum(cost):
+        raise ValueError("covering search failed")  # pragma: no cover - guarded above
+    return sorted(best_choice)
+
+
+def minimize_onset(
+    signals: Sequence[str],
+    on_codes: Iterable[Mapping[str, int]],
+    dc_codes: Iterable[Mapping[str, int]] = (),
+) -> Cover:
+    """Exact minimum-cube SOP for an incompletely specified function.
+
+    Parameters
+    ----------
+    signals:
+        Ordered signal names; every code must assign each of them.
+    on_codes / dc_codes:
+        State codes where the function must be 1 / may be either.
+
+    Returns the minimum-cardinality prime cover as a :class:`Cover`.
+    """
+    width = len(signals)
+    on = {_code_to_int(code, signals) for code in on_codes}
+    dc = {_code_to_int(code, signals) for code in dc_codes} - on
+    if not on:
+        return Cover()
+    primes = generate_primes(on, dc, width)
+    rows = [frozenset(m for m in on if _implicant_covers(p, m)) for p in primes]
+    chosen = solve_covering(rows, set(on))
+    return Cover(_implicant_to_cube(primes[i], signals) for i in chosen)

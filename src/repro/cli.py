@@ -1,0 +1,241 @@
+"""Command-line interface: ``repro-si``.
+
+Subcommands mirror the library pipeline::
+
+    repro-si info spec.g          # properties + MC analysis of an STG
+    repro-si synth spec.g         # full synthesis, equations + netlist
+    repro-si verify spec.g        # synthesise and model-check (exit code)
+    repro-si simulate spec.g      # Monte-Carlo random-delay simulation
+    repro-si table1               # regenerate the paper's Table 1
+
+``synth`` accepts ``--style C|RS``, ``--share`` (Section-VI gate
+sharing), ``--verilog FILE`` and ``--dot FILE`` exports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import synthesize_from_state_graph
+from repro.core.mc import analyze_mc
+from repro.netlist.render import netlist_to_dot, netlist_to_verilog, sg_to_dot
+from repro.netlist.simulate import monte_carlo
+from repro.sg.csc import has_csc, has_usc
+from repro.sg.properties import (
+    is_output_distributive,
+    is_output_semi_modular,
+    is_persistent,
+)
+from repro.stg.parser import load_g
+from repro.stg.reachability import stg_to_state_graph
+
+
+def _load(path: str):
+    stg = load_g(path)
+    return stg, stg_to_state_graph(stg)
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    stg, sg = _load(args.spec)
+    from repro.sg.analysis import statistics
+
+    print(f"{stg}")
+    print(f"state graph: {statistics(sg).describe()}")
+    print(f"  output semi-modular : {is_output_semi_modular(sg)}")
+    print(f"  output distributive : {is_output_distributive(sg)}")
+    print(f"  persistent          : {is_persistent(sg)}")
+    print(f"  USC / CSC           : {has_usc(sg)} / {has_csc(sg)}")
+    report = analyze_mc(sg)
+    print(report.describe())
+    if args.dot:
+        with open(args.dot, "w") as handle:
+            handle.write(sg_to_dot(sg))
+        print(f"state graph written to {args.dot}")
+    return 0
+
+
+def cmd_synth(args: argparse.Namespace) -> int:
+    _, sg = _load(args.spec)
+    result = synthesize_from_state_graph(
+        sg,
+        style=args.style,
+        share_gates=args.share,
+        verify=not args.no_verify,
+        max_models=args.max_models,
+    )
+    if result.added_signals:
+        print(result.insertion.describe())
+    print(result.implementation.equations())
+    if args.regions:
+        print()
+        print(result.implementation.region_report())
+    if args.area:
+        from repro.netlist.area import area_report
+
+        print()
+        print(area_report(result.netlist))
+    print()
+    print(result.netlist.describe())
+    if result.hazard_report is not None:
+        print()
+        print(result.hazard_report.describe())
+    if args.verilog:
+        with open(args.verilog, "w") as handle:
+            handle.write(netlist_to_verilog(result.netlist))
+        print(f"Verilog written to {args.verilog}")
+    if args.save_netlist:
+        from repro.netlist.io import save_netlist
+
+        save_netlist(result.netlist, args.save_netlist)
+        print(f"netlist JSON written to {args.save_netlist}")
+    if args.save_stg:
+        from repro.stg.synthesis import stg_from_state_graph
+        from repro.stg.writer import dumps_g
+
+        repaired = stg_from_state_graph(result.insertion.sg)
+        with open(args.save_stg, "w") as handle:
+            handle.write(dumps_g(repaired))
+        print(f"repaired specification written to {args.save_stg}")
+    if args.dot:
+        with open(args.dot, "w") as handle:
+            handle.write(netlist_to_dot(result.netlist))
+        print(f"netlist graph written to {args.dot}")
+    if result.hazard_report is not None and not result.hazard_free:
+        return 1
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    _, sg = _load(args.spec)
+    result = synthesize_from_state_graph(sg, style=args.style, verify=True)
+    print(result.hazard_report.describe())
+    return 0 if result.hazard_free else 1
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    _, sg = _load(args.spec)
+    result = synthesize_from_state_graph(sg, style=args.style, verify=False)
+    reports = monte_carlo(
+        result.netlist,
+        result.insertion.sg,
+        runs=args.runs,
+        max_events=args.events,
+        seed=args.seed,
+    )
+    bad = [r for r in reports if not r.hazard_free]
+    total_events = sum(r.fired_events for r in reports)
+    print(
+        f"{len(reports)} runs, {total_events} events, "
+        f"{len(bad)} hazardous run(s)"
+    )
+    for report in bad[:3]:
+        print(report.describe())
+    return 0 if not bad else 1
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    """Verify an externally-provided netlist against a specification."""
+    from repro.netlist.hazards import verify_speed_independence
+    from repro.netlist.io import load_netlist
+
+    _, sg = _load(args.spec)
+    netlist = load_netlist(args.netlist)
+    report = verify_speed_independence(netlist, sg, max_states=args.max_states)
+    print(report.describe())
+    return 0 if report.hazard_free else 1
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    from repro.bench.suite import BENCHMARKS, format_table1, run_pipeline
+
+    names = args.designs or list(BENCHMARKS)
+    results = []
+    for name in names:
+        print(f"running {name} ...", file=sys.stderr)
+        results.append(run_pipeline(name, verify=not args.no_verify))
+    print(format_table1(results))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-si",
+        description="Monotonous-cover synthesis of speed-independent "
+        "circuits (Kondratyev et al., DAC 1994)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="analyse an STG specification")
+    p_info.add_argument("spec", help=".g file")
+    p_info.add_argument("--dot", help="write the state graph as Graphviz")
+    p_info.set_defaults(func=cmd_info)
+
+    p_synth = sub.add_parser("synth", help="synthesise an implementation")
+    p_synth.add_argument("spec", help=".g file")
+    p_synth.add_argument("--style", choices=["C", "RS", "RS-NOR", "C-INV"], default="C")
+    p_synth.add_argument(
+        "--share",
+        nargs="?",
+        const=True,
+        default=False,
+        choices=[True, "optimal"],
+        help="Sec.-VI gate sharing (pass 'optimal' for the exact optimiser)",
+    )
+    p_synth.add_argument("--no-verify", action="store_true")
+    p_synth.add_argument(
+        "--regions", action="store_true",
+        help="print the per-region cube mapping report",
+    )
+    p_synth.add_argument(
+        "--area", action="store_true",
+        help="print the transistor-count area estimate",
+    )
+    p_synth.add_argument("--max-models", type=int, default=400)
+    p_synth.add_argument("--verilog", help="write structural Verilog")
+    p_synth.add_argument("--save-netlist", help="write the netlist as JSON")
+    p_synth.add_argument(
+        "--save-stg",
+        help="write the (repaired) specification back as a .g STG",
+    )
+    p_synth.add_argument("--dot", help="write the netlist as Graphviz")
+    p_synth.set_defaults(func=cmd_synth)
+
+    p_verify = sub.add_parser("verify", help="synthesise and model-check")
+    p_verify.add_argument("spec", help=".g file")
+    p_verify.add_argument("--style", choices=["C", "RS", "RS-NOR", "C-INV"], default="C")
+    p_verify.set_defaults(func=cmd_verify)
+
+    p_sim = sub.add_parser("simulate", help="Monte-Carlo delay simulation")
+    p_sim.add_argument("spec", help=".g file")
+    p_sim.add_argument("--style", choices=["C", "RS"], default="C")
+    p_sim.add_argument("--runs", type=int, default=20)
+    p_sim.add_argument("--events", type=int, default=1000)
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.set_defaults(func=cmd_simulate)
+
+    p_check = sub.add_parser(
+        "check", help="verify an external netlist (JSON) against a spec"
+    )
+    p_check.add_argument("spec", help=".g file")
+    p_check.add_argument("netlist", help="netlist JSON file")
+    p_check.add_argument("--max-states", type=int, default=500_000)
+    p_check.set_defaults(func=cmd_check)
+
+    p_table = sub.add_parser("table1", help="regenerate the paper's Table 1")
+    p_table.add_argument("designs", nargs="*", help="subset of designs")
+    p_table.add_argument("--no-verify", action="store_true")
+    p_table.set_defaults(func=cmd_table1)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

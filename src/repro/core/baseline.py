@@ -1,0 +1,69 @@
+"""Baseline synthesis in the style of Beerel & Meng [2].
+
+The baseline requires each excitation region to be covered by *correct*
+cover cubes only (Definition 16) -- several cubes per region are allowed
+and no monotonicity is demanded.  This is the method the paper compares
+against in Examples 1 and 2:
+
+* on Figure 1 it needs two cubes (``a b' + b' c``) for ER(+d_1) and
+  produces equations (1) -- but cannot guarantee the acknowledgement of
+  both AND gates;
+* on Figure 4 it accepts cube ``a`` for ER(+b_1) (all of [2]'s local
+  conditions hold) although the resulting circuit has a hazard, which the
+  circuit-level verifier in :mod:`repro.netlist.hazards` demonstrates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.boolean.cover import Cover
+from repro.boolean.cube import Cube
+from repro.core.covers import find_correct_cover_cubes
+from repro.core.synthesis import Implementation, SignalNetwork
+from repro.sg.graph import StateGraph
+from repro.sg.regions import ExcitationRegion, excitation_regions
+
+
+class BaselineError(RuntimeError):
+    """Some excitation region admits no correct cover at all."""
+
+
+def baseline_synthesize(sg: StateGraph) -> Implementation:
+    """Correct-cover synthesis (no MC requirement).
+
+    Raises :class:`BaselineError` when a region cannot be covered
+    correctly by any set of cubes (this cannot happen in persistent
+    graphs, Theorem 1 -- tested as an executable cross-check).
+    """
+    networks: Dict[str, SignalNetwork] = {}
+    for signal in sorted(sg.non_inputs):
+        regions = excitation_regions(sg, signal)
+        if not any(er.direction == 1 for er in regions) or not any(
+            er.direction == -1 for er in regions
+        ):
+            raise BaselineError(
+                f"non-input signal {signal!r} never switches in both "
+                f"directions; it has no excitation logic to synthesise"
+            )
+        covers: Dict[int, List[Cube]] = {1: [], -1: []}
+        maps: Dict[int, Dict[Cube, Tuple[ExcitationRegion, ...]]] = {1: {}, -1: {}}
+        for er in regions:
+            cubes = find_correct_cover_cubes(sg, er)
+            if cubes is None:
+                raise BaselineError(
+                    f"ER({er.transition_name}) has no correct cover"
+                )
+            for cube in cubes:
+                if cube not in covers[er.direction]:
+                    covers[er.direction].append(cube)
+                existing = maps[er.direction].get(cube, ())
+                maps[er.direction][cube] = tuple(list(existing) + [er])
+        networks[signal] = SignalNetwork(
+            signal=signal,
+            set_cover=Cover(covers[1]),
+            reset_cover=Cover(covers[-1]),
+            set_regions=maps[1],
+            reset_regions=maps[-1],
+        )
+    return Implementation(sg=sg, networks=networks, shared=False, method="baseline")

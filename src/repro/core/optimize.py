@@ -1,0 +1,143 @@
+"""Optimal gate sharing (Section VI as an exact optimisation).
+
+The paper: "The last statement allows one to use optimization of the
+multi-output two-level array of excitation functions under the
+MC-requirement, using sharing of AND- and OR-gates."  The greedy merger
+in :mod:`repro.core.synthesis` realises the idea; this module solves the
+selection *exactly*:
+
+* candidates: for every region group (subsets of the non-input regions
+  up to a size cap, pruned to groups with common literals), the
+  generalised-MC cube found for it;
+* constraint: every region is covered by **exactly one** selected cube
+  (Theorem 5's premise);
+* objective: minimise total gate cost (literal count per cube, plus one
+  for the AND gate when the cube has two or more literals; shared cubes
+  are paid once).
+
+Solved by branch and bound over the exact-cover structure -- instances
+have at most a few dozen candidates for the benchmark-scale designs.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.boolean.cube import Cube
+from repro.core.covers import (
+    find_generalized_monotonous_cover,
+    find_monotonous_cover,
+    smallest_cover_cube,
+)
+from repro.sg.graph import StateGraph
+from repro.sg.regions import ExcitationRegion, all_excitation_regions
+
+
+def cube_cost(cube: Cube) -> int:
+    """Literal count plus one for the AND gate (waived for wires)."""
+    return len(cube) + (1 if len(cube) >= 2 else 0)
+
+
+def _candidate_groups(
+    sg: StateGraph,
+    regions: Sequence[ExcitationRegion],
+    max_group: int,
+) -> List[Tuple[FrozenSet[int], Cube]]:
+    """(region-index-set, cube) candidates with a valid generalised MC."""
+    smallest = [set(smallest_cover_cube(sg, er).literals) for er in regions]
+    candidates: List[Tuple[FrozenSet[int], Cube]] = []
+    for index, er in enumerate(regions):
+        cube = find_monotonous_cover(sg, er)
+        if cube is not None:
+            candidates.append((frozenset({index}), cube))
+    for size in range(2, max_group + 1):
+        for group in combinations(range(len(regions)), size):
+            common = set.intersection(*(smallest[i] for i in group))
+            if not common:
+                continue
+            cube = find_generalized_monotonous_cover(
+                sg, [regions[i] for i in group]
+            )
+            if cube is not None:
+                candidates.append((frozenset(group), cube))
+    return candidates
+
+
+class SharingError(RuntimeError):
+    """Some region is covered by no candidate cube at all."""
+
+
+def optimal_region_assignment(
+    sg: StateGraph,
+    regions: Optional[Sequence[ExcitationRegion]] = None,
+    max_group: int = 3,
+) -> Dict[ExcitationRegion, Cube]:
+    """Minimum-cost exact cover of the regions by (shared) MC cubes."""
+    if regions is None:
+        regions = all_excitation_regions(sg, only_non_inputs=True)
+    regions = list(regions)
+    if not regions:
+        return {}
+    candidates = _candidate_groups(sg, regions, max_group)
+    coverable = set()
+    for group, _ in candidates:
+        coverable |= group
+    missing = set(range(len(regions))) - coverable
+    if missing:
+        raise SharingError(
+            f"no MC cube candidate for "
+            f"{[regions[i].transition_name for i in sorted(missing)]}"
+        )
+
+    by_region: Dict[int, List[int]] = {i: [] for i in range(len(regions))}
+    for c_index, (group, _) in enumerate(candidates):
+        for region_index in group:
+            by_region[region_index].append(c_index)
+    costs = [cube_cost(cube) for _, cube in candidates]
+
+    best_cost = [sum(costs) + 1]
+    best_choice: List[Optional[Tuple[int, ...]]] = [None]
+
+    def backtrack(uncovered: FrozenSet[int], chosen: Tuple[int, ...], spent: int):
+        if spent >= best_cost[0]:
+            return
+        if not uncovered:
+            best_cost[0] = spent
+            best_choice[0] = chosen
+            return
+        # branch on the uncovered region with fewest usable candidates
+        def usable(region_index: int) -> List[int]:
+            return [
+                c
+                for c in by_region[region_index]
+                # exactly-one: the candidate's whole group must still be
+                # uncovered (no region may be covered twice)
+                if candidates[c][0] <= uncovered
+            ]
+
+        region_index = min(uncovered, key=lambda i: len(usable(i)))
+        options = usable(region_index)
+        if not options:
+            return
+        for c_index in sorted(options, key=lambda c: costs[c]):
+            backtrack(
+                uncovered - candidates[c_index][0],
+                chosen + (c_index,),
+                spent + costs[c_index],
+            )
+
+    backtrack(frozenset(range(len(regions))), (), 0)
+    if best_choice[0] is None:
+        raise SharingError("no exact cover of the regions by MC cubes exists")
+    assignment: Dict[ExcitationRegion, Cube] = {}
+    for c_index in best_choice[0]:
+        group, cube = candidates[c_index]
+        for region_index in group:
+            assignment[regions[region_index]] = cube
+    return assignment
+
+
+def total_cost(assignment: Dict[ExcitationRegion, Cube]) -> int:
+    """Summed cost of the distinct cubes in an assignment."""
+    return sum(cube_cost(cube) for cube in set(assignment.values()))

@@ -1,0 +1,75 @@
+"""Transistor-count area estimation for netlists.
+
+A standard static-CMOS costing, good enough to compare implementation
+variants (the paper's Section VI motivates gate sharing with "better
+usage of the silicon area"):
+
+=========  =========================================================
+gate       transistors
+=========  =========================================================
+NOT        2
+BUF        4 (two inverters)
+NAND/NOR   2n (n = fan-in)
+AND/OR     2n + 2 (NAND/NOR plus output inverter)
+C-element  12 (standard static implementation with keeper)
+RS latch   8 (cross-coupled NOR pair)
+COMPLEX    2 * (total literals) + 2 (single AOI stage + inverter)
+bubble     2 per inverted input pin (local inverter)
+=========  =========================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.netlist.gates import Gate, GateKind
+from repro.netlist.netlist import Netlist
+
+
+def gate_transistors(gate: Gate) -> int:
+    """Estimated transistor count of one gate, bubbles included."""
+    fanin = len(gate.inputs)
+    bubbles = sum(1 for _, polarity in gate.inputs if polarity == 0)
+    base: int
+    if gate.kind == GateKind.NOT:
+        base = 2
+        bubbles = 0  # an inverted inverter input is just a buffer; keep simple
+    elif gate.kind == GateKind.BUF:
+        base = 4
+        bubbles = 0
+    elif gate.kind in (GateKind.NAND, GateKind.NOR):
+        base = 2 * fanin
+    elif gate.kind in (GateKind.AND, GateKind.OR):
+        base = 2 * fanin + 2
+    elif gate.kind == GateKind.C:
+        base = 12
+        bubbles = sum(1 for _, polarity in gate.inputs if polarity == 0)
+    elif gate.kind == GateKind.RS:
+        base = 8
+    elif gate.kind == GateKind.COMPLEX:
+        literals = sum(len(cube) for cube in gate.function)
+        base = 2 * literals + 2
+        bubbles = 0  # polarities live in the function
+    else:  # pragma: no cover - exhaustive over GateKind
+        raise ValueError(f"unknown gate kind {gate.kind}")
+    return base + 2 * bubbles
+
+
+def area_estimate(netlist: Netlist) -> int:
+    """Total estimated transistor count of the netlist."""
+    return sum(gate_transistors(gate) for gate in netlist.gates.values())
+
+
+def area_report(netlist: Netlist) -> str:
+    """Per-gate breakdown plus the total."""
+    lines = [f"area estimate for {netlist.name} (transistors)"]
+    by_kind: Dict[str, int] = {}
+    for name, gate in netlist.gates.items():
+        cost = gate_transistors(gate)
+        by_kind[gate.kind.value] = by_kind.get(gate.kind.value, 0) + cost
+        lines.append(f"  {name:<16}{gate.kind.value:<9}{cost:>4}")
+    lines.append("  " + "-" * 29)
+    for kind, cost in sorted(by_kind.items()):
+        lines.append(f"  {'subtotal':<16}{kind:<9}{cost:>4}")
+    lines.append(f"  {'TOTAL':<25}{area_estimate(netlist):>4}")
+    return "\n".join(lines)

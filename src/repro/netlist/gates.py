@@ -1,0 +1,119 @@
+"""The basic gate library (Sec. III of the paper).
+
+Gates are AND, OR (with optional inversion bubbles on inputs), NOT/BUF,
+the two-input Muller C-element and the RS latch.  Input inversions on
+AND/OR gates are part of the gate (the paper justifies this with the
+``d_inv^max < D_sn^min`` delay argument); NOT as a *standalone* gate is
+available for explicit experiments with separate inverters.
+
+Each gate computes a next output value from its (polarity-adjusted)
+input values and its current output; under the pure unbounded gate delay
+model the output is *excited* whenever next != current, and the delay
+before it fires is arbitrary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Mapping, Sequence, Tuple
+
+
+class GateKind(Enum):
+    AND = "and"
+    OR = "or"
+    NOR = "nor"
+    NAND = "nand"
+    NOT = "not"
+    BUF = "buf"
+    C = "c"  # Muller C-element: inputs (set side, reset side)
+    RS = "rs"  # behavioural set/reset latch: inputs (S, R), hold on S=R
+    COMPLEX = "complex"  # one atomic gate computing an arbitrary SOP
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate: ``output = kind(inputs)``.
+
+    ``inputs`` is a tuple of ``(signal, polarity)`` pairs; polarity 0
+    inverts the input (a bubble).  For C and RS gates the tuple must have
+    exactly two entries: the set-side input first, the reset-side second.
+    For the C-element the conventional instantiation ``a = C(Sa, Ra')``
+    is ``Gate("a", GateKind.C, (("Sa", 1), ("Ra", 0)))``.
+    """
+
+    output: str
+    kind: GateKind
+    inputs: Tuple[Tuple[str, int], ...]
+    #: for COMPLEX gates: the Boolean function as a Cover over the fanin
+    #: signals (evaluated on raw values; input polarities are part of the
+    #: cover's literals, not of the pin list)
+    function: object = None
+
+    def __post_init__(self) -> None:
+        if self.kind == GateKind.COMPLEX and self.function is None:
+            raise ValueError("complex gate needs a function cover")
+        if self.kind in (GateKind.NOT, GateKind.BUF) and len(self.inputs) != 1:
+            raise ValueError(f"{self.kind.value} gate needs exactly one input")
+        if self.kind in (GateKind.C, GateKind.RS) and len(self.inputs) != 2:
+            raise ValueError(f"{self.kind.value} element needs exactly two inputs")
+        if self.kind in (GateKind.AND, GateKind.OR, GateKind.NOR, GateKind.NAND) and not self.inputs:
+            raise ValueError(f"{self.kind.value} gate needs at least one input")
+        for _, polarity in self.inputs:
+            if polarity not in (0, 1):
+                raise ValueError("input polarity must be 0 or 1")
+
+    @property
+    def fanin_signals(self) -> Tuple[str, ...]:
+        return tuple(signal for signal, _ in self.inputs)
+
+    def next_value(self, values: Mapping[str, int], current: int) -> int:
+        """The gate's next output under the given input values."""
+        if self.kind == GateKind.COMPLEX:
+            point = {signal: values[signal] for signal, _ in self.inputs}
+            return int(self.function.covers(point))
+        effective = [
+            values[signal] if polarity else 1 - values[signal]
+            for signal, polarity in self.inputs
+        ]
+        if self.kind == GateKind.AND:
+            return int(all(effective))
+        if self.kind == GateKind.OR:
+            return int(any(effective))
+        if self.kind == GateKind.NOR:
+            return int(not any(effective))
+        if self.kind == GateKind.NAND:
+            return int(not all(effective))
+        if self.kind == GateKind.BUF:
+            return effective[0]
+        if self.kind == GateKind.NOT:
+            return 1 - effective[0]
+        if self.kind == GateKind.C:
+            first, second = effective
+            if first == second:
+                return first
+            return current
+        if self.kind == GateKind.RS:
+            set_in, reset_in = effective
+            if set_in and not reset_in:
+                return 1
+            if reset_in and not set_in:
+                return 0
+            return current  # both idle -> hold; both active -> hold (illegal)
+        raise AssertionError(f"unknown gate kind {self.kind}")  # pragma: no cover
+
+    def rs_illegal(self, values: Mapping[str, int]) -> bool:
+        """True when an RS latch sees S = R = 1 (forbidden input state)."""
+        if self.kind != GateKind.RS:
+            return False
+        effective = [
+            values[signal] if polarity else 1 - values[signal]
+            for signal, polarity in self.inputs
+        ]
+        return effective[0] == 1 and effective[1] == 1
+
+    def describe(self) -> str:
+        body = ", ".join(
+            signal if polarity else f"{signal}'" for signal, polarity in self.inputs
+        )
+        return f"{self.output} = {self.kind.value.upper()}({body})"

@@ -1,0 +1,120 @@
+"""Speed-independence verification of implementations.
+
+Under the pure delay model, "any violation of semi-modularity by
+internal signals will result in hazardous behavior on circuit outputs"
+(Sec. III, citing Beerel & Meng's semi-modularity/testability result).
+So the verifier builds the circuit-level state graph of the closed loop
+(circuit + specification mirror) and checks output semi-modularity with
+respect to *every gate output*.  A conflict on a gate -- the gate gets
+excited and then loses its excitation without firing -- is a hazard
+witness: the classic unacknowledged-gate scenario of Example 2, where
+AND gate ``t = c'd`` starts switching in ER(+b_2) and input ``a``
+overtakes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.netlist.circuit_sg import Composition, build_circuit_state_graph
+from repro.netlist.netlist import Netlist
+from repro.sg.graph import StateGraph
+from repro.sg.properties import Conflict, conflict_states
+
+
+@dataclass
+class HazardReport:
+    """Verification outcome for one netlist against one specification."""
+
+    netlist: Netlist
+    spec: StateGraph
+    composition: Composition
+    conflicts: List[Conflict] = field(default_factory=list)
+
+    @property
+    def circuit_sg(self) -> StateGraph:
+        return self.composition.sg
+
+    @property
+    def hazard_free(self) -> bool:
+        """Speed-independent: no gate conflict, no conformance failure,
+        and the whole space explored.
+
+        Transient S = R overlaps at atomic RS flip-flops are reported
+        separately (:attr:`rs_overlaps`): with the MC property the
+        overlap always resolves by the stale side falling first (the
+        active side cannot withdraw until the latch answers), so the
+        flip-flop merely holds through it.
+        """
+        return (
+            not self.conflicts
+            and not self.composition.conformance_failures
+            and not self.composition.truncated
+        )
+
+    @property
+    def rs_overlaps(self) -> List[Tuple]:
+        return list(self.composition.rs_violations)
+
+    def witness_trace(self, conflict: Optional[Conflict] = None) -> List:
+        """The event sequence from reset to a conflict state.
+
+        Defaults to the first conflict; returns the BFS-shortest firing
+        sequence of the closed loop leading to the state in which the
+        gate is excited, followed by the disabling event.
+        """
+        if conflict is None:
+            if not self.conflicts:
+                return []
+            conflict = self.conflicts[0]
+        return self.composition.trace_to(conflict.state) + [conflict.by]
+
+    def describe(self) -> str:
+        lines = [
+            f"speed-independence check: {self.netlist.name} vs {self.spec.name}: "
+            f"{'HAZARD-FREE' if self.hazard_free else 'HAZARDOUS'}",
+            f"  circuit states explored: {len(self.circuit_sg)}",
+        ]
+        for conflict in self.conflicts[:8]:
+            lines.append(f"  gate conflict: {conflict}")
+        if self.conflicts:
+            trace = self.witness_trace()
+            lines.append(
+                "  witness trace: " + " ".join(str(e) for e in trace)
+            )
+        for state, signal in self.composition.conformance_failures[:8]:
+            lines.append(
+                f"  conformance failure: output {signal!r} fires outside the "
+                f"specification in state {state!r}"
+            )
+        if self.composition.rs_violations:
+            lines.append(
+                f"  note: {len(self.composition.rs_violations)} transient "
+                f"S=R overlap state(s) at RS flip-flops (held through)"
+            )
+        if self.composition.truncated:
+            lines.append("  WARNING: exploration truncated")
+        return "\n".join(lines)
+
+
+def verify_speed_independence(
+    netlist: Netlist,
+    spec: StateGraph,
+    max_states: int = 500_000,
+) -> HazardReport:
+    """Build the circuit-level SG and check it for gate-level conflicts.
+
+    The watched signals are all non-inputs of the composed graph, i.e.
+    every gate output (latches, AND/OR gates, wires alike).
+    """
+    composition = build_circuit_state_graph(netlist, spec, max_states=max_states)
+    conflicts = conflict_states(
+        composition.sg, composition.sg.non_inputs
+    )
+    return HazardReport(
+        netlist=netlist,
+        spec=spec,
+        composition=composition,
+        conflicts=conflicts,
+    )

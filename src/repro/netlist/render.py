@@ -1,0 +1,157 @@
+"""Rendering of netlists and state graphs to external formats.
+
+* :func:`netlist_to_verilog` -- structural Verilog of the synthesised
+  circuit.  AND/OR/NOT/BUF map to primitives; the Muller C-element, the
+  RS latch and complex gates are emitted as behavioural modules (they
+  are the architecture's atomic basic elements).
+* :func:`netlist_to_dot` / :func:`sg_to_dot` -- Graphviz views of the
+  circuit and of a state graph (excited signals per state shown in the
+  paper's asterisk style).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.boolean.sop import format_cover
+from repro.netlist.gates import Gate, GateKind
+from repro.netlist.netlist import Netlist
+from repro.sg.graph import StateGraph
+
+
+def _verilog_id(name: str) -> str:
+    """Sanitise a signal name into a Verilog identifier."""
+    cleaned = "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "n" + cleaned
+    return cleaned
+
+
+_C_ELEMENT_MODULE = """\
+module c_element(output reg q, input a, input b);
+  initial q = 1'b0;
+  always @(a or b) if (a == b) q <= a;
+endmodule
+"""
+
+_RS_LATCH_MODULE = """\
+module rs_latch(output reg q, input s, input r);
+  initial q = 1'b0;
+  always @(s or r) begin
+    if (s & ~r) q <= 1'b1;
+    else if (r & ~s) q <= 1'b0;
+  end
+endmodule
+"""
+
+
+def netlist_to_verilog(netlist: Netlist) -> str:
+    """Structural Verilog for the netlist (self-contained source)."""
+    name = _verilog_id(netlist.name)
+    inputs = [_verilog_id(s) for s in netlist.inputs]
+    outputs = [_verilog_id(s) for s in netlist.interface_outputs]
+    internal = [
+        _verilog_id(s)
+        for s in netlist.gates
+        if s not in netlist.interface_outputs
+    ]
+
+    lines: List[str] = []
+    uses_c = any(g.kind == GateKind.C for g in netlist.gates.values())
+    uses_rs = any(g.kind == GateKind.RS for g in netlist.gates.values())
+    if uses_c:
+        lines.append(_C_ELEMENT_MODULE)
+    if uses_rs:
+        lines.append(_RS_LATCH_MODULE)
+
+    ports = ", ".join([f"input {s}" for s in inputs] + [f"output {s}" for s in outputs])
+    lines.append(f"module {name}({ports});")
+    for wire in internal:
+        lines.append(f"  wire {wire};")
+
+    instance = 0
+    for out, gate in netlist.gates.items():
+        out_id = _verilog_id(out)
+        pins = []
+        for signal, polarity in gate.inputs:
+            pin = _verilog_id(signal)
+            pins.append(pin if polarity else f"~{pin}")
+        instance += 1
+        if gate.kind == GateKind.AND:
+            lines.append(f"  assign {out_id} = {' & '.join(pins)};")
+        elif gate.kind == GateKind.OR:
+            lines.append(f"  assign {out_id} = {' | '.join(pins)};")
+        elif gate.kind == GateKind.NOR:
+            lines.append(f"  assign {out_id} = ~({' | '.join(pins)});")
+        elif gate.kind == GateKind.NAND:
+            lines.append(f"  assign {out_id} = ~({' & '.join(pins)});")
+        elif gate.kind == GateKind.BUF:
+            lines.append(f"  assign {out_id} = {pins[0]};")
+        elif gate.kind == GateKind.NOT:
+            lines.append(f"  assign {out_id} = ~{pins[0]};")
+        elif gate.kind == GateKind.C:
+            lines.append(
+                f"  c_element u{instance}(.q({out_id}), .a({pins[0]}), .b({pins[1]}));"
+            )
+        elif gate.kind == GateKind.RS:
+            lines.append(
+                f"  rs_latch u{instance}(.q({out_id}), .s({pins[0]}), .r({pins[1]}));"
+            )
+        elif gate.kind == GateKind.COMPLEX:
+            lines.append(
+                f"  // complex gate: {out} = {format_cover(gate.function)}"
+            )
+            terms = []
+            for cube in gate.function:
+                literals = [
+                    (_verilog_id(s) if v else f"~{_verilog_id(s)}")
+                    for s, v in cube.literals
+                ]
+                terms.append("(" + " & ".join(literals) + ")" if literals else "1'b1")
+            lines.append(f"  assign {out_id} = {' | '.join(terms)};")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def netlist_to_dot(netlist: Netlist) -> str:
+    """Graphviz digraph of the circuit structure."""
+    lines = [f'digraph "{netlist.name}" {{', "  rankdir=LR;"]
+    for signal in netlist.inputs:
+        lines.append(f'  "{signal}" [shape=triangle, label="{signal}"];')
+    for out, gate in netlist.gates.items():
+        shape = {
+            GateKind.C: "doublecircle",
+            GateKind.RS: "doublecircle",
+            GateKind.COMPLEX: "box3d",
+        }.get(gate.kind, "box")
+        label = f"{gate.kind.value.upper()}\\n{out}"
+        lines.append(f'  "{out}" [shape={shape}, label="{label}"];')
+        for signal, polarity in gate.inputs:
+            style = "" if polarity else " [arrowhead=odot]"
+            lines.append(f'  "{signal}" -> "{out}"{style};')
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def sg_to_dot(sg: StateGraph) -> str:
+    """Graphviz digraph of a state graph, asterisk-labelled states."""
+    lines = [f'digraph "{sg.name}" {{']
+
+    def label(state) -> str:
+        excited = {
+            sg.signal_position(s) for s in sg.excited_signals(state)
+        }
+        parts = []
+        for i, bit in enumerate(sg.code(state)):
+            parts.append(str(bit) + ("*" if i in excited else ""))
+        return "".join(parts)
+
+    for state in sorted(sg.states, key=str):
+        shape = "doublecircle" if state == sg.initial else "circle"
+        lines.append(f'  "{state}" [shape={shape}, label="{label(state)}"];')
+    for source, event, target in sorted(
+        sg.arcs(), key=lambda a: (str(a[0]), str(a[1]), str(a[2]))
+    ):
+        lines.append(f'  "{source}" -> "{target}" [label="{event}"];')
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,18 @@
+"""A small, self-contained SAT solver.
+
+The paper's Section VII solves the generalized state-assignment problem as
+a set of "0-1 Boolean programs ... efficiently solved using Boolean
+satisfiability solvers".  This subpackage provides that substrate:
+
+* :class:`~repro.sat.cnf.CNF` -- a clause database with named variables
+  and convenience encoders (at-least-one, at-most-one, implications),
+* :class:`~repro.sat.solver.Solver` -- a DPLL solver with two-literal
+  watching, unit propagation and a conflict-count activity heuristic,
+  supporting incremental solving under assumptions and solution blocking
+  (for model enumeration).
+"""
+
+from repro.sat.cnf import CNF
+from repro.sat.solver import Solver, solve
+
+__all__ = ["CNF", "Solver", "solve"]

@@ -1,0 +1,132 @@
+"""CNF construction with named variables.
+
+Variables are positive integers; literals are signed integers in DIMACS
+convention (``-v`` is the negation of ``v``).  :class:`CNF` keeps a name
+table so higher layers (the state-assignment encoder) can build formulas
+over meaningful names like ``("label", state_id, "U")`` and read models
+back symbolically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+
+class CNF:
+    """A growable clause database with a variable name table."""
+
+    def __init__(self) -> None:
+        self.clauses: List[Tuple[int, ...]] = []
+        self._names: Dict[Hashable, int] = {}
+        self._by_index: List[Optional[Hashable]] = [None]  # 1-based variables
+
+    # ------------------------------------------------------------------
+    # Variables
+    # ------------------------------------------------------------------
+    @property
+    def num_vars(self) -> int:
+        return len(self._by_index) - 1
+
+    def new_var(self, name: Optional[Hashable] = None) -> int:
+        """Allocate a fresh variable, optionally registering a name."""
+        if name is not None and name in self._names:
+            raise ValueError(f"variable name already in use: {name!r}")
+        index = len(self._by_index)
+        self._by_index.append(name)
+        if name is not None:
+            self._names[name] = index
+        return index
+
+    def var(self, name: Hashable) -> int:
+        """The variable for ``name``, allocating it on first use."""
+        existing = self._names.get(name)
+        if existing is not None:
+            return existing
+        return self.new_var(name)
+
+    def name_of(self, variable: int) -> Optional[Hashable]:
+        """The registered name of a variable, or ``None``."""
+        if not 1 <= variable < len(self._by_index):
+            raise IndexError(f"no such variable: {variable}")
+        return self._by_index[variable]
+
+    # ------------------------------------------------------------------
+    # Clauses
+    # ------------------------------------------------------------------
+    def add(self, *literals: int) -> None:
+        """Add one clause given as signed literals."""
+        self.add_clause(literals)
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        clause = tuple(literals)
+        if not clause:
+            raise ValueError("empty clause added; formula is trivially UNSAT")
+        for literal in clause:
+            if literal == 0 or abs(literal) > self.num_vars:
+                raise ValueError(f"literal out of range: {literal}")
+        self.clauses.append(clause)
+
+    def add_implies(self, antecedent: int, consequent: int) -> None:
+        """``antecedent -> consequent``."""
+        self.add(-antecedent, consequent)
+
+    def add_iff(self, left: int, right: int) -> None:
+        """``left <-> right``."""
+        self.add(-left, right)
+        self.add(left, -right)
+
+    def at_least_one(self, literals: Sequence[int]) -> None:
+        self.add_clause(literals)
+
+    def at_most_one(self, literals: Sequence[int]) -> None:
+        """Pairwise at-most-one (fine for the small groups we encode)."""
+        for i in range(len(literals)):
+            for j in range(i + 1, len(literals)):
+                self.add(-literals[i], -literals[j])
+
+    def exactly_one(self, literals: Sequence[int]) -> None:
+        self.at_least_one(literals)
+        self.at_most_one(literals)
+
+    def at_most_k(self, literals: Sequence[int], k: int) -> None:
+        """Sequential-counter encoding of ``sum(literals) <= k``.
+
+        Introduces O(n*k) auxiliary variables/clauses (Sinz 2005); for
+        ``k = 0`` every literal is simply forced false.
+        """
+        n = len(literals)
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        if k == 0:
+            for literal in literals:
+                self.add(-literal)
+            return
+        if n <= k:
+            return
+        # registers[i][j] is true when at least j+1 of the first i+1
+        # literals are true
+        registers = [[self.new_var() for _ in range(k)] for _ in range(n)]
+        self.add(-literals[0], registers[0][0])
+        for j in range(1, k):
+            self.add(-registers[0][j])
+        for i in range(1, n):
+            self.add(-literals[i], registers[i][0])
+            self.add(-registers[i - 1][0], registers[i][0])
+            for j in range(1, k):
+                self.add(-literals[i], -registers[i - 1][j - 1], registers[i][j])
+                self.add(-registers[i - 1][j], registers[i][j])
+            self.add(-literals[i], -registers[i - 1][k - 1])
+
+    def forbid(self, assignment: Sequence[int]) -> None:
+        """Block one (partial) assignment given as true literals."""
+        self.add_clause([-lit for lit in assignment])
+
+    # ------------------------------------------------------------------
+    # Model decoding
+    # ------------------------------------------------------------------
+    def decode(self, model: Sequence[bool]) -> Dict[Hashable, bool]:
+        """Map a solver model back to named variables."""
+        result = {}
+        for name, variable in self._names.items():
+            result[name] = model[variable]
+        return result

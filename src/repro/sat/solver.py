@@ -1,0 +1,187 @@
+"""A DPLL SAT solver with two-literal watching.
+
+Deliberately simple but complete: iterative DPLL with unit propagation via
+watched literals, a conflict-frequency branching heuristic, and optional
+assumptions.  The state-assignment instances this library generates have a
+few hundred variables, far below the scale where CDCL would matter; the
+solver nevertheless handles tens of thousands of clauses comfortably.
+
+The model returned is a list ``model[v] in (True, False)`` indexed by
+variable (entry 0 unused).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class Solver:
+    """DPLL solver over clauses in DIMACS literal convention."""
+
+    def __init__(self, num_vars: int, clauses: Iterable[Sequence[int]]):
+        self.num_vars = num_vars
+        self.clauses: List[Tuple[int, ...]] = []
+        self._trivially_unsat = False
+        for clause in clauses:
+            unique = tuple(dict.fromkeys(clause))
+            if any(-lit in unique for lit in unique):
+                continue  # tautological clause
+            if not unique:
+                self._trivially_unsat = True
+                continue
+            self.clauses.append(unique)
+        # watches[lit] = clause indices currently watching literal ``lit``
+        self._watches: Dict[int, List[int]] = {}
+        self._watched: List[List[int]] = []
+        self._activity = [0.0] * (num_vars + 1)
+        self._build_watches()
+
+    # ------------------------------------------------------------------
+    def _build_watches(self) -> None:
+        self._watches = {}
+        self._watched = []
+        for index, clause in enumerate(self.clauses):
+            pair = list(clause[:2]) if len(clause) >= 2 else [clause[0], clause[0]]
+            self._watched.append(pair)
+            for literal in set(pair):
+                self._watches.setdefault(literal, []).append(index)
+
+    @classmethod
+    def from_cnf(cls, cnf) -> "Solver":
+        return cls(cnf.num_vars, cnf.clauses)
+
+    # ------------------------------------------------------------------
+    def solve(
+        self, assumptions: Sequence[int] = ()
+    ) -> Optional[List[Optional[bool]]]:
+        """Return a model or ``None`` if unsatisfiable.
+
+        ``assumptions`` are literals forced true before search.
+        """
+        if self._trivially_unsat:
+            return None
+        assign: List[Optional[bool]] = [None] * (self.num_vars + 1)
+        trail: List[int] = []
+        levels: List[int] = []  # indices into trail at each decision
+
+        def value(literal: int) -> Optional[bool]:
+            v = assign[abs(literal)]
+            if v is None:
+                return None
+            return v if literal > 0 else not v
+
+        def enqueue(literal: int) -> bool:
+            current = value(literal)
+            if current is not None:
+                return current
+            assign[abs(literal)] = literal > 0
+            trail.append(literal)
+            return True
+
+        def propagate(start: int) -> Optional[int]:
+            """Unit-propagate from trail position ``start``.
+
+            Returns the index of a conflicting clause, or None.
+            """
+            head = start
+            while head < len(trail):
+                literal = trail[head]
+                head += 1
+                falsified = -literal
+                watching = self._watches.get(falsified)
+                if not watching:
+                    continue
+                survivors = []
+                conflict = None
+                for clause_index in watching:
+                    if conflict is not None:
+                        survivors.append(clause_index)
+                        continue
+                    clause = self.clauses[clause_index]
+                    pair = self._watched[clause_index]
+                    if falsified not in pair:
+                        continue  # stale entry
+                    other = pair[0] if pair[1] == falsified else pair[1]
+                    if value(other) is True:
+                        survivors.append(clause_index)
+                        continue
+                    # find replacement watch
+                    replacement = None
+                    for candidate in clause:
+                        if candidate == other or candidate == falsified:
+                            continue
+                        if value(candidate) is not False:
+                            replacement = candidate
+                            break
+                    if replacement is not None:
+                        pair[pair.index(falsified)] = replacement
+                        self._watches.setdefault(replacement, []).append(clause_index)
+                        continue
+                    survivors.append(clause_index)
+                    if value(other) is False:
+                        conflict = clause_index
+                    else:
+                        enqueue(other)
+                self._watches[falsified] = survivors
+                if conflict is not None:
+                    return conflict
+            return None
+
+        def backtrack_to(level: int) -> None:
+            mark = levels[level]
+            while len(trail) > mark:
+                literal = trail.pop()
+                assign[abs(literal)] = None
+            del levels[level:]
+
+        # Assumption + top-level unit seeding
+        for clause in self.clauses:
+            if len(clause) == 1 and not enqueue(clause[0]):
+                return None
+        for literal in assumptions:
+            if not enqueue(literal):
+                return None
+        if propagate(0) is not None:
+            return None
+
+        # Decision stack parallel to ``levels``: literal decided, phase tried
+        decisions: List[Tuple[int, bool]] = []
+        propagated = len(trail)
+
+        while True:
+            # pick an unassigned variable
+            branch_var = 0
+            best = -1.0
+            for variable in range(1, self.num_vars + 1):
+                if assign[variable] is None and self._activity[variable] >= best:
+                    best = self._activity[variable]
+                    branch_var = variable
+            if branch_var == 0:
+                return [v if v is not None else False for v in assign]
+            levels.append(len(trail))
+            decisions.append((branch_var, True))
+            enqueue(branch_var)
+            while True:
+                conflict = propagate(propagated)
+                if conflict is None:
+                    propagated = len(trail)
+                    break
+                for literal in self.clauses[conflict]:
+                    self._activity[abs(literal)] += 1.0
+                # flip the most recent un-flipped decision
+                while decisions and not decisions[-1][1]:
+                    backtrack_to(len(levels) - 1)
+                    decisions.pop()
+                if not decisions:
+                    return None
+                variable, _ = decisions[-1]
+                backtrack_to(len(levels) - 1)
+                levels.append(len(trail))
+                decisions[-1] = (variable, False)
+                enqueue(-variable)
+                propagated = min(propagated, len(trail) - 1)
+
+
+def solve(cnf, assumptions: Sequence[int] = ()) -> Optional[List[Optional[bool]]]:
+    """One-shot convenience wrapper: solve a :class:`~repro.sat.cnf.CNF`."""
+    return Solver.from_cnf(cnf).solve(assumptions)

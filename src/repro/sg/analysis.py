@@ -1,0 +1,131 @@
+"""Whole-graph behavioural analysis: deadlocks, liveness, statistics.
+
+Complements the paper-specific properties with the sanity checks any
+specification should pass before synthesis:
+
+* **deadlock states** -- reachable states with no enabled event;
+* **liveness** -- from every reachable state, every signal can
+  eventually fire again (computed on the condensation of the graph);
+* **statistics** -- a compact structural summary used by the CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.sg.graph import State, StateGraph
+from repro.sg.regions import all_excitation_regions
+
+
+def deadlock_states(sg: StateGraph) -> List[State]:
+    """Reachable states with no outgoing arc."""
+    return sorted(
+        (s for s in sg.states if not sg.arcs_from(s)), key=str
+    )
+
+
+def strongly_connected_components(sg: StateGraph) -> List[FrozenSet[State]]:
+    """Tarjan SCCs of the state graph (iterative)."""
+    index: Dict[State, int] = {}
+    lowlink: Dict[State, int] = {}
+    on_stack: Set[State] = set()
+    stack: List[State] = []
+    components: List[FrozenSet[State]] = []
+    counter = [0]
+
+    for root in sorted(sg.states, key=str):
+        if root in index:
+            continue
+        work: List[Tuple[State, int]] = [(root, 0)]
+        while work:
+            node, pointer = work[-1]
+            if pointer == 0:
+                index[node] = lowlink[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            successors = sg.successors(node)
+            advanced = False
+            while pointer < len(successors):
+                successor = successors[pointer]
+                pointer += 1
+                if successor not in index:
+                    work[-1] = (node, pointer)
+                    work.append((successor, 0))
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    lowlink[node] = min(lowlink[node], index[successor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.remove(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(frozenset(component))
+    return components
+
+
+def is_live(sg: StateGraph) -> bool:
+    """Every signal can fire again from every reachable state.
+
+    True iff the graph is strongly connected and every signal has an
+    arc (the standard situation for cyclic controller specifications;
+    graphs with transient start-up prefixes are reported as non-live).
+    """
+    components = strongly_connected_components(sg)
+    if len(components) != 1:
+        return False
+    firing = {event.signal for _, event, _ in sg.arcs()}
+    return firing == set(sg.signals)
+
+
+@dataclass
+class GraphStatistics:
+    """Structural summary of a state graph."""
+
+    states: int
+    arcs: int
+    signals: int
+    inputs: int
+    regions: int
+    max_region_size: int
+    max_concurrency: int  # most enabled events in any state
+    deadlocks: int
+    live: bool
+
+    def describe(self) -> str:
+        return (
+            f"{self.states} states, {self.arcs} arcs, "
+            f"{self.signals} signals ({self.inputs} inputs); "
+            f"{self.regions} excitation regions (largest {self.max_region_size}); "
+            f"max concurrency {self.max_concurrency}; "
+            f"deadlocks {self.deadlocks}; live {self.live}"
+        )
+
+
+def statistics(sg: StateGraph) -> GraphStatistics:
+    """Compute the structural summary."""
+    regions = all_excitation_regions(sg, only_non_inputs=False)
+    return GraphStatistics(
+        states=len(sg),
+        arcs=len(sg.arcs()),
+        signals=len(sg.signals),
+        inputs=len(sg.inputs),
+        regions=len(regions),
+        max_region_size=max((len(r.states) for r in regions), default=0),
+        max_concurrency=max(
+            (len(sg.enabled_events(s)) for s in sg.states), default=0
+        ),
+        deadlocks=len(deadlock_states(sg)),
+        live=is_live(sg),
+    )

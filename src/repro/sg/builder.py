@@ -1,0 +1,191 @@
+"""Construction helpers for state graphs.
+
+Two entry points:
+
+* :func:`sg_from_asterisk_states` -- enter an SG exactly the way the paper
+  draws one: each state is written in asterisk notation (``1*010*`` means
+  code 1010 with the first and last signals excited).  Arcs are inferred:
+  firing an excited signal flips its bit, and the successor is the unique
+  state carrying the flipped code.  This is how Figures 1, 3 and 4 are
+  entered verbatim in the test-suite and benchmarks.
+
+* :func:`sg_from_arcs` -- enter an SG as named states plus event-labelled
+  arcs; codes are computed by propagating the initial code along events
+  (and cross-checked for consistency on reconvergence).  This is the
+  convenient form for hand-written benchmark behaviours.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.sg.events import SignalEvent
+from repro.sg.graph import InconsistentStateGraph, StateGraph
+
+
+def parse_asterisk_state(text: str) -> Tuple[Tuple[int, ...], Set[int]]:
+    """Parse ``1*010*`` into (code, excited-positions)."""
+    code: List[int] = []
+    excited: Set[int] = set()
+    for ch in text.strip():
+        if ch in "01":
+            code.append(int(ch))
+        elif ch == "*":
+            if not code:
+                raise ValueError(f"stray '*' in state {text!r}")
+            excited.add(len(code) - 1)
+        else:
+            raise ValueError(f"bad character {ch!r} in state {text!r}")
+    return tuple(code), excited
+
+
+def sg_from_asterisk_states(
+    signals: Sequence[str],
+    inputs: Iterable[str],
+    states: Iterable[str],
+    initial: str,
+    name: str = "sg",
+) -> StateGraph:
+    """Build an SG from asterisk-notation states with unique codes.
+
+    Each listed state must have a distinct code.  For every excited
+    position, the flipped code must belong to a listed state, which
+    becomes the arc target.  The initial state is given in the same
+    notation (or as a bare code string).
+    """
+    signals = tuple(signals)
+    parsed: Dict[Tuple[int, ...], Set[int]] = {}
+    for text in states:
+        code, excited = parse_asterisk_state(text)
+        if len(code) != len(signals):
+            raise ValueError(
+                f"state {text!r} has {len(code)} bits, expected {len(signals)}"
+            )
+        if code in parsed:
+            raise ValueError(
+                f"duplicate code {code} -- asterisk entry requires unique codes"
+            )
+        parsed[code] = excited
+
+    def state_id(code: Tuple[int, ...]) -> str:
+        return "".join(map(str, code))
+
+    arcs = []
+    for code, excited in parsed.items():
+        for position in excited:
+            flipped = list(code)
+            flipped[position] ^= 1
+            flipped_code = tuple(flipped)
+            if flipped_code not in parsed:
+                raise ValueError(
+                    f"state {state_id(code)} excites {signals[position]!r} but no "
+                    f"state has code {state_id(flipped_code)}"
+                )
+            event = SignalEvent(signals[position], +1 if code[position] == 0 else -1)
+            arcs.append((state_id(code), event, state_id(flipped_code)))
+
+    initial_code, _ = parse_asterisk_state(initial)
+    if initial_code not in parsed:
+        raise ValueError(f"initial state {initial!r} is not in the state list")
+
+    sg = StateGraph(
+        signals,
+        inputs,
+        {state_id(code): code for code in parsed},
+        arcs,
+        state_id(initial_code),
+        name=name,
+    )
+    sg.check()
+    return sg
+
+
+def sg_from_cycle(
+    signals: Sequence[str],
+    inputs: Iterable[str],
+    events: Sequence[str],
+    initial_code: Sequence[int] = None,
+    name: str = "cycle",
+) -> StateGraph:
+    """Build an SG from a cyclic event sequence.
+
+    ``events`` lists signal edges (``"r+"``, ``"q-"``, ...) fired in
+    order, returning to the initial state; states are named ``s0``,
+    ``s1``, ... in firing order.  This is the shape of most handshake
+    controller specifications (the whole Table-1 suite is cyclic) and of
+    the paper's sequential examples.
+    """
+    if not events:
+        raise ValueError("a cycle needs at least one event")
+    if initial_code is None:
+        initial_code = (0,) * len(signals)
+    arcs = [
+        (f"s{i}", event, f"s{(i + 1) % len(events)}")
+        for i, event in enumerate(events)
+    ]
+    return sg_from_arcs(
+        signals, inputs, initial_code, arcs, initial="s0", name=name
+    )
+
+
+def sg_from_arcs(
+    signals: Sequence[str],
+    inputs: Iterable[str],
+    initial_code: Sequence[int],
+    arcs: Iterable[Tuple[str, str, str]],
+    initial: str = "s0",
+    name: str = "sg",
+) -> StateGraph:
+    """Build an SG from named states and ``(src, "a+", dst)`` arcs.
+
+    Codes are inferred by forward propagation from ``initial_code``;
+    if a state is reached along two paths the codes must agree, otherwise
+    the arc list is inconsistent (:class:`InconsistentStateGraph`).
+    """
+    signals = tuple(signals)
+    index = {s: i for i, s in enumerate(signals)}
+    outgoing: Dict[str, List[Tuple[SignalEvent, str]]] = {}
+    state_names: Set[str] = {initial}
+    for source, event_text, target in arcs:
+        event = SignalEvent.parse(event_text)
+        if event.signal not in index:
+            raise InconsistentStateGraph(f"unknown signal in event {event_text!r}")
+        outgoing.setdefault(source, []).append((event, target))
+        state_names.add(source)
+        state_names.add(target)
+
+    codes: Dict[str, Tuple[int, ...]] = {initial: tuple(int(v) for v in initial_code)}
+    frontier = [initial]
+    while frontier:
+        current = frontier.pop()
+        code = codes[current]
+        for event, target in outgoing.get(current, ()):
+            i = index[event.signal]
+            if code[i] != event.value_before:
+                raise InconsistentStateGraph(
+                    f"event {event} not enabled by code of state {current!r} ({code})"
+                )
+            new_code = code[:i] + (event.value_after,) + code[i + 1 :]
+            known = codes.get(target)
+            if known is None:
+                codes[target] = new_code
+                frontier.append(target)
+            elif known != new_code:
+                raise InconsistentStateGraph(
+                    f"state {target!r} reached with codes {known} and {new_code}"
+                )
+
+    dangling = state_names - set(codes)
+    if dangling:
+        raise InconsistentStateGraph(
+            f"states unreachable from {initial!r}: {sorted(dangling)}"
+        )
+
+    flat_arcs = [
+        (source, event, target)
+        for source, out in outgoing.items()
+        for event, target in out
+    ]
+    sg = StateGraph(signals, inputs, codes, flat_arcs, initial, name=name)
+    sg.check()
+    return sg

@@ -1,0 +1,116 @@
+"""Parallel composition of state graphs.
+
+Builds a system from components: shared signals synchronise (both
+components move on the event together), private signals interleave.
+A signal driven as a non-input by one component and read as an input by
+the other becomes a non-input of the composite (the producer wins);
+signals that are inputs everywhere stay inputs.
+
+This is the standard synchronous product used to assemble, e.g., a
+pipeline specification from per-stage controllers, or to close a
+specification with an explicit environment process.  Initial codes must
+agree on the shared signals.
+
+A shared event fires only when *both* components enable it, so a
+component can constrain another's outputs -- which is exactly how an
+environment process restricts a controller.  Composition can introduce
+deadlocks if the components disagree; :func:`compose` reports states
+with no successors when ``allow_deadlock`` is False.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.sg.events import SignalEvent
+from repro.sg.graph import InconsistentStateGraph, State, StateGraph
+
+
+class CompositionDeadlock(RuntimeError):
+    """The composition contains reachable states with no successors."""
+
+    def __init__(self, states: List[State]):
+        self.states = states
+        super().__init__(
+            f"composition deadlocks in {len(states)} state(s), "
+            f"e.g. {states[0]!r}"
+        )
+
+
+def compose(
+    left: StateGraph,
+    right: StateGraph,
+    name: str = None,
+    allow_deadlock: bool = False,
+) -> StateGraph:
+    """The parallel composition of two state graphs."""
+    shared = set(left.signals) & set(right.signals)
+    for signal in shared:
+        if left.value(left.initial, signal) != right.value(right.initial, signal):
+            raise InconsistentStateGraph(
+                f"initial values of shared signal {signal!r} disagree"
+            )
+        if signal in left.non_inputs and signal in right.non_inputs:
+            raise InconsistentStateGraph(
+                f"shared signal {signal!r} is driven by both components"
+            )
+
+    signals = tuple(left.signals) + tuple(
+        s for s in right.signals if s not in shared
+    )
+    inputs = {
+        s
+        for s in signals
+        if (s not in left.signals or s in left.inputs)
+        and (s not in right.signals or s in right.inputs)
+    }
+
+    def code_of(pair: Tuple[State, State]) -> Tuple[int, ...]:
+        l_state, r_state = pair
+        values = dict(right.code_dict(r_state))
+        values.update(left.code_dict(l_state))
+        return tuple(values[s] for s in signals)
+
+    initial = (left.initial, right.initial)
+    codes: Dict[Tuple[State, State], Tuple[int, ...]] = {initial: code_of(initial)}
+    arcs: List[Tuple[Tuple[State, State], SignalEvent, Tuple[State, State]]] = []
+    stuck: List[Tuple[State, State]] = []
+    queue: List[Tuple[State, State]] = [initial]
+    seen: Set[Tuple[State, State]] = {initial}
+
+    while queue:
+        current = queue.pop()
+        l_state, r_state = current
+        successors: List[Tuple[SignalEvent, Tuple[State, State]]] = []
+        for event, l_target in left.arcs_from(l_state):
+            if event.signal in shared:
+                for r_target in right.fire(r_state, event):
+                    successors.append((event, (l_target, r_target)))
+            else:
+                successors.append((event, (l_target, r_state)))
+        for event, r_target in right.arcs_from(r_state):
+            if event.signal in shared:
+                continue  # handled symmetrically above
+            successors.append((event, (l_state, r_target)))
+
+        if not successors:
+            stuck.append(current)
+        for event, target in successors:
+            if target not in seen:
+                seen.add(target)
+                codes[target] = code_of(target)
+                queue.append(target)
+            arcs.append((current, event, target))
+
+    if stuck and not allow_deadlock:
+        raise CompositionDeadlock(sorted(stuck, key=str))
+
+    composite = StateGraph(
+        signals,
+        inputs,
+        codes,
+        arcs,
+        initial,
+        name=name or f"{left.name}||{right.name}",
+    )
+    return composite

@@ -1,0 +1,91 @@
+"""Trace conformance between state graphs.
+
+The insertion engine promises that hiding the inserted signals restores
+the original behaviour; the composition engine promises that the closed
+loop only produces traces of the specification.  This module provides
+the general tool behind both promises: a simulation-based refinement
+check over the synchronous product of two state graphs.
+
+``refines(impl, spec, hidden)`` holds when every trace of ``impl``,
+with events on ``hidden`` signals erased, is a trace of ``spec`` --
+checked by walking the product and demanding that every visible
+implementation move be matched by the specification.  For deterministic
+graphs (at most one target per (state, event)), running the check both
+ways gives trace equivalence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.sg.events import SignalEvent
+from repro.sg.graph import State, StateGraph
+
+
+@dataclass
+class RefinementResult:
+    """Outcome of :func:`refines`, with a counterexample when it fails."""
+
+    holds: bool
+    #: on failure: the visible trace up to (and including) the offending event
+    counterexample: Tuple[SignalEvent, ...] = ()
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+def refines(
+    impl: StateGraph,
+    spec: StateGraph,
+    hidden: Iterable[str] = (),
+) -> RefinementResult:
+    """Every visible trace of ``impl`` is a trace of ``spec``.
+
+    ``hidden`` lists implementation signals whose events are erased
+    (they must not exist in the specification).  The check walks the
+    product automaton breadth-first, tracking the *set* of spec states
+    compatible with the trace so far (a subset construction), so it is
+    exact for non-deterministic specifications as well.
+    """
+    hidden = frozenset(hidden)
+    clash = hidden & set(spec.signals)
+    if clash:
+        raise ValueError(f"hidden signals exist in the spec: {sorted(clash)}")
+
+    initial = (impl.initial, frozenset({spec.initial}))
+    seen: Set[Tuple[State, FrozenSet[State]]] = {initial}
+    # queue entries carry the visible trace for counterexamples
+    queue: List[Tuple[Tuple[State, FrozenSet[State]], Tuple[SignalEvent, ...]]] = [
+        (initial, ())
+    ]
+    while queue:
+        (impl_state, spec_states), trace = queue.pop(0)
+        for event, impl_target in impl.arcs_from(impl_state):
+            if event.signal in hidden:
+                follower = (impl_target, spec_states)
+                if follower not in seen:
+                    seen.add(follower)
+                    queue.append((follower, trace))
+                continue
+            matched: Set[State] = set()
+            for spec_state in spec_states:
+                matched.update(spec.fire(spec_state, event))
+            if not matched:
+                return RefinementResult(
+                    holds=False, counterexample=trace + (event,)
+                )
+            follower = (impl_target, frozenset(matched))
+            if follower not in seen:
+                seen.add(follower)
+                queue.append((follower, trace + (event,)))
+    return RefinementResult(holds=True)
+
+
+def trace_equivalent(
+    left: StateGraph, right: StateGraph
+) -> bool:
+    """Mutual refinement over identical signal sets."""
+    if set(left.signals) != set(right.signals):
+        return False
+    return bool(refines(left, right)) and bool(refines(right, left))

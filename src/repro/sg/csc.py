@@ -1,0 +1,59 @@
+"""State coding requirements (Definition 14).
+
+* **USC** (Unique State Coding): every reachable state has a distinct
+  binary code.
+* **CSC** (Complete State Coding): states may share a code only if their
+  sets of excited *non-input* transitions are identical.
+
+CSC is Chu's necessary condition for a complex-gate implementation; the
+paper's Theorem 4 shows the Monotonous Cover requirement subsumes it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.sg.events import SignalEvent
+from repro.sg.graph import State, StateGraph
+
+
+def _by_code(sg: StateGraph) -> Dict[Tuple[int, ...], List[State]]:
+    groups: Dict[Tuple[int, ...], List[State]] = {}
+    for state in sg.states:
+        groups.setdefault(sg.code(state), []).append(state)
+    return groups
+
+
+def usc_conflicts(sg: StateGraph) -> List[Tuple[State, State]]:
+    """All pairs of distinct states sharing a binary code."""
+    pairs: List[Tuple[State, State]] = []
+    for states in _by_code(sg).values():
+        ordered = sorted(states, key=str)
+        for i in range(len(ordered)):
+            for j in range(i + 1, len(ordered)):
+                pairs.append((ordered[i], ordered[j]))
+    return pairs
+
+
+def has_usc(sg: StateGraph) -> bool:
+    return not usc_conflicts(sg)
+
+
+def _excited_output_events(sg: StateGraph, state: State) -> FrozenSet[SignalEvent]:
+    return frozenset(
+        event for event in sg.enabled_events(state) if event.signal in sg.non_inputs
+    )
+
+
+def csc_conflicts(sg: StateGraph) -> List[Tuple[State, State]]:
+    """Pairs of same-code states whose excited non-input transition sets
+    differ -- the CSC violations (Definition 14)."""
+    pairs: List[Tuple[State, State]] = []
+    for first, second in usc_conflicts(sg):
+        if _excited_output_events(sg, first) != _excited_output_events(sg, second):
+            pairs.append((first, second))
+    return pairs
+
+
+def has_csc(sg: StateGraph) -> bool:
+    return not csc_conflicts(sg)

@@ -1,0 +1,89 @@
+"""Plain-text interchange format for state graphs.
+
+The format is line-oriented and self-describing::
+
+    .model fig1
+    .inputs a b
+    .outputs c d
+    .state s0 0000
+    .state s1 1000
+    .arc s0 a+ s1
+    .initial s0
+    .end
+
+Comments start with ``#``.  States must be declared before use in arcs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.sg.events import SignalEvent
+from repro.sg.graph import StateGraph
+
+
+def dumps(sg: StateGraph) -> str:
+    """Serialise a state graph to the text format."""
+    lines = [f".model {sg.name}"]
+    lines.append(".inputs " + " ".join(sorted(sg.inputs)))
+    lines.append(".outputs " + " ".join(sorted(sg.non_inputs)))
+    lines.append(".order " + " ".join(sg.signals))
+    for state in sorted(sg.states, key=str):
+        code = "".join(map(str, sg.code(state)))
+        lines.append(f".state {state} {code}")
+    for source, event, target in sorted(sg.arcs(), key=lambda a: (str(a[0]), str(a[1]), str(a[2]))):
+        lines.append(f".arc {source} {event} {target}")
+    lines.append(f".initial {sg.initial}")
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def loads(text: str) -> StateGraph:
+    """Parse the text format back into a :class:`StateGraph`."""
+    name = "sg"
+    inputs: List[str] = []
+    outputs: List[str] = []
+    order: List[str] = []
+    codes: Dict[str, Tuple[int, ...]] = {}
+    arcs: List[Tuple[str, SignalEvent, str]] = []
+    initial = None
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        keyword = parts[0]
+        if keyword == ".model":
+            name = parts[1]
+        elif keyword == ".inputs":
+            inputs = parts[1:]
+        elif keyword == ".outputs":
+            outputs = parts[1:]
+        elif keyword == ".order":
+            order = parts[1:]
+        elif keyword == ".state":
+            state, bits = parts[1], parts[2]
+            codes[state] = tuple(int(b) for b in bits)
+        elif keyword == ".arc":
+            source, event_text, target = parts[1], parts[2], parts[3]
+            arcs.append((source, SignalEvent.parse(event_text), target))
+        elif keyword == ".initial":
+            initial = parts[1]
+        elif keyword == ".end":
+            break
+        else:
+            raise ValueError(f"unknown directive {keyword!r}")
+    if initial is None:
+        raise ValueError("missing .initial directive")
+    signals = order or (sorted(inputs) + sorted(outputs))
+    return StateGraph(signals, inputs, codes, arcs, initial, name=name)
+
+
+def save(sg: StateGraph, path: str) -> None:
+    with open(path, "w") as handle:
+        handle.write(dumps(sg))
+
+
+def load(path: str) -> StateGraph:
+    with open(path) as handle:
+        return loads(handle.read())

@@ -1,0 +1,166 @@
+"""Parser for the classic ``.g`` (astg) STG format.
+
+The dialect accepted here is the common core used by SIS and petrify::
+
+    .model nak-pa
+    .inputs  req ack
+    .outputs r a
+    .graph
+    req+ r+            # arcs from transition req+ to transition r+
+    r+ p0 a+           # several targets on one line
+    p0 req-            # explicit place p0
+    .marking { <req+,r+> p0 }
+    .end
+
+* Arcs between two transitions create an *implicit place*.
+* Explicit places are ids that do not parse as signal transitions.
+* The initial marking lists explicit places by name and implicit places
+  as ``<source,target>`` pairs.
+* ``.internal`` declares non-input signals that are not outputs.
+* ``.initial a=1 b=0`` (an extension) seeds initial signal values for
+  signals whose level cannot be inferred from the net.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.stg.petrinet import PetriNet
+from repro.stg.stg import STG, parse_transition_id
+
+
+def _is_transition_id(token: str) -> bool:
+    try:
+        parse_transition_id(token)
+        return True
+    except ValueError:
+        return False
+
+
+def implicit_place_name(source: str, target: str) -> str:
+    """The canonical name for the implicit place between two transitions."""
+    return f"<{source},{target}>"
+
+
+def parse_g(text: str, name: str = "stg") -> STG:
+    """Parse ``.g`` text into an :class:`~repro.stg.stg.STG`."""
+    inputs: List[str] = []
+    outputs: List[str] = []
+    internal: List[str] = []
+    initial_values: Dict[str, int] = {}
+    graph_lines: List[List[str]] = []
+    marking_tokens: List[str] = []
+    model = name
+    in_graph = False
+
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        keyword = parts[0]
+        if keyword == ".model" or keyword == ".name":
+            model = parts[1]
+            in_graph = False
+        elif keyword == ".inputs":
+            inputs += parts[1:]
+            in_graph = False
+        elif keyword == ".outputs":
+            outputs += parts[1:]
+            in_graph = False
+        elif keyword == ".internal":
+            internal += parts[1:]
+            in_graph = False
+        elif keyword == ".initial":
+            for token in parts[1:]:
+                signal, value = token.split("=")
+                initial_values[signal] = int(value)
+            in_graph = False
+        elif keyword == ".graph":
+            in_graph = True
+        elif keyword == ".marking":
+            body = line[len(".marking"):].strip()
+            if body.startswith("{") and body.endswith("}"):
+                body = body[1:-1]
+            # tokens are either bare place names or <t1,t2> pairs (which
+            # may contain spaces after the comma)
+            import re as _re
+
+            pairs = _re.findall(r"<[^>]*>", body)
+            marking_tokens += pairs
+            marking_tokens += _re.sub(r"<[^>]*>", " ", body).split()
+            in_graph = False
+        elif keyword in (".end", ".capacity", ".slowenv", ".dummy"):
+            if keyword == ".dummy" and len(parts) > 1:
+                raise ValueError(".dummy transitions are not supported")
+            in_graph = keyword != ".end" and in_graph
+            if keyword == ".end":
+                break
+        elif keyword.startswith("."):
+            raise ValueError(f"unknown directive {keyword!r}")
+        elif in_graph:
+            graph_lines.append(parts)
+        else:
+            raise ValueError(f"unexpected line outside .graph: {line!r}")
+
+    transitions: Set[str] = set()
+    places: Set[str] = set()
+    arcs: List[Tuple[str, str]] = []
+    for parts in graph_lines:
+        source = parts[0]
+        if _is_transition_id(source):
+            transitions.add(source)
+        else:
+            places.add(source)
+        for target in parts[1:]:
+            if _is_transition_id(target):
+                transitions.add(target)
+            else:
+                places.add(target)
+
+    for parts in graph_lines:
+        source = parts[0]
+        for target in parts[1:]:
+            source_is_t = source in transitions
+            target_is_t = target in transitions
+            if source_is_t and target_is_t:
+                place = implicit_place_name(source, target)
+                places.add(place)
+                arcs.append((source, place))
+                arcs.append((place, target))
+            else:
+                arcs.append((source, target))
+
+    marking: Set[str] = set()
+    for token in marking_tokens:
+        token = token.strip()
+        if not token:
+            continue
+        if token.startswith("<") and token.endswith(">"):
+            inner = token[1:-1]
+            source, target = [t.strip() for t in inner.split(",")]
+            place = implicit_place_name(source, target)
+            if place not in places:
+                raise ValueError(f"marking names unknown implicit place {token}")
+            marking.add(place)
+        else:
+            if token not in places:
+                raise ValueError(f"marking names unknown place {token!r}")
+            marking.add(token)
+
+    net = PetriNet(places, transitions, arcs)
+    return STG(
+        net,
+        inputs=inputs,
+        outputs=outputs,
+        internal=internal,
+        initial_marking=frozenset(marking),
+        initial_values=initial_values,
+        name=model,
+    )
+
+
+def load_g(path: str) -> STG:
+    """Parse a ``.g`` file from disk."""
+    with open(path) as handle:
+        return parse_g(handle.read())

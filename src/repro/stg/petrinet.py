@@ -1,0 +1,113 @@
+"""Ordinary Petri nets with interleaving firing semantics.
+
+Places and transitions are identified by strings.  All arcs have weight
+one (ordinary nets); the STG interpretation of asynchronous control
+requires 1-safe behaviour, which the reachability analysis enforces
+dynamically (a marking trying to put a second token on a place is
+reported as a safeness violation).
+
+Markings are ``frozenset`` of marked places -- adequate for the safe nets
+this library targets, and the safeness monitor rejects the nets for which
+it would be lossy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+Marking = FrozenSet[str]
+
+
+class SafenessViolation(ValueError):
+    """A transition firing would place a second token on a place."""
+
+
+class PetriNet:
+    """An ordinary Petri net.
+
+    Parameters
+    ----------
+    places / transitions:
+        Disjoint sets of identifiers.
+    arcs:
+        ``(source, target)`` pairs; each arc must connect a place and a
+        transition (either direction).
+    """
+
+    def __init__(
+        self,
+        places: Iterable[str],
+        transitions: Iterable[str],
+        arcs: Iterable[Tuple[str, str]],
+    ):
+        self.places: Set[str] = set(places)
+        self.transitions: Set[str] = set(transitions)
+        overlap = self.places & self.transitions
+        if overlap:
+            raise ValueError(f"ids used as both place and transition: {sorted(overlap)}")
+        self.preset: Dict[str, Set[str]] = {t: set() for t in self.transitions}
+        self.postset: Dict[str, Set[str]] = {t: set() for t in self.transitions}
+        self.place_preset: Dict[str, Set[str]] = {p: set() for p in self.places}
+        self.place_postset: Dict[str, Set[str]] = {p: set() for p in self.places}
+        for source, target in arcs:
+            if source in self.places and target in self.transitions:
+                self.preset[target].add(source)
+                self.place_postset[source].add(target)
+            elif source in self.transitions and target in self.places:
+                self.postset[source].add(target)
+                self.place_preset[target].add(source)
+            else:
+                raise ValueError(
+                    f"arc ({source!r}, {target!r}) must connect a place and a transition"
+                )
+
+    # ------------------------------------------------------------------
+    def enabled(self, marking: Marking) -> List[str]:
+        """Transitions enabled under ``marking``, sorted for determinism."""
+        return sorted(t for t in self.transitions if self.preset[t] <= marking)
+
+    def is_enabled(self, marking: Marking, transition: str) -> bool:
+        return self.preset[transition] <= marking
+
+    def fire(self, marking: Marking, transition: str) -> Marking:
+        """Fire ``transition``; raises on disabled or unsafe firings."""
+        if not self.is_enabled(marking, transition):
+            raise ValueError(f"transition {transition!r} is not enabled")
+        after = set(marking) - self.preset[transition]
+        for place in self.postset[transition]:
+            if place in after:
+                raise SafenessViolation(
+                    f"firing {transition!r} puts a second token on {place!r}"
+                )
+            after.add(place)
+        return frozenset(after)
+
+    # ------------------------------------------------------------------
+    def check_connected(self) -> bool:
+        """Weak connectivity of the net graph (places + transitions)."""
+        nodes = self.places | self.transitions
+        if not nodes:
+            return True
+        neighbours: Dict[str, Set[str]] = {n: set() for n in nodes}
+        for transition in self.transitions:
+            for place in self.preset[transition]:
+                neighbours[transition].add(place)
+                neighbours[place].add(transition)
+            for place in self.postset[transition]:
+                neighbours[transition].add(place)
+                neighbours[place].add(transition)
+        seen = set()
+        frontier = [next(iter(nodes))]
+        while frontier:
+            node = frontier.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            frontier.extend(neighbours[node] - seen)
+        return seen == nodes
+
+    def __repr__(self) -> str:
+        return (
+            f"PetriNet({len(self.places)} places, "
+            f"{len(self.transitions)} transitions)"
+        )

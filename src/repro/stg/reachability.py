@@ -1,0 +1,145 @@
+"""Token-flow reachability: elaborating an STG into a state graph.
+
+The reachability graph of a 1-safe STG, with each marking labelled by the
+signal values at that marking, *is* the paper's state graph.  Signal
+values are computed in two passes:
+
+1. BFS over markings recording, per signal, the *parity* of its edges
+   along the path from the initial marking (0 = even number of toggles).
+   Reconvergent paths must agree on every signal's parity, otherwise the
+   STG has no consistent state assignment.
+2. The initial value of each signal is then inferred: if some marking at
+   parity ``p`` enables a rising edge of ``s``, the value of ``s`` there
+   is 0, so ``initial(s) = p xor 0``.  All such constraints must agree.
+   Signals that never switch take their value from
+   ``stg.initial_values`` (default 0 with a warning-free fallback).
+
+The construction enforces 1-safeness (via the Petri net firing rule) and
+an exploration bound to keep pathological inputs from running away.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.sg.graph import StateGraph
+from repro.stg.petrinet import Marking, SafenessViolation
+from repro.stg.stg import STG
+
+
+class ReachabilityError(ValueError):
+    """The STG is unbounded/unsafe, inconsistent, or too large."""
+
+
+def explore(stg: STG, max_states: int = 200_000):
+    """Enumerate reachable markings with per-signal parities.
+
+    Returns ``(order, parities, arcs)`` where ``order`` maps each marking
+    to a dense index (BFS discovery order), ``parities[marking]`` is a
+    tuple over ``stg.signals`` of 0/1 toggle parities, and ``arcs`` lists
+    ``(marking, transition, marking')``.
+    """
+    signals = stg.signals
+    position = {s: i for i, s in enumerate(signals)}
+    net = stg.net
+
+    initial = stg.initial_marking
+    zero = tuple(0 for _ in signals)
+    order: Dict[Marking, int] = {initial: 0}
+    parities: Dict[Marking, Tuple[int, ...]] = {initial: zero}
+    arcs: List[Tuple[Marking, str, Marking]] = []
+    queue: List[Marking] = [initial]
+    head = 0
+    while head < len(queue):
+        marking = queue[head]
+        head += 1
+        parity = parities[marking]
+        for transition in net.enabled(marking):
+            try:
+                after = net.fire(marking, transition)
+            except SafenessViolation as exc:
+                raise ReachabilityError(str(exc)) from exc
+            event = stg.event_of(transition)
+            i = position[event.signal]
+            new_parity = parity[:i] + (parity[i] ^ 1,) + parity[i + 1 :]
+            known = parities.get(after)
+            if known is None:
+                if len(order) >= max_states:
+                    raise ReachabilityError(
+                        f"more than {max_states} reachable markings"
+                    )
+                order[after] = len(order)
+                parities[after] = new_parity
+                queue.append(after)
+            elif known != new_parity:
+                raise ReachabilityError(
+                    f"inconsistent state assignment: marking reached with "
+                    f"signal parities {known} and {new_parity}"
+                )
+            arcs.append((marking, transition, after))
+    return order, parities, arcs
+
+
+def _infer_initial_values(stg: STG, parities, arcs) -> Dict[str, int]:
+    """Initial signal values from edge-enabledness constraints."""
+    values: Dict[str, Optional[int]] = {s: None for s in stg.signals}
+    for marking, transition, _ in arcs:
+        event = stg.event_of(transition)
+        parity = parities[marking][stg.signals.index(event.signal)]
+        # value at this marking is event.value_before = initial ^ parity
+        implied = event.value_before ^ parity
+        known = values[event.signal]
+        if known is None:
+            values[event.signal] = implied
+        elif known != implied:
+            raise ReachabilityError(
+                f"signal {event.signal!r} has no consistent initial value"
+            )
+    resolved: Dict[str, int] = {}
+    for signal, value in values.items():
+        explicit = stg.initial_values.get(signal)
+        if value is None:
+            resolved[signal] = explicit if explicit is not None else 0
+        else:
+            if explicit is not None and explicit != value:
+                raise ReachabilityError(
+                    f"declared initial value of {signal!r} ({explicit}) "
+                    f"contradicts the net (inferred {value})"
+                )
+            resolved[signal] = value
+    return resolved
+
+
+def stg_to_state_graph(stg: STG, max_states: int = 200_000) -> StateGraph:
+    """Build the state graph of an STG (markings become states ``m0, m1, ...``)."""
+    order, parities, arcs = explore(stg, max_states=max_states)
+    initial_values = _infer_initial_values(stg, parities, arcs)
+    signals = stg.signals
+
+    def state_name(marking: Marking) -> str:
+        return f"m{order[marking]}"
+
+    codes = {}
+    for marking, parity in parities.items():
+        codes[state_name(marking)] = tuple(
+            initial_values[s] ^ parity[i] for i, s in enumerate(signals)
+        )
+    # Two differently-named transitions with the same signal edge can fire
+    # between the same pair of markings; at the state-graph level that is
+    # a single arc, so deduplicate.
+    sg_arcs = sorted(
+        {
+            (state_name(source), stg.event_of(transition), state_name(target))
+            for source, transition, target in arcs
+        }
+    )
+    sg = StateGraph(
+        signals,
+        stg.inputs,
+        codes,
+        sg_arcs,
+        state_name(stg.initial_marking),
+        name=stg.name,
+    )
+    sg.check()
+    return sg

@@ -1,0 +1,107 @@
+"""Signal Transition Graphs: labelled Petri nets plus a signal partition.
+
+A transition id like ``a+`` or ``c-/2`` denotes an edge of the named
+signal; the optional ``/k`` suffix distinguishes multiple occurrences of
+the same edge in one net.  The signal set is partitioned into inputs
+(environment-controlled) and outputs/internal (to be synthesised); the
+paper treats outputs and internal signals uniformly as "non-input".
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
+
+from repro.sg.events import SignalEvent
+from repro.stg.petrinet import Marking, PetriNet
+
+_TRANSITION_RE = re.compile(r"^(?P<signal>[A-Za-z_][\w.\[\]]*?)(?P<edge>[+-])(/(?P<occ>\d+))?$")
+
+
+def parse_transition_id(text: str) -> Tuple[SignalEvent, int]:
+    """Split ``c-/2`` into (SignalEvent('c', -1), 2); occurrence defaults to 1."""
+    match = _TRANSITION_RE.match(text)
+    if not match:
+        raise ValueError(f"not a signal transition id: {text!r}")
+    event = SignalEvent(match.group("signal"), +1 if match.group("edge") == "+" else -1)
+    occurrence = int(match.group("occ") or 1)
+    return event, occurrence
+
+
+class STG:
+    """A signal transition graph.
+
+    Parameters
+    ----------
+    net:
+        The underlying Petri net; every transition id must parse as a
+        signal edge (``a+``, ``b-``, ``a+/2``...).
+    inputs / outputs / internal:
+        Signal name sets; outputs and internal are both non-input.
+    initial_marking:
+        The initial marking of the net.
+    initial_values:
+        Optional explicit initial signal values.  Values that can be
+        inferred from the net (a signal whose rising edge can fire first
+        must start at 0) are inferred by the reachability analysis; this
+        mapping seeds/overrides the inference for signals that never
+        switch or whose level is otherwise unconstrained.
+    """
+
+    def __init__(
+        self,
+        net: PetriNet,
+        inputs: Iterable[str],
+        outputs: Iterable[str],
+        initial_marking: Marking,
+        internal: Iterable[str] = (),
+        initial_values: Optional[Dict[str, int]] = None,
+        name: str = "stg",
+    ):
+        self.net = net
+        self.name = name
+        self.inputs: FrozenSet[str] = frozenset(inputs)
+        self.outputs: FrozenSet[str] = frozenset(outputs)
+        self.internal: FrozenSet[str] = frozenset(internal)
+        self.initial_marking: Marking = frozenset(initial_marking)
+        self.initial_values: Dict[str, int] = dict(initial_values or {})
+
+        self.events: Dict[str, SignalEvent] = {}
+        for transition in net.transitions:
+            event, _ = parse_transition_id(transition)
+            self.events[transition] = event
+
+        declared = self.inputs | self.outputs | self.internal
+        used = {event.signal for event in self.events.values()}
+        undeclared = used - declared
+        if undeclared:
+            raise ValueError(f"signals used but not declared: {sorted(undeclared)}")
+        overlap = (self.inputs & self.outputs) | (self.inputs & self.internal)
+        if overlap:
+            raise ValueError(f"signals declared both input and non-input: {sorted(overlap)}")
+        missing = self.initial_marking - net.places
+        if missing:
+            raise ValueError(f"initial marking uses unknown places: {sorted(missing)}")
+
+    # ------------------------------------------------------------------
+    @property
+    def signals(self) -> Tuple[str, ...]:
+        """Deterministic signal order: declared inputs, outputs, internal."""
+        return tuple(sorted(self.inputs) + sorted(self.outputs) + sorted(self.internal))
+
+    @property
+    def non_inputs(self) -> FrozenSet[str]:
+        return self.outputs | self.internal
+
+    def event_of(self, transition: str) -> SignalEvent:
+        return self.events[transition]
+
+    def transitions_of(self, signal: str) -> Set[str]:
+        return {t for t, e in self.events.items() if e.signal == signal}
+
+    def __repr__(self) -> str:
+        return (
+            f"STG({self.name!r}, {len(self.net.transitions)} transitions, "
+            f"{len(self.net.places)} places, "
+            f"in={sorted(self.inputs)}, out={sorted(self.non_inputs)})"
+        )

@@ -1,0 +1,75 @@
+"""Structural classes of Petri nets underlying STGs.
+
+* **Marked graph**: every place has at most one input and one output
+  transition -- no choice at all.  Yu & Subrahmanyam's method [14] is
+  restricted to this class; the paper's method is not, which Example 1
+  (an input choice) exercises.
+* **Free choice**: if a place has several output transitions, it is the
+  unique input place of each of them -- choices are "clean".
+* **Live and safe** (on the explored reachability graph): every
+  transition remains fireable from every reachable marking, and no
+  firing ever violates 1-safeness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set
+
+from repro.stg.petrinet import PetriNet
+from repro.stg.stg import STG
+
+
+def is_marked_graph(net: PetriNet) -> bool:
+    """Every place has at most one producer and one consumer."""
+    return all(
+        len(net.place_preset[p]) <= 1 and len(net.place_postset[p]) <= 1
+        for p in net.places
+    )
+
+
+def is_free_choice(net: PetriNet) -> bool:
+    """Every choice place is the unique input of its output transitions."""
+    for place in net.places:
+        consumers = net.place_postset[place]
+        if len(consumers) > 1:
+            for transition in consumers:
+                if net.preset[transition] != {place}:
+                    return False
+    return True
+
+
+def is_live_and_safe(stg: STG, max_states: int = 200_000) -> bool:
+    """Liveness + safeness over the explored reachability graph.
+
+    Safeness is enforced by exploration itself (unsafe nets raise).
+    Liveness here is the practical check for cyclic specifications: from
+    every reachable marking, every transition of the net can eventually
+    fire.
+    """
+    from repro.stg.reachability import ReachabilityError, explore
+
+    try:
+        order, _, arcs = explore(stg, max_states=max_states)
+    except ReachabilityError:
+        return False
+
+    successors: Dict[FrozenSet[str], List[FrozenSet[str]]] = {m: [] for m in order}
+    fired_at: Dict[FrozenSet[str], Set[str]] = {m: set() for m in order}
+    for source, transition, target in arcs:
+        successors[source].append(target)
+        fired_at[source].add(transition)
+
+    all_transitions = set(stg.net.transitions)
+    # backward fixpoint: can_fire[m] = transitions fireable now or later
+    can_fire = {m: set(fired_at[m]) for m in order}
+    changed = True
+    while changed:
+        changed = False
+        for marking in order:
+            merged = set(can_fire[marking])
+            for target in successors[marking]:
+                merged |= can_fire[target]
+            if merged != can_fire[marking]:
+                can_fire[marking] = merged
+                changed = True
+    return all(can_fire[m] == all_transitions for m in order)

@@ -1,0 +1,222 @@
+"""Deriving an STG from a state graph (theory of regions).
+
+The inverse of reachability analysis: given a state graph, synthesise a
+1-safe Petri net whose reachability graph is trace-equivalent to it
+(Cortadella, Kishinevsky, Kondratyev, Lavagno, Yakovlev: *Deriving Petri
+nets from finite transition systems*, IEEE TC 1998 -- the same authors'
+follow-up toolchain to this paper).  With it, a specification repaired
+by state-signal insertion can be written back as a ``.g`` file.
+
+A **region** is a set of states crossed uniformly by every event label:
+all arcs of a label enter it, or all exit it, or none crosses it.
+Regions become places; a label's *pre-regions* (regions it exits) become
+the input places of its transition.  The implementation:
+
+* splits labels by excitation-region occurrence first (``r2+/2``), so
+  multiple transitions of a signal synthesise to distinct net
+  transitions -- this removes the most common need for label splitting;
+* generates the *minimal* pre-regions of each label by the expansion
+  search of the reference algorithm;
+* checks **excitation closure** (the intersection of a label's
+  pre-regions is exactly its enabling set); when it fails, the state
+  graph needs further label splitting, reported as
+  :class:`NotSynthesizableError`;
+* validates the result by re-elaborating the net and checking trace
+  equivalence with the input.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.sg.conformance import trace_equivalent
+from repro.sg.graph import State, StateGraph
+from repro.sg.regions import all_excitation_regions
+from repro.stg.petrinet import PetriNet
+from repro.stg.stg import STG
+
+
+class NotSynthesizableError(RuntimeError):
+    """The state graph violates excitation closure for some label."""
+
+
+def _split_labels(sg: StateGraph) -> Dict[Tuple[State, State, str], str]:
+    """Arc -> occurrence-split transition id (``a+``, ``a+/2``, ...)."""
+    instance_of: Dict[Tuple[str, int, State], int] = {}
+    counts: Dict[Tuple[str, int], int] = {}
+    for er in all_excitation_regions(sg, only_non_inputs=False):
+        key = (er.signal, er.direction)
+        counts[key] = max(counts.get(key, 0), er.index)
+        for state in er.states:
+            instance_of[(er.signal, er.direction, state)] = er.index
+    labels: Dict[Tuple[State, State, str], str] = {}
+    for source, event, target in sg.arcs():
+        index = instance_of[(event.signal, event.direction, source)]
+        suffix = "" if index == 1 else f"/{index}"
+        labels[(source, target, str(event))] = f"{event}{suffix}"
+    return labels
+
+
+def _arcs_by_label(sg, labels) -> Dict[str, List[Tuple[State, State]]]:
+    grouped: Dict[str, List[Tuple[State, State]]] = {}
+    for source, event, target in sg.arcs():
+        label = labels[(source, target, str(event))]
+        grouped.setdefault(label, []).append((source, target))
+    return grouped
+
+
+def _classify(
+    arcs: List[Tuple[State, State]], region: FrozenSet[State]
+) -> Optional[str]:
+    """'enter' / 'exit' / 'none' when uniform, None when mixed."""
+    enter = exit_ = cross_free = 0
+    for source, target in arcs:
+        s_in, t_in = source in region, target in region
+        if s_in and not t_in:
+            exit_ += 1
+        elif t_in and not s_in:
+            enter += 1
+        else:
+            cross_free += 1
+    kinds = [k for k, n in (("enter", enter), ("exit", exit_)) if n]
+    if not kinds:
+        return "none"
+    if len(kinds) == 2 or cross_free:
+        return None
+    return kinds[0]
+
+
+def _expansions(
+    arcs: List[Tuple[State, State]], region: FrozenSet[State]
+) -> List[FrozenSet[State]]:
+    """Ways to repair a mixed label by growing the region."""
+    options: List[FrozenSet[State]] = []
+    # (1) make the label non-crossing: absorb the missing endpoints
+    absorbed = set(region)
+    for source, target in arcs:
+        if (source in region) != (target in region):
+            absorbed.add(source)
+            absorbed.add(target)
+    options.append(frozenset(absorbed))
+    # (2) make the label entering: all targets inside, no source inside
+    if all(source not in region for source, _ in arcs):
+        options.append(frozenset(region | {t for _, t in arcs}))
+    # (3) make the label exiting: all sources inside, no target inside
+    if all(target not in region for _, target in arcs):
+        options.append(frozenset(region | {s for s, _ in arcs}))
+    return [o for o in options if o != region]
+
+
+def _minimal_regions_from(
+    seed: FrozenSet[State],
+    grouped: Dict[str, List[Tuple[State, State]]],
+    universe: FrozenSet[State],
+    limit: int = 4000,
+) -> List[FrozenSet[State]]:
+    """Minimal legal regions containing ``seed`` (expansion search)."""
+    found: List[FrozenSet[State]] = []
+    seen: Set[FrozenSet[State]] = set()
+    stack = [seed]
+    steps = 0
+    while stack:
+        steps += 1
+        if steps > limit:
+            break
+        candidate = stack.pop()
+        if candidate in seen or candidate == universe:
+            continue
+        seen.add(candidate)
+        if any(candidate >= r for r in found):
+            continue
+        violating = None
+        for label, arcs in grouped.items():
+            if _classify(arcs, candidate) is None:
+                violating = arcs
+                break
+        if violating is None:
+            found = [r for r in found if not r >= candidate]
+            found.append(candidate)
+            continue
+        stack.extend(_expansions(violating, candidate))
+    return found
+
+
+def stg_from_state_graph(
+    sg: StateGraph,
+    name: Optional[str] = None,
+    validate: bool = True,
+) -> STG:
+    """Synthesise an STG whose behaviour is trace-equivalent to ``sg``."""
+    labels = _split_labels(sg)
+    grouped = _arcs_by_label(sg, labels)
+    universe = frozenset(sg.states)
+
+    # minimal pre-regions per label, seeded with the label's source set
+    pre_regions: Dict[str, List[FrozenSet[State]]] = {}
+    all_regions: Set[FrozenSet[State]] = set()
+    for label, arcs in grouped.items():
+        seed = frozenset(source for source, _ in arcs)
+        candidates = _minimal_regions_from(seed, grouped, universe)
+        exiting = [
+            region
+            for region in candidates
+            if _classify(arcs, region) == "exit"
+        ]
+        if not exiting:
+            raise NotSynthesizableError(
+                f"no pre-region found for transition {label!r}"
+            )
+        pre_regions[label] = exiting
+        all_regions.update(exiting)
+
+    # excitation closure: the intersection of a label's pre-regions must
+    # be exactly its enabling set
+    for label, arcs in grouped.items():
+        enabled = frozenset(source for source, _ in arcs)
+        intersection = frozenset(sg.states)
+        for region in pre_regions[label]:
+            intersection &= region
+        if intersection != enabled:
+            raise NotSynthesizableError(
+                f"excitation closure fails for {label!r}: needs label "
+                f"splitting beyond occurrence indices"
+            )
+
+    region_names = {
+        region: f"p{i}"
+        for i, region in enumerate(sorted(all_regions, key=sorted))
+    }
+    places = set(region_names.values())
+    transitions = set(grouped)
+    arcs: List[Tuple[str, str]] = []
+    for region, place in region_names.items():
+        for label, label_arcs in grouped.items():
+            kind = _classify(label_arcs, region)
+            if kind == "exit":
+                arcs.append((place, label))
+            elif kind == "enter":
+                arcs.append((label, place))
+    marking = frozenset(
+        place for region, place in region_names.items() if sg.initial in region
+    )
+
+    net = PetriNet(places, transitions, arcs)
+    initial_values = {s: sg.value(sg.initial, s) for s in sg.signals}
+    stg = STG(
+        net,
+        inputs=sg.inputs,
+        outputs=frozenset(sg.non_inputs),
+        initial_marking=marking,
+        initial_values=initial_values,
+        name=name or f"{sg.name}_synth",
+    )
+    if validate:
+        from repro.stg.reachability import stg_to_state_graph
+
+        back = stg_to_state_graph(stg)
+        if not trace_equivalent(back, sg):
+            raise NotSynthesizableError(
+                "synthesised net is not trace-equivalent to the input "
+                "(insufficient regions)"
+            )
+    return stg

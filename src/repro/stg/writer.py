@@ -1,0 +1,51 @@
+"""Serialisation of STGs back to the ``.g`` format."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.stg.stg import STG
+
+
+def dumps_g(stg: STG) -> str:
+    """Render an STG in the ``.g`` dialect accepted by :mod:`repro.stg.parser`.
+
+    Implicit places (named ``<t1,t2>``) are rendered as direct
+    transition-to-transition arcs; explicit places keep their names.
+    """
+    lines = [f".model {stg.name}"]
+    if stg.inputs:
+        lines.append(".inputs " + " ".join(sorted(stg.inputs)))
+    if stg.outputs:
+        lines.append(".outputs " + " ".join(sorted(stg.outputs)))
+    if stg.internal:
+        lines.append(".internal " + " ".join(sorted(stg.internal)))
+    if stg.initial_values:
+        rendered = " ".join(
+            f"{signal}={value}" for signal, value in sorted(stg.initial_values.items())
+        )
+        lines.append(f".initial {rendered}")
+    lines.append(".graph")
+
+    net = stg.net
+    arc_lines: List[str] = []
+    for transition in sorted(net.transitions):
+        for place in sorted(net.postset[transition]):
+            if place.startswith("<"):
+                target = next(iter(net.place_postset[place]))
+                arc_lines.append(f"{transition} {target}")
+            else:
+                arc_lines.append(f"{transition} {place}")
+    for place in sorted(net.places):
+        if place.startswith("<"):
+            continue
+        for transition in sorted(net.place_postset[place]):
+            arc_lines.append(f"{place} {transition}")
+    lines += sorted(set(arc_lines))
+
+    tokens = []
+    for place in sorted(stg.initial_marking):
+        tokens.append(place)
+    lines.append(".marking { " + " ".join(tokens) + " }")
+    lines.append(".end")
+    return "\n".join(lines) + "\n"

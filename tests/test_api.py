@@ -1,0 +1,54 @@
+"""Tests for the top-level public API."""
+
+import pytest
+
+import repro
+from repro.bench import load_benchmark
+
+
+def test_version():
+    assert repro.__version__
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_synthesize_from_stg_end_to_end():
+    result = repro.synthesize_from_stg(load_benchmark("delement"))
+    assert result.added_signals == ["x"]
+    assert result.hazard_free
+    assert "b = C(Sb, Rb')" in result.implementation.equations()
+
+
+def test_synthesize_from_state_graph(toggle_sg):
+    result = repro.synthesize_from_state_graph(toggle_sg)
+    assert result.added_signals == []
+    assert result.hazard_free
+    assert result.netlist.gate_count() == {"buf": 1}
+
+
+def test_skip_verification(toggle_sg):
+    result = repro.synthesize_from_state_graph(toggle_sg, verify=False)
+    assert result.hazard_report is None
+    assert not result.hazard_free  # unknown counts as not verified
+
+
+def test_rs_style(toggle_sg):
+    result = repro.synthesize_from_state_graph(toggle_sg, style="RS")
+    assert result.hazard_free
+
+
+def test_parse_g_reexported():
+    stg = repro.parse_g(
+        ".inputs r\n.outputs q\n.graph\nr+ q+\nq+ r-\nr- q-\nq- r+\n"
+        ".marking { <q-,r+> }\n.end"
+    )
+    sg = repro.stg_to_state_graph(stg)
+    assert len(sg) == 4
+
+
+def test_synthesis_error_surfaces(fig1):
+    with pytest.raises(repro.SynthesisError):
+        repro.synthesize(fig1)

@@ -1,0 +1,112 @@
+"""Tests for the handshake component library."""
+
+import pytest
+
+from repro import synthesize_from_stg
+from repro.bench.components import COMPONENTS
+from repro.boolean.cube import Cube
+from repro.core.mc import analyze_mc
+from repro.sg.properties import is_output_semi_modular
+from repro.stg.reachability import stg_to_state_graph
+from repro.stg.structural import is_live_and_safe
+
+#: expected state count and inserted-signal count per component
+EXPECTED = {
+    "buffer": (8, 1),
+    "fork2": (20, 0),
+    "join2": (20, 0),
+    "sequencer": (12, 2),
+    "par": (28, 2),
+    "call2": (15, 2),
+    "toggle2": (8, 1),
+    "celement": (8, 0),
+    "mutex_free_merge": (15, 2),
+}
+
+
+@pytest.mark.parametrize("name", sorted(COMPONENTS))
+def test_component_is_wellformed(name):
+    stg = COMPONENTS[name]()
+    assert is_live_and_safe(stg), name
+    sg = stg_to_state_graph(stg)
+    sg.check()
+    assert is_output_semi_modular(sg), name
+    assert len(sg) == EXPECTED[name][0], name
+
+
+@pytest.mark.parametrize("name", sorted(COMPONENTS))
+def test_component_synthesises_hazard_free(name, component_result):
+    result = component_result(name)
+    assert result.hazard_free, name
+    assert len(result.added_signals) == EXPECTED[name][1], name
+
+
+@pytest.mark.parametrize("name", sorted(COMPONENTS))
+def test_component_functions_are_consistent(name, component_result):
+    """Definition 13 holds for every component's excitation functions."""
+    from repro.core.covers import is_consistent_excitation_function
+
+    result = component_result(name)
+    sg = result.insertion.sg
+    for signal, network in result.implementation.networks.items():
+        assert is_consistent_excitation_function(sg, signal, network.set_cover, +1)
+        assert is_consistent_excitation_function(sg, signal, network.reset_cover, -1)
+
+
+@pytest.mark.parametrize("name", sorted(COMPONENTS))
+def test_component_final_sg_has_csc(name, component_result):
+    """Theorem 4 across the component zoo."""
+    from repro.sg.csc import has_csc
+
+    assert has_csc(component_result(name).insertion.sg), name
+
+
+@pytest.mark.parametrize("name", sorted(COMPONENTS))
+def test_component_insertion_preserves_behaviour(name, component_result):
+    from repro.sg.conformance import refines
+
+    result = component_result(name)
+    original = stg_to_state_graph(COMPONENTS[name]())
+    assert refines(result.insertion.sg, original, hidden=result.added_signals)
+
+
+def test_celement_spec_synthesises_to_a_celement(component_result):
+    """Closing the loop on the paper's own restoring element: the
+    C-element *specification* synthesises into ... one C-element."""
+    result = component_result("celement")
+    network = result.implementation.network("c")
+    assert network.set_cover.cubes == (Cube({"a": 1, "b": 1}),)
+    assert network.reset_cover.cubes == (Cube({"a": 0, "b": 0}),)
+    counts = result.netlist.gate_count()
+    assert counts["c"] == 1
+
+
+def test_fork_join_are_mc_clean():
+    for name in ("fork2", "join2", "celement"):
+        sg = stg_to_state_graph(COMPONENTS[name]())
+        assert analyze_mc(sg).satisfied, name
+
+
+def test_choice_components_have_free_input_choice():
+    from repro.stg.structural import is_free_choice
+
+    for name in ("call2", "mutex_free_merge"):
+        assert is_free_choice(COMPONENTS[name]().net), name
+
+
+class TestArbitrationBoundary:
+    def test_mutex_request_is_outside_the_theory(self):
+        """Genuine arbitration is an internal conflict: the behaviour is
+        not output semi-modular, so the paper's synthesis (rightly)
+        rejects it -- real designs need a mutual-exclusion element."""
+        from repro.bench.components import mutex_request
+        from repro.core.insertion import InsertionError, insert_state_signals
+        from repro.sg.properties import conflict_states, is_output_semi_modular
+
+        sg = stg_to_state_graph(mutex_request())
+        assert not is_output_semi_modular(sg)
+        internal = conflict_states(sg, sg.non_inputs)
+        assert {c.signal for c in internal} == {"g1", "g2"}
+        # the insertion engine cannot (and must not) repair arbitration
+        with pytest.raises(InsertionError):
+            insert_state_signals(sg, max_signals=2, max_models=60)

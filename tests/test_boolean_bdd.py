@@ -1,0 +1,130 @@
+"""Unit and property tests for the ROBDD manager."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boolean.bdd import BDD
+from repro.boolean.cover import Cover
+from repro.boolean.cube import Cube
+
+SIGNALS = ("a", "b", "c")
+
+
+def all_points():
+    return [dict(zip(SIGNALS, bits)) for bits in itertools.product((0, 1), repeat=3)]
+
+
+class TestBasics:
+    def test_duplicate_order_rejected(self):
+        with pytest.raises(ValueError):
+            BDD(("a", "a"))
+
+    def test_terminals(self):
+        bdd = BDD(SIGNALS)
+        assert bdd.constant(True) == BDD.ONE
+        assert bdd.constant(False) == BDD.ZERO
+        assert bdd.is_tautology(BDD.ONE)
+        assert not bdd.is_tautology(BDD.ZERO)
+
+    def test_var_semantics(self):
+        bdd = BDD(SIGNALS)
+        node = bdd.var("b")
+        for point in all_points():
+            assert bdd.evaluate(node, point) == bool(point["b"])
+
+    def test_nvar_is_negation(self):
+        bdd = BDD(SIGNALS)
+        assert bdd.nvar("a") == bdd.negate(bdd.var("a"))
+
+    def test_canonical_equivalence(self):
+        bdd = BDD(SIGNALS)
+        # a & b == b & a structurally after reduction
+        left = bdd.conj(bdd.var("a"), bdd.var("b"))
+        right = bdd.conj(bdd.var("b"), bdd.var("a"))
+        assert bdd.equivalent(left, right)
+
+    def test_de_morgan(self):
+        bdd = BDD(SIGNALS)
+        a, b = bdd.var("a"), bdd.var("b")
+        lhs = bdd.negate(bdd.conj(a, b))
+        rhs = bdd.disj(bdd.negate(a), bdd.negate(b))
+        assert lhs == rhs
+
+    def test_restrict(self):
+        bdd = BDD(SIGNALS)
+        f = bdd.conj(bdd.var("a"), bdd.var("b"))
+        assert bdd.restrict(f, "a", 1) == bdd.var("b")
+        assert bdd.restrict(f, "a", 0) == BDD.ZERO
+
+    def test_satisfy_count(self):
+        bdd = BDD(SIGNALS)
+        assert bdd.satisfy_count(BDD.ONE) == 8
+        assert bdd.satisfy_count(BDD.ZERO) == 0
+        assert bdd.satisfy_count(bdd.var("a")) == 4
+        assert bdd.satisfy_count(bdd.conj(bdd.var("a"), bdd.var("c"))) == 2
+
+    def test_one_sat(self):
+        bdd = BDD(SIGNALS)
+        f = bdd.conj(bdd.var("a"), bdd.nvar("c"))
+        point = bdd.one_sat(f)
+        assert point is not None
+        assert bdd.evaluate(f, point)
+        assert bdd.one_sat(BDD.ZERO) is None
+
+    def test_node_count(self):
+        bdd = BDD(SIGNALS)
+        assert bdd.node_count(BDD.ONE) == 0
+        f = bdd.conj(bdd.var("a"), bdd.var("b"))
+        assert bdd.node_count(f) == 2
+
+    def test_implies(self):
+        bdd = BDD(SIGNALS)
+        ab = bdd.conj(bdd.var("a"), bdd.var("b"))
+        assert bdd.implies(ab, bdd.var("a"))
+        assert not bdd.implies(bdd.var("a"), ab)
+
+
+cube_strategy = st.dictionaries(
+    st.sampled_from(SIGNALS), st.integers(0, 1), max_size=3
+).map(Cube)
+
+
+class TestAgainstCubeAlgebra:
+    @given(st.lists(cube_strategy, max_size=4))
+    @settings(max_examples=80, deadline=None)
+    def test_cover_semantics_match(self, cubes):
+        cover = Cover(cubes)
+        bdd = BDD(SIGNALS)
+        node = bdd.from_cover(cover)
+        for point in all_points():
+            assert bdd.evaluate(node, point) == cover.covers(point)
+
+    @given(cube_strategy, cube_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_containment_matches(self, x, y):
+        bdd = BDD(SIGNALS)
+        fx, fy = bdd.from_cube(x), bdd.from_cube(y)
+        assert x.contains(y) == bdd.implies(fy, fx)
+
+    @given(cube_strategy, cube_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_intersection_matches(self, x, y):
+        bdd = BDD(SIGNALS)
+        both = x.intersect(y)
+        product = bdd.conj(bdd.from_cube(x), bdd.from_cube(y))
+        if both is None:
+            assert product == BDD.ZERO
+        else:
+            assert product == bdd.from_cube(both)
+
+    def test_minimizer_equivalence_via_bdd(self):
+        from repro.boolean.minimize import minimize_onset
+
+        codes = all_points()
+        on = [codes[i] for i in (1, 3, 5, 7)]  # f = c
+        cover = minimize_onset(SIGNALS, on)
+        bdd = BDD(SIGNALS)
+        assert bdd.from_cover(cover) == bdd.var("c")

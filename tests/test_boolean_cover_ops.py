@@ -1,0 +1,114 @@
+"""Unit and property tests for Shannon-recursion cover operations."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boolean.bdd import BDD
+from repro.boolean.cover import Cover
+from repro.boolean.cover_ops import (
+    cofactor,
+    complement,
+    covers_equivalent,
+    covers_implies,
+    is_tautology,
+)
+from repro.boolean.cube import Cube
+
+SIGNALS = ("a", "b", "c")
+
+
+def all_points():
+    return [dict(zip(SIGNALS, bits)) for bits in itertools.product((0, 1), repeat=3)]
+
+
+class TestCofactor:
+    def test_literal_removed(self):
+        cover = Cover([Cube({"a": 1, "b": 0})])
+        assert cofactor(cover, "a", 1) == Cover([Cube({"b": 0})])
+        assert cofactor(cover, "a", 0).is_empty()
+
+    def test_free_cube_survives(self):
+        cover = Cover([Cube({"b": 0})])
+        assert cofactor(cover, "a", 1) == cover
+
+
+class TestTautology:
+    def test_universal_cube(self):
+        assert is_tautology(Cover([Cube()]), SIGNALS)
+
+    def test_empty_cover(self):
+        assert not is_tautology(Cover(), SIGNALS)
+
+    def test_complementary_literals(self):
+        cover = Cover([Cube({"a": 1}), Cube({"a": 0})])
+        assert is_tautology(cover, SIGNALS)
+
+    def test_incomplete_cover(self):
+        cover = Cover([Cube({"a": 1}), Cube({"b": 0})])
+        assert not is_tautology(cover, SIGNALS)
+
+    def test_foreign_signal_rejected(self):
+        with pytest.raises(ValueError):
+            is_tautology(Cover([Cube({"z": 1})]), SIGNALS)
+
+
+class TestComplement:
+    def test_of_empty_is_universe(self):
+        assert complement(Cover(), SIGNALS) == Cover([Cube()])
+
+    def test_of_universe_is_empty(self):
+        assert complement(Cover([Cube()]), SIGNALS).is_empty()
+
+    def test_de_morgan_single_cube(self):
+        result = complement(Cover([Cube({"a": 1, "b": 0})]), SIGNALS)
+        for point in all_points():
+            expected = not (point["a"] == 1 and point["b"] == 0)
+            assert result.covers(point) == expected
+
+
+class TestImplicationEquivalence:
+    def test_subset_implication(self):
+        small = Cover([Cube({"a": 1, "b": 1})])
+        big = Cover([Cube({"a": 1})])
+        assert covers_implies(small, big, SIGNALS)
+        assert not covers_implies(big, small, SIGNALS)
+
+    def test_syntactically_different_equivalent(self):
+        left = Cover([Cube({"a": 1}), Cube({"a": 0, "b": 1})])
+        right = Cover([Cube({"b": 1}), Cube({"a": 1, "b": 0})])
+        # both are a + b
+        assert covers_equivalent(left, right, SIGNALS)
+
+
+cube_strategy = st.dictionaries(
+    st.sampled_from(SIGNALS), st.integers(0, 1), max_size=3
+).map(Cube)
+cover_strategy = st.lists(cube_strategy, max_size=4).map(Cover)
+
+
+class TestAgainstBDD:
+    @given(cover_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_tautology_matches_bdd(self, cover):
+        bdd = BDD(SIGNALS)
+        assert is_tautology(cover, SIGNALS) == bdd.is_tautology(
+            bdd.from_cover(cover)
+        )
+
+    @given(cover_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_complement_matches_bdd(self, cover):
+        bdd = BDD(SIGNALS)
+        comp = complement(cover, SIGNALS)
+        assert bdd.from_cover(comp) == bdd.negate(bdd.from_cover(cover))
+
+    @given(cover_strategy, cover_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_implication_matches_bdd(self, left, right):
+        bdd = BDD(SIGNALS)
+        assert covers_implies(left, right, SIGNALS) == bdd.implies(
+            bdd.from_cover(left), bdd.from_cover(right)
+        )

@@ -1,0 +1,53 @@
+"""Unit tests for SOP rendering."""
+
+from repro.boolean.cover import Cover
+from repro.boolean.cube import Cube
+from repro.boolean.sop import (
+    format_cover,
+    format_cube,
+    format_equation,
+    format_equations,
+    format_literal,
+)
+
+
+def test_literal_polarity():
+    assert format_literal("a", 1) == "a"
+    assert format_literal("a", 0) == "a'"
+
+
+def test_cube_compact_single_char_names():
+    assert format_cube(Cube({"a": 1, "b": 0, "c": 1})) == "ab'c"
+
+
+def test_cube_spaced_for_long_names():
+    text = format_cube(Cube({"req": 1, "ack": 0}))
+    assert text == "ack' req"
+
+
+def test_cube_compact_flag_off():
+    assert format_cube(Cube({"a": 1, "b": 0}), compact=False) == "a b'"
+
+
+def test_universal_cube_renders_one():
+    assert format_cube(Cube()) == "1"
+
+
+def test_empty_cover_renders_zero():
+    assert format_cover(Cover()) == "0"
+
+
+def test_cover_sum():
+    cover = Cover([Cube({"a": 1, "b": 0}), Cube({"c": 1})])
+    assert format_cover(cover) == "ab' + c"
+
+
+def test_equation():
+    assert format_equation("Sd", Cover([Cube({"x": 1})])) == "Sd = x"
+
+
+def test_equations_multi_line():
+    text = format_equations(
+        [("Sa", Cover([Cube({"b": 1})])), ("Ra", Cover([Cube({"b": 0})]))]
+    )
+    assert text.splitlines() == ["Sa = b", "Ra = b'"]

@@ -1,0 +1,117 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+DATA = os.path.join(
+    os.path.dirname(__file__), "..", "src", "repro", "bench", "data"
+)
+
+
+def spec(name):
+    return os.path.join(DATA, name)
+
+
+class TestInfo:
+    def test_info_reports_properties(self, capsys):
+        assert main(["info", spec("delement.g")]) == 0
+        out = capsys.readouterr().out
+        assert "output semi-modular : True" in out
+        assert "MC analysis" in out
+        assert "VIOLATED" in out
+
+    def test_info_dot_export(self, tmp_path, capsys):
+        dot = tmp_path / "sg.dot"
+        assert main(["info", spec("delement.g"), "--dot", str(dot)]) == 0
+        assert dot.read_text().startswith("digraph")
+
+
+class TestSynth:
+    def test_synth_clean_design(self, capsys):
+        assert main(["synth", spec("mp-forward-pkt.g")]) == 0
+        out = capsys.readouterr().out
+        assert "HAZARD-FREE" in out
+        assert "= C(" in out
+
+    def test_synth_with_insertion(self, capsys):
+        assert main(["synth", spec("delement.g"), "--share"]) == 0
+        out = capsys.readouterr().out
+        assert "state signal(s) inserted: x" in out
+
+    def test_synth_exports(self, tmp_path, capsys):
+        verilog = tmp_path / "out.v"
+        dot = tmp_path / "net.dot"
+        code = main(
+            [
+                "synth",
+                spec("delement.g"),
+                "--verilog",
+                str(verilog),
+                "--dot",
+                str(dot),
+            ]
+        )
+        assert code == 0
+        assert "module" in verilog.read_text()
+        assert dot.read_text().startswith("digraph")
+
+    def test_synth_no_verify(self, capsys):
+        assert main(["synth", spec("luciano.g"), "--no-verify"]) == 0
+        out = capsys.readouterr().out
+        assert "speed-independence check" not in out
+
+
+class TestVerifyAndSimulate:
+    def test_verify_exit_code_zero(self, capsys):
+        assert main(["verify", spec("berkel2.g")]) == 0
+
+    def test_simulate(self, capsys):
+        code = main(
+            ["simulate", spec("delement.g"), "--runs", "3", "--events", "100"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0 hazardous run(s)" in out
+
+
+class TestTable1:
+    def test_subset(self, capsys):
+        assert main(["table1", "delement", "luciano", "--no-verify"]) == 0
+        out = capsys.readouterr().out
+        assert "delement" in out
+        assert "luciano" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["bogus"])
+
+
+class TestSaveStg:
+    def test_repaired_spec_roundtrips(self, tmp_path, capsys):
+        saved = tmp_path / "repaired.g"
+        code = main(
+            ["synth", spec("delement.g"), "--no-verify", "--save-stg", str(saved)]
+        )
+        assert code == 0
+        from repro.core.mc import analyze_mc
+        from repro.stg.parser import load_g
+        from repro.stg.reachability import stg_to_state_graph
+
+        back = stg_to_state_graph(load_g(str(saved)))
+        assert analyze_mc(back).satisfied
+
+
+def test_synth_area_flag(capsys):
+    assert main(["synth", spec("delement.g"), "--no-verify", "--area"]) == 0
+    out = capsys.readouterr().out
+    assert "area estimate" in out and "TOTAL" in out
+
+
+def test_synth_regions_flag(capsys):
+    assert main(["synth", spec("berkel2.g"), "--no-verify", "--regions"]) == 0
+    out = capsys.readouterr().out
+    assert "region mapping" in out

@@ -1,0 +1,168 @@
+"""Unit tests for cover cubes and monotonous covers (Defs. 15-17, 19)."""
+
+import pytest
+
+from repro.boolean.cube import Cube
+from repro.core.covers import (
+    check_generalized_mc,
+    check_monotonous_cover,
+    covers_correctly,
+    find_correct_cover_cubes,
+    find_generalized_monotonous_cover,
+    find_monotonous_cover,
+    find_region_cover_assignment,
+    is_cover_cube,
+    smallest_cover_cube,
+)
+from repro.sg.regions import excitation_regions
+
+
+def er_of(sg, signal, direction, index=1):
+    for er in excitation_regions(sg, signal):
+        if er.direction == direction and er.index == index:
+            return er
+    raise AssertionError
+
+
+class TestSmallestCoverCube:
+    def test_lemma3_er_d_plus_1(self, fig1):
+        """Lemma 3 on ER(+d1): ordered = {b} only, so the smallest cover
+        cube is the single literal b'."""
+        er = er_of(fig1, "d", +1, 1)
+        assert smallest_cover_cube(fig1, er) == Cube({"b": 0})
+
+    def test_lemma3_er_d_minus(self, fig1):
+        er = er_of(fig1, "d", -1, 1)
+        assert smallest_cover_cube(fig1, er) == Cube({"a": 0, "b": 0, "c": 0})
+
+    def test_fig4_cube_a_for_er_b_plus_1(self, fig4):
+        """The paper: ER(+b,1) is covered by cube a."""
+        er = er_of(fig4, "b", +1, 1)
+        assert smallest_cover_cube(fig4, er) == Cube({"a": 1})
+
+    def test_fig4_cube_cd_for_er_b_plus_2(self, fig4):
+        """The paper: ER(+b,2) is covered by cube c'd."""
+        er = er_of(fig4, "b", +1, 2)
+        assert smallest_cover_cube(fig4, er) == Cube({"c": 0, "d": 1})
+
+
+class TestIsCoverCube:
+    def test_sub_literal_sets_are_cover_cubes(self, fig1):
+        er = er_of(fig1, "d", -1, 1)
+        assert is_cover_cube(fig1, er, Cube({"a": 0}))
+        assert is_cover_cube(fig1, er, Cube())
+
+    def test_wrong_polarity_rejected(self, fig1):
+        er = er_of(fig1, "d", -1, 1)
+        assert not is_cover_cube(fig1, er, Cube({"a": 1}))
+
+    def test_concurrent_signal_rejected(self, fig1):
+        er = er_of(fig1, "d", +1, 1)
+        assert not is_cover_cube(fig1, er, Cube({"a": 1}))  # a concurrent
+
+
+class TestCorrectCovering:
+    def test_b_prime_not_correct_for_er_d_plus_1(self, fig1):
+        """b' covers the stable-0 states 0000/0001 side: not correct."""
+        er = er_of(fig1, "d", +1, 1)
+        assert not covers_correctly(fig1, er, Cube({"b": 0}))
+
+    def test_paper_baseline_cubes_are_correct(self, fig1):
+        """Equations (1): a b' and b' c correctly cover ER(+d1)."""
+        er = er_of(fig1, "d", +1, 1)
+        assert covers_correctly(fig1, er, Cube({"a": 1, "b": 0}))
+        assert covers_correctly(fig1, er, Cube({"b": 0, "c": 1}))
+
+    def test_fig4_cube_a_is_correct_yet_not_mc(self, fig4):
+        """Example 2's crux: cube a passes the correctness conditions but
+        also covers state 10*01 of ER(+b,2)."""
+        er1 = er_of(fig4, "b", +1, 1)
+        cube = Cube({"a": 1})
+        assert covers_correctly(fig4, er1, cube)
+        diagnostics = check_monotonous_cover(fig4, er1, cube)
+        assert not diagnostics.is_mc
+        assert "s1001" in diagnostics.outside_cfr
+
+    def test_find_correct_cover_needs_two_cubes(self, fig1):
+        """The paper: 'it is impossible to cover ER(+d) with one cube --
+        two cubes are required for the correct cover'."""
+        er = er_of(fig1, "d", +1, 1)
+        cubes = find_correct_cover_cubes(fig1, er)
+        assert cubes is not None and len(cubes) == 2
+        for state in er.states:
+            assert any(c.covers(fig1.code_dict(state)) for c in cubes)
+        for cube in cubes:
+            assert covers_correctly(fig1, er, cube)
+
+
+class TestMonotonousCover:
+    def test_no_mc_for_er_d_plus_1(self, fig1):
+        assert find_monotonous_cover(fig1, er_of(fig1, "d", +1, 1)) is None
+
+    def test_mc_found_for_er_d_minus(self, fig1):
+        cube = find_monotonous_cover(fig1, er_of(fig1, "d", -1, 1))
+        assert cube == Cube({"a": 0, "b": 0, "c": 0})
+
+    def test_mc_diagnostics_fields(self, fig1):
+        er = er_of(fig1, "d", +1, 1)
+        diag = check_monotonous_cover(fig1, er, Cube({"b": 0}))
+        assert diag.covers_all_er
+        assert diag.outside_cfr  # 0000 and 0001
+        assert not diag.is_mc
+
+    def test_monotonicity_violation_witness(self, fig3):
+        """Cube ax' rises inside CFR(c+) on the b-branch (the trace
+        enters the quiescent region from a foreign path): the no-rise
+        check must flag it with a witness edge."""
+        er = next(
+            e
+            for e in excitation_regions(fig3, "c")
+            if e.direction == 1 and "10000" in e.states
+        )
+        diag = check_monotonous_cover(fig3, er, Cube({"a": 1, "x": 0}))
+        assert not diag.monotonous
+        assert diag.change_witness is not None
+
+    def test_mc_cube_in_fig3(self, fig3):
+        """Equations (2): Sx = a'b'c' (.d) is the MC cube of ER(+x)."""
+        er = er_of(fig3, "x", +1, 1)
+        cube = find_monotonous_cover(fig3, er)
+        assert cube == Cube({"a": 0, "b": 0, "c": 0})
+
+
+class TestGeneralizedMC:
+    def test_sd_shared_cube_in_fig3(self, fig3):
+        """Sd = x' is one cube serving both up-regions of d (Def. 19)."""
+        ups = [e for e in excitation_regions(fig3, "d") if e.direction == 1]
+        assert len(ups) == 2
+        cube = find_generalized_monotonous_cover(fig3, ups)
+        assert cube == Cube({"x": 0})
+        assert check_generalized_mc(fig3, ups, cube)
+
+    def test_rx_shared_literal_a(self, fig3):
+        """Equations (2): the reset of x is the single literal a, shared
+        by ER(-x,1) and ER(-x,2)."""
+        downs = [e for e in excitation_regions(fig3, "x") if e.direction == -1]
+        assert len(downs) == 2
+        cube = Cube({"a": 1})
+        assert check_generalized_mc(fig3, downs, cube)
+
+    def test_generalized_mc_rejects_wrong_cube(self, fig3):
+        ups = [e for e in excitation_regions(fig3, "d") if e.direction == 1]
+        assert not check_generalized_mc(fig3, ups, Cube({"x": 1}))
+        assert not check_generalized_mc(fig3, [], Cube({"x": 0}))
+
+    def test_region_cover_assignment_fig3_d(self, fig3):
+        ups = [e for e in excitation_regions(fig3, "d") if e.direction == 1]
+        assignment = find_region_cover_assignment(fig3, ups)
+        assert assignment is not None
+        assert set(assignment.values()) == {Cube({"x": 0})}
+
+    def test_region_cover_assignment_prefers_private(self, fig1):
+        downs = [e for e in excitation_regions(fig1, "d") if e.direction == -1]
+        assignment = find_region_cover_assignment(fig1, downs)
+        assert assignment == {downs[0]: Cube({"a": 0, "b": 0, "c": 0})}
+
+    def test_region_cover_assignment_none_when_impossible(self, fig1):
+        ups = [e for e in excitation_regions(fig1, "d") if e.direction == 1]
+        assert find_region_cover_assignment(fig1, ups) is None

@@ -1,0 +1,70 @@
+"""Tests for CSC-only insertion and the complex-gate repair flow."""
+
+import pytest
+
+from repro.bench.suite import load_benchmark
+from repro.core.complexgate import complex_gate_netlist, complex_gate_synthesize
+from repro.core.csc import insert_for_csc
+from repro.core.insertion import insert_state_signals, project_away
+from repro.netlist.hazards import verify_speed_independence
+from repro.sg.conformance import refines
+from repro.sg.csc import has_csc
+from repro.stg.reachability import stg_to_state_graph
+
+
+class TestCSCInsertion:
+    def test_delement_one_signal(self):
+        sg = stg_to_state_graph(load_benchmark("delement"))
+        assert not has_csc(sg)
+        result = insert_for_csc(sg)
+        assert result.satisfied
+        assert len(result.added_signals) == 1
+
+    def test_csc_clean_graph_untouched(self, fig1):
+        result = insert_for_csc(fig1)
+        assert result.added_signals == []
+        assert result.sg is fig1
+
+    def test_behaviour_preserved(self):
+        sg = stg_to_state_graph(load_benchmark("berkel2"))
+        result = insert_for_csc(sg)
+        assert refines(result.sg, sg, hidden=result.added_signals)
+        projected = result.sg
+        for signal in reversed(result.added_signals):
+            projected = project_away(projected, signal)
+        assert {
+            (projected.code(s), str(e), projected.code(t))
+            for s, e, t in projected.arcs()
+        } == {(sg.code(s), str(e), sg.code(t)) for s, e, t in sg.arcs()}
+
+    def test_complex_gate_flow_after_repair(self):
+        sg = stg_to_state_graph(load_benchmark("luciano"))
+        result = insert_for_csc(sg)
+        impl = complex_gate_synthesize(result.sg)
+        netlist = complex_gate_netlist(impl)
+        report = verify_speed_independence(netlist, result.sg)
+        assert report.hazard_free
+
+    def test_rounds_recorded(self):
+        sg = stg_to_state_graph(load_benchmark("delement"))
+        result = insert_for_csc(sg)
+        assert len(result.rounds) == 1
+        assert result.rounds[0].failures_after == 0
+
+
+class TestPriceOfBasicGates:
+    def test_fig1_csc_free_mc_costly(self, fig1):
+        """The sharpest contrast: Figure 1 needs 0 signals for complex
+        gates (CSC holds) but 1 for basic gates (MC fails)."""
+        assert has_csc(fig1)
+        csc_result = insert_for_csc(fig1)
+        mc_result = insert_state_signals(fig1, max_models=400)
+        assert len(csc_result.added_signals) == 0
+        assert len(mc_result.added_signals) == 1
+
+    @pytest.mark.parametrize("name", ["delement", "berkel2", "luciano"])
+    def test_csc_never_needs_more_than_mc(self, name):
+        sg = stg_to_state_graph(load_benchmark(name))
+        csc_count = len(insert_for_csc(sg).added_signals)
+        mc_count = len(insert_state_signals(sg, max_models=400).added_signals)
+        assert csc_count <= mc_count

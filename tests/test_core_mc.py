@@ -1,0 +1,78 @@
+"""Unit tests for whole-graph MC analysis (Definition 18)."""
+
+from repro.core.mc import analyze_mc
+from repro.sg.regions import excitation_regions
+
+
+class TestFig1:
+    def test_violated(self, fig1):
+        report = analyze_mc(fig1)
+        assert not report.satisfied
+        failed = {v.er.transition_name for v in report.failed}
+        assert failed == {"d+/1", "d+/2"}
+
+    def test_stuck_states_of_d_plus_1(self, fig1):
+        report = analyze_mc(fig1)
+        verdict = next(v for v in report.failed if v.er.transition_name == "d+/1")
+        assert verdict.stuck_states == frozenset({"0000", "0001"})
+        # 0000 is stably 0 (strict); 0001 is the falling region (delayable)
+        assert verdict.stuck_stable == frozenset({"0000"})
+        assert verdict.stuck_opposite == frozenset({"0001"})
+
+    def test_passing_regions_have_cubes(self, fig1):
+        report = analyze_mc(fig1)
+        cubes = report.mc_cubes()
+        names = {er.transition_name for er in cubes}
+        assert {"c+/1", "c+/2", "c-/1", "d-/1"} <= names
+
+    def test_describe_mentions_failures(self, fig1):
+        text = analyze_mc(fig1).describe()
+        assert "VIOLATED" in text
+        assert "d+/1" in text
+
+
+class TestFig3:
+    def test_satisfied_with_sharing(self, fig3):
+        report = analyze_mc(fig3)
+        assert report.satisfied
+        # Definition 18 proper (private cube per region) does NOT hold:
+        # Sd = x' is shared between the two up-regions of d
+        assert not report.strictly_satisfied
+
+    def test_shared_group_recorded(self, fig3):
+        report = analyze_mc(fig3)
+        ups = [e for e in excitation_regions(fig3, "d") if e.direction == 1]
+        verdict = report.verdict_for(ups[0])
+        assert len(verdict.group) == 2
+        assert not verdict.private
+
+
+class TestFig4:
+    def test_only_er_b_plus_1_fails(self, fig4):
+        report = analyze_mc(fig4)
+        failed = {v.er.transition_name for v in report.failed}
+        assert failed == {"b+/1"}
+
+    def test_stuck_state_is_the_paper_witness(self, fig4):
+        """The paper: cube a covers state 10*01 (= s1001) of ER(+b,2)."""
+        report = analyze_mc(fig4)
+        verdict = report.failed[0]
+        assert "s1001" in verdict.stuck_states
+
+
+class TestTrivialGraphs:
+    def test_toggle_satisfied(self, toggle_sg):
+        report = analyze_mc(toggle_sg)
+        assert report.satisfied
+        assert report.strictly_satisfied
+
+    def test_choice_satisfied(self, choice_sg):
+        assert analyze_mc(choice_sg).satisfied
+
+    def test_verdict_for_unknown_region_raises(self, toggle_sg):
+        import pytest
+        from repro.sg.regions import ExcitationRegion
+
+        report = analyze_mc(toggle_sg)
+        with pytest.raises(KeyError):
+            report.verdict_for(ExcitationRegion("z", 1, 1, frozenset()))

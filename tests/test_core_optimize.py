@@ -1,0 +1,70 @@
+"""Tests for the exact Section-VI sharing optimiser."""
+
+import pytest
+
+from repro.bench.suite import run_pipeline
+from repro.boolean.cube import Cube
+from repro.core.optimize import (
+    SharingError,
+    cube_cost,
+    optimal_region_assignment,
+    total_cost,
+)
+from repro.core.synthesis import synthesize
+from repro.netlist.hazards import verify_speed_independence
+from repro.netlist.netlist import netlist_from_implementation
+from repro.sg.regions import all_excitation_regions
+
+
+class TestCubeCost:
+    def test_single_literal_is_wire(self):
+        assert cube_cost(Cube({"a": 1})) == 1
+
+    def test_multi_literal_pays_the_gate(self):
+        assert cube_cost(Cube({"a": 1, "b": 0})) == 3
+
+
+class TestOptimalAssignment:
+    def test_fig3_matches_paper_sharing(self, fig3):
+        assignment = optimal_region_assignment(fig3)
+        cubes = set(assignment.values())
+        # the paper's two shared cubes must be selected
+        assert Cube({"x": 0}) in cubes          # Sd shared over d+/1, d+/2
+        assert Cube({"a": 1}) in cubes          # Rx shared over x-/1, x-/2
+
+    def test_every_region_assigned_exactly_once(self, fig3):
+        assignment = optimal_region_assignment(fig3)
+        regions = all_excitation_regions(fig3, only_non_inputs=True)
+        assert set(assignment) == set(regions)
+
+    def test_not_worse_than_greedy(self, fig3):
+        greedy = synthesize(fig3, share_gates=True)
+        optimal = synthesize(fig3, share_gates="optimal")
+        assert optimal.literal_count() <= greedy.literal_count()
+        assert optimal.and_gate_count() <= greedy.and_gate_count()
+
+    def test_optimal_implementation_verifies(self, fig3):
+        impl = synthesize(fig3, share_gates="optimal")
+        netlist = netlist_from_implementation(impl, "C")
+        assert verify_speed_independence(netlist, fig3).hazard_free
+
+    def test_raises_when_region_uncoverable(self, fig1):
+        with pytest.raises(SharingError):
+            optimal_region_assignment(fig1)  # fig1 violates MC
+
+    def test_total_cost_counts_distinct_cubes_once(self):
+        a = Cube({"a": 1})
+        assignment = {"r1": a, "r2": a}
+        assert total_cost(assignment) == cube_cost(a)
+
+
+class TestOnBenchmarks:
+    @pytest.mark.parametrize("name", ["delement", "berkel2", "luciano"])
+    def test_optimal_beats_or_ties_greedy(self, name, pipeline):
+        result = pipeline(name)
+        sg = result.insertion.sg
+        greedy = synthesize(sg, share_gates=True)
+        optimal = synthesize(sg, share_gates="optimal")
+        assert optimal.literal_count() <= greedy.literal_count()
+        netlist = netlist_from_implementation(optimal, "C")
+        assert verify_speed_independence(netlist, sg).hazard_free

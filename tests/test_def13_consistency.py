@@ -1,0 +1,53 @@
+"""Definition 13: synthesised excitation functions are consistent.
+
+"A function Sa (Ra) is a consistent up-(down-)excitation function if it
+has value 1 in all states of 0*-set(a) (1*-set(a)) and value 0 in all
+states from 1*-set(a) u 0-set(a) (0*-set(a) u 1-set(a))."  Every
+excitation function this library synthesises -- MC, generalised-MC,
+shared, degenerate -- must satisfy it.
+"""
+
+import pytest
+
+from repro.bench.suite import BENCHMARKS, run_pipeline
+from repro.boolean.cover import Cover
+from repro.boolean.cube import Cube
+from repro.core.covers import is_consistent_excitation_function
+from repro.core.synthesis import synthesize
+
+
+def assert_implementation_consistent(sg, impl):
+    for signal, network in impl.networks.items():
+        assert is_consistent_excitation_function(
+            sg, signal, network.set_cover, +1
+        ), f"Sa inconsistent for {signal}"
+        assert is_consistent_excitation_function(
+            sg, signal, network.reset_cover, -1
+        ), f"Ra inconsistent for {signal}"
+
+
+def test_fig3_functions_consistent(fig3):
+    assert_implementation_consistent(fig3, synthesize(fig3))
+    assert_implementation_consistent(fig3, synthesize(fig3, share_gates=True))
+
+
+def test_toggle_functions_consistent(toggle_sg):
+    assert_implementation_consistent(toggle_sg, synthesize(toggle_sg))
+
+
+@pytest.mark.parametrize("name", ["delement", "berkel2", "luciano", "mp-forward-pkt"])
+def test_benchmark_functions_consistent(name, pipeline):
+    result = pipeline(name)
+    assert_implementation_consistent(result.insertion.sg, result.implementation)
+
+
+def test_negative_example(fig3):
+    """A function that stays 1 into the opposite excited set fails."""
+    # Sd must be 0 on 1*-set(d); the constant-1 cover is not consistent
+    assert not is_consistent_excitation_function(
+        fig3, "d", Cover([Cube()]), +1
+    )
+    # ...and the correct one (x') is
+    assert is_consistent_excitation_function(
+        fig3, "d", Cover([Cube({"x": 0})]), +1
+    )

@@ -1,0 +1,126 @@
+"""Edge-case tests across modules (error paths, fallbacks, options)."""
+
+import pytest
+
+from repro.boolean.cube import Cube
+from repro.core.covers import find_monotonous_cover
+from repro.core.synthesis import synthesize
+from repro.netlist.circuit_sg import CompositionError, build_circuit_state_graph
+from repro.netlist.gates import Gate, GateKind
+from repro.netlist.netlist import Netlist
+from repro.sg.regions import all_excitation_regions, excitation_regions
+from repro.stg.parser import parse_g
+
+
+class TestGreedyMCFallback:
+    def test_low_budget_triggers_greedy_path(self, fig1):
+        er = next(
+            e for e in excitation_regions(fig1, "d") if e.direction == -1
+        )
+        # exhaustive path finds the same full cube the greedy path keeps
+        exhaustive = find_monotonous_cover(fig1, er)
+        greedy = find_monotonous_cover(fig1, er, max_literal_budget=1)
+        assert greedy == Cube({"a": 0, "b": 0, "c": 0})
+        # the minimal-cube search may return a smaller cube; both are MCs
+        from repro.core.covers import is_monotonous_cover
+
+        assert is_monotonous_cover(fig1, er, exhaustive)
+        assert is_monotonous_cover(fig1, er, greedy)
+
+    def test_greedy_fails_cleanly_on_unfixable_region(self, fig1):
+        er = next(
+            e
+            for e in excitation_regions(fig1, "d")
+            if e.direction == 1 and e.index == 1
+        )
+        assert find_monotonous_cover(fig1, er, max_literal_budget=0) is None
+
+
+class TestRegionEnumeration:
+    def test_all_regions_includes_inputs_when_asked(self, fig1):
+        only_outputs = all_excitation_regions(fig1, only_non_inputs=True)
+        everything = all_excitation_regions(fig1, only_non_inputs=False)
+        assert len(everything) > len(only_outputs)
+        assert {er.signal for er in everything} == set(fig1.signals)
+
+
+class TestCompositionErrors:
+    def test_missing_output_driver(self, fig3):
+        netlist = Netlist("incomplete", inputs=("a", "b"))
+        netlist.add_gate(Gate("c", GateKind.BUF, (("a", 1),)))
+        with pytest.raises(CompositionError):
+            build_circuit_state_graph(netlist, fig3)
+
+    def test_settle_disagrees_with_spec_initial(self, toggle_sg):
+        # q driven as NOT r settles to 1 at the initial state, but the
+        # spec starts with q = 0
+        netlist = Netlist("wrong", inputs=("r",), interface_outputs=("q",))
+        netlist.add_gate(Gate("q", GateKind.NOT, (("r", 1),)))
+        with pytest.raises(CompositionError):
+            build_circuit_state_graph(netlist, toggle_sg)
+
+
+class TestParserTolerance:
+    def test_capacity_and_slowenv_ignored(self):
+        text = """
+        .inputs r
+        .outputs q
+        .graph
+        r+ q+
+        q+ r-
+        r- q-
+        q- r+
+        .capacity 1
+        .marking { <q-,r+> }
+        .slowenv
+        .end
+        """
+        stg = parse_g(text)
+        assert len(stg.net.transitions) == 4
+
+    def test_name_alias_for_model(self):
+        text = """
+        .name aliased
+        .inputs r
+        .outputs q
+        .graph
+        r+ q+
+        q+ r-
+        r- q-
+        q- r+
+        .marking { <q-,r+> }
+        .end
+        """
+        assert parse_g(text).name == "aliased"
+
+
+class TestSynthesisOptions:
+    def test_degenerate_disabled_fails_on_wire_only_design(self, toggle_sg):
+        # the toggle's q has a private MC cube (r / r'), so disabling the
+        # degenerate rule must still succeed -- just without the wire
+        impl = synthesize(toggle_sg, allow_degenerate=False)
+        q = impl.network("q")
+        assert q.set_cover.cubes == (Cube({"r": 1}),)
+
+    def test_implementation_repr_contains_signal(self, toggle_sg):
+        impl = synthesize(toggle_sg)
+        assert "q" in impl.equations()
+
+
+class TestConstantOutputs:
+    def test_never_switching_output_rejected_clearly(self):
+        from repro.sg.builder import sg_from_arcs
+
+        sg = sg_from_arcs(
+            ("r", "q", "steady"),
+            ("r",),
+            (0, 0, 1),
+            [
+                ("s0", "r+", "s1"),
+                ("s1", "q+", "s2"),
+                ("s2", "r-", "s3"),
+                ("s3", "q-", "s0"),
+            ],
+        )
+        with pytest.raises(ValueError, match="steady"):
+            synthesize(sg)

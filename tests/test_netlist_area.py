@@ -1,0 +1,67 @@
+"""Tests for transistor-count area estimation."""
+
+import pytest
+
+from repro.boolean.cover import Cover
+from repro.boolean.cube import Cube
+from repro.core.complexgate import complex_gate_netlist, complex_gate_synthesize
+from repro.core.synthesis import synthesize
+from repro.netlist.area import area_estimate, area_report, gate_transistors
+from repro.netlist.gates import Gate, GateKind
+from repro.netlist.netlist import netlist_from_implementation
+
+
+class TestGateCosts:
+    def test_inverter(self):
+        assert gate_transistors(Gate("y", GateKind.NOT, (("a", 1),))) == 2
+
+    def test_buffer(self):
+        assert gate_transistors(Gate("y", GateKind.BUF, (("a", 1),))) == 4
+
+    def test_and2(self):
+        gate = Gate("y", GateKind.AND, (("a", 1), ("b", 1)))
+        assert gate_transistors(gate) == 6  # NAND2 + inverter
+
+    def test_bubble_costs_extra(self):
+        plain = Gate("y", GateKind.AND, (("a", 1), ("b", 1)))
+        bubbled = Gate("y", GateKind.AND, (("a", 1), ("b", 0)))
+        assert gate_transistors(bubbled) == gate_transistors(plain) + 2
+
+    def test_nor2(self):
+        assert gate_transistors(Gate("y", GateKind.NOR, (("a", 1), ("b", 1)))) == 4
+
+    def test_c_element(self):
+        gate = Gate("c", GateKind.C, (("s", 1), ("r", 0)))
+        assert gate_transistors(gate) == 14  # 12 + reset bubble
+
+    def test_complex_gate(self):
+        cover = Cover([Cube({"a": 1, "b": 0}), Cube({"c": 1})])
+        gate = Gate(
+            "y", GateKind.COMPLEX, (("a", 1), ("b", 1), ("c", 1)), function=cover
+        )
+        assert gate_transistors(gate) == 2 * 3 + 2
+
+
+class TestNetlistArea:
+    def test_sharing_reduces_area(self, fig3):
+        plain = netlist_from_implementation(synthesize(fig3), "C")
+        shared = netlist_from_implementation(
+            synthesize(fig3, share_gates="optimal"), "C"
+        )
+        assert area_estimate(shared) < area_estimate(plain)
+
+    def test_complex_vs_basic_area(self, fig1):
+        complex_net = complex_gate_netlist(complex_gate_synthesize(fig1))
+        assert area_estimate(complex_net) > 0
+
+    def test_report_contains_total(self, fig3):
+        netlist = netlist_from_implementation(synthesize(fig3), "C")
+        report = area_report(netlist)
+        assert "TOTAL" in report
+        assert str(area_estimate(netlist)) in report
+
+    def test_rs_vs_c_latch_cost(self, fig3):
+        c_style = netlist_from_implementation(synthesize(fig3), "C")
+        rs_style = netlist_from_implementation(synthesize(fig3), "RS")
+        # RS latches (8T) beat C elements (12T + reset bubble)
+        assert area_estimate(rs_style) < area_estimate(c_style)

@@ -1,0 +1,85 @@
+"""Unit tests for the basic gate library."""
+
+import pytest
+
+from repro.netlist.gates import Gate, GateKind
+
+
+class TestValidation:
+    def test_not_needs_one_input(self):
+        with pytest.raises(ValueError):
+            Gate("y", GateKind.NOT, (("a", 1), ("b", 1)))
+
+    def test_c_needs_two_inputs(self):
+        with pytest.raises(ValueError):
+            Gate("y", GateKind.C, (("a", 1),))
+
+    def test_and_needs_inputs(self):
+        with pytest.raises(ValueError):
+            Gate("y", GateKind.AND, ())
+
+    def test_polarity_checked(self):
+        with pytest.raises(ValueError):
+            Gate("y", GateKind.AND, (("a", 2),))
+
+
+class TestCombinational:
+    def test_and_with_bubble(self):
+        gate = Gate("y", GateKind.AND, (("a", 1), ("b", 0)))
+        assert gate.next_value({"a": 1, "b": 0}, 0) == 1
+        assert gate.next_value({"a": 1, "b": 1}, 0) == 0
+
+    def test_or(self):
+        gate = Gate("y", GateKind.OR, (("a", 1), ("b", 1)))
+        assert gate.next_value({"a": 0, "b": 1}, 0) == 1
+        assert gate.next_value({"a": 0, "b": 0}, 1) == 0
+
+    def test_nor_nand(self):
+        nor = Gate("y", GateKind.NOR, (("a", 1), ("b", 1)))
+        assert nor.next_value({"a": 0, "b": 0}, 0) == 1
+        assert nor.next_value({"a": 1, "b": 0}, 1) == 0
+        nand = Gate("y", GateKind.NAND, (("a", 1), ("b", 1)))
+        assert nand.next_value({"a": 1, "b": 1}, 1) == 0
+        assert nand.next_value({"a": 0, "b": 1}, 0) == 1
+
+    def test_buf_not(self):
+        buf = Gate("y", GateKind.BUF, (("a", 1),))
+        inv = Gate("y", GateKind.NOT, (("a", 1),))
+        assert buf.next_value({"a": 1}, 0) == 1
+        assert inv.next_value({"a": 1}, 0) == 0
+
+
+class TestLatches:
+    def test_c_element_truth_table(self):
+        """C = AB + (A+B)C, the paper's next-state equation."""
+        gate = Gate("c", GateKind.C, (("a", 1), ("b", 1)))
+        assert gate.next_value({"a": 1, "b": 1}, 0) == 1
+        assert gate.next_value({"a": 0, "b": 0}, 1) == 0
+        assert gate.next_value({"a": 1, "b": 0}, 0) == 0  # hold
+        assert gate.next_value({"a": 1, "b": 0}, 1) == 1  # hold
+
+    def test_c_element_with_inverted_reset(self):
+        # a = C(S, R'): rises on S=1,R=0; falls on S=0,R=1
+        gate = Gate("a", GateKind.C, (("S", 1), ("R", 0)))
+        assert gate.next_value({"S": 1, "R": 0}, 0) == 1
+        assert gate.next_value({"S": 0, "R": 1}, 1) == 0
+        assert gate.next_value({"S": 0, "R": 0}, 1) == 1  # hold
+
+    def test_rs_latch(self):
+        gate = Gate("q", GateKind.RS, (("S", 1), ("R", 1)))
+        assert gate.next_value({"S": 1, "R": 0}, 0) == 1
+        assert gate.next_value({"S": 0, "R": 1}, 1) == 0
+        assert gate.next_value({"S": 0, "R": 0}, 1) == 1  # hold
+        assert gate.next_value({"S": 1, "R": 1}, 0) == 0  # hold on overlap
+
+    def test_rs_illegal_detection(self):
+        gate = Gate("q", GateKind.RS, (("S", 1), ("R", 1)))
+        assert gate.rs_illegal({"S": 1, "R": 1})
+        assert not gate.rs_illegal({"S": 1, "R": 0})
+        non_latch = Gate("y", GateKind.AND, (("a", 1),))
+        assert not non_latch.rs_illegal({"a": 1})
+
+
+def test_describe():
+    gate = Gate("y", GateKind.AND, (("a", 1), ("b", 0)))
+    assert gate.describe() == "y = AND(a, b')"

@@ -1,0 +1,85 @@
+"""Tests for the explicit-inverter style and delay overrides."""
+
+from repro.core.synthesis import synthesize
+from repro.netlist.gates import GateKind
+from repro.netlist.hazards import verify_speed_independence
+from repro.netlist.netlist import netlist_from_implementation
+from repro.netlist.simulate import simulate
+
+
+class TestCInvStyle:
+    def test_inverters_instantiated_and_shared(self, fig3):
+        netlist = netlist_from_implementation(synthesize(fig3), "C-INV")
+        inverters = [
+            n for n, g in netlist.gates.items()
+            if g.kind == GateKind.NOT and n.startswith("inv_")
+        ]
+        assert inverters
+        # one inverter per inverted signal, shared across gates
+        assert len(inverters) == len(set(inverters))
+        for name, gate in netlist.gates.items():
+            if gate.kind in (GateKind.AND, GateKind.OR):
+                assert all(polarity == 1 for _, polarity in gate.inputs), name
+
+    def test_latch_bubbles_stay_internal(self, fig3):
+        netlist = netlist_from_implementation(synthesize(fig3), "C-INV")
+        latch = netlist.gates["c"]
+        assert latch.kind == GateKind.C
+        assert latch.inputs[1][1] == 0  # inverted reset input kept
+
+    def test_functionality_preserved_when_settled(self, fig3):
+        plain = netlist_from_implementation(synthesize(fig3), "C")
+        inv = netlist_from_implementation(synthesize(fig3), "C-INV")
+        base = {s: 0 for s in ("a", "b", "c", "d", "x")}
+        settled_plain = plain.settle(dict(base))
+        settled_inv = inv.settle(dict(base))
+        for signal in ("c", "d", "x"):
+            assert settled_plain[signal] == settled_inv[signal]
+
+    def test_unbounded_delays_hazardous(self, fig3):
+        """The paper: 'the standard C-implementation will not be
+        speed-independent anymore' with independent inverters."""
+        netlist = netlist_from_implementation(synthesize(fig3), "C-INV")
+        # conflicts show up long before the (large) space is exhausted
+        report = verify_speed_independence(netlist, fig3, max_states=20_000)
+        assert report.conflicts
+        assert not report.hazard_free
+
+
+class TestDelayOverrides:
+    def test_fast_inverters_clean(self, fig3):
+        """The paper's relational bound d_inv^max < D_sn^min."""
+        netlist = netlist_from_implementation(synthesize(fig3), "C-INV")
+        overrides = {
+            n: (0.001, 0.01) for n in netlist.gates if n.startswith("inv_")
+        }
+        for seed in range(10):
+            report = simulate(
+                netlist,
+                fig3,
+                max_events=300,
+                seed=seed,
+                delay_overrides=overrides,
+            )
+            assert report.hazard_free, report.describe()
+
+    def test_slow_inverters_glitch(self, fig3):
+        netlist = netlist_from_implementation(synthesize(fig3), "C-INV")
+        overrides = {
+            n: (50.0, 80.0) for n in netlist.gates if n.startswith("inv_")
+        }
+        glitched = False
+        for seed in range(30):
+            report = simulate(
+                netlist,
+                fig3,
+                max_events=300,
+                seed=seed,
+                gate_delay=(1.0, 5.0),
+                input_delay=(1.0, 5.0),
+                delay_overrides=overrides,
+            )
+            if report.disablings:
+                glitched = True
+                break
+        assert glitched

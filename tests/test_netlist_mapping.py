@@ -1,0 +1,90 @@
+"""Tests for fanin-bounded technology mapping."""
+
+import pytest
+
+from repro.bench.suite import load_benchmark
+from repro.core.synthesis import synthesize
+from repro.netlist.hazards import verify_speed_independence
+from repro.netlist.mapping import decompose_fanin, fanin_violations
+from repro.netlist.netlist import netlist_from_implementation
+from repro.stg.reachability import stg_to_state_graph
+
+
+class TestDecomposition:
+    def test_bound_respected(self, fig3):
+        netlist = netlist_from_implementation(synthesize(fig3), "C")
+        assert fanin_violations(netlist, 2)  # 3-literal cubes exist
+        mapped = decompose_fanin(netlist, max_fanin=2)
+        assert not fanin_violations(mapped, 2)
+
+    def test_functionality_preserved(self, fig3):
+        netlist = netlist_from_implementation(synthesize(fig3), "C")
+        mapped = decompose_fanin(netlist, max_fanin=2)
+        base = {s: 0 for s in ("a", "b", "c", "d", "x")}
+        for pattern in range(4):
+            values = dict(base)
+            values["a"] = pattern & 1
+            values["b"] = (pattern >> 1) & 1
+            original = netlist.settle(dict(values))
+            new = mapped.settle(dict(values))
+            for name in netlist.gates:
+                assert original[name] == new[name], name
+
+    def test_interface_untouched(self, fig3):
+        netlist = netlist_from_implementation(synthesize(fig3), "C")
+        mapped = decompose_fanin(netlist, max_fanin=2)
+        assert mapped.inputs == netlist.inputs
+        assert mapped.interface_outputs == netlist.interface_outputs
+        assert set(netlist.gates) <= set(mapped.gates)
+
+    def test_invalid_bound_rejected(self, fig3):
+        netlist = netlist_from_implementation(synthesize(fig3), "C")
+        with pytest.raises(ValueError):
+            decompose_fanin(netlist, max_fanin=1)
+
+
+class TestDecompositionBreaksSI:
+    """The ablation's point: naive decomposition is NOT hazard-free.
+
+    Partial products of an MC cube are not monotonous covers; the
+    internal tree nodes get excited and disabled unacknowledged.  This
+    is why the paper's architecture keeps one AND gate per cube.
+    """
+
+    def test_fig3_two_input_library_is_hazardous(self, fig3):
+        netlist = netlist_from_implementation(synthesize(fig3), "C")
+        mapped = decompose_fanin(netlist, max_fanin=2)
+        report = verify_speed_independence(mapped, fig3)
+        assert not report.hazard_free
+        # the witnesses involve internal tree nodes
+        assert any("_t" in c.signal for c in report.conflicts)
+
+    def test_fast_internal_nodes_are_safe_in_simulation(self, fig3):
+        """Under the realistic relational bound (internal nodes much
+        faster than the signal networks, as for Section III's
+        inverters), Monte-Carlo runs stay clean."""
+        from repro.netlist.simulate import simulate
+
+        netlist = netlist_from_implementation(synthesize(fig3), "C")
+        mapped = decompose_fanin(netlist, max_fanin=2)
+        overrides = {
+            name: (0.001, 0.01) for name in mapped.gates if "_t" in name
+        }
+        for seed in range(10):
+            report = simulate(
+                mapped,
+                fig3,
+                max_events=300,
+                seed=seed,
+                delay_overrides=overrides,
+            )
+            assert report.hazard_free, report.describe()
+
+    def test_baseline_stays_hazardous(self, fig4):
+        """Decomposition certainly must not *mask* existing hazards."""
+        from repro.core.baseline import baseline_synthesize
+
+        netlist = netlist_from_implementation(baseline_synthesize(fig4), "C")
+        mapped = decompose_fanin(netlist, max_fanin=2)
+        report = verify_speed_independence(mapped, fig4)
+        assert not report.hazard_free

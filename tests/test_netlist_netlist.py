@@ -1,0 +1,96 @@
+"""Unit tests for netlist structure and construction from implementations."""
+
+import pytest
+
+from repro.core.synthesis import synthesize
+from repro.netlist.gates import Gate, GateKind
+from repro.netlist.netlist import Netlist, NetlistError, netlist_from_implementation
+
+
+class TestNetlistStructure:
+    def test_double_drive_rejected(self):
+        netlist = Netlist("n", ("a",))
+        netlist.add_gate(Gate("y", GateKind.BUF, (("a", 1),)))
+        with pytest.raises(NetlistError):
+            netlist.add_gate(Gate("y", GateKind.NOT, (("a", 1),)))
+
+    def test_driving_an_input_rejected(self):
+        netlist = Netlist("n", ("a",))
+        with pytest.raises(NetlistError):
+            netlist.add_gate(Gate("a", GateKind.BUF, (("a", 1),)))
+
+    def test_fanin_closure(self):
+        netlist = Netlist("n", ("a",))
+        netlist.add_gate(Gate("y", GateKind.BUF, (("z", 1),)))
+        with pytest.raises(NetlistError):
+            netlist.fanin_closure_check()
+
+    def test_settle_topological(self):
+        netlist = Netlist("n", ("a",))
+        netlist.add_gate(Gate("u", GateKind.NOT, (("a", 1),)))
+        netlist.add_gate(Gate("v", GateKind.NOT, (("u", 1),)))
+        values = netlist.settle({"a": 1})
+        assert values["u"] == 0 and values["v"] == 1
+
+    def test_state_holding_includes_latches(self):
+        netlist = Netlist("n", ("s", "r"))
+        netlist.add_gate(Gate("q", GateKind.C, (("s", 1), ("r", 0))))
+        assert netlist.state_holding_signals() == {"q"}
+
+    def test_state_holding_includes_feedback_loops(self):
+        netlist = Netlist("n", ("s", "r"))
+        netlist.add_gate(Gate("q", GateKind.NOR, (("r", 1), ("qb", 1))))
+        netlist.add_gate(Gate("qb", GateKind.NOR, (("s", 1), ("q", 1))))
+        netlist.add_gate(Gate("y", GateKind.BUF, (("q", 1),)))
+        holding = netlist.state_holding_signals()
+        assert holding == {"q", "qb"}  # y reads the loop but is not in it
+
+    def test_gate_count(self):
+        netlist = Netlist("n", ("a", "b"))
+        netlist.add_gate(Gate("u", GateKind.AND, (("a", 1), ("b", 1))))
+        netlist.add_gate(Gate("q", GateKind.C, (("u", 1), ("b", 0))))
+        assert netlist.gate_count() == {"and": 1, "c": 1}
+
+
+class TestFromImplementation:
+    def test_fig3_c_style_structure(self, fig3):
+        impl = synthesize(fig3)
+        netlist = netlist_from_implementation(impl, "C")
+        counts = netlist.gate_count()
+        assert counts["c"] == 2          # latches for c and x (d is a wire)
+        assert counts["not"] == 1        # d = x'
+        assert counts["and"] >= 3
+        assert set(netlist.interface_outputs) == {"c", "d", "x"}
+
+    def test_fig3_rs_style_uses_rs_latches(self, fig3):
+        impl = synthesize(fig3)
+        netlist = netlist_from_implementation(impl, "RS")
+        assert netlist.gate_count()["rs"] == 2
+
+    def test_fig3_rs_nor_style_has_rails(self, fig3):
+        impl = synthesize(fig3)
+        netlist = netlist_from_implementation(impl, "RS-NOR")
+        assert "c_bar" in netlist.gates
+        assert netlist.initial_hints["c_bar"] == ("c", 0)
+        assert "c" in netlist.declared_state_holding
+
+    def test_unknown_style_rejected(self, fig3):
+        with pytest.raises(NetlistError):
+            netlist_from_implementation(synthesize(fig3), "D")
+
+    def test_single_literal_cube_needs_no_and_gate(self, toggle_sg):
+        impl = synthesize(toggle_sg)
+        netlist = netlist_from_implementation(impl, "C")
+        # q = wire from r: a single BUF, no AND/OR/C at all
+        assert netlist.gate_count() == {"buf": 1}
+
+    def test_shared_and_gate_instantiated_once(self, fig3):
+        impl = synthesize(fig3, share_gates=True)
+        netlist = netlist_from_implementation(impl, "C")
+        plain = netlist_from_implementation(synthesize(fig3), "C")
+        assert sum(netlist.gate_count().values()) <= sum(plain.gate_count().values())
+
+    def test_describe_lists_gates(self, fig3):
+        netlist = netlist_from_implementation(synthesize(fig3), "C")
+        text = netlist.describe()
+        assert "c = C(" in text

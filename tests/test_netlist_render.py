@@ -1,0 +1,60 @@
+"""Unit tests for Verilog/DOT rendering."""
+
+from repro.core.complexgate import complex_gate_netlist, complex_gate_synthesize
+from repro.core.synthesis import synthesize
+from repro.netlist.netlist import netlist_from_implementation
+from repro.netlist.render import netlist_to_dot, netlist_to_verilog, sg_to_dot
+
+
+class TestVerilog:
+    def test_c_style_emits_c_element_module(self, fig3):
+        netlist = netlist_from_implementation(synthesize(fig3), "C")
+        text = netlist_to_verilog(netlist)
+        assert "module c_element" in text
+        assert "module fig3_cimpl(" in text
+        assert "endmodule" in text
+        # the d = x' wire becomes an inverter assign
+        assert "assign d = ~x;" in text
+
+    def test_rs_style_emits_rs_latch(self, fig3):
+        netlist = netlist_from_implementation(synthesize(fig3), "RS")
+        text = netlist_to_verilog(netlist)
+        assert "module rs_latch" in text
+        assert "rs_latch u" in text
+
+    def test_inverted_pins(self, fig3):
+        netlist = netlist_from_implementation(synthesize(fig3), "C")
+        text = netlist_to_verilog(netlist)
+        assert "~" in text  # bubbles render as negations
+
+    def test_complex_gate_rendering(self, fig1):
+        netlist = complex_gate_netlist(complex_gate_synthesize(fig1))
+        text = netlist_to_verilog(netlist)
+        assert "// complex gate:" in text
+        assert "assign c =" in text
+
+    def test_identifier_sanitisation(self, fig3):
+        netlist = netlist_from_implementation(synthesize(fig3), "C")
+        text = netlist_to_verilog(netlist)
+        # no stray characters from internal gate names
+        for ch in ("'", "+", "-"):
+            assert ch not in text.replace("1'b1", "").replace("1'b0", "")
+
+
+class TestDot:
+    def test_netlist_dot(self, fig3):
+        netlist = netlist_from_implementation(synthesize(fig3), "C")
+        text = netlist_to_dot(netlist)
+        assert text.startswith("digraph")
+        assert "doublecircle" in text      # latches
+        assert "arrowhead=odot" in text    # inversion bubbles
+
+    def test_sg_dot_uses_asterisk_labels(self, fig1):
+        text = sg_to_dot(fig1)
+        assert 'label="0*0*00"' in text
+        assert "d+" in text
+        assert text.count("->") == len(fig1.arcs())
+
+    def test_sg_dot_marks_initial(self, toggle_sg):
+        text = sg_to_dot(toggle_sg)
+        assert "doublecircle" in text

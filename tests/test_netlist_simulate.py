@@ -1,0 +1,84 @@
+"""Unit tests for the random-delay discrete-event simulator."""
+
+import pytest
+
+from repro.core.baseline import baseline_synthesize
+from repro.core.synthesis import synthesize
+from repro.netlist.netlist import netlist_from_implementation
+from repro.netlist.simulate import Disabling, monte_carlo, simulate
+
+
+class TestBasicRuns:
+    def test_toggle_runs_cleanly(self, toggle_sg):
+        netlist = netlist_from_implementation(synthesize(toggle_sg), "C")
+        report = simulate(netlist, toggle_sg, max_events=200, seed=1)
+        assert report.hazard_free
+        assert report.fired_events == 200  # the loop keeps cycling
+
+    def test_deterministic_given_seed(self, toggle_sg):
+        netlist = netlist_from_implementation(synthesize(toggle_sg), "C")
+        first = simulate(netlist, toggle_sg, max_events=100, seed=7)
+        second = simulate(netlist, toggle_sg, max_events=100, seed=7)
+        assert first.fired_events == second.fired_events
+        assert len(first.disablings) == len(second.disablings)
+
+    def test_report_describe(self, toggle_sg):
+        netlist = netlist_from_implementation(synthesize(toggle_sg), "C")
+        report = simulate(netlist, toggle_sg, max_events=10, seed=0)
+        assert "clean" in report.describe()
+
+    def test_choice_environment_is_benign(self, choice_sg):
+        """Input choice resolution (a wins over b) must not be recorded
+        as a hazard."""
+        netlist = netlist_from_implementation(synthesize(choice_sg), "C")
+        report = simulate(netlist, choice_sg, max_events=300, seed=3)
+        assert report.hazard_free
+
+
+class TestHazardDetection:
+    def test_mc_implementation_never_glitches(self, fig3):
+        netlist = netlist_from_implementation(synthesize(fig3), "C")
+        for report in monte_carlo(netlist, fig3, runs=10, max_events=400):
+            assert report.hazard_free, report.describe()
+
+    def test_fig4_baseline_glitches_under_slow_gates(self, fig4):
+        """The dynamic face of Example 2: with slow gates and a fast
+        environment, the c'd AND gate's pending rise gets withdrawn."""
+        netlist = netlist_from_implementation(baseline_synthesize(fig4), "C")
+        hazards = []
+        for seed in range(40):
+            report = simulate(
+                netlist,
+                fig4,
+                max_events=400,
+                seed=seed,
+                gate_delay=(1.0, 30.0),
+                input_delay=(1.0, 5.0),
+            )
+            hazards += report.disablings
+        assert hazards, "expected the Example-2 race to show up"
+        assert any(d.gate == "and_b_0" for d in hazards)
+
+    def test_repaired_fig4_clean_under_same_delays(self, fig4):
+        from repro.core.insertion import insert_state_signals
+
+        result = insert_state_signals(fig4, max_models=400)
+        netlist = netlist_from_implementation(synthesize(result.sg), "C")
+        for seed in range(20):
+            report = simulate(
+                netlist,
+                result.sg,
+                max_events=400,
+                seed=seed,
+                gate_delay=(1.0, 30.0),
+                input_delay=(1.0, 5.0),
+            )
+            assert report.hazard_free, report.describe()
+
+
+class TestMonteCarlo:
+    def test_distinct_seeds(self, toggle_sg):
+        netlist = netlist_from_implementation(synthesize(toggle_sg), "C")
+        reports = monte_carlo(netlist, toggle_sg, runs=5, max_events=50)
+        assert len(reports) == 5
+        assert len({r.seed for r in reports}) == 5

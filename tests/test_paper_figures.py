@@ -1,0 +1,166 @@
+"""Integration tests: every claim the paper makes about its figures.
+
+Each test quotes or paraphrases the corresponding statement from the
+paper; together they certify the figure data and the analysis pipeline
+against the published text.
+"""
+
+import pytest
+
+from repro.boolean.cube import Cube
+from repro.core.covers import find_correct_cover_cubes, find_monotonous_cover
+from repro.core.insertion import insert_state_signals, project_away
+from repro.core.mc import analyze_mc
+from repro.core.synthesis import synthesize
+from repro.sg.csc import has_csc, has_usc
+from repro.sg.properties import (
+    conflict_states,
+    is_output_distributive,
+    is_output_semi_modular,
+    is_persistent,
+    is_semi_modular,
+    non_persistent_pairs,
+)
+from repro.sg.regions import excitation_regions, minimal_states, trigger_events
+
+
+def er_of(sg, signal, direction, index=1):
+    for er in excitation_regions(sg, signal):
+        if er.direction == direction and er.index == index:
+            return er
+    raise AssertionError
+
+
+class TestFigure1Claims:
+    def test_14_states_4_signals(self, fig1):
+        assert len(fig1) == 14
+        assert fig1.signals == ("a", "b", "c", "d")
+        assert fig1.inputs == frozenset({"a", "b"})
+
+    def test_initial_state_is_an_input_conflict(self, fig1):
+        """'In its initial state 0*0*00, both a and b are excited but the
+        firing of any one of them disables the excitation of the other.'"""
+        assert {c.state for c in conflict_states(fig1)} == {"0000"}
+        assert not is_semi_modular(fig1)
+
+    def test_output_semi_modular_and_distributive(self, fig1):
+        """'There are no other conflict states ... so it is output
+        semi-modular'; 'There are no detonant states ... and this SG is
+        output distributive.'"""
+        assert is_output_semi_modular(fig1)
+        assert is_output_distributive(fig1)
+
+    def test_unique_entry_and_single_trigger(self, fig1):
+        """'We can reach the minimal state of ER(+d1) (state 100*0*) only
+        by transition +a1 firing ... the only one trigger transition.'"""
+        er = er_of(fig1, "d", +1, 1)
+        assert minimal_states(fig1, er) == frozenset({"1000"})
+        assert {str(e) for e in trigger_events(fig1, er)} == {"a+"}
+
+    def test_non_persistency_of_plus_a(self, fig1):
+        """'Inside ER(+d1) transition -a1 is excited that leads to the
+        non-persistency of +a1 with respect to +d1.'"""
+        assert not is_persistent(fig1)
+        assert any(
+            v.trigger == "a" and v.er.transition_name == "d+/1"
+            for v in non_persistent_pairs(fig1)
+        )
+
+    def test_impossible_to_cover_er_d1_with_one_cube(self, fig1):
+        """'It is impossible to cover ER(+d) with one cube -- two cubes
+        are required for the correct cover.'"""
+        er = er_of(fig1, "d", +1, 1)
+        assert find_monotonous_cover(fig1, er) is None
+        cubes = find_correct_cover_cubes(fig1, er)
+        assert len(cubes) == 2
+
+    def test_csc_holds(self, fig1):
+        # MC fails although CSC holds: MC is strictly stronger
+        assert has_usc(fig1) and has_csc(fig1)
+
+    def test_one_added_signal_suffices(self, fig1):
+        """'To ensure this it is sufficient to add only one signal x.'"""
+        result = insert_state_signals(fig1, max_models=400)
+        assert len(result.added_signals) == 1
+
+
+class TestFigure3Claims:
+    def test_17_states_5_signals(self, fig3):
+        assert len(fig3) == 17
+        assert fig3.signals == ("a", "b", "c", "d", "x")
+
+    def test_projection_restores_figure1(self, fig1, fig3):
+        projected = project_away(fig3, "x")
+        original = {
+            (fig1.code(s), str(e), fig1.code(t)) for s, e, t in fig1.arcs()
+        }
+        back = {
+            (projected.code(s), str(e), projected.code(t))
+            for s, e, t in projected.arcs()
+        }
+        assert original == back
+
+    def test_x_region_structure(self, fig3):
+        """The figure labels one ER(+x) and two ER(-x) regions."""
+        regions = excitation_regions(fig3, "x")
+        ups = [e for e in regions if e.direction == 1]
+        downs = [e for e in regions if e.direction == -1]
+        assert len(ups) == 1 and len(downs) == 2
+
+    def test_equations_2(self, fig3):
+        """'From this SG the following implementation on simple gates can
+        be derived' -- equations (2), with overbars restored and the
+        polarity of x flipped (d = x' here, d = x in the paper's print)."""
+        impl = synthesize(fig3, share_gates=True)
+        assert impl.network("x").set_cover.cubes == (
+            Cube({"a": 0, "b": 0, "c": 0}),
+        )
+        assert impl.network("x").reset_cover.cubes == (Cube({"a": 1}),)
+        assert impl.network("d").wire_source == ("x", 0)
+        c = impl.network("c")
+        assert len(c.set_cover) == 2
+        assert Cube({"b": 1, "d": 0}) in c.set_cover.cubes  # S(c)1 = bd'
+        assert Cube({"a": 1, "b": 0, "x": 0}) in c.set_cover.cubes  # = xab
+        assert c.reset_cover.cubes == (Cube({"a": 0, "b": 1, "d": 1}),)
+
+    def test_nearly_no_added_complexity(self, fig1, fig3):
+        """'The reduction to MC form adds nearly nothing to the
+        complexity of implementation (compare to equations (1)).'"""
+        from repro.core.baseline import baseline_synthesize
+
+        baseline = baseline_synthesize(fig1)
+        mc = synthesize(fig3, share_gates=True)
+        # within a couple of literals of the baseline
+        assert mc.literal_count() <= baseline.literal_count() + 4
+
+
+class TestFigure4Claims:
+    def test_15_states_with_duplicated_code(self, fig4):
+        assert len(fig4) == 15
+        assert not has_usc(fig4)
+        assert has_csc(fig4)
+
+    def test_persistent_and_baseline_accepting(self, fig4):
+        """'This SG is persistent and ... all the correctness conditions
+        pointed in the method [2] are satisfied.'"""
+        assert is_persistent(fig4)
+        er1 = er_of(fig4, "b", +1, 1)
+        er2 = er_of(fig4, "b", +1, 2)
+        assert find_correct_cover_cubes(fig4, er1) == [Cube({"a": 1})]
+        assert find_correct_cover_cubes(fig4, er2) == [Cube({"c": 0, "d": 1})]
+
+    def test_cube_a_covers_foreign_region_state(self, fig4):
+        """'Cube a that covers ER(+b1) also covers the state 100*1 from
+        ER(+b2).'"""
+        er2 = er_of(fig4, "b", +1, 2)
+        assert "s1001" in er2.states
+        assert Cube({"a": 1}).covers(fig4.code_dict("s1001"))
+
+    def test_mc_recognizes_and_one_signal_fixes(self, fig4):
+        """'MC requirement easily recognizes this situation and can
+        remove the hazard by adding one signal.'"""
+        report = analyze_mc(fig4)
+        assert {v.er.transition_name for v in report.failed} == {"b+/1"}
+        result = insert_state_signals(fig4, max_models=400)
+        assert len(result.added_signals) == 1
+        assert analyze_mc(result.sg).satisfied

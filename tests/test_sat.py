@@ -1,0 +1,170 @@
+"""Unit tests for the CNF builder and DPLL solver."""
+
+import itertools
+
+import pytest
+
+from repro.sat.cnf import CNF
+from repro.sat.solver import Solver, solve
+
+
+def brute_force_sat(num_vars, clauses):
+    for bits in itertools.product((False, True), repeat=num_vars):
+        assignment = (None,) + bits
+        if all(
+            any(
+                assignment[abs(l)] == (l > 0)
+                for l in clause
+            )
+            for clause in clauses
+        ):
+            return True
+    return False
+
+
+class TestCNF:
+    def test_named_variables_are_stable(self):
+        cnf = CNF()
+        v1 = cnf.var("a")
+        v2 = cnf.var("a")
+        assert v1 == v2
+        assert cnf.name_of(v1) == "a"
+
+    def test_duplicate_explicit_name_rejected(self):
+        cnf = CNF()
+        cnf.new_var("a")
+        with pytest.raises(ValueError):
+            cnf.new_var("a")
+
+    def test_clause_literal_range_checked(self):
+        cnf = CNF()
+        cnf.new_var()
+        with pytest.raises(ValueError):
+            cnf.add(2)
+        with pytest.raises(ValueError):
+            cnf.add(0)
+
+    def test_empty_clause_rejected(self):
+        cnf = CNF()
+        with pytest.raises(ValueError):
+            cnf.add_clause([])
+
+    def test_exactly_one(self):
+        cnf = CNF()
+        vs = [cnf.new_var() for _ in range(3)]
+        cnf.exactly_one(vs)
+        model = solve(cnf)
+        assert model is not None
+        assert sum(model[v] for v in vs) == 1
+
+    def test_at_most_k_bounds(self):
+        for k in (0, 1, 2, 3):
+            cnf = CNF()
+            vs = [cnf.new_var() for _ in range(5)]
+            cnf.at_most_k(vs, k)
+            # force k+1 variables true -> UNSAT
+            if k < 5:
+                for v in vs[: k + 1]:
+                    cnf.add(v)
+                assert solve(cnf) is None
+
+    def test_at_most_k_allows_k(self):
+        cnf = CNF()
+        vs = [cnf.new_var() for _ in range(5)]
+        cnf.at_most_k(vs, 2)
+        for v in vs[:2]:
+            cnf.add(v)
+        model = solve(cnf)
+        assert model is not None
+        assert sum(model[v] for v in vs) == 2
+
+    def test_decode(self):
+        cnf = CNF()
+        a = cnf.var("a")
+        cnf.add(a)
+        model = solve(cnf)
+        assert cnf.decode(model)["a"] is True
+
+    def test_implication_and_iff(self):
+        cnf = CNF()
+        a, b = cnf.var("a"), cnf.var("b")
+        cnf.add_implies(a, b)
+        cnf.add(a)
+        model = solve(cnf)
+        assert model[b]
+        cnf2 = CNF()
+        a2, b2 = cnf2.var("a"), cnf2.var("b")
+        cnf2.add_iff(a2, b2)
+        cnf2.add(-a2)
+        model2 = solve(cnf2)
+        assert not model2[b2]
+
+
+class TestSolver:
+    def test_trivial_sat(self):
+        assert Solver(1, [(1,)]).solve() is not None
+
+    def test_trivial_unsat(self):
+        assert Solver(1, [(1,), (-1,)]).solve() is None
+
+    def test_unit_propagation_chain(self):
+        clauses = [(1,), (-1, 2), (-2, 3), (-3, 4)]
+        model = Solver(4, clauses).solve()
+        assert model[1] and model[2] and model[3] and model[4]
+
+    def test_requires_backtracking(self):
+        # (a|b) & (a|-b) & (-a|c) & (-a|-c) forces a then contradiction -> a False?
+        # -a|c and -a|-c force a False; then a|b, a|-b force b and -b -> UNSAT
+        clauses = [(1, 2), (1, -2), (-1, 3), (-1, -3)]
+        assert Solver(3, clauses).solve() is None
+
+    def test_pigeonhole_3_into_2_unsat(self):
+        # p_ij: pigeon i in hole j, i in 0..2, j in 0..1
+        def var(i, j):
+            return i * 2 + j + 1
+
+        clauses = []
+        for i in range(3):
+            clauses.append((var(i, 0), var(i, 1)))
+        for j in range(2):
+            for i1 in range(3):
+                for i2 in range(i1 + 1, 3):
+                    clauses.append((-var(i1, j), -var(i2, j)))
+        assert Solver(6, clauses).solve() is None
+
+    def test_assumptions(self):
+        solver = Solver(2, [(1, 2)])
+        model = solver.solve(assumptions=[-1])
+        assert model is not None and model[2]
+
+    def test_contradictory_assumptions(self):
+        solver = Solver(1, [(1, -1)])
+        assert solver.solve(assumptions=[1, -1]) is None
+
+    def test_tautological_clause_skipped(self):
+        model = Solver(2, [(1, -1), (2,)]).solve()
+        assert model[2]
+
+    def test_agrees_with_brute_force_on_random_instances(self):
+        import random
+
+        rng = random.Random(12345)
+        for trial in range(60):
+            num_vars = rng.randint(3, 7)
+            num_clauses = rng.randint(3, 18)
+            clauses = []
+            for _ in range(num_clauses):
+                width = rng.randint(1, 3)
+                clause = tuple(
+                    rng.choice([-1, 1]) * rng.randint(1, num_vars)
+                    for _ in range(width)
+                )
+                clauses.append(clause)
+            expected = brute_force_sat(num_vars, clauses)
+            solver = Solver(num_vars, clauses)
+            model = solver.solve()
+            assert (model is not None) == expected, (num_vars, clauses)
+            if model is not None:
+                assignment = [None] + [bool(v) for v in model[1:]]
+                for clause in clauses:
+                    assert any(assignment[abs(l)] == (l > 0) for l in clause)

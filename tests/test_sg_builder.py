@@ -1,0 +1,146 @@
+"""Unit tests for the asterisk-notation and named-arc SG builders."""
+
+import pytest
+
+from repro.sg.builder import (
+    parse_asterisk_state,
+    sg_from_arcs,
+    sg_from_asterisk_states,
+)
+from repro.sg.graph import InconsistentStateGraph
+
+
+class TestParseAsteriskState:
+    def test_plain_code(self):
+        assert parse_asterisk_state("0100") == ((0, 1, 0, 0), set())
+
+    def test_excitations(self):
+        code, excited = parse_asterisk_state("1*010*")
+        assert code == (1, 0, 1, 0)
+        assert excited == {0, 3}
+
+    def test_stray_star(self):
+        with pytest.raises(ValueError):
+            parse_asterisk_state("*01")
+
+    def test_bad_character(self):
+        with pytest.raises(ValueError):
+            parse_asterisk_state("01x0")
+
+
+class TestAsteriskBuilder:
+    def test_toggle_cycle(self):
+        sg = sg_from_asterisk_states(
+            ("r", "q"), ("r",), ["0*0", "10*", "1*1", "01*"], "0*0"
+        )
+        assert len(sg) == 4
+        assert sg.initial == "00"
+        assert sg.is_excited("00", "r")
+
+    def test_missing_target_rejected(self):
+        with pytest.raises(ValueError):
+            sg_from_asterisk_states(("a",), (), ["0*"], "0*")
+
+    def test_duplicate_codes_rejected(self):
+        with pytest.raises(ValueError):
+            sg_from_asterisk_states(("a",), (), ["0*", "0"], "0*")
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ValueError):
+            sg_from_asterisk_states(("a", "b"), (), ["0*"], "0*")
+
+    def test_initial_must_be_listed(self):
+        with pytest.raises(ValueError):
+            sg_from_asterisk_states(
+                ("r", "q", "s"), ("r",), ["0*00", "10*0", "1*10", "01*0"], "001"
+            )
+
+
+class TestArcBuilder:
+    def test_codes_propagated(self):
+        sg = sg_from_arcs(
+            ("r", "q"),
+            ("r",),
+            (0, 0),
+            [
+                ("s0", "r+", "s1"),
+                ("s1", "q+", "s2"),
+                ("s2", "r-", "s3"),
+                ("s3", "q-", "s0"),
+            ],
+        )
+        assert sg.code("s2") == (1, 1)
+
+    def test_reconvergence_must_agree(self):
+        with pytest.raises(InconsistentStateGraph):
+            sg_from_arcs(
+                ("a", "b"),
+                (),
+                (0, 0),
+                [
+                    ("s0", "a+", "s1"),
+                    ("s0", "b+", "s1"),
+                ],
+            )
+
+    def test_event_must_be_enabled_by_code(self):
+        with pytest.raises(InconsistentStateGraph):
+            sg_from_arcs(
+                ("a",),
+                (),
+                (0,),
+                [("s0", "a-", "s1")],
+            )
+
+    def test_unknown_signal_rejected(self):
+        with pytest.raises(InconsistentStateGraph):
+            sg_from_arcs(("a",), (), (0,), [("s0", "z+", "s1")])
+
+    def test_dangling_states_rejected(self):
+        with pytest.raises(InconsistentStateGraph):
+            sg_from_arcs(
+                ("a",),
+                (),
+                (0,),
+                [("s1", "a+", "s2")],  # s1 not reachable from s0
+            )
+
+    def test_usc_violations_representable(self):
+        # two distinct states with the same code (Figure 4 pattern)
+        sg = sg_from_arcs(
+            ("a", "b"),
+            ("a",),
+            (0, 0),
+            [
+                ("s0", "a+", "s1"),
+                ("s1", "b+", "s2"),
+                ("s2", "a-", "s3"),
+                ("s3", "a+", "s4"),   # same code as s1? no: (1,1)
+                ("s4", "b-", "s5"),   # (1,0) = code of s1
+                ("s5", "a-", "s0"),
+            ],
+        )
+        assert sg.code("s1") == sg.code("s5") == (1, 0)
+
+
+class TestCycleBuilder:
+    def test_toggle(self):
+        from repro.sg.builder import sg_from_cycle
+
+        sg = sg_from_cycle(("r", "q"), ("r",), ["r+", "q+", "r-", "q-"])
+        assert len(sg) == 4
+        assert sg.initial == "s0"
+        assert sg.code("s2") == (1, 1)
+
+    def test_empty_cycle_rejected(self):
+        import pytest
+        from repro.sg.builder import sg_from_cycle
+
+        with pytest.raises(ValueError):
+            sg_from_cycle(("a",), (), [])
+
+    def test_custom_initial_code(self):
+        from repro.sg.builder import sg_from_cycle
+
+        sg = sg_from_cycle(("r", "q"), ("r",), ["r-", "q-", "r+", "q+"], (1, 1))
+        assert sg.code("s0") == (1, 1)

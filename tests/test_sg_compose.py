@@ -1,0 +1,133 @@
+"""Unit tests for parallel composition of state graphs."""
+
+import pytest
+
+from repro.sg.builder import sg_from_arcs
+from repro.sg.compose import CompositionDeadlock, compose
+from repro.sg.graph import InconsistentStateGraph
+from repro.sg.properties import is_output_semi_modular
+
+
+def handshake(req, ack, req_is_input):
+    """A single 4-phase handshake; `req` drives `ack`."""
+    inputs = (req,) if req_is_input else (ack,)
+    return sg_from_arcs(
+        (req, ack),
+        inputs,
+        (0, 0),
+        [
+            ("h0", f"{req}+", "h1"),
+            ("h1", f"{ack}+", "h2"),
+            ("h2", f"{req}-", "h3"),
+            ("h3", f"{ack}-", "h0"),
+        ],
+        initial="h0",
+        name=f"hs_{req}",
+    )
+
+
+class TestBasicComposition:
+    def test_two_stage_pipeline(self):
+        """Stage 1 produces m (acknowledging r); stage 2 acknowledges m
+        with a.  Shared signal m synchronises the two."""
+        stage1 = sg_from_arcs(
+            ("r", "m"),
+            ("r",),
+            (0, 0),
+            [
+                ("s0", "r+", "s1"),
+                ("s1", "m+", "s2"),
+                ("s2", "r-", "s3"),
+                ("s3", "m-", "s0"),
+            ],
+            initial="s0",
+            name="stage1",
+        )
+        stage2 = handshake("m", "a", req_is_input=True)
+        system = compose(stage1, stage2)
+        assert set(system.signals) == {"r", "m", "a"}
+        assert system.inputs == frozenset({"r"})  # m is driven by stage1
+        assert "m" in system.non_inputs
+        system.check()
+        assert is_output_semi_modular(system)
+
+    def test_private_signals_interleave(self):
+        left = handshake("r1", "a1", req_is_input=True)
+        right = handshake("r2", "a2", req_is_input=True)
+        system = compose(left, right)
+        # fully independent: state count multiplies
+        assert len(system) == len(left) * len(right)
+
+    def test_shared_signal_synchronises(self):
+        left = handshake("r", "a", req_is_input=True)
+        right = handshake("r", "b", req_is_input=True)
+        system = compose(left, right)
+        # r+ advances both components at once
+        targets = system.fire(system.initial, __import__("repro.sg.events", fromlist=["SignalEvent"]).SignalEvent.rise("r"))
+        assert len(targets) == 1
+
+    def test_composite_name(self):
+        left = handshake("r", "a", req_is_input=True)
+        right = handshake("r", "b", req_is_input=True)
+        assert compose(left, right).name == "hs_r||hs_r"
+        assert compose(left, right, name="sys").name == "sys"
+
+
+class TestValidation:
+    def test_initial_disagreement_rejected(self):
+        left = handshake("r", "a", req_is_input=True)
+        right = sg_from_arcs(
+            ("r", "b"),
+            ("b",),
+            (1, 0),
+            [
+                ("t0", "r-", "t1"),
+                ("t1", "b+", "t2"),
+                ("t2", "r+", "t3"),
+                ("t3", "b-", "t0"),
+            ],
+            initial="t0",
+            name="other",
+        )
+        with pytest.raises(InconsistentStateGraph):
+            compose(left, right)
+
+    def test_double_driver_rejected(self):
+        left = handshake("r", "a", req_is_input=True)   # drives a
+        right = handshake("b", "a", req_is_input=True)  # also drives a
+        with pytest.raises(InconsistentStateGraph):
+            compose(left, right)
+
+    def test_deadlock_detected(self):
+        # left wants q+ then p+; right (driving nothing) only accepts
+        # p+ then q+ -- the shared orders conflict and nobody can move
+        left = sg_from_arcs(
+            ("p", "q"),
+            ("p",),
+            (0, 0),
+            [
+                ("l0", "q+", "l1"),
+                ("l1", "p+", "l2"),
+                ("l2", "q-", "l3"),
+                ("l3", "p-", "l0"),
+            ],
+            initial="l0",
+            name="left",
+        )
+        right = sg_from_arcs(
+            ("p", "q"),
+            ("p", "q"),
+            (0, 0),
+            [
+                ("r0", "p+", "r1"),
+                ("r1", "q+", "r2"),
+                ("r2", "p-", "r3"),
+                ("r3", "q-", "r0"),
+            ],
+            initial="r0",
+            name="right",
+        )
+        with pytest.raises(CompositionDeadlock):
+            compose(left, right)
+        system = compose(left, right, allow_deadlock=True)
+        assert len(system) == 1  # only the stuck initial state

@@ -1,0 +1,74 @@
+"""Unit tests for trace refinement and equivalence."""
+
+import pytest
+
+from repro.core.insertion import insert_state_signals
+from repro.netlist.circuit_sg import build_circuit_state_graph
+from repro.netlist.netlist import netlist_from_implementation
+from repro.core.synthesis import synthesize
+from repro.sg.builder import sg_from_arcs
+from repro.sg.conformance import refines, trace_equivalent
+
+
+def seq_sg(name, events, signals, inputs, initial_code):
+    arcs = [
+        (f"s{i}", e, f"s{(i + 1) % len(events)}") for i, e in enumerate(events)
+    ]
+    return sg_from_arcs(signals, inputs, initial_code, arcs, initial="s0", name=name)
+
+
+class TestRefines:
+    def test_graph_refines_itself(self, fig1):
+        assert refines(fig1, fig1)
+
+    def test_trace_equivalence_reflexive(self, toggle_sg):
+        assert trace_equivalent(toggle_sg, toggle_sg)
+
+    def test_insertion_result_refines_original(self, fig1):
+        result = insert_state_signals(fig1, max_models=400)
+        verdict = refines(result.sg, fig1, hidden=result.added_signals)
+        assert verdict.holds
+
+    def test_wrong_order_not_refining(self):
+        spec = seq_sg("spec", ["r+", "q+", "r-", "q-"], ("r", "q"), ("r",), (0, 0))
+        impl = seq_sg("impl", ["q+", "r+", "q-", "r-"], ("r", "q"), ("r",), (0, 0))
+        verdict = refines(impl, spec)
+        assert not verdict.holds
+        assert str(verdict.counterexample[-1]) == "q+"
+
+    def test_counterexample_is_a_prefix(self):
+        spec = seq_sg("spec", ["r+", "q+", "r-", "q-"], ("r", "q"), ("r",), (0, 0))
+        impl = seq_sg("impl", ["r+", "q+", "q-", "r-"], ("r", "q"), ("r",), (0, 0))
+        verdict = refines(impl, spec)
+        assert not verdict.holds
+        assert [str(e) for e in verdict.counterexample] == ["r+", "q+", "q-"]
+
+    def test_hidden_signal_clash_rejected(self, fig1):
+        with pytest.raises(ValueError):
+            refines(fig1, fig1, hidden=["a"])
+
+    def test_subset_behaviour_refines(self, choice_sg):
+        # an implementation that only ever serves channel a is a
+        # refinement of the full choice (traces are a subset)
+        only_a = seq_sg(
+            "only-a", ["a+", "q+", "a-", "q-"], ("a", "b", "q"), ("a", "b"), (0, 0, 0)
+        )
+        assert refines(only_a, choice_sg)
+        assert not refines(choice_sg, only_a).holds
+
+    def test_circuit_composition_refines_spec(self, fig3):
+        """The closed loop, with internal gate signals hidden, refines
+        the specification -- the composition engine's core guarantee."""
+        netlist = netlist_from_implementation(synthesize(fig3), "C")
+        composition = build_circuit_state_graph(netlist, fig3)
+        internal = set(composition.sg.signals) - set(fig3.signals)
+        assert refines(composition.sg, fig3, hidden=internal)
+
+
+class TestTraceEquivalence:
+    def test_different_signal_sets(self, fig1, fig3):
+        assert not trace_equivalent(fig1, fig3)
+
+    def test_relabelled_graph_equivalent(self, fig1):
+        renamed = fig1.relabelled({s: f"n_{s}" for s in fig1.states})
+        assert trace_equivalent(fig1, renamed)

@@ -1,0 +1,63 @@
+"""Unit tests for USC/CSC (Definition 14)."""
+
+from repro.sg.csc import csc_conflicts, has_csc, has_usc, usc_conflicts
+from repro.stg.parser import parse_g
+from repro.stg.reachability import stg_to_state_graph
+
+
+def test_fig1_has_usc_and_csc(fig1):
+    assert has_usc(fig1)
+    assert has_csc(fig1)
+
+
+def test_fig3_has_usc_and_csc(fig3):
+    assert has_usc(fig3)
+    assert has_csc(fig3)
+
+
+def test_fig4_usc_violation_without_csc_violation(fig4):
+    """Figure 4 has two states coded 1100, but neither excites the output,
+    so CSC holds while USC fails."""
+    assert not has_usc(fig4)
+    assert has_csc(fig4)
+    pairs = usc_conflicts(fig4)
+    assert len(pairs) == 1
+    assert {s for pair in pairs for s in pair} == {"s1100a", "s1100c"}
+
+
+def test_delement_csc_conflict():
+    """The D-element's classic conflict: code 1000 occurs both before c+
+    and before b+ -- different excited outputs."""
+    text = """
+    .model delement
+    .inputs a d
+    .outputs b c
+    .graph
+    a+ c+
+    c+ d+
+    d+ c-
+    c- d-
+    d- b+
+    b+ a-
+    a- b-
+    b- a+
+    .marking { <b-,a+> }
+    .end
+    """
+    sg = stg_to_state_graph(parse_g(text))
+    assert not has_usc(sg)
+    assert not has_csc(sg)
+    assert len(csc_conflicts(sg)) == 1
+
+
+def test_toggle_usc(toggle_sg):
+    assert has_usc(toggle_sg)
+    assert has_csc(toggle_sg)
+
+
+def test_csc_ok_when_same_code_same_outputs(choice_sg):
+    # the two post-release states sa3/sb3 share code 001 but both excite
+    # exactly q- -- a USC violation that CSC tolerates (Def. 14 case 2)
+    assert not has_usc(choice_sg)
+    assert has_csc(choice_sg)
+    assert usc_conflicts(choice_sg) == [("sa3", "sb3")]

@@ -1,0 +1,62 @@
+"""Unit tests for signal events."""
+
+import pytest
+
+from repro.sg.events import SignalEvent
+
+
+def test_constructor_validates_direction():
+    with pytest.raises(ValueError):
+        SignalEvent("a", 2)
+
+
+def test_constructor_validates_name():
+    with pytest.raises(ValueError):
+        SignalEvent("", 1)
+
+
+def test_rise_fall_helpers():
+    assert SignalEvent.rise("a") == SignalEvent("a", 1)
+    assert SignalEvent.fall("a") == SignalEvent("a", -1)
+
+
+@pytest.mark.parametrize(
+    "text,signal,direction",
+    [
+        ("a+", "a", 1),
+        ("a-", "a", -1),
+        ("+a", "a", 1),
+        ("-a", "a", -1),
+        ("req+", "req", 1),
+    ],
+)
+def test_parse(text, signal, direction):
+    event = SignalEvent.parse(text)
+    assert event.signal == signal and event.direction == direction
+
+
+@pytest.mark.parametrize("text", ["a", "", "+", "ab", "a*"])
+def test_parse_rejects(text):
+    with pytest.raises(ValueError):
+        SignalEvent.parse(text)
+
+
+def test_values_before_after():
+    rise = SignalEvent.rise("a")
+    assert rise.value_before == 0 and rise.value_after == 1
+    fall = SignalEvent.fall("a")
+    assert fall.value_before == 1 and fall.value_after == 0
+
+
+def test_inverse():
+    assert SignalEvent.rise("a").inverse() == SignalEvent.fall("a")
+
+
+def test_str_roundtrip():
+    for event in (SignalEvent.rise("a"), SignalEvent.fall("b")):
+        assert SignalEvent.parse(str(event)) == event
+
+
+def test_ordering_is_total():
+    events = sorted([SignalEvent("b", 1), SignalEvent("a", -1), SignalEvent("a", 1)])
+    assert events[0].signal == "a"

@@ -1,0 +1,62 @@
+"""Unit tests for the SG text format."""
+
+import pytest
+
+from repro.sg import io as sgio
+
+
+def test_roundtrip_fig1(fig1):
+    text = sgio.dumps(fig1)
+    back = sgio.loads(text)
+    assert back.signals == fig1.signals
+    assert back.inputs == fig1.inputs
+    assert back.initial == fig1.initial
+    assert {(str(s), str(e), str(t)) for s, e, t in back.arcs()} == {
+        (str(s), str(e), str(t)) for s, e, t in fig1.arcs()
+    }
+    assert {s: back.code(s) for s in back.states} == {
+        s: fig1.code(s) for s in fig1.states
+    }
+
+
+def test_roundtrip_fig4_with_usc_violation(fig4):
+    back = sgio.loads(sgio.dumps(fig4))
+    assert len(back) == len(fig4)
+    codes = sorted(back.code(s) for s in back.states)
+    assert codes == sorted(fig4.code(s) for s in fig4.states)
+
+
+def test_comments_and_blank_lines_ignored():
+    text = """
+    # a comment
+    .model demo
+    .inputs a
+    .outputs q
+
+    .order a q
+    .state s0 00  # trailing comment
+    .state s1 10
+    .arc s0 a+ s1
+    .initial s0
+    .end
+    """
+    sg = sgio.loads(text)
+    assert sg.name == "demo"
+    assert len(sg) == 2
+
+
+def test_missing_initial_rejected():
+    with pytest.raises(ValueError):
+        sgio.loads(".state s0 0\n.end\n")
+
+
+def test_unknown_directive_rejected():
+    with pytest.raises(ValueError):
+        sgio.loads(".bogus x\n")
+
+
+def test_file_roundtrip(tmp_path, fig1):
+    path = tmp_path / "fig1.sg"
+    sgio.save(fig1, str(path))
+    back = sgio.load(str(path))
+    assert len(back) == len(fig1)

@@ -1,0 +1,119 @@
+"""Unit tests for behavioural properties (Definitions 1-4, 12)."""
+
+from repro.sg.builder import sg_from_arcs
+from repro.sg.properties import (
+    conflict_states,
+    detonant_states,
+    is_distributive,
+    is_output_distributive,
+    is_output_semi_modular,
+    is_persistent,
+    is_semi_modular,
+    non_persistent_pairs,
+)
+
+
+class TestConflicts:
+    def test_fig1_initial_state_is_input_conflict(self, fig1):
+        """The paper: firing a or b in 0*0*00 disables the other."""
+        conflicts = conflict_states(fig1)
+        states = {c.state for c in conflicts}
+        assert states == {"0000"}
+        assert {c.signal for c in conflicts} == {"a", "b"}
+
+    def test_fig1_no_internal_conflicts(self, fig1):
+        assert conflict_states(fig1, fig1.non_inputs) == []
+
+    def test_fig1_semi_modularity(self, fig1):
+        assert not is_semi_modular(fig1)       # the input conflict
+        assert is_output_semi_modular(fig1)    # but outputs are clean
+
+    def test_fig4_output_semi_modular(self, fig4):
+        assert is_output_semi_modular(fig4)
+
+    def test_toggle_fully_semi_modular(self, toggle_sg):
+        assert is_semi_modular(toggle_sg)
+
+    def test_choice_has_input_conflict_only(self, choice_sg):
+        assert not is_semi_modular(choice_sg)
+        assert is_output_semi_modular(choice_sg)
+
+    def test_internal_conflict_detected(self):
+        # output q gets disabled by input r firing: r+ disables q+
+        sg = sg_from_arcs(
+            ("r", "q"),
+            ("r",),
+            (0, 0),
+            [
+                ("s0", "q+", "s1"),   # q excited in s0
+                ("s0", "r+", "s2"),   # r+ kills it: s2 does not excite q
+                ("s2", "r-", "s0"),
+                ("s1", "q-", "s0"),
+            ],
+        )
+        internal = conflict_states(sg, sg.non_inputs)
+        assert len(internal) == 1
+        assert internal[0].signal == "q"
+        assert str(internal[0].by) == "r+"
+        assert not is_output_semi_modular(sg)
+
+
+class TestDetonants:
+    def test_fig1_has_no_detonants(self, fig1):
+        """The paper: 'there are no detonant states in the SG of Fig. 1'
+        -- the two successors of 0000 excite *different* regions of c."""
+        assert detonant_states(fig1, set(fig1.signals)) == []
+        assert is_output_distributive(fig1)
+
+    def test_fig4_output_distributive(self, fig4):
+        assert is_output_distributive(fig4)
+
+    def test_toggle_distributive(self, toggle_sg):
+        assert is_distributive(toggle_sg)
+
+    def test_same_region_or_causality_is_detonant(self):
+        # two concurrent inputs a, b; output q becomes excited after
+        # EITHER fires, into the same excitation region -> detonant.
+        sg = sg_from_arcs(
+            ("a", "b", "q"),
+            ("a", "b"),
+            (0, 0, 0),
+            [
+                ("s0", "a+", "sa"),
+                ("s0", "b+", "sb"),
+                ("sa", "b+", "sab"),
+                ("sb", "a+", "sab"),
+                ("sa", "q+", "saq"),
+                ("sb", "q+", "sbq"),
+                ("sab", "q+", "sabq"),
+                ("saq", "b+", "sabq"),
+                ("sbq", "a+", "sabq"),
+                ("sabq", "a-", "t1"),
+                ("t1", "b-", "t2"),
+                ("t2", "q-", "s0"),
+            ],
+        )
+        detonants = detonant_states(sg)
+        assert any(d.state == "s0" and d.signal == "q" for d in detonants)
+        assert not is_output_distributive(sg)
+        # it is still output semi-modular: q never gets disabled
+        assert is_output_semi_modular(sg)
+
+
+class TestPersistency:
+    def test_fig1_non_persistent(self, fig1):
+        """The paper: +a is a non-persistent trigger of ER(+d1)."""
+        violations = non_persistent_pairs(fig1)
+        assert any(
+            v.trigger == "a" and v.er.signal == "d" and v.er.direction == 1
+            for v in violations
+        )
+        assert not is_persistent(fig1)
+
+    def test_fig4_persistent(self, fig4):
+        """The paper: 'This SG is persistent' -- yet not MC-implementable,
+        which is the whole point of Example 2."""
+        assert is_persistent(fig4)
+
+    def test_toggle_persistent(self, toggle_sg):
+        assert is_persistent(toggle_sg)

@@ -1,0 +1,150 @@
+"""Unit tests for region machinery (Definitions 5-11), on Figure 1.
+
+Every expectation here is a fact the paper states or directly implies
+about the Figure-1 state graph.
+"""
+
+import pytest
+
+from repro.sg.regions import (
+    all_excitation_regions,
+    concurrent_signals,
+    constant_function_region,
+    entry_state,
+    excitation_regions,
+    excited_value_sets,
+    has_unique_entry,
+    minimal_states,
+    ordered_signals,
+    quiescent_region,
+    trigger_events,
+    trigger_signals,
+)
+
+
+def er_of(sg, signal, direction, index=1):
+    for er in excitation_regions(sg, signal):
+        if er.direction == direction and er.index == index:
+            return er
+    raise AssertionError(f"no ER({signal}, {direction}, {index})")
+
+
+class TestExcitationRegions:
+    def test_er_d_plus_1_states(self, fig1):
+        er = er_of(fig1, "d", +1, 1)
+        assert er.states == frozenset({"1000", "1010", "0010"})
+
+    def test_er_d_plus_2_is_isolated_1110(self, fig1):
+        er = er_of(fig1, "d", +1, 2)
+        assert er.states == frozenset({"1110"})
+
+    def test_er_d_minus_single(self, fig1):
+        er = er_of(fig1, "d", -1, 1)
+        assert er.states == frozenset({"0001"})
+
+    def test_er_c_plus_splits_into_two_regions(self, fig1):
+        ups = [e for e in excitation_regions(fig1, "c") if e.direction == 1]
+        assert len(ups) == 2
+        assert frozenset({"1000", "1001"}) in {e.states for e in ups}
+        assert frozenset({"0100"}) in {e.states for e in ups}
+
+    def test_indexing_is_bfs_deterministic(self, fig1):
+        er1 = er_of(fig1, "c", +1, 1)
+        assert "1000" in er1.states  # discovered before 0100's region? no:
+        # BFS from 0000 finds 1000 (via a+) and 0100 (via b+) in arc-sorted
+        # order a+ < b+, so index 1 belongs to the {1000, 1001} region.
+
+    def test_all_excitation_regions_non_inputs_only(self, fig1):
+        regions = all_excitation_regions(fig1, only_non_inputs=True)
+        assert {er.signal for er in regions} == {"c", "d"}
+
+    def test_transition_name(self, fig1):
+        er = er_of(fig1, "d", +1, 1)
+        assert er.transition_name == "d+/1"
+        assert er.event.signal == "d"
+
+
+class TestQuiescentRegions:
+    def test_qr_d_plus_1(self, fig1):
+        er = er_of(fig1, "d", +1, 1)
+        assert quiescent_region(fig1, er) == frozenset(
+            {"1001", "1011", "1111", "0111", "0101", "0011"}
+        )
+
+    def test_qr_shared_between_d_regions(self, fig1):
+        # both up-regions of d exit into the same stable blob
+        qr1 = quiescent_region(fig1, er_of(fig1, "d", +1, 1))
+        qr2 = quiescent_region(fig1, er_of(fig1, "d", +1, 2))
+        assert qr1 == qr2
+
+    def test_cfr_is_union(self, fig1):
+        er = er_of(fig1, "d", +1, 1)
+        cfr = constant_function_region(fig1, er)
+        assert cfr == er.states | quiescent_region(fig1, er)
+
+    def test_qr_empty_when_no_stable_exit(self, toggle_sg):
+        er = er_of(toggle_sg, "q", +1, 1)
+        # q+ leads to a state where q is stable -> QR non-empty here
+        assert quiescent_region(toggle_sg, er)
+
+
+class TestMinimalStatesAndEntry:
+    def test_unique_entry_of_er_d_plus_1(self, fig1):
+        er = er_of(fig1, "d", +1, 1)
+        assert minimal_states(fig1, er) == frozenset({"1000"})
+        assert has_unique_entry(fig1, er)
+        assert entry_state(fig1, er) == "1000"
+
+    def test_entry_state_raises_without_unique_entry(self, fig1):
+        er = er_of(fig1, "d", +1, 1)
+        # fabricate a two-minimal-state region by unioning both d regions
+        from repro.sg.regions import ExcitationRegion
+
+        fused = ExcitationRegion(
+            "d", +1, 1, er.states | er_of(fig1, "d", +1, 2).states
+        )
+        with pytest.raises(ValueError):
+            entry_state(fig1, fused)
+
+
+class TestTriggers:
+    def test_only_trigger_of_er_d_plus_1_is_a_plus(self, fig1):
+        """The paper: 'we can reach the minimal state of ER(+d1) only by
+        transition +a1 firing ... the only one trigger transition'."""
+        er = er_of(fig1, "d", +1, 1)
+        assert {str(e) for e in trigger_events(fig1, er)} == {"a+"}
+        assert trigger_signals(fig1, er) == {"a"}
+
+    def test_trigger_of_er_d_plus_2(self, fig1):
+        er = er_of(fig1, "d", +1, 2)
+        assert {str(e) for e in trigger_events(fig1, er)} == {"a+"}
+
+
+class TestOrderedConcurrent:
+    def test_er_d_plus_1_ordered_only_b(self, fig1):
+        """a falls and c rises inside ER(+d1), so only b is ordered --
+        which is why no single cube can cover the region correctly."""
+        er = er_of(fig1, "d", +1, 1)
+        assert ordered_signals(fig1, er) == {"b"}
+        assert concurrent_signals(fig1, er) == {"a", "c", "d"}
+
+    def test_singleton_region_all_others_ordered(self, fig1):
+        er = er_of(fig1, "d", -1, 1)
+        assert ordered_signals(fig1, er) == {"a", "b", "c"}
+
+
+class TestValueSets:
+    def test_partition_of_states(self, fig1):
+        sets = excited_value_sets(fig1, "d")
+        union = (
+            sets["0-set"] | sets["0*-set"] | sets["1-set"] | sets["1*-set"]
+        )
+        assert union == fig1.states
+        assert not sets["0-set"] & sets["0*-set"]
+        assert not sets["1-set"] & sets["1*-set"]
+
+    def test_star_sets_are_er_unions(self, fig1):
+        sets = excited_value_sets(fig1, "d")
+        ups = [e for e in excitation_regions(fig1, "d") if e.direction == 1]
+        assert sets["0*-set"] == frozenset().union(*(e.states for e in ups))
+        assert sets["1*-set"] == frozenset({"0001"})

@@ -1,0 +1,112 @@
+"""Tests for Petri-net S/T-invariant analysis."""
+
+import pytest
+
+from repro.bench.suite import BENCHMARKS, load_benchmark
+from repro.stg.invariants import (
+    incidence_matrix,
+    is_consistent_net,
+    is_covered_by_s_invariants,
+    s_invariants,
+    t_invariants,
+)
+from repro.stg.parser import parse_g
+
+TOGGLE = """
+.inputs r
+.outputs q
+.graph
+r+ q+
+q+ r-
+r- q-
+q- r+
+.marking { <q-,r+> }
+.end
+"""
+
+
+class TestIncidenceMatrix:
+    def test_shape_and_entries(self):
+        net = parse_g(TOGGLE).net
+        places, transitions, matrix = incidence_matrix(net)
+        assert len(places) == 4 and len(transitions) == 4
+        # each column has exactly one +1 (output place) and one -1
+        for j in range(len(transitions)):
+            column = [matrix[i][j] for i in range(len(places))]
+            assert sorted(column) == [-1, 0, 0, 1]
+
+
+class TestTInvariants:
+    def test_toggle_cycle_all_ones(self):
+        net = parse_g(TOGGLE).net
+        invariants = t_invariants(net)
+        assert len(invariants) == 1
+        assert set(invariants[0].values()) == {1}
+        assert set(invariants[0]) == net.transitions
+
+    def test_invariant_reproduces_marking(self):
+        """Firing a T-invariant's multiset returns to the start marking."""
+        stg = parse_g(TOGGLE)
+        net = stg.net
+        invariant = t_invariants(net)[0]
+        marking = stg.initial_marking
+        fired = {t: 0 for t in net.transitions}
+        guard = 0
+        while any(fired[t] < invariant.get(t, 0) for t in net.transitions):
+            guard += 1
+            assert guard < 100
+            for t in net.enabled(marking):
+                if fired[t] < invariant.get(t, 0):
+                    marking = net.fire(marking, t)
+                    fired[t] += 1
+                    break
+        assert marking == stg.initial_marking
+
+    @pytest.mark.parametrize("name", sorted(BENCHMARKS))
+    def test_benchmarks_are_consistent(self, name):
+        assert is_consistent_net(load_benchmark(name).net), name
+
+
+class TestSInvariants:
+    def test_toggle_single_token_conservation(self):
+        net = parse_g(TOGGLE).net
+        invariants = s_invariants(net)
+        # the 4-place ring conserves exactly one weighted token set
+        assert len(invariants) == 1
+        assert set(invariants[0].values()) == {1}
+
+    def test_concurrent_net_has_multiple_invariants(self):
+        text = """
+        .inputs r
+        .outputs u v
+        .graph
+        r+ u+ v+
+        u+ r-
+        v+ r-
+        r- u- v-
+        u- r+
+        v- r+
+        .marking { <u-,r+> <v-,r+> }
+        .end
+        """
+        net = parse_g(text).net
+        assert len(s_invariants(net)) >= 2
+
+    @pytest.mark.parametrize("name", sorted(BENCHMARKS))
+    def test_benchmarks_covered(self, name):
+        assert is_covered_by_s_invariants(load_benchmark(name).net), name
+
+    def test_invariant_weight_is_conserved_dynamically(self):
+        stg = parse_g(TOGGLE)
+        net = stg.net
+        invariant = s_invariants(net)[0]
+
+        def weight(marking):
+            return sum(invariant.get(p, 0) for p in marking)
+
+        marking = stg.initial_marking
+        initial_weight = weight(marking)
+        for _ in range(8):
+            transition = net.enabled(marking)[0]
+            marking = net.fire(marking, transition)
+            assert weight(marking) == initial_weight

@@ -1,0 +1,152 @@
+"""Unit tests for the .g parser, writer and the STG model."""
+
+import pytest
+
+from repro.stg.parser import implicit_place_name, parse_g
+from repro.stg.stg import STG, parse_transition_id
+from repro.stg.writer import dumps_g
+
+TOGGLE = """
+.model toggle
+.inputs r
+.outputs q
+.graph
+r+ q+
+q+ r-
+r- q-
+q- r+
+.marking { <q-,r+> }
+.end
+"""
+
+
+class TestTransitionIds:
+    def test_plain(self):
+        event, occ = parse_transition_id("a+")
+        assert event.signal == "a" and event.direction == 1 and occ == 1
+
+    def test_occurrence(self):
+        event, occ = parse_transition_id("c-/2")
+        assert event.signal == "c" and event.direction == -1 and occ == 2
+
+    @pytest.mark.parametrize("text", ["a", "a*", "+a", "a+/x", "a+/"])
+    def test_rejects(self, text):
+        with pytest.raises(ValueError):
+            parse_transition_id(text)
+
+
+class TestParser:
+    def test_toggle(self):
+        stg = parse_g(TOGGLE)
+        assert stg.name == "toggle"
+        assert stg.inputs == frozenset({"r"})
+        assert stg.outputs == frozenset({"q"})
+        assert len(stg.net.transitions) == 4
+        # four implicit places
+        assert len(stg.net.places) == 4
+        assert stg.initial_marking == frozenset({implicit_place_name("q-", "r+")})
+
+    def test_explicit_places(self):
+        text = """
+        .inputs a
+        .outputs b
+        .graph
+        p0 a+
+        a+ b+
+        b+ p1
+        p1 a-
+        a- b-
+        b- p0
+        .marking { p0 }
+        .end
+        """
+        stg = parse_g(text)
+        assert "p0" in stg.net.places
+        assert "p1" in stg.net.places
+
+    def test_marking_with_spaces_in_pairs(self):
+        text = TOGGLE.replace("<q-,r+>", "<q-, r+>")
+        stg = parse_g(text)
+        assert stg.initial_marking == frozenset({implicit_place_name("q-", "r+")})
+
+    def test_undeclared_signal_rejected(self):
+        with pytest.raises(ValueError):
+            parse_g(".inputs a\n.graph\na+ b+\nb+ a+\n.marking {<b+,a+>}\n.end")
+
+    def test_unknown_marking_place_rejected(self):
+        with pytest.raises(ValueError):
+            parse_g(TOGGLE.replace("<q-,r+>", "<q+,q->"))
+
+    def test_initial_values_directive(self):
+        text = TOGGLE.replace(".graph", ".initial r=0 q=0\n.graph")
+        stg = parse_g(text)
+        assert stg.initial_values == {"r": 0, "q": 0}
+
+    def test_dummy_transitions_rejected(self):
+        with pytest.raises(ValueError):
+            parse_g(".dummy eps\n.graph\n.end")
+
+    def test_internal_signals(self):
+        text = """
+        .inputs r
+        .outputs q
+        .internal x
+        .graph
+        r+ x+
+        x+ q+
+        q+ r-
+        r- x-
+        x- q-
+        q- r+
+        .marking { <q-,r+> }
+        .end
+        """
+        stg = parse_g(text)
+        assert stg.internal == frozenset({"x"})
+        assert stg.non_inputs == frozenset({"q", "x"})
+        assert stg.signals == ("r", "q", "x")
+
+
+class TestSTGModel:
+    def test_input_output_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            parse_g(
+                ".inputs a\n.outputs a\n.graph\na+ a-\na- a+\n"
+                ".marking {<a-,a+>}\n.end"
+            )
+
+    def test_transitions_of(self):
+        stg = parse_g(TOGGLE)
+        assert stg.transitions_of("q") == {"q+", "q-"}
+
+    def test_event_of(self):
+        stg = parse_g(TOGGLE)
+        assert str(stg.event_of("r-")) == "r-"
+
+
+class TestWriter:
+    def test_roundtrip_toggle(self):
+        stg = parse_g(TOGGLE)
+        back = parse_g(dumps_g(stg))
+        assert back.inputs == stg.inputs
+        assert back.outputs == stg.outputs
+        assert back.net.transitions == stg.net.transitions
+        # reachable behaviour must be identical
+        from repro.stg.reachability import stg_to_state_graph
+
+        sg1 = stg_to_state_graph(stg)
+        sg2 = stg_to_state_graph(back)
+        assert sorted(sg1.code(s) for s in sg1.states) == sorted(
+            sg2.code(s) for s in sg2.states
+        )
+
+    def test_roundtrip_benchmarks(self):
+        from repro.bench.suite import BENCHMARKS, load_benchmark
+        from repro.stg.reachability import stg_to_state_graph
+
+        for name in BENCHMARKS:
+            stg = load_benchmark(name)
+            back = parse_g(dumps_g(stg))
+            sg1 = stg_to_state_graph(stg)
+            sg2 = stg_to_state_graph(back)
+            assert len(sg1) == len(sg2), name

@@ -1,0 +1,79 @@
+"""Unit tests for the Petri-net substrate."""
+
+import pytest
+
+from repro.stg.petrinet import PetriNet, SafenessViolation
+
+
+def handshake_net():
+    places = {"p0", "p1", "p2", "p3"}
+    transitions = {"r+", "a+", "r-", "a-"}
+    arcs = [
+        ("p0", "r+"), ("r+", "p1"),
+        ("p1", "a+"), ("a+", "p2"),
+        ("p2", "r-"), ("r-", "p3"),
+        ("p3", "a-"), ("a-", "p0"),
+    ]
+    return PetriNet(places, transitions, arcs)
+
+
+class TestConstruction:
+    def test_place_transition_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            PetriNet({"x"}, {"x"}, [])
+
+    def test_arc_must_be_bipartite(self):
+        with pytest.raises(ValueError):
+            PetriNet({"p", "q"}, {"t"}, [("p", "q")])
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(ValueError):
+            PetriNet({"p"}, {"t"}, [("p", "z")])
+
+
+class TestFiring:
+    def test_enabled_sorted(self):
+        net = handshake_net()
+        assert net.enabled(frozenset({"p0"})) == ["r+"]
+        assert net.enabled(frozenset()) == []
+
+    def test_fire_moves_token(self):
+        net = handshake_net()
+        after = net.fire(frozenset({"p0"}), "r+")
+        assert after == frozenset({"p1"})
+
+    def test_fire_disabled_rejected(self):
+        net = handshake_net()
+        with pytest.raises(ValueError):
+            net.fire(frozenset({"p0"}), "a+")
+
+    def test_safeness_violation_detected(self):
+        net = PetriNet(
+            {"p", "q"},
+            {"t"},
+            [("p", "t"), ("t", "q")],
+        )
+        with pytest.raises(SafenessViolation):
+            net.fire(frozenset({"p", "q"}), "t")
+
+    def test_join_requires_all_tokens(self):
+        net = PetriNet(
+            {"p", "q", "r"},
+            {"t"},
+            [("p", "t"), ("q", "t"), ("t", "r")],
+        )
+        assert not net.is_enabled(frozenset({"p"}), "t")
+        assert net.is_enabled(frozenset({"p", "q"}), "t")
+        assert net.fire(frozenset({"p", "q"}), "t") == frozenset({"r"})
+
+
+class TestConnectivity:
+    def test_cycle_is_connected(self):
+        assert handshake_net().check_connected()
+
+    def test_disconnected_detected(self):
+        net = PetriNet({"p", "q"}, {"t"}, [("p", "t"), ("t", "p")])
+        assert not net.check_connected()
+
+    def test_empty_net_connected(self):
+        assert PetriNet(set(), set(), []).check_connected()

@@ -1,0 +1,75 @@
+"""Tests for theory-of-regions STG synthesis (SG -> Petri net)."""
+
+import pytest
+
+from repro.bench.figures import figure1_sg, figure3_sg, figure4_sg
+from repro.bench.suite import BENCHMARKS, load_benchmark
+from repro.core.insertion import insert_state_signals
+from repro.core.mc import analyze_mc
+from repro.sg.conformance import trace_equivalent
+from repro.stg.parser import parse_g
+from repro.stg.reachability import stg_to_state_graph
+from repro.stg.structural import is_live_and_safe
+from repro.stg.synthesis import NotSynthesizableError, stg_from_state_graph
+from repro.stg.writer import dumps_g
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", sorted(BENCHMARKS))
+    def test_benchmarks_roundtrip(self, name):
+        original = stg_to_state_graph(load_benchmark(name))
+        stg = stg_from_state_graph(original)
+        back = stg_to_state_graph(stg)
+        assert trace_equivalent(back, original), name
+
+    @pytest.mark.parametrize("make", [figure1_sg, figure3_sg, figure4_sg])
+    def test_figures_roundtrip(self, make):
+        sg = make()
+        stg = stg_from_state_graph(sg)
+        back = stg_to_state_graph(stg)
+        assert trace_equivalent(back, sg)
+
+    def test_synthesised_net_is_live_and_safe(self):
+        sg = stg_to_state_graph(load_benchmark("delement"))
+        stg = stg_from_state_graph(sg)
+        assert is_live_and_safe(stg)
+
+    def test_g_file_roundtrip(self):
+        """The synthesised net survives .g serialisation."""
+        sg = stg_to_state_graph(load_benchmark("berkel2"))
+        stg = stg_from_state_graph(sg)
+        reparsed = parse_g(dumps_g(stg))
+        back = stg_to_state_graph(reparsed)
+        assert trace_equivalent(back, sg)
+
+
+class TestWriteBackRepairedSpecs:
+    def test_fig1_repaired_spec_exports(self, fig1):
+        """The headline use: repair Figure 1 for MC, then write the
+        repaired specification back as an STG -- it must stay
+        trace-equivalent and still satisfy MC after re-elaboration."""
+        result = insert_state_signals(fig1, max_models=400)
+        stg = stg_from_state_graph(result.sg)
+        back = stg_to_state_graph(stg)
+        assert trace_equivalent(back, result.sg)
+        assert analyze_mc(back).satisfied
+
+    def test_occurrence_indices_used(self, fig1):
+        stg = stg_from_state_graph(fig1)
+        # d rises twice in Figure 1 -> d+ and d+/2 transitions
+        assert "d+" in stg.net.transitions
+        assert "d+/2" in stg.net.transitions
+
+    def test_interface_preserved(self, fig4):
+        stg = stg_from_state_graph(fig4)
+        assert stg.inputs == fig4.inputs
+        assert stg.non_inputs == fig4.non_inputs
+
+
+class TestValidation:
+    def test_validate_flag_can_be_disabled(self, toggle_sg):
+        stg = stg_from_state_graph(toggle_sg, validate=False)
+        assert len(stg.net.transitions) == 4
+
+    def test_custom_name(self, toggle_sg):
+        assert stg_from_state_graph(toggle_sg, name="mynet").name == "mynet"

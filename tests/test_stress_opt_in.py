@@ -1,0 +1,66 @@
+"""Opt-in stress suite: ``REPRO_STRESS=1 pytest tests/test_stress_opt_in.py``.
+
+Long-running soundness sweeps that are too slow for the default suite
+but worth running after changes to the MC checker or the insertion
+engine (see docs/DEVELOPMENT.md).
+"""
+
+import os
+import random
+
+import pytest
+
+if not os.environ.get("REPRO_STRESS"):
+    pytest.skip(
+        "stress suite is opt-in (set REPRO_STRESS=1)", allow_module_level=True
+    )
+
+from repro import synthesize_from_state_graph
+from repro.bench.generators import alternator, concurrent_fork, random_series_parallel
+from repro.core.insertion import InsertionError
+from repro.core.mc import analyze_mc
+from repro.stg.reachability import stg_to_state_graph
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_series_parallel_pipeline(seed):
+    sg = stg_to_state_graph(random_series_parallel(seed, leaves=2))
+    try:
+        result = synthesize_from_state_graph(sg, max_models=400)
+    except InsertionError:
+        pytest.skip("insertion budget exhausted")
+    assert result.hazard_free
+
+
+def test_alternator_four_ways():
+    sg = stg_to_state_graph(alternator(4))
+    result = synthesize_from_state_graph(sg, max_models=600)
+    assert len(result.added_signals) == 2
+    assert result.hazard_free
+
+
+def test_concurrent_fork_eight():
+    sg = stg_to_state_graph(concurrent_fork(8))
+    assert analyze_mc(sg).satisfied
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_wide_random_cycle_fuzz(seed):
+    from tests.test_end_to_end_fuzz import build_sg, random_cycle
+    from repro.sg.graph import InconsistentStateGraph
+    from repro.sg.properties import is_output_semi_modular
+
+    rng = random.Random(5000 + seed)
+    signals = ("p", "q", "s", "t")
+    toggles = [rng.choice([1, 2]) for _ in signals]
+    events = random_cycle(rng, signals, toggles)
+    try:
+        sg = build_sg(events, signals, inputs=("p", "t"))
+    except InconsistentStateGraph:
+        pytest.skip("inconsistent interleaving")
+    if not is_output_semi_modular(sg):
+        pytest.skip("spec has internal conflicts")
+    report = analyze_mc(sg)
+    if report.satisfied:
+        result = synthesize_from_state_graph(sg, max_models=100)
+        assert result.hazard_free

@@ -1,0 +1,194 @@
+"""Executable versions of the paper's lemmas and theorems.
+
+Each statement is tested on the paper's figures and/or on the benchmark
+suite -- sufficient-condition theorems are checked by construction and
+verification, implications by exhaustively scanning the relevant
+objects.
+"""
+
+import pytest
+
+from repro.bench.suite import BENCHMARKS, run_pipeline
+from repro.boolean.cube import Cube
+from repro.core.covers import (
+    covers_correctly,
+    find_monotonous_cover,
+    smallest_cover_cube,
+)
+from repro.core.insertion import insert_state_signals
+from repro.core.mc import analyze_mc
+from repro.core.synthesis import synthesize
+from repro.netlist.hazards import verify_speed_independence
+from repro.netlist.netlist import netlist_from_implementation
+from repro.sg.builder import sg_from_arcs
+from repro.sg.csc import has_csc
+from repro.sg.events import SignalEvent
+from repro.sg.graph import StateGraph
+from repro.sg.properties import (
+    detonant_states,
+    is_output_semi_modular,
+    is_persistent,
+    non_persistent_pairs,
+)
+from repro.sg.regions import (
+    all_excitation_regions,
+    excitation_regions,
+    minimal_states,
+    trigger_events,
+)
+
+
+@pytest.fixture(scope="module")
+def or_causal_sg():
+    """Semi-modular but non-distributive: q+ is OR-caused by a or b."""
+    return sg_from_arcs(
+        ("a", "b", "q"),
+        ("a", "b"),
+        (0, 0, 0),
+        [
+            ("s0", "a+", "sa"),
+            ("s0", "b+", "sb"),
+            ("sa", "b+", "sab"),
+            ("sb", "a+", "sab"),
+            ("sa", "q+", "saq"),
+            ("sb", "q+", "sbq"),
+            ("sab", "q+", "sabq"),
+            ("saq", "b+", "sabq"),
+            ("sbq", "a+", "sabq"),
+            ("sabq", "a-", "t1"),
+            ("t1", "b-", "t2"),
+            ("t2", "q-", "s0"),
+        ],
+        initial="s0",
+        name="or-causal",
+    )
+
+
+class TestLemma1:
+    def test_non_distributive_er_has_several_minimal_states(self, or_causal_sg):
+        """Lemma 1: in a semi-modular but not distributive SG, some ER
+        has several minimal states."""
+        assert is_output_semi_modular(or_causal_sg)
+        assert detonant_states(or_causal_sg)  # non-distributive
+        counts = [
+            len(minimal_states(or_causal_sg, er))
+            for er in all_excitation_regions(or_causal_sg, only_non_inputs=True)
+        ]
+        assert max(counts) >= 2
+
+
+class TestLemma2:
+    def test_triggers_enter_at_umin(self, fig1):
+        """Lemma 2: with unique entry in an output-distributive SG, the
+        events entering u_min are triggers."""
+        for er in all_excitation_regions(fig1, only_non_inputs=True):
+            minima = minimal_states(fig1, er)
+            if len(minima) != 1:
+                continue
+            u_min = next(iter(minima))
+            entering = {
+                e for e, source in fig1.arcs_into(u_min)
+                if source not in er.states
+            }
+            assert entering <= trigger_events(fig1, er)
+
+
+class TestLemma3:
+    def test_smallest_cube_is_minterm_minus_concurrent(self, fig1, fig3, fig4):
+        """Lemma 3: the smallest cover cube is the u_min minterm with the
+        concurrent signals and the region's own signal deleted."""
+        from repro.sg.regions import concurrent_signals
+
+        for sg in (fig1, fig3, fig4):
+            for er in all_excitation_regions(sg, only_non_inputs=True):
+                minima = minimal_states(sg, er)
+                if len(minima) != 1:
+                    continue
+                u_min = next(iter(minima))
+                expected = Cube(
+                    {
+                        s: v
+                        for s, v in sg.code_dict(u_min).items()
+                        if s not in concurrent_signals(sg, er)
+                    }
+                )
+                assert smallest_cover_cube(sg, er) == expected
+
+
+class TestTheorem1:
+    def test_correct_covers_on_all_regions_only_if_persistent(self, fig1):
+        """Theorem 1: every cover cube correct => G persistent.
+        Contrapositive on Figure 1: G is non-persistent, and indeed the
+        non-persistent region's cover cube is incorrect."""
+        assert not is_persistent(fig1)
+        bad_regions = {v.er.transition_name for v in non_persistent_pairs(fig1)}
+        incorrect = {
+            er.transition_name
+            for er in all_excitation_regions(fig1, only_non_inputs=True)
+            if not covers_correctly(fig1, er, smallest_cover_cube(fig1, er))
+        }
+        assert bad_regions & incorrect
+
+    def test_persistent_figures_have_correct_smallest_cubes(self, fig3, fig4):
+        for sg in (fig3, fig4):
+            if not is_persistent(sg):
+                continue
+            for er in all_excitation_regions(sg, only_non_inputs=True):
+                assert covers_correctly(sg, er, smallest_cover_cube(sg, er))
+
+
+class TestTheorem2:
+    def test_non_distributive_region_without_mc(self, or_causal_sg):
+        """Theorem 2: in a semi-modular non-distributive SG, not every ER
+        can have a monotonous cover."""
+        found_failure = False
+        for er in all_excitation_regions(or_causal_sg, only_non_inputs=True):
+            if find_monotonous_cover(or_causal_sg, er) is None:
+                found_failure = True
+        assert found_failure
+
+
+class TestTheorem3:
+    """MC cubes => both standard implementations semi-modular.
+
+    Executed literally: synthesise every benchmark and figure that
+    satisfies MC, compose with the environment, and check the circuit
+    SG for gate conflicts.
+    """
+
+    @pytest.mark.parametrize("style", ["C", "RS"])
+    def test_fig3(self, fig3, style):
+        netlist = netlist_from_implementation(synthesize(fig3), style)
+        assert verify_speed_independence(netlist, fig3).hazard_free
+
+    @pytest.mark.parametrize("name", ["delement", "luciano", "berkel2"])
+    @pytest.mark.parametrize("style", ["C", "RS"])
+    def test_benchmarks(self, name, style, pipeline):
+        result = pipeline(name)
+        netlist = netlist_from_implementation(result.implementation, style)
+        report = verify_speed_independence(netlist, result.insertion.sg)
+        assert report.hazard_free, report.describe()
+
+
+class TestTheorem4AndCorollary1:
+    def test_mc_implies_csc(self, fig3, toggle_sg, choice_sg):
+        """Theorem 4: MC satisfied => CSC satisfied."""
+        for sg in (fig3, toggle_sg, choice_sg):
+            if analyze_mc(sg).satisfied:
+                assert has_csc(sg)
+
+    def test_mc_implies_csc_on_repaired_benchmarks(self, pipeline):
+        for name in ("delement", "luciano", "berkel2", "mp-forward-pkt"):
+            result = pipeline(name)
+            assert analyze_mc(result.insertion.sg).satisfied
+            assert has_csc(result.insertion.sg)
+
+    def test_mc_implies_persistency_of_mc_regions(self, fig3):
+        """Corollary 1: MC => persistent.  Note the direction: Figure 4
+        shows persistency does NOT imply MC."""
+        assert analyze_mc(fig3).satisfied
+        assert is_persistent(fig3)
+
+    def test_persistency_does_not_imply_mc(self, fig4):
+        assert is_persistent(fig4)
+        assert not analyze_mc(fig4).satisfied
