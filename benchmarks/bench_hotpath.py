@@ -1,0 +1,107 @@
+"""Hot-path regression harness for the bitmask analysis engine.
+
+Times ``analyze_mc`` on the two stress generators the engine was tuned
+on -- ``concurrent_fork(5)`` (exponential state count, region-analysis
+bound) and ``token_ring(12)`` (wide smallest cover cubes, greedy-search
+bound) -- and records the results into the ``hotpath`` section of
+``BENCH_pipeline.json`` next to the frozen pre-engine baseline, so any
+later PR can see at a glance whether the hot path regressed.
+
+Each measurement builds a *fresh* state graph per round: the engine
+memoises aggressively in ``sg._analysis_cache``, and a warm graph would
+time cache hits instead of the analysis.
+
+Run with ``pytest benchmarks/bench_hotpath.py``; the ``smoke`` marker
+selects a sub-second subset (``-m smoke``) for quick sanity checks.
+"""
+
+import os
+
+import pytest
+
+from repro.bench.generators import concurrent_fork, token_ring
+from repro.bench.suite import update_pipeline_json
+from repro.core.mc import analyze_mc
+from repro.sg.bitengine import bit_analysis
+from repro.stg.reachability import stg_to_state_graph
+
+#: analyze_mc wall time before the bitmask engine (same host, fresh
+#: graph per run, best/median over 8 interleaved trials of the paired
+#: A/B harness that gated the engine's >= 3x acceptance criterion).
+#: Frozen: do not re-measure.
+PRE_CHANGE_BASELINE_MS = {
+    "concurrent_fork(5)": {"best": 17.82, "median": 22.56},
+    "token_ring(12)": {"best": 23.81, "median": 28.53},
+}
+
+#: the engine's times from the *same* paired run as the baseline above
+#: (fork(5): 3.06x best / 3.34x median; ring(12): 4.68x / 4.83x).
+#: Frozen alongside it so the acceptance pair survives noisy reruns.
+PAIRED_POST_CHANGE_MS = {
+    "concurrent_fork(5)": {"best": 5.82, "median": 6.76},
+    "token_ring(12)": {"best": 5.09, "median": 5.90},
+}
+
+CASES = {
+    "concurrent_fork(5)": lambda: concurrent_fork(5),
+    "token_ring(12)": lambda: token_ring(12),
+}
+
+_measured = {}
+
+_JSON_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_pipeline.json",
+)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _record_hotpath_json():
+    """After the module's benchmarks ran, merge them into the JSON log."""
+    yield
+    if not _measured:
+        return
+    update_pipeline_json(
+        "hotpath",
+        {
+            "pre_change_baseline_ms": PRE_CHANGE_BASELINE_MS,
+            "paired_post_change_ms": PAIRED_POST_CHANGE_MS,
+            "measured_ms": _measured,
+        },
+        path=_JSON_PATH,
+    )
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_hotpath_analyze_mc(case, benchmark):
+    stg = CASES[case]()
+
+    def fresh_graph():
+        return (stg_to_state_graph(stg),), {}
+
+    report = benchmark.pedantic(
+        analyze_mc, setup=fresh_graph, rounds=7, iterations=1
+    )
+    assert report.satisfied
+    stats = benchmark.stats.stats
+    _measured[case] = {
+        "best": stats.min * 1000,
+        "median": stats.median * 1000,
+    }
+    baseline = PRE_CHANGE_BASELINE_MS[case]
+    print(
+        f"\n[hotpath] {case}: best {stats.min * 1000:.2f}ms "
+        f"(pre-engine {baseline['best']:.2f}ms, "
+        f"{baseline['best'] / (stats.min * 1000):.2f}x)"
+    )
+
+
+@pytest.mark.smoke
+@pytest.mark.parametrize("maker,n", [(concurrent_fork, 3), (token_ring, 6)])
+def test_hotpath_smoke(maker, n):
+    """Sub-second sanity check: the engine path runs and counts work."""
+    sg = stg_to_state_graph(maker(n))
+    report = analyze_mc(sg)
+    assert report.satisfied
+    engine = bit_analysis(sg)
+    assert engine.cube_evals > 0  # the bitset path actually ran

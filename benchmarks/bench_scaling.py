@@ -12,12 +12,40 @@ specification families:
   grows logarithmically while the SAT search space grows quickly.
 """
 
+import os
+
 import pytest
 
 from repro.bench.generators import alternator, concurrent_fork, token_ring
+from repro.bench.suite import update_pipeline_json
 from repro.core.insertion import insert_state_signals
 from repro.core.mc import analyze_mc
 from repro.stg.reachability import stg_to_state_graph
+
+_measured = {}
+
+_JSON_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_pipeline.json",
+)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _record_scaling_json():
+    """Merge the module's timings into BENCH_pipeline.json on teardown."""
+    yield
+    if not _measured:
+        return
+    update_pipeline_json("scaling", _measured, path=_JSON_PATH)
+
+
+def _record(benchmark, case, states):
+    stats = benchmark.stats.stats
+    _measured[case] = {
+        "states": states,
+        "best_ms": stats.min * 1000,
+        "median_ms": stats.median * 1000,
+    }
 
 
 @pytest.mark.parametrize("n", [2, 4, 8, 12])
@@ -25,6 +53,7 @@ def test_token_ring_analysis(n, benchmark):
     sg = stg_to_state_graph(token_ring(n))
     report = benchmark(analyze_mc, sg)
     assert report.satisfied
+    _record(benchmark, f"analyze_mc/token_ring({n})", len(sg))
     print(f"\n[scaling] token_ring({n}): {len(sg)} states, MC clean")
 
 
@@ -33,6 +62,7 @@ def test_concurrent_fork_analysis(n, benchmark):
     sg = stg_to_state_graph(concurrent_fork(n))
     report = benchmark(analyze_mc, sg)
     assert report.satisfied
+    _record(benchmark, f"analyze_mc/concurrent_fork({n})", len(sg))
     print(f"\n[scaling] concurrent_fork({n}): {len(sg)} states, MC clean")
 
 

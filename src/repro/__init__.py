@@ -118,12 +118,18 @@ def synthesize_from_state_graph(
     2. derive the standard C- or RS-implementation,
     3. optionally verify speed independence at the gate level.
     """
-    insertion = insert_state_signals(sg, max_models=max_models)
-    implementation = synthesize(insertion.sg, share_gates=share_gates)
-    netlist = netlist_from_implementation(implementation, style)
-    report = (
-        verify_speed_independence(netlist, insertion.sg) if verify else None
-    )
+    from repro import perf
+
+    with perf.phase("insertion"):
+        insertion = insert_state_signals(sg, max_models=max_models)
+    with perf.phase("synthesis"):
+        implementation = synthesize(insertion.sg, share_gates=share_gates)
+    with perf.phase("netlist"):
+        netlist = netlist_from_implementation(implementation, style)
+    with perf.phase("hazard-check"):
+        report = (
+            verify_speed_independence(netlist, insertion.sg) if verify else None
+        )
     return SynthesisResult(
         spec=sg,
         insertion=insertion,

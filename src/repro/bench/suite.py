@@ -12,11 +12,13 @@ design), with every run far under the paper's 5-minute timeout.
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro import perf
 from repro.core.insertion import InsertionResult, insert_state_signals
 from repro.core.mc import analyze_mc
 from repro.core.synthesis import Implementation, synthesize
@@ -70,6 +72,8 @@ class PipelineResult:
     implementation: Implementation
     hazard_report: Optional[HazardReport]
     elapsed_seconds: float
+    #: per-phase wall time / op counters when run with ``profile=True``
+    profile: Optional[Dict] = None
 
     @property
     def added_signals(self) -> int:
@@ -90,36 +94,141 @@ def run_pipeline(
     verify: bool = True,
     style: str = "C",
     max_models: int = 400,
+    profile: bool = False,
 ) -> PipelineResult:
     """Full MC-reduction pipeline for one benchmark.
 
     STG -> state graph -> MC-driven state-signal insertion -> standard
     implementation -> (optionally) circuit-level speed-independence
     verification.
+
+    With ``profile=True`` a fresh :mod:`repro.perf` recorder is active
+    for the duration of the run and its per-phase wall times and op
+    counters land in ``result.profile`` (not thread-safe: the recorder
+    is process-global, so profile serially).
     """
-    started = time.perf_counter()
-    stg = load_benchmark(name)
-    spec_sg = stg_to_state_graph(stg)
-    insertion = insert_state_signals(spec_sg, max_models=max_models)
-    implementation = synthesize(insertion.sg)
-    report = None
-    if verify:
-        netlist = netlist_from_implementation(implementation, style)
-        report = verify_speed_independence(netlist, insertion.sg)
-    return PipelineResult(
-        name=name,
-        stg=stg,
-        spec_sg=spec_sg,
-        insertion=insertion,
-        implementation=implementation,
-        hazard_report=report,
-        elapsed_seconds=time.perf_counter() - started,
-    )
+    previous = perf.active()
+    recorder = perf.enable() if profile else None
+    try:
+        started = time.perf_counter()
+        stg = load_benchmark(name)
+        spec_sg = stg_to_state_graph(stg)
+        with perf.phase("insertion"):
+            insertion = insert_state_signals(spec_sg, max_models=max_models)
+        with perf.phase("synthesis"):
+            implementation = synthesize(insertion.sg)
+        report = None
+        if verify:
+            with perf.phase("netlist"):
+                netlist = netlist_from_implementation(implementation, style)
+            with perf.phase("hazard-check"):
+                report = verify_speed_independence(netlist, insertion.sg)
+        return PipelineResult(
+            name=name,
+            stg=stg,
+            spec_sg=spec_sg,
+            insertion=insertion,
+            implementation=implementation,
+            hazard_report=report,
+            elapsed_seconds=time.perf_counter() - started,
+            profile=recorder.as_dict() if recorder is not None else None,
+        )
+    finally:
+        if profile:
+            perf.disable()
+            if previous is not None:
+                perf._recorder = previous
 
 
-def run_table1(verify: bool = True, names: Optional[List[str]] = None) -> List[PipelineResult]:
-    """Run the whole Table-1 suite; returns one result per design."""
-    return [run_pipeline(name, verify=verify) for name in (names or BENCHMARKS)]
+def run_table1(
+    verify: bool = True,
+    names: Optional[List[str]] = None,
+    jobs: Optional[int] = None,
+    profile: bool = False,
+) -> List[PipelineResult]:
+    """Run the whole Table-1 suite; returns one result per design.
+
+    ``jobs`` opts into a ``concurrent.futures`` fan-out across designs
+    (each design's pipeline is fully independent); results come back in
+    the requested design order either way.  ``profile`` implies serial
+    execution because the perf recorder is process-global.
+    """
+    names = list(names or BENCHMARKS)
+    if jobs is not None and jobs > 1 and not profile and len(names) > 1:
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            return list(
+                pool.map(lambda name: run_pipeline(name, verify=verify), names)
+            )
+    return [
+        run_pipeline(name, verify=verify, profile=profile) for name in names
+    ]
+
+
+#: current schema tag of BENCH_pipeline.json; bump on breaking changes
+PIPELINE_JSON_SCHEMA = "repro-bench-pipeline/1"
+
+
+def update_pipeline_json(
+    section: str, payload, path: str = "BENCH_pipeline.json"
+) -> str:
+    """Merge one section into the machine-readable benchmark trajectory.
+
+    ``BENCH_pipeline.json`` is the cross-PR perf record: each harness
+    owns one top-level section (``hotpath`` from
+    ``benchmarks/bench_hotpath.py``, ``table1`` from this suite,
+    ``scaling`` from ``benchmarks/bench_scaling.py``) and updates it in
+    place, leaving the others untouched so trajectories accumulate.
+    Returns the path written.
+    """
+    document = {"schema": PIPELINE_JSON_SCHEMA}
+    if os.path.exists(path):
+        try:
+            with open(path) as handle:
+                existing = json.load(handle)
+            if isinstance(existing, dict):
+                document.update(existing)
+        except (OSError, ValueError):
+            pass  # unreadable trajectory: start a fresh one
+    document["schema"] = PIPELINE_JSON_SCHEMA
+    document[section] = payload
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def table1_payload(results: List[PipelineResult]) -> List[Dict]:
+    """The ``table1`` section of BENCH_pipeline.json."""
+    payload = []
+    for result in results:
+        row = {
+            "name": result.name,
+            "inputs": len(result.stg.inputs),
+            "outputs": len(result.stg.non_inputs),
+            "added_signals": result.added_signals,
+            "paper_added_signals": paper_row(result.name)[2],
+            "spec_states": len(result.spec_sg),
+            "final_states": len(result.insertion.sg),
+            "hazard_free": (
+                None
+                if result.hazard_report is None
+                else result.hazard_report.hazard_free
+            ),
+            "elapsed_seconds": result.elapsed_seconds,
+        }
+        if result.profile is not None:
+            row["profile"] = result.profile
+        payload.append(row)
+    return payload
+
+
+def write_pipeline_json(
+    results: List[PipelineResult], path: str = "BENCH_pipeline.json"
+) -> str:
+    """Write the Table-1 rows into BENCH_pipeline.json (section ``table1``)."""
+    return update_pipeline_json("table1", table1_payload(results), path)
 
 
 def format_table1(results: List[PipelineResult]) -> str:

@@ -31,7 +31,7 @@ class Cube:
         value.  Values must be 0 or 1.
     """
 
-    __slots__ = ("_literals", "_hash")
+    __slots__ = ("_literals", "_hash", "_compiled", "_sorted")
 
     def __init__(self, literals: Mapping[str, int] | Iterable[Tuple[str, int]] = ()):
         items = dict(literals)
@@ -42,6 +42,9 @@ class Cube:
                 )
         self._literals: Dict[str, int] = items
         self._hash: Optional[int] = None
+        #: signal-order tuple -> compiled (mask, value) pair
+        self._compiled: Optional[Dict[Tuple[str, ...], Tuple[int, int]]] = None
+        self._sorted: Optional[Tuple[Tuple[str, int], ...]] = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -69,7 +72,10 @@ class Cube:
     @property
     def literals(self) -> Tuple[Tuple[str, int], ...]:
         """The literals as a sorted tuple of ``(signal, value)`` pairs."""
-        return tuple(sorted(self._literals.items()))
+        cached = self._sorted
+        if cached is None:
+            cached = self._sorted = tuple(sorted(self._literals.items()))
+        return cached
 
     @property
     def signals(self) -> frozenset:
@@ -99,6 +105,41 @@ class Cube:
             if get(signal) != value:
                 return False
         return True
+
+    def compile(self, signal_order: Sequence[str]) -> Tuple[int, int]:
+        """The cube as a ``(mask, value)`` bit pair against an ordering.
+
+        With every state code packed into a single int (bit ``i`` holding
+        the value of ``signal_order[i]``), the cube covers a packed code
+        ``p`` iff ``p & mask == value`` -- one AND plus one compare,
+        independent of the literal count.  This is the O(1) form the
+        bitmask analysis engine uses on the synthesis hot path.
+
+        The result is memoised per ordering (a cube is typically queried
+        against exactly one graph's signal tuple thousands of times).
+        """
+        key = tuple(signal_order)
+        cache = self._compiled
+        if cache is None:
+            cache = self._compiled = {}
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+        index = {signal: i for i, signal in enumerate(key)}
+        mask = 0
+        value = 0
+        for signal, bit_value in self._literals.items():
+            position = index[signal]
+            mask |= 1 << position
+            if bit_value:
+                value |= 1 << position
+        cache[key] = (mask, value)
+        return (mask, value)
+
+    def covers_packed(self, packed_code: int, signal_order: Sequence[str]) -> bool:
+        """O(1) covering test against a packed state code (see :meth:`compile`)."""
+        mask, value = self.compile(signal_order)
+        return packed_code & mask == value
 
     def evaluator(self, signal_order: Sequence[str]):
         """Compile the cube against a signal ordering.

@@ -18,7 +18,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro import synthesize_from_state_graph
+from repro import perf, synthesize_from_state_graph
 from repro.core.mc import analyze_mc
 from repro.netlist.render import netlist_to_dot, netlist_to_verilog, sg_to_dot
 from repro.netlist.simulate import monte_carlo
@@ -37,7 +37,20 @@ def _load(path: str):
     return stg, stg_to_state_graph(stg)
 
 
+def _start_profile(args: argparse.Namespace) -> Optional[perf.PerfRecorder]:
+    """Install a perf recorder when the subcommand got ``--profile``."""
+    return perf.enable() if getattr(args, "profile", False) else None
+
+
+def _finish_profile(recorder: Optional[perf.PerfRecorder]) -> None:
+    if recorder is not None:
+        print()
+        print(recorder.report())
+        perf.disable()
+
+
 def cmd_info(args: argparse.Namespace) -> int:
+    recorder = _start_profile(args)
     stg, sg = _load(args.spec)
     from repro.sg.analysis import statistics
 
@@ -47,16 +60,18 @@ def cmd_info(args: argparse.Namespace) -> int:
     print(f"  output distributive : {is_output_distributive(sg)}")
     print(f"  persistent          : {is_persistent(sg)}")
     print(f"  USC / CSC           : {has_usc(sg)} / {has_csc(sg)}")
-    report = analyze_mc(sg)
+    report = analyze_mc(sg, jobs=args.jobs)
     print(report.describe())
     if args.dot:
         with open(args.dot, "w") as handle:
             handle.write(sg_to_dot(sg))
         print(f"state graph written to {args.dot}")
+    _finish_profile(recorder)
     return 0
 
 
 def cmd_synth(args: argparse.Namespace) -> int:
+    recorder = _start_profile(args)
     _, sg = _load(args.spec)
     result = synthesize_from_state_graph(
         sg,
@@ -102,15 +117,18 @@ def cmd_synth(args: argparse.Namespace) -> int:
         with open(args.dot, "w") as handle:
             handle.write(netlist_to_dot(result.netlist))
         print(f"netlist graph written to {args.dot}")
+    _finish_profile(recorder)
     if result.hazard_report is not None and not result.hazard_free:
         return 1
     return 0
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
+    recorder = _start_profile(args)
     _, sg = _load(args.spec)
     result = synthesize_from_state_graph(sg, style=args.style, verify=True)
     print(result.hazard_report.describe())
+    _finish_profile(recorder)
     return 0 if result.hazard_free else 1
 
 
@@ -148,14 +166,33 @@ def cmd_check(args: argparse.Namespace) -> int:
 
 
 def cmd_table1(args: argparse.Namespace) -> int:
-    from repro.bench.suite import BENCHMARKS, format_table1, run_pipeline
+    from repro.bench.suite import (
+        BENCHMARKS,
+        format_table1,
+        run_pipeline,
+        run_table1,
+        write_pipeline_json,
+    )
 
     names = args.designs or list(BENCHMARKS)
-    results = []
-    for name in names:
-        print(f"running {name} ...", file=sys.stderr)
-        results.append(run_pipeline(name, verify=not args.no_verify))
+    if args.jobs and args.jobs > 1 and not args.profile:
+        print(f"running {len(names)} designs with jobs={args.jobs} ...", file=sys.stderr)
+        results = run_table1(
+            verify=not args.no_verify, names=names, jobs=args.jobs
+        )
+    else:
+        results = []
+        for name in names:
+            print(f"running {name} ...", file=sys.stderr)
+            results.append(
+                run_pipeline(
+                    name, verify=not args.no_verify, profile=args.profile
+                )
+            )
     print(format_table1(results))
+    if args.json:
+        path = write_pipeline_json(results, args.json)
+        print(f"pipeline metrics written to {path}", file=sys.stderr)
     return 0
 
 
@@ -170,6 +207,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_info = sub.add_parser("info", help="analyse an STG specification")
     p_info.add_argument("spec", help=".g file")
     p_info.add_argument("--dot", help="write the state graph as Graphviz")
+    p_info.add_argument(
+        "--jobs", type=int, default=None,
+        help="parallel MC analysis fan-out (threads over signals)",
+    )
+    p_info.add_argument(
+        "--profile", action="store_true",
+        help="print per-phase wall time and primitive-op counts",
+    )
     p_info.set_defaults(func=cmd_info)
 
     p_synth = sub.add_parser("synth", help="synthesise an implementation")
@@ -200,11 +245,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the (repaired) specification back as a .g STG",
     )
     p_synth.add_argument("--dot", help="write the netlist as Graphviz")
+    p_synth.add_argument(
+        "--profile", action="store_true",
+        help="print per-phase wall time and primitive-op counts",
+    )
     p_synth.set_defaults(func=cmd_synth)
 
     p_verify = sub.add_parser("verify", help="synthesise and model-check")
     p_verify.add_argument("spec", help=".g file")
     p_verify.add_argument("--style", choices=["C", "RS", "RS-NOR", "C-INV"], default="C")
+    p_verify.add_argument(
+        "--profile", action="store_true",
+        help="print per-phase wall time and primitive-op counts",
+    )
     p_verify.set_defaults(func=cmd_verify)
 
     p_sim = sub.add_parser("simulate", help="Monte-Carlo delay simulation")
@@ -226,6 +279,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_table = sub.add_parser("table1", help="regenerate the paper's Table 1")
     p_table.add_argument("designs", nargs="*", help="subset of designs")
     p_table.add_argument("--no-verify", action="store_true")
+    p_table.add_argument(
+        "--jobs", type=int, default=None,
+        help="run designs concurrently (thread pool)",
+    )
+    p_table.add_argument(
+        "--profile", action="store_true",
+        help="per-design phase profile (forces serial execution)",
+    )
+    p_table.add_argument(
+        "--json", help="write/merge BENCH_pipeline.json at this path"
+    )
     p_table.set_defaults(func=cmd_table1)
 
     return parser

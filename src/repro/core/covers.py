@@ -23,6 +23,13 @@ unboundedly many.
 
 Definition 19 generalises the notion to a *set* of excitation regions so
 one AND gate can serve several regions (Sec. VI, Theorem 5).
+
+**Performance.**  All candidate-cube loops here are exponential in the
+literal count, so the per-candidate work is kept O(L) word operations
+via the per-graph bitmask engine (:mod:`repro.sg.bitengine`): each
+forbidden/required state set is a cached bitset, each literal's
+satisfying-state set is a cached bitset, and a candidate is judged by
+OR/AND-ing those instead of rescanning every state of the graph.
 """
 
 from __future__ import annotations
@@ -31,7 +38,9 @@ from dataclasses import dataclass, field
 from itertools import combinations
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro import perf
 from repro.boolean.cube import Cube
+from repro.sg.bitengine import BitEngine, bit_analysis
 from repro.sg.graph import State, StateGraph
 from repro.sg.regions import (
     ExcitationRegion,
@@ -49,12 +58,18 @@ def smallest_cover_cube(sg: StateGraph, er: ExcitationRegion) -> Cube:
 
     Every ordered signal keeps its (constant) region value as a literal;
     dropping literals yields every other cover cube of the region.
+    Cached per (graph, region).
     """
+    cached = sg._analysis_cache.get(("scc", er))
+    if cached is not None:
+        return cached
     some_state = next(iter(er.states))
     literals = {}
     for signal in ordered_signals(sg, er):
         literals[signal] = sg.value(some_state, signal)
-    return Cube(literals)
+    cube = Cube(literals)
+    sg._analysis_cache[("scc", er)] = cube
+    return cube
 
 
 def is_cover_cube(sg: StateGraph, er: ExcitationRegion, cube: Cube) -> bool:
@@ -68,6 +83,52 @@ def _is_sub_cover(sg: StateGraph, er: ExcitationRegion, cube: Cube) -> bool:
         if smallest.value_of(signal) != value:
             return False
     return True
+
+
+# ----------------------------------------------------------------------
+# Cached forbidden/required bitsets (Definitions 13, 16)
+# ----------------------------------------------------------------------
+def _forbidden_bits(sg: StateGraph, signal: str, direction: int) -> int:
+    """Bitset of states a Def.-16-correct cube must *not* cover.
+
+    For a rising region: 1*-set(a) u 0-set(a); falling mirrored.
+    Cached per (graph, signal, direction).
+    """
+    cache = sg._analysis_cache
+    key = ("forbidden_bits", signal, direction)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    engine = bit_analysis(sg)
+    sets = excited_value_sets(sg, signal)
+    if direction == 1:
+        forbidden = sets["1*-set"] | sets["0-set"]
+    else:
+        forbidden = sets["0*-set"] | sets["1-set"]
+    bits = engine.bits_of(forbidden)
+    cache[key] = bits
+    return bits
+
+
+def _er_bits(sg: StateGraph, er: ExcitationRegion) -> int:
+    return bit_analysis(sg).region_bits(("er", er), er.states)
+
+
+def _cfr_bits(sg: StateGraph, er: ExcitationRegion) -> int:
+    return bit_analysis(sg).region_bits(
+        ("cfr", er), constant_function_region(sg, er)
+    )
+
+
+def _literal_masks(
+    engine: BitEngine, literals: Sequence[Tuple[str, int]]
+) -> List[int]:
+    """Per literal, the bitset of states *satisfying* it."""
+    position_of = engine.position
+    return [
+        engine.literal_bits(position_of[signal], value)
+        for signal, value in literals
+    ]
 
 
 # ----------------------------------------------------------------------
@@ -85,17 +146,36 @@ def is_consistent_excitation_function(
     Every excitation function synthesised from (generalised) MC cubes
     satisfies this by construction -- asserted in the test-suite.
     """
+    engine = bit_analysis(sg)
     sets = excited_value_sets(sg, signal)
-    evaluator = cover.evaluator(sg.signals)
     if direction == 1:
         must_one = sets["0*-set"]
         must_zero = sets["1*-set"] | sets["0-set"]
     else:
         must_one = sets["1*-set"]
         must_zero = sets["0*-set"] | sets["1-set"]
-    return all(evaluator(sg.code(s)) for s in must_one) and not any(
-        evaluator(sg.code(s)) for s in must_zero
-    )
+    ones = _function_bits(engine, cover)
+    if ones is None:  # unknown callable: fall back to per-state evaluation
+        evaluator = cover.evaluator(sg.signals)
+        return all(evaluator(sg.code(s)) for s in must_one) and not any(
+            evaluator(sg.code(s)) for s in must_zero
+        )
+    must_one_bits = engine.bits_of(must_one)
+    must_zero_bits = engine.bits_of(must_zero)
+    return must_one_bits & ~ones == 0 and ones & must_zero_bits == 0
+
+
+def _function_bits(engine: BitEngine, cover) -> Optional[int]:
+    """Bitset where a Cube (AND) or Cover (OR of cubes) evaluates to 1."""
+    if isinstance(cover, Cube):
+        return engine.cube_bits(cover)
+    cubes = getattr(cover, "cubes", None)
+    if cubes is not None:
+        bits = 0
+        for cube in cubes:
+            bits |= engine.cube_bits(cube)
+        return bits
+    return None
 
 
 # ----------------------------------------------------------------------
@@ -107,12 +187,9 @@ def covers_correctly(sg: StateGraph, er: ExcitationRegion, cube: Cube) -> bool:
     For a rising region the cube must not cover 1*-set(a) u 0-set(a);
     for a falling region it must not cover 0*-set(a) u 1-set(a).
     """
-    sets = excited_value_sets(sg, er.signal)
-    if er.direction == 1:
-        forbidden = sets["1*-set"] | sets["0-set"]
-    else:
-        forbidden = sets["0*-set"] | sets["1-set"]
-    return not any(cube.covers(sg.code_dict(state)) for state in forbidden)
+    engine = bit_analysis(sg)
+    forbidden = _forbidden_bits(sg, er.signal, er.direction)
+    return engine.cube_bits(cube) & forbidden == 0
 
 
 def find_correct_cover_cubes(
@@ -128,16 +205,35 @@ def find_correct_cover_cubes(
     minterm restricted to ordered signals is refined per state.  Returns
     ``None`` if some region state cannot be covered correctly at all.
     """
+    engine = bit_analysis(sg)
     smallest = smallest_cover_cube(sg, er)
-    # candidate single cubes: subsets of the smallest cube's literals,
-    # fewest literals first (the paper's equations (1) use the cheapest
-    # correct cover, e.g. the single literal a for ER(+c_1))
     literals = smallest.literals
-    for size in range(0, len(literals) + 1):
-        for subset in combinations(literals, size):
-            cube = Cube(dict(subset))
-            if covers_correctly(sg, er, cube):
-                return [cube]
+    forbidden = _forbidden_bits(sg, er.signal, er.direction)
+    # Correctness as a hitting set: every forbidden state must fail at
+    # least one kept literal.  Each literal's exclusion set over the
+    # forbidden states is one cached bitset, so a candidate subset is
+    # judged in O(|subset|) word ORs.
+    satisfy = _literal_masks(engine, literals)
+    exclusion = [forbidden & ~bits for bits in satisfy]
+    reachable_exclusion = 0
+    for mask in exclusion:
+        reachable_exclusion |= mask
+    candidates = 0
+    if reachable_exclusion == forbidden:
+        # candidate single cubes: subsets of the smallest cube's literals,
+        # fewest literals first (the paper's equations (1) use the cheapest
+        # correct cover, e.g. the single literal a for ER(+c_1))
+        indices = range(len(literals))
+        for size in range(0, len(literals) + 1):
+            for subset in combinations(indices, size):
+                candidates += 1
+                excluded = 0
+                for i in subset:
+                    excluded |= exclusion[i]
+                if excluded == forbidden:
+                    perf.count("cube.candidates", candidates)
+                    return [Cube(dict(literals[i] for i in subset))]
+    perf.count("cube.candidates", candidates)
     # No single Def.-15 cube is correct (e.g. ER(+d_1) of Figure 1):
     # fall back to several cubes, each covering part of the region.
     return _per_state_correct_cubes(sg, er)
@@ -156,6 +252,8 @@ def _per_state_correct_cubes(
     greedily while the cube stays correct, preferring cubes that cover
     more of the region.
     """
+    engine = bit_analysis(sg)
+    forbidden = _forbidden_bits(sg, er.signal, er.direction)
     uncovered: Set[State] = set(er.states)
     result: List[Cube] = []
     guard = 0
@@ -167,7 +265,7 @@ def _per_state_correct_cubes(
         cube = Cube(
             {s: v for s, v in sg.code_dict(seed).items() if s != er.signal}
         )
-        if not covers_correctly(sg, er, cube):
+        if engine.cube_bits(cube) & forbidden:
             return None
         # greedy literal dropping: try to widen the cube so it swallows
         # more region states while staying correct
@@ -176,12 +274,12 @@ def _per_state_correct_cubes(
             improved = False
             for signal, _ in cube.literals:
                 candidate = cube.without((signal,))
-                if covers_correctly(sg, er, candidate):
+                if engine.cube_bits(candidate) & forbidden == 0:
                     cube = candidate
                     improved = True
                     break
         covered_now = {
-            s for s in uncovered if cube.covers(sg.code_dict(s))
+            s for s in uncovered if engine.covers_state(cube, s)
         }
         if not covered_now:
             return None
@@ -208,18 +306,6 @@ class CoverDiagnostics:
         return self.covers_all_er and self.monotonous and not self.outside_cfr
 
 
-def _change_edges(
-    sg: StateGraph, region_states: FrozenSet[State], evaluate
-) -> List[Tuple[State, State]]:
-    edges = []
-    for state in region_states:
-        value = evaluate(state)
-        for _, target in sg.arcs_from(state):
-            if target in region_states and evaluate(target) != value:
-                edges.append((state, target))
-    return edges
-
-
 def _monotonicity_violation(
     sg: StateGraph, cfr: FrozenSet[State], cube: Cube
 ) -> Optional[Tuple[State, State, State, State]]:
@@ -239,15 +325,14 @@ def _monotonicity_violation(
     Two 1 -> 0 edges in trace order are impossible without an
     intervening rise, so banning rises is the complete check.
     """
-    evaluator = cube.evaluator(sg.signals)
-    values = {s: evaluator(sg.code(s)) for s in cfr}
-    for state in cfr:
-        if values[state]:
-            continue
-        for _, target in sg.arcs_from(state):
-            if values.get(target):
-                return (state, target, state, target)
-    return None
+    engine = bit_analysis(sg)
+    cfr_bits = engine.bits_of(cfr)
+    ones = engine.cube_bits(cube)
+    witness = engine.first_rise_edge(cfr_bits, ones)
+    if witness is None:
+        return None
+    source, target = witness
+    return (source, target, source, target)
 
 
 def check_monotonous_cover(
@@ -257,14 +342,19 @@ def check_monotonous_cover(
     cfr: Optional[FrozenSet[State]] = None,
 ) -> CoverDiagnostics:
     """Full Definition-17 check with diagnostics."""
+    engine = bit_analysis(sg)
     if cfr is None:
-        cfr = constant_function_region(sg, er)
-    evaluator = cube.evaluator(sg.signals)
-    covers_all = all(evaluator(sg.code(s)) for s in er.states)
-    outside = frozenset(
-        s for s in sg.states if s not in cfr and evaluator(sg.code(s))
-    )
-    witness = _monotonicity_violation(sg, cfr, cube)
+        cfr_bits = _cfr_bits(sg, er)
+    else:
+        cfr_bits = engine.bits_of(cfr)
+    ones = engine.cube_bits(cube)
+    covers_all = _er_bits(sg, er) & ~ones == 0
+    outside = engine.states_of(ones & ~cfr_bits)
+    witness_edge = engine.first_rise_edge(cfr_bits, ones)
+    witness = None
+    if witness_edge is not None:
+        source, target = witness_edge
+        witness = (source, target, source, target)
     return CoverDiagnostics(
         cube=cube,
         covers_all_er=covers_all,
@@ -290,79 +380,101 @@ def find_monotonous_cover(
     literal set (more literals exclude more states), so if the full cube
     already covers a reachable state outside the CFR no subset can
     succeed and the search exits immediately.  Otherwise subsets are
-    tried largest-first; the first cube passing the monotonicity check
-    wins (ties broken towards fewer literals at equal size by ordering).
+    tried smallest-first; the first cube passing the correctness bitset
+    filter and the monotonicity check wins (ties broken towards fewer
+    literals at equal size by ordering).
+
+    Every per-candidate test is a handful of big-int operations: the
+    outside-CFR condition is a hitting-set over cached per-literal
+    exclusion bitsets, and the monotonicity check walks only the 0-states
+    of the CFR against a successor-bitset table.
     """
-    cfr = constant_function_region(sg, er)
+    engine = bit_analysis(sg)
+    cfr_bits = _cfr_bits(sg, er)
     full = smallest_cover_cube(sg, er)
-    full_diag = check_monotonous_cover(sg, er, full, cfr)
-    if full_diag.outside_cfr:
+    outside_all = engine.all_states_bits & ~cfr_bits
+    full_ones = engine.cube_bits(full)
+    if full_ones & outside_all:
         return None  # condition (3) can only get worse with fewer literals
 
     literals = full.literals
     if len(literals) > max_literal_budget:
         # too wide for exhaustive search; fall back to greedy drops
-        if full_diag.is_mc:
+        cfr = constant_function_region(sg, er)
+        if check_monotonous_cover(sg, er, full, cfr).is_mc:
             return full
         return _greedy_mc_search(sg, er, full, cfr)
 
     # Condition (3) as a hitting-set precondition: every reachable state
     # outside the CFR must be excluded by at least one kept literal.
-    # Each literal's exclusion set is precomputed as a bit mask, so the
+    # Each literal's exclusion set is a cached bitmask, so the
     # smallest-first subset enumeration discards non-covers in O(|subset|)
     # before paying for the monotonicity check.
-    outside_states = [s for s in sg.states if s not in cfr]
-    need = (1 << len(outside_states)) - 1
-    index = {s: i for i, s in enumerate(sg.signals)}
-    masks = []
-    for signal, value in literals:
-        mask = 0
-        position = index[signal]
-        for bit, state in enumerate(outside_states):
-            if sg.code(state)[position] != value:
-                mask |= 1 << bit
-        masks.append(((signal, value), mask))
+    satisfy = _literal_masks(engine, literals)
+    exclusion = [outside_all & ~bits for bits in satisfy]
+    need = outside_all
 
     # Smallest literal sets first: the paper's examples use the cheapest
     # admissible cube (e.g. the single literal a for ER(+c_1) of Fig. 1).
-    for size in range(0, len(literals) + 1):
-        for subset in combinations(masks, size):
-            excluded = 0
-            for _, mask in subset:
-                excluded |= mask
-            if excluded != need:
-                continue
-            cube = Cube(dict(lit for lit, _ in subset))
-            if _monotonicity_violation(sg, cfr, cube) is None:
-                return cube
-    return None
+    indices = range(len(literals))
+    candidates = 0
+    mono_checks = 0
+    try:
+        for size in range(0, len(literals) + 1):
+            for subset in combinations(indices, size):
+                candidates += 1
+                excluded = 0
+                for i in subset:
+                    excluded |= exclusion[i]
+                if excluded != need:
+                    continue
+                ones = engine.all_states_bits
+                for i in subset:
+                    ones &= satisfy[i]
+                mono_checks += 1
+                if not engine.has_rise_edge(cfr_bits, ones):
+                    return Cube(dict(literals[i] for i in subset))
+        return None
+    finally:
+        perf.count("cube.candidates", candidates)
+        perf.count("cube.mono_checks", mono_checks)
 
 
 def _greedy_mc_search(
     sg: StateGraph, er: ExcitationRegion, full: Cube, cfr: FrozenSet[State]
 ) -> Optional[Cube]:
+    engine = bit_analysis(sg)
+    cfr_bits = engine.region_bits(("cfr", er), cfr)
+    er_bits = _er_bits(sg, er)
+    outside_all = engine.all_states_bits & ~cfr_bits
     cube = full
     for _ in range(len(full)):
-        diagnostics = check_monotonous_cover(sg, er, cube, cfr)
-        if diagnostics.is_mc:
-            return cube
-        witness = diagnostics.change_witness
+        ones = engine.cube_bits(cube)
+        witness = engine.first_rise_edge(cfr_bits, ones)
         if witness is None:
+            if er_bits & ~ones == 0 and not ones & outside_all:
+                return cube
             return None
         # drop a literal implicated in the *second* change edge
-        u2, v2 = witness[2], witness[3]
+        u2, v2 = witness
+        diff = engine.packed[u2] ^ engine.packed[v2]
+        position_of = engine.position
         changed = [
-            s
-            for s, v in cube.literals
-            if sg.value(u2, s) != sg.value(v2, s)
+            s for s, _ in cube.literals if diff >> position_of[s] & 1
         ]
         if not changed:
             return None
         cube = cube.without(changed[:1])
-        if check_monotonous_cover(sg, er, cube, cfr).outside_cfr:
+        if engine.cube_bits(cube) & outside_all:
             return None
-    diagnostics = check_monotonous_cover(sg, er, cube, cfr)
-    return cube if diagnostics.is_mc else None
+    ones = engine.cube_bits(cube)
+    if (
+        er_bits & ~ones == 0
+        and not ones & outside_all
+        and not engine.has_rise_edge(cfr_bits, ones)
+    ):
+        return cube
+    return None
 
 
 # ----------------------------------------------------------------------
@@ -377,7 +489,7 @@ def find_generalized_monotonous_cover(
     cube (a shared cube must be a cover cube of each region).  As in the
     single-region search, condition (3) is antitone in the literal set,
     so the full common cube failing (3) kills the search; otherwise
-    subsets are tried largest-first.
+    subsets are tried smallest-first with the same bitset filters.
     """
     if not ers:
         return None
@@ -388,14 +500,13 @@ def find_generalized_monotonous_cover(
         common &= set(smallest_cover_cube(sg, er).literals)
     if not common:
         return None
+    engine = bit_analysis(sg)
     literals = sorted(common)
     full = Cube(dict(literals))
-    union_cfr: Set[State] = set()
+    union_cfr_bits = 0
     for er in ers:
-        union_cfr |= constant_function_region(sg, er)
-    if any(
-        s not in union_cfr and full.covers(sg.code_dict(s)) for s in sg.states
-    ):
+        union_cfr_bits |= _cfr_bits(sg, er)
+    if engine.cube_bits(full) & ~union_cfr_bits & engine.all_states_bits:
         return None  # condition (3) unfixable by dropping literals
     for size in range(1, len(literals) + 1):
         for subset in combinations(literals, size):
@@ -517,21 +628,23 @@ def check_generalized_mc(
     """
     if not ers:
         return False
+    engine = bit_analysis(sg)
+    ones = None
     for er in ers:
         if not _is_sub_cover(sg, er, cube):
             return False
-        if not covers_correctly(sg, er, cube):
+        if ones is None:
+            ones = engine.cube_bits(cube)
+        if ones & _forbidden_bits(sg, er.signal, er.direction):
             return False
-    cfrs = [constant_function_region(sg, er) for er in ers]
-    union_cfr: Set[State] = set()
-    for cfr in cfrs:
-        union_cfr |= cfr
-    for er, cfr in zip(ers, cfrs):
-        if not all(cube.covers(sg.code_dict(s)) for s in er.states):
+    union_cfr_bits = 0
+    for er in ers:
+        cfr_bits = _cfr_bits(sg, er)
+        union_cfr_bits |= cfr_bits
+        if _er_bits(sg, er) & ~ones:
             return False
-        if _monotonicity_violation(sg, cfr, cube) is not None:
+        if engine.has_rise_edge(cfr_bits, ones):
             return False
-    for state in sg.states:
-        if state not in union_cfr and cube.covers(sg.code_dict(state)):
-            return False
+    if ones & ~union_cfr_bits & engine.all_states_bits:
+        return False
     return True

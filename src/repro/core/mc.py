@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
+from repro import perf
 from repro.boolean.cube import Cube
 from repro.core.covers import (
     check_monotonous_cover,
@@ -144,42 +145,89 @@ def _classify_stuck(
     return outside & strict, outside & opposite
 
 
-def analyze_mc(sg: StateGraph) -> MCReport:
-    """Check the (generalised) Monotonous Cover requirement per region."""
-    verdicts: List[RegionVerdict] = []
-    by_function: Dict[Tuple[str, int], List[ExcitationRegion]] = {}
-    for er in all_excitation_regions(sg, only_non_inputs=True):
-        by_function.setdefault((er.signal, er.direction), []).append(er)
+def _function_verdicts(
+    sg: StateGraph, regions: List[ExcitationRegion]
+) -> List[RegionVerdict]:
+    """Verdicts for all regions of one excitation function (signal, dir).
 
-    for (signal, direction), regions in sorted(by_function.items()):
-        private: Dict[ExcitationRegion, Optional[Cube]] = {
-            er: find_monotonous_cover(sg, er) for er in regions
-        }
-        assignment = find_region_cover_assignment(sg, regions, precomputed=private)
-        groups: Dict[Cube, List[ExcitationRegion]] = {}
-        if assignment:
-            for er, cube in assignment.items():
-                groups.setdefault(cube, []).append(er)
-        for er in regions:
-            cfr = constant_function_region(sg, er)
-            cube = assignment.get(er) if assignment else private[er]
-            stuck_stable: FrozenSet[State] = frozenset()
-            stuck_opposite: FrozenSet[State] = frozenset()
-            if cube is None:
-                smallest = smallest_cover_cube(sg, er)
-                outside = check_monotonous_cover(sg, er, smallest, cfr).outside_cfr
-                stuck_stable, stuck_opposite = _classify_stuck(sg, er, outside)
-            verdicts.append(
-                RegionVerdict(
-                    er=er,
-                    cfr=frozenset(cfr),
-                    unique_entry=has_unique_entry(sg, er),
-                    mc_cube=cube,
-                    group=tuple(groups.get(cube, [er])) if cube else (),
-                    private=private.get(er) is not None
-                    and cube == private.get(er),
-                    stuck_stable=stuck_stable,
-                    stuck_opposite=stuck_opposite,
-                )
+    Self-contained per function, which makes the per-function work
+    independently schedulable (see the ``jobs`` fan-out below).
+    """
+    verdicts: List[RegionVerdict] = []
+    private: Dict[ExcitationRegion, Optional[Cube]] = {
+        er: find_monotonous_cover(sg, er) for er in regions
+    }
+    assignment = find_region_cover_assignment(sg, regions, precomputed=private)
+    groups: Dict[Cube, List[ExcitationRegion]] = {}
+    if assignment:
+        for er, cube in assignment.items():
+            groups.setdefault(cube, []).append(er)
+    for er in regions:
+        cfr = constant_function_region(sg, er)
+        cube = assignment.get(er) if assignment else private[er]
+        stuck_stable: FrozenSet[State] = frozenset()
+        stuck_opposite: FrozenSet[State] = frozenset()
+        if cube is None:
+            smallest = smallest_cover_cube(sg, er)
+            outside = check_monotonous_cover(sg, er, smallest, cfr).outside_cfr
+            stuck_stable, stuck_opposite = _classify_stuck(sg, er, outside)
+        verdicts.append(
+            RegionVerdict(
+                er=er,
+                cfr=frozenset(cfr),
+                unique_entry=has_unique_entry(sg, er),
+                mc_cube=cube,
+                group=tuple(groups.get(cube, [er])) if cube else (),
+                private=private.get(er) is not None
+                and cube == private.get(er),
+                stuck_stable=stuck_stable,
+                stuck_opposite=stuck_opposite,
             )
-    return MCReport(sg=sg, verdicts=verdicts)
+        )
+    return verdicts
+
+
+def analyze_mc(sg: StateGraph, jobs: Optional[int] = None) -> MCReport:
+    """Check the (generalised) Monotonous Cover requirement per region.
+
+    ``jobs`` opts into a parallel fan-out: the per-function verdicts
+    (one excitation function = one (signal, direction) pair) are
+    independent of each other, so they are dispatched to a
+    ``concurrent.futures`` thread pool.  The verdict list is identical
+    to the serial one -- results are collected in the same sorted
+    function order, and each function's computation is untouched.  The
+    shared per-graph caches (regions, bitmask engine, value sets) are
+    warmed up front so workers mostly read.
+    """
+    with perf.phase("mc-analysis"):
+        by_function: Dict[Tuple[str, int], List[ExcitationRegion]] = {}
+        for er in all_excitation_regions(sg, only_non_inputs=True):
+            by_function.setdefault((er.signal, er.direction), []).append(er)
+        ordered = sorted(by_function.items())
+
+        if jobs is not None and jobs > 1 and len(ordered) > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            from repro.sg.bitengine import bit_analysis
+
+            # warm the shared caches once, serially, so concurrent cache
+            # fills (harmless but wasteful duplicates) stay rare
+            engine = bit_analysis(sg)
+            engine.succ_bits
+            for (signal, _), _regions in ordered:
+                excited_value_sets(sg, signal)
+            with ThreadPoolExecutor(max_workers=jobs) as pool:
+                results = list(
+                    pool.map(
+                        lambda item: _function_verdicts(sg, item[1]), ordered
+                    )
+                )
+        else:
+            results = [
+                _function_verdicts(sg, regions) for _, regions in ordered
+            ]
+
+        verdicts: List[RegionVerdict] = []
+        for function_verdicts in results:
+            verdicts.extend(function_verdicts)
+        return MCReport(sg=sg, verdicts=verdicts)

@@ -26,10 +26,12 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.boolean.cube import Cube
 from repro.core.covers import (
+    _cfr_bits,
     find_generalized_monotonous_cover,
     find_monotonous_cover,
     smallest_cover_cube,
 )
+from repro.sg.bitengine import bit_analysis
 from repro.sg.graph import StateGraph
 from repro.sg.regions import ExcitationRegion, all_excitation_regions
 
@@ -44,8 +46,18 @@ def _candidate_groups(
     regions: Sequence[ExcitationRegion],
     max_group: int,
 ) -> List[Tuple[FrozenSet[int], Cube]]:
-    """(region-index-set, cube) candidates with a valid generalised MC."""
+    """(region-index-set, cube) candidates with a valid generalised MC.
+
+    Groups are pruned with two precomputed bitset filters before the
+    (expensive) generalised-MC lattice search runs: the group must share
+    at least one smallest-cover literal, and the shared-literal cube must
+    not cover any reachable state outside the union of the group's CFRs
+    (condition (3) is antitone in the literal set, so the group is then
+    hopeless).
+    """
+    engine = bit_analysis(sg)
     smallest = [set(smallest_cover_cube(sg, er).literals) for er in regions]
+    cfr_bits = [_cfr_bits(sg, er) for er in regions]
     candidates: List[Tuple[FrozenSet[int], Cube]] = []
     for index, er in enumerate(regions):
         cube = find_monotonous_cover(sg, er)
@@ -55,6 +67,12 @@ def _candidate_groups(
         for group in combinations(range(len(regions)), size):
             common = set.intersection(*(smallest[i] for i in group))
             if not common:
+                continue
+            union_cfr = 0
+            for i in group:
+                union_cfr |= cfr_bits[i]
+            full = engine.cube_bits(Cube(dict(sorted(common))))
+            if full & ~union_cfr & engine.all_states_bits:
                 continue
             cube = find_generalized_monotonous_cover(
                 sg, [regions[i] for i in group]

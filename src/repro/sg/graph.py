@@ -86,10 +86,10 @@ class StateGraph:
         #: because the graph is immutable after construction
         self._analysis_cache: Dict[Hashable, object] = {}
 
-        self._succ: Dict[State, List[Tuple[SignalEvent, State]]] = {
+        successors: Dict[State, List[Tuple[SignalEvent, State]]] = {
             s: [] for s in self._codes
         }
-        self._pred: Dict[State, List[Tuple[SignalEvent, State]]] = {
+        predecessors: Dict[State, List[Tuple[SignalEvent, State]]] = {
             s: [] for s in self._codes
         }
         for source, event, target in arcs:
@@ -98,8 +98,23 @@ class StateGraph:
                     f"arc ({source!r}, {event}, {target!r}) references unknown state"
                 )
             self._check_arc(source, event, target)
-            self._succ[source].append((event, target))
-            self._pred[target].append((event, source))
+            successors[source].append((event, target))
+            predecessors[target].append((event, source))
+        # The graph is immutable from here on, so the adjacency and the
+        # derived views are frozen once instead of being rebuilt on every
+        # access inside region-analysis loops.
+        self._succ: Dict[State, Tuple[Tuple[SignalEvent, State], ...]] = {
+            s: tuple(pairs) for s, pairs in successors.items()
+        }
+        self._pred: Dict[State, Tuple[Tuple[SignalEvent, State], ...]] = {
+            s: tuple(pairs) for s, pairs in predecessors.items()
+        }
+        self._states_view: FrozenSet[State] = frozenset(self._codes)
+        self._state_list: Tuple[State, ...] = tuple(self._codes)
+        self._excited: Dict[State, FrozenSet[str]] = {
+            s: frozenset(event.signal for event, _ in pairs)
+            for s, pairs in self._succ.items()
+        }
 
     # ------------------------------------------------------------------
     # Consistency
@@ -145,7 +160,12 @@ class StateGraph:
     # ------------------------------------------------------------------
     @property
     def states(self) -> FrozenSet[State]:
-        return frozenset(self._codes)
+        return self._states_view
+
+    @property
+    def state_list(self) -> Tuple[State, ...]:
+        """States in construction order (the bitmask engine's bit order)."""
+        return self._state_list
 
     @property
     def non_inputs(self) -> FrozenSet[str]:
@@ -182,10 +202,10 @@ class StateGraph:
         ]
 
     def arcs_from(self, state: State) -> Tuple[Tuple[SignalEvent, State], ...]:
-        return tuple(self._succ[state])
+        return self._succ[state]
 
     def arcs_into(self, state: State) -> Tuple[Tuple[SignalEvent, State], ...]:
-        return tuple(self._pred[state])
+        return self._pred[state]
 
     def successors(self, state: State) -> List[State]:
         return [target for _, target in self._succ[state]]
@@ -196,12 +216,12 @@ class StateGraph:
     def enabled_events(self, state: State) -> List[SignalEvent]:
         return [event for event, _ in self._succ[state]]
 
-    def excited_signals(self, state: State) -> Set[str]:
+    def excited_signals(self, state: State) -> FrozenSet[str]:
         """Signals with an enabled transition in ``state`` (marked * in the paper)."""
-        return {event.signal for event, _ in self._succ[state]}
+        return self._excited[state]
 
     def is_excited(self, state: State, signal: str) -> bool:
-        return any(event.signal == signal for event, _ in self._succ[state])
+        return signal in self._excited[state]
 
     def fire(self, state: State, event: SignalEvent) -> List[State]:
         """All targets reached by firing ``event`` in ``state``."""

@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
 
+from repro import perf
+from repro.sg.bitengine import bit_analysis
 from repro.sg.events import SignalEvent
 from repro.sg.graph import State, StateGraph
 
@@ -51,24 +53,17 @@ class ExcitationRegion:
 
 
 def _weak_components(sg: StateGraph, states: Set[State]) -> List[Set[State]]:
-    """Weakly connected components of the subgraph induced on ``states``."""
-    remaining = set(states)
-    components = []
-    while remaining:
-        seed = remaining.pop()
-        component = {seed}
-        frontier = [seed]
-        while frontier:
-            current = frontier.pop()
-            neighbours = [t for _, t in sg.arcs_from(current)]
-            neighbours += [s for _, s in sg.arcs_into(current)]
-            for other in neighbours:
-                if other in remaining:
-                    remaining.remove(other)
-                    component.add(other)
-                    frontier.append(other)
-        components.append(component)
-    return components
+    """Weakly connected components of the subgraph induced on ``states``.
+
+    Delegates to the bitmask engine: the flood fill runs on adjacency
+    bitsets (one big-int OR per member state) instead of per-arc Python
+    set operations.
+    """
+    engine = bit_analysis(sg)
+    return [
+        set(engine.states_of(component))
+        for component in engine.weak_components(engine.bits_of(states))
+    ]
 
 
 def _bfs_order(sg: StateGraph) -> Dict[State, int]:
@@ -79,12 +74,23 @@ def _bfs_order(sg: StateGraph) -> Dict[State, int]:
     order = {sg.initial: 0}
     queue = [sg.initial]
     head = 0
+    event_str: Dict[SignalEvent, str] = {}
+    state_str: Dict[State, str] = {}
+
+    def _key(pair):
+        event, target = pair
+        es = event_str.get(event)
+        if es is None:
+            es = event_str[event] = str(event)
+        ts = state_str.get(target)
+        if ts is None:
+            ts = state_str[target] = str(target)
+        return (es, ts)
+
     while head < len(queue):
         current = queue[head]
         head += 1
-        for event, target in sorted(
-            sg.arcs_from(current), key=lambda pair: (str(pair[0]), str(pair[1]))
-        ):
+        for event, target in sorted(sg.arcs_from(current), key=_key):
             if target not in order:
                 order[target] = len(order)
                 queue.append(target)
@@ -101,24 +107,26 @@ def excitation_regions(sg: StateGraph, signal: str) -> List[ExcitationRegion]:
     cached = sg._analysis_cache.get(("regions", signal))
     if cached is not None:
         return cached
-    position = sg.signal_position(signal)
-    discovery = _bfs_order(sg)
-    regions: List[ExcitationRegion] = []
-    for direction in (+1, -1):
-        before = 0 if direction == 1 else 1
-        excited = {
-            s
-            for s in sg.states
-            if sg.code(s)[position] == before and sg.is_excited(s, signal)
-        }
-        components = _weak_components(sg, excited)
-        components.sort(key=lambda c: min(discovery.get(s, len(discovery)) for s in c))
-        for i, component in enumerate(components, start=1):
-            regions.append(
-                ExcitationRegion(signal, direction, i, frozenset(component))
+    with perf.phase("regions"):
+        engine = bit_analysis(sg)
+        position = sg.signal_position(signal)
+        discovery = _bfs_order(sg)
+        excited_all = engine.excited_bits(signal)
+        regions: List[ExcitationRegion] = []
+        for direction in (+1, -1):
+            before = 0 if direction == 1 else 1
+            excited = excited_all & engine.literal_bits(position, before)
+            components = [
+                frozenset(engine.states_of(bits))
+                for bits in engine.weak_components(excited)
+            ]
+            components.sort(
+                key=lambda c: min(discovery.get(s, len(discovery)) for s in c)
             )
-    sg._analysis_cache[("regions", signal)] = regions
-    return regions
+            for i, component in enumerate(components, start=1):
+                regions.append(ExcitationRegion(signal, direction, i, component))
+        sg._analysis_cache[("regions", signal)] = regions
+        return regions
 
 
 def all_excitation_regions(
@@ -132,13 +140,16 @@ def all_excitation_regions(
     return result
 
 
+def _stable_bits(sg: StateGraph, signal: str, value: int) -> int:
+    """Bitset of states where ``signal`` holds ``value`` and is stable."""
+    engine = bit_analysis(sg)
+    at_value = engine.literal_bits(sg.signal_position(signal), value)
+    return at_value & ~engine.excited_bits(signal) & engine.all_states_bits
+
+
 def _stable_states(sg: StateGraph, signal: str, value: int) -> Set[State]:
-    position = sg.signal_position(signal)
-    return {
-        s
-        for s in sg.states
-        if sg.code(s)[position] == value and not sg.is_excited(s, signal)
-    }
+    engine = bit_analysis(sg)
+    return set(engine.states_of(_stable_bits(sg, signal, value)))
 
 
 def quiescent_region(sg: StateGraph, er: ExcitationRegion) -> FrozenSet[State]:
@@ -152,39 +163,59 @@ def quiescent_region(sg: StateGraph, er: ExcitationRegion) -> FrozenSet[State]:
     cached = sg._analysis_cache.get(("qr", er))
     if cached is not None:
         return cached
-    event = er.event
-    exits = {
-        target
-        for source in er.states
-        for e, target in sg.arcs_from(source)
-        if e == event
-    }
-    stable = _stable_states(sg, er.signal, event.value_after)
-    exits &= stable  # a may be instantly re-excited; then QR is empty
+    engine = bit_analysis(sg)
+    succ = engine.succ_bits
+    reach = 0
+    members = engine.region_bits(("er", er), er.states)
+    while members:
+        low = members & -members
+        reach |= succ[low.bit_length() - 1]
+        members ^= low
+    # every ER state has a = value_before, so a successor with
+    # a = value_after was necessarily reached by firing *a_i itself
+    stable = _stable_bits(sg, er.signal, er.event.value_after)
+    exits = reach & stable  # a may be instantly re-excited; then QR empty
     if not exits:
         sg._analysis_cache[("qr", er)] = frozenset()
         return frozenset()
-    result: Set[State] = set()
-    for component in _weak_components(sg, stable):
+    # the stable set is shared by every region of the same (signal,
+    # direction) pair, so its flood fill is worth its own cache slot
+    comp_key = ("stable_comps", er.signal, er.event.value_after)
+    components = sg._analysis_cache.get(comp_key)
+    if components is None:
+        components = engine.weak_components(stable)
+        sg._analysis_cache[comp_key] = components
+    result = 0
+    for component in components:
         if component & exits:
             result |= component
-    frozen = frozenset(result)
+    frozen = engine.states_of(result)
     sg._analysis_cache[("qr", er)] = frozen
     return frozen
 
 
 def constant_function_region(sg: StateGraph, er: ExcitationRegion) -> FrozenSet[State]:
-    """CFR(*a_i) = ER(*a_i) u QR(*a_i) (Definition 7)."""
-    return er.states | quiescent_region(sg, er)
+    """CFR(*a_i) = ER(*a_i) u QR(*a_i) (Definition 7).  Cached per graph."""
+    cached = sg._analysis_cache.get(("cfr", er))
+    if cached is None:
+        cached = er.states | quiescent_region(sg, er)
+        sg._analysis_cache[("cfr", er)] = cached
+    return cached
 
 
 def minimal_states(sg: StateGraph, er: ExcitationRegion) -> FrozenSet[State]:
     """States of the region with no predecessor inside it (Definition 8)."""
-    return frozenset(
-        s
-        for s in er.states
-        if not any(p in er.states for _, p in sg.arcs_into(s))
-    )
+    engine = bit_analysis(sg)
+    er_bits = engine.region_bits(("er", er), er.states)
+    pred = engine.pred_bits
+    minima = 0
+    members = er_bits
+    while members:
+        low = members & -members
+        if pred[low.bit_length() - 1] & er_bits == 0:
+            minima |= low
+        members ^= low
+    return engine.states_of(minima)
 
 
 def has_unique_entry(sg: StateGraph, er: ExcitationRegion) -> bool:
@@ -219,16 +250,25 @@ def trigger_signals(sg: StateGraph, er: ExcitationRegion) -> Set[str]:
     return {event.signal for event in trigger_events(sg, er)}
 
 
-def ordered_signals(sg: StateGraph, er: ExcitationRegion) -> Set[str]:
+def ordered_signals(sg: StateGraph, er: ExcitationRegion) -> FrozenSet[str]:
     """Signals with no excited transition inside the region (Definition 11).
 
     The region's own signal is always concurrent with itself (it is excited
-    throughout the region), so it never appears in the result.
+    throughout the region), so it never appears in the result.  Cached per
+    (graph, region): the cover-cube search queries it per candidate.
     """
-    excited_somewhere: Set[str] = set()
-    for state in er.states:
-        excited_somewhere |= sg.excited_signals(state)
-    return set(sg.signals) - excited_somewhere
+    cached = sg._analysis_cache.get(("ordered", er))
+    if cached is not None:
+        return cached
+    engine = bit_analysis(sg)
+    er_bits = engine.region_bits(("er", er), er.states)
+    result = frozenset(
+        signal
+        for signal in sg.signals
+        if not engine.excited_bits(signal) & er_bits
+    )
+    sg._analysis_cache[("ordered", er)] = result
+    return result
 
 
 def concurrent_signals(sg: StateGraph, er: ExcitationRegion) -> Set[str]:
@@ -249,7 +289,12 @@ def excited_value_sets(sg: StateGraph, signal: str) -> Dict[str, FrozenSet[State
     The stable sets are defined directly (every stable state belongs to a
     quiescent region of the preceding transition whenever the signal is
     live; taking all stable states also covers constant signals safely).
+    Cached per (graph, signal): the correctness checks of the candidate
+    cube search query the same four sets once per candidate.
     """
+    cached = sg._analysis_cache.get(("evs", signal))
+    if cached is not None:
+        return cached
     position = sg.signal_position(signal)
     zero_stable, zero_excited, one_stable, one_excited = set(), set(), set(), set()
     for state in sg.states:
@@ -259,9 +304,11 @@ def excited_value_sets(sg: StateGraph, signal: str) -> Dict[str, FrozenSet[State
             (zero_excited if excited else zero_stable).add(state)
         else:
             (one_excited if excited else one_stable).add(state)
-    return {
+    result = {
         "0-set": frozenset(zero_stable),
         "0*-set": frozenset(zero_excited),
         "1-set": frozenset(one_stable),
         "1*-set": frozenset(one_excited),
     }
+    sg._analysis_cache[("evs", signal)] = result
+    return result

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro import perf
 from repro.sg.graph import StateGraph
 from repro.stg.petrinet import Marking, SafenessViolation
 from repro.stg.stg import STG
@@ -83,9 +84,10 @@ def explore(stg: STG, max_states: int = 200_000):
 def _infer_initial_values(stg: STG, parities, arcs) -> Dict[str, int]:
     """Initial signal values from edge-enabledness constraints."""
     values: Dict[str, Optional[int]] = {s: None for s in stg.signals}
+    position = {s: i for i, s in enumerate(stg.signals)}
     for marking, transition, _ in arcs:
         event = stg.event_of(transition)
-        parity = parities[marking][stg.signals.index(event.signal)]
+        parity = parities[marking][position[event.signal]]
         # value at this marking is event.value_before = initial ^ parity
         implied = event.value_before ^ parity
         known = values[event.signal]
@@ -110,6 +112,7 @@ def _infer_initial_values(stg: STG, parities, arcs) -> Dict[str, int]:
     return resolved
 
 
+@perf.timed("reachability")
 def stg_to_state_graph(stg: STG, max_states: int = 200_000) -> StateGraph:
     """Build the state graph of an STG (markings become states ``m0, m1, ...``)."""
     order, parities, arcs = explore(stg, max_states=max_states)
