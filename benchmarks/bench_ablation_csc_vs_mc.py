@@ -11,7 +11,7 @@ gate atomicity.
 
 import pytest
 
-from repro.bench.suite import BENCHMARKS, load_benchmark
+from repro.bench.suite import load_benchmark
 from repro.core.complexgate import complex_gate_netlist, complex_gate_synthesize
 from repro.core.csc import insert_for_csc
 from repro.core.insertion import insert_state_signals

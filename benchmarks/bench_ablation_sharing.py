@@ -14,7 +14,7 @@ Not a table in the paper, but the design choices its text calls out:
 
 import pytest
 
-from repro.bench.suite import BENCHMARKS, run_pipeline
+from repro.bench.suite import run_pipeline
 from repro.core.synthesis import synthesize
 from repro.netlist.hazards import verify_speed_independence
 from repro.netlist.netlist import netlist_from_implementation

@@ -8,11 +8,9 @@ two-level minimiser, BDD construction, and state-graph elaboration.
 
 import itertools
 
-import pytest
 
 from repro.bench.generators import concurrent_fork, token_ring
 from repro.boolean.bdd import BDD
-from repro.boolean.cube import Cube
 from repro.boolean.minimize import minimize_onset
 from repro.sat.cnf import CNF
 from repro.sat.solver import Solver

@@ -13,7 +13,7 @@ design.
 
 import pytest
 
-from repro.bench.suite import BENCHMARKS, run_pipeline
+from repro.bench.suite import run_pipeline
 from repro.core.synthesis import synthesize
 from repro.netlist.hazards import verify_speed_independence
 from repro.netlist.netlist import netlist_from_implementation

@@ -1,0 +1,127 @@
+"""Host-independent hot-path regression gate for CI.
+
+``BENCH_pipeline.json`` freezes the paired A/B measurement that accepted
+the bitmask engine: ``pre_change_baseline_ms`` (the pure dict-based
+path, now retained verbatim as :mod:`repro.verify.reference`) against
+``paired_post_change_ms`` (the engine) on the same host.  Absolute
+milliseconds are meaningless across CI runners, but the *ratio* between
+the two paths is not: both run on the same interpreter on the same host
+in the same process.
+
+This script re-measures both paths on the current host and fails (exit
+1) when the measured engine advantage falls more than ``--factor``
+(default 1.25, i.e. 25%) below the frozen ratio -- the engine got
+relatively slower, which is exactly what a hot-path regression looks
+like regardless of how fast the runner is.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py [--factor 1.25]
+                                                         [--rounds 5]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.bench.generators import concurrent_fork, token_ring
+from repro.core.mc import analyze_mc
+from repro.stg.reachability import stg_to_state_graph
+from repro.verify.reference import analyze_mc_reference
+
+CASES = {
+    "concurrent_fork(5)": lambda: concurrent_fork(5),
+    "token_ring(12)": lambda: token_ring(12),
+}
+
+_JSON_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_pipeline.json",
+)
+
+
+def frozen_ratios(path: str = _JSON_PATH) -> dict:
+    """Per-case frozen (reference / engine) ratios from the pipeline log."""
+    with open(path) as handle:
+        document = json.load(handle)
+    hotpath = document["hotpath"]
+    baseline = hotpath["pre_change_baseline_ms"]
+    paired = hotpath["paired_post_change_ms"]
+    return {
+        case: baseline[case]["best"] / paired[case]["best"]
+        for case in baseline
+        if case in paired
+    }
+
+
+def measure_ratio(case: str, rounds: int = 5) -> tuple:
+    """Best-of-N wall times for both paths on a fresh graph per round."""
+    stg = CASES[case]()
+    engine_times, reference_times = [], []
+    for _ in range(rounds):
+        sg = stg_to_state_graph(stg)
+        start = time.perf_counter()
+        analyze_mc(sg)
+        engine_times.append(time.perf_counter() - start)
+        sg = stg_to_state_graph(stg)  # fresh: both paths start cold
+        start = time.perf_counter()
+        analyze_mc_reference(sg)
+        reference_times.append(time.perf_counter() - start)
+    return min(engine_times) * 1000, min(reference_times) * 1000
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--factor", type=float, default=1.25,
+        help="tolerated relative slowdown of the engine vs the frozen "
+        "ratio (default 1.25 = fail beyond 25%%)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=5,
+        help="measurement rounds per case (best-of, default 5)",
+    )
+    parser.add_argument(
+        "--json", default=_JSON_PATH,
+        help="path to BENCH_pipeline.json (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        frozen = frozen_ratios(args.json)
+    except (OSError, KeyError, ValueError) as exc:
+        print(f"check_regression: cannot load frozen baseline: {exc}",
+              file=sys.stderr)
+        return 2
+
+    failed = []
+    for case in sorted(CASES):
+        if case not in frozen:
+            print(f"{case}: no frozen baseline, skipped")
+            continue
+        engine_ms, reference_ms = measure_ratio(case, rounds=args.rounds)
+        measured = reference_ms / engine_ms
+        floor = frozen[case] / args.factor
+        verdict = "ok" if measured >= floor else "REGRESSED"
+        print(
+            f"{case}: engine {engine_ms:.2f}ms, reference {reference_ms:.2f}ms "
+            f"-> {measured:.2f}x (frozen {frozen[case]:.2f}x, "
+            f"floor {floor:.2f}x): {verdict}"
+        )
+        if measured < floor:
+            failed.append(case)
+    if failed:
+        print(
+            f"check_regression: hot path regressed on {', '.join(failed)}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

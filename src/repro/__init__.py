@@ -111,12 +111,16 @@ def synthesize_from_state_graph(
     share_gates: bool = False,
     verify: bool = True,
     max_models: int = 400,
+    verify_max_states: int = 500_000,
 ) -> SynthesisResult:
     """The paper's full synthesis procedure from a state graph.
 
     1. insert state signals until the (generalised) MC requirement holds,
     2. derive the standard C- or RS-implementation,
-    3. optionally verify speed independence at the gate level.
+    3. optionally verify speed independence at the gate level
+       (``verify_max_states`` caps the circuit-level composition; a
+       truncated composition makes the hazard report *inconclusive*
+       rather than hazard-free).
     """
     from repro import perf
 
@@ -128,7 +132,11 @@ def synthesize_from_state_graph(
         netlist = netlist_from_implementation(implementation, style)
     with perf.phase("hazard-check"):
         report = (
-            verify_speed_independence(netlist, insertion.sg) if verify else None
+            verify_speed_independence(
+                netlist, insertion.sg, max_states=verify_max_states
+            )
+            if verify
+            else None
         )
     return SynthesisResult(
         spec=sg,

@@ -17,7 +17,7 @@ property tests:
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Iterator, List, Tuple
 
 from repro.stg.parser import parse_g
 from repro.stg.stg import STG
@@ -175,3 +175,31 @@ def random_series_parallel(seed: int, leaves: int = 4) -> STG:
         + [".marking { <a-,r+> }", ".end"]
     )
     return parse_g(text, name=f"sp_{seed}")
+
+
+def fuzz_specs(count: int, seed: int = 0) -> Iterator[Tuple[str, STG]]:
+    """A deterministic stream of ``count`` named fuzz specifications.
+
+    The mix feeding the differential-verification oracle
+    (:mod:`repro.verify.differential`): seven in ten designs are random
+    series-parallel controllers (each with a fresh seed and a varying
+    leaf count), the rest rotate through the parametric families so the
+    sweep also exercises sequential rings, exponential forks and
+    insertion-heavy alternators.  The stream depends only on
+    ``(count, seed)``.
+    """
+    for i in range(count):
+        slot = i % 10
+        if slot < 7:
+            leaves = 2 + (seed + i) % 5
+            stg = random_series_parallel(seed * 100_003 + i, leaves=leaves)
+            yield f"sp_{seed}_{i}(leaves={leaves})", stg
+        elif slot == 7:
+            n = 2 + (i // 10) % 6
+            yield f"token_ring({n})", token_ring(n)
+        elif slot == 8:
+            n = 2 + (i // 10) % 3
+            yield f"concurrent_fork({n})", concurrent_fork(n)
+        else:
+            n = 2 + (i // 10) % 4
+            yield f"alternator({n})", alternator(n)

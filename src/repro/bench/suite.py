@@ -15,12 +15,11 @@ from __future__ import annotations
 import json
 import os
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro import perf
 from repro.core.insertion import InsertionResult, insert_state_signals
-from repro.core.mc import analyze_mc
 from repro.core.synthesis import Implementation, synthesize
 from repro.netlist.hazards import HazardReport, verify_speed_independence
 from repro.netlist.netlist import netlist_from_implementation

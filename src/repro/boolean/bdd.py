@@ -13,7 +13,7 @@ are referenced by integer node ids; 0 and 1 are the terminals.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.boolean.cover import Cover
 from repro.boolean.cube import Cube

@@ -6,10 +6,23 @@ Subcommands mirror the library pipeline::
     repro-si synth spec.g         # full synthesis, equations + netlist
     repro-si verify spec.g        # synthesise and model-check (exit code)
     repro-si simulate spec.g      # Monte-Carlo random-delay simulation
+    repro-si diff                 # differential oracle sweep (CI gate)
     repro-si table1               # regenerate the paper's Table 1
 
 ``synth`` accepts ``--style C|RS``, ``--share`` (Section-VI gate
-sharing), ``--verilog FILE`` and ``--dot FILE`` exports.
+sharing), ``--verilog FILE`` and ``--dot FILE`` exports.  ``verify``
+accepts ``--budget-states`` / ``--budget-seconds`` graceful-degradation
+bounds and ``--fault-model`` dynamic fault injection.
+
+Exit codes distinguish *verdicts* from *non-answers*:
+
+========  =====================================================
+``0``     success / hazard-free
+``1``     definite negative: hazard found or synthesis failed
+``2``     usage or load error (missing file, malformed ``.g``)
+``3``     inconclusive: a budget tripped or the state space was
+          truncated -- neither proven clean nor shown hazardous
+========  =====================================================
 """
 
 from __future__ import annotations
@@ -23,18 +36,40 @@ from repro.core.mc import analyze_mc
 from repro.netlist.render import netlist_to_dot, netlist_to_verilog, sg_to_dot
 from repro.netlist.simulate import monte_carlo
 from repro.sg.csc import has_csc, has_usc
+from repro.sg.graph import InconsistentStateGraph
 from repro.sg.properties import (
     is_output_distributive,
     is_output_semi_modular,
     is_persistent,
 )
 from repro.stg.parser import load_g
-from repro.stg.reachability import stg_to_state_graph
+from repro.stg.reachability import ReachabilityError, stg_to_state_graph
+
+EXIT_OK = 0
+EXIT_HAZARD = 1
+EXIT_USAGE = 2
+EXIT_INCONCLUSIVE = 3
 
 
-def _load(path: str):
-    stg = load_g(path)
-    return stg, stg_to_state_graph(stg)
+class CliError(Exception):
+    """A usage/input problem: reported on stderr, exit :data:`EXIT_USAGE`."""
+
+
+def _load(path: str, max_states: int = 1_000_000):
+    try:
+        stg = load_g(path)
+    except OSError as exc:
+        raise CliError(f"cannot read specification: {exc}") from exc
+    except ValueError as exc:
+        raise CliError(f"malformed .g file {path!r}: {exc}") from exc
+    if not stg.net.transitions:
+        raise CliError(f"malformed .g file {path!r}: no transitions")
+    try:
+        return stg, stg_to_state_graph(stg, max_states=max_states)
+    except ReachabilityError:
+        raise  # state blowup: inconclusive, handled in main()
+    except (InconsistentStateGraph, ValueError) as exc:
+        raise CliError(f"invalid specification {path!r}: {exc}") from exc
 
 
 def _start_profile(args: argparse.Namespace) -> Optional[perf.PerfRecorder]:
@@ -124,12 +159,53 @@ def cmd_synth(args: argparse.Namespace) -> int:
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verify.budget import Budget
+
     recorder = _start_profile(args)
-    _, sg = _load(args.spec)
-    result = synthesize_from_state_graph(sg, style=args.style, verify=True)
+    budget = Budget(max_states=args.budget_states, max_seconds=args.budget_seconds)
+    _, sg = _load(args.spec, max_states=budget.remaining_states(1_000_000))
+    budget.charge_states(len(sg.state_list), "specification elaboration")
+    result = synthesize_from_state_graph(
+        sg,
+        style=args.style,
+        verify=True,
+        verify_max_states=budget.remaining_states(500_000),
+    )
+    budget.charge_states(
+        len(result.hazard_report.circuit_sg.state_list), "circuit composition"
+    )
+    budget.check_time("speed-independence check")
     print(result.hazard_report.describe())
+    exit_code = EXIT_OK if result.hazard_free else EXIT_HAZARD
+    report = result.hazard_report
+    if report.composition.truncated and not result.hazard_free:
+        # truncated with no hazard witness so far: nothing is proven
+        if not report.conflicts and not report.composition.conformance_failures:
+            print(
+                "repro-si: inconclusive: circuit state space truncated "
+                "before full exploration",
+                file=sys.stderr,
+            )
+            exit_code = EXIT_INCONCLUSIVE
+    if args.fault_model:
+        from repro.verify.faults import run_fault_injection
+
+        fault_report = run_fault_injection(
+            result.netlist,
+            result.insertion.sg,
+            models=args.fault_model,
+            runs=args.fault_runs,
+            seed=args.seed,
+            budget=budget,
+        )
+        print()
+        print(fault_report.describe())
+        if not fault_report.mc_robust:
+            exit_code = EXIT_HAZARD
+        elif fault_report.truncated and exit_code == EXIT_OK:
+            exit_code = EXIT_INCONCLUSIVE
     _finish_profile(recorder)
-    return 0 if result.hazard_free else 1
+    return exit_code
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
@@ -153,16 +229,62 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0 if not bad else 1
 
 
+def cmd_diff(args: argparse.Namespace) -> int:
+    """Differential oracle sweep: bitengine vs reference path (CI gate)."""
+    from repro.verify.differential import differential_campaign
+
+    progress = None
+    if args.verbose:
+        progress = lambda record: print(record.describe(), file=sys.stderr)  # noqa: E731
+    report = differential_campaign(
+        count=args.count,
+        seed=args.seed,
+        repair=not args.no_repair,
+        max_states=args.max_states,
+        max_seconds_each=args.max_seconds_each,
+        repair_seconds=args.repair_seconds,
+        progress=progress,
+    )
+    print(report.describe())
+    if report.divergent:
+        return EXIT_HAZARD
+    if report.checked == 0:
+        print(
+            "repro-si: inconclusive: every design blew its budget",
+            file=sys.stderr,
+        )
+        return EXIT_INCONCLUSIVE
+    return EXIT_OK
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     """Verify an externally-provided netlist against a specification."""
     from repro.netlist.hazards import verify_speed_independence
     from repro.netlist.io import load_netlist
 
     _, sg = _load(args.spec)
-    netlist = load_netlist(args.netlist)
+    try:
+        netlist = load_netlist(args.netlist)
+    except OSError as exc:
+        raise CliError(f"cannot read netlist: {exc}") from exc
+    except ValueError as exc:
+        raise CliError(f"malformed netlist {args.netlist!r}: {exc}") from exc
     report = verify_speed_independence(netlist, sg, max_states=args.max_states)
     print(report.describe())
-    return 0 if report.hazard_free else 1
+    if report.hazard_free:
+        return EXIT_OK
+    if (
+        report.composition.truncated
+        and not report.conflicts
+        and not report.composition.conformance_failures
+    ):
+        print(
+            "repro-si: inconclusive: circuit state space truncated "
+            "before full exploration",
+            file=sys.stderr,
+        )
+        return EXIT_INCONCLUSIVE
+    return EXIT_HAZARD
 
 
 def cmd_table1(args: argparse.Namespace) -> int:
@@ -255,10 +377,65 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.add_argument("spec", help=".g file")
     p_verify.add_argument("--style", choices=["C", "RS", "RS-NOR", "C-INV"], default="C")
     p_verify.add_argument(
+        "--budget-states", type=int, default=None,
+        help="total state budget across elaboration + composition "
+        "(exceeded -> exit 3, inconclusive)",
+    )
+    p_verify.add_argument(
+        "--budget-seconds", type=float, default=None,
+        help="wall-clock budget for the whole run (exceeded -> exit 3)",
+    )
+    p_verify.add_argument(
+        "--fault-model", action="append", default=None,
+        choices=["delay", "glitch", "stuck"],
+        help="additionally run dynamic fault injection (repeatable); "
+        "a delay-storm hazard on the MC circuit -> exit 1",
+    )
+    p_verify.add_argument(
+        "--fault-runs", type=int, default=20,
+        help="simulation runs per fault model (default 20)",
+    )
+    p_verify.add_argument(
+        "--seed", type=int, default=0,
+        help="random seed for fault injection",
+    )
+    p_verify.add_argument(
         "--profile", action="store_true",
         help="print per-phase wall time and primitive-op counts",
     )
     p_verify.set_defaults(func=cmd_verify)
+
+    p_diff = sub.add_parser(
+        "diff",
+        help="differential oracle: bitengine vs reference on random STGs",
+    )
+    p_diff.add_argument(
+        "--count", type=int, default=200,
+        help="number of randomized specifications (default 200)",
+    )
+    p_diff.add_argument("--seed", type=int, default=0)
+    p_diff.add_argument(
+        "--max-states", type=int, default=20_000,
+        help="per-design state budget (blown -> design skipped)",
+    )
+    p_diff.add_argument(
+        "--max-seconds-each", type=float, default=30.0,
+        help="per-design wall-clock budget (blown -> design skipped)",
+    )
+    p_diff.add_argument(
+        "--repair-seconds", type=float, default=5.0,
+        help="per-design deadline for the insertion cross-check "
+        "(expired -> cross-check skipped for that design)",
+    )
+    p_diff.add_argument(
+        "--no-repair", action="store_true",
+        help="skip the insertion-engine repair cross-check",
+    )
+    p_diff.add_argument(
+        "--verbose", action="store_true",
+        help="stream one line per design to stderr",
+    )
+    p_diff.set_defaults(func=cmd_diff)
 
     p_sim = sub.add_parser("simulate", help="Monte-Carlo delay simulation")
     p_sim.add_argument("spec", help=".g file")
@@ -296,9 +473,27 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro.core.complexgate import CSCViolation
+    from repro.core.insertion import InsertionError
+    from repro.core.synthesis import SynthesisError
+    from repro.verify.budget import BudgetExceeded
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except CliError as exc:
+        print(f"repro-si: error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except BudgetExceeded as exc:
+        print(f"repro-si: inconclusive: {exc.reason}", file=sys.stderr)
+        return EXIT_INCONCLUSIVE
+    except ReachabilityError as exc:
+        print(f"repro-si: inconclusive: {exc}", file=sys.stderr)
+        return EXIT_INCONCLUSIVE
+    except (CSCViolation, InsertionError, SynthesisError) as exc:
+        print(f"repro-si: synthesis failed: {exc}", file=sys.stderr)
+        return EXIT_HAZARD
 
 
 if __name__ == "__main__":

@@ -41,7 +41,7 @@ and friends.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 from repro.sat.cnf import CNF
 from repro.sat.solver import Solver
@@ -159,9 +159,17 @@ class LabelEncoding:
         self.cnf.forbid([self.var(s, l) for s, l in labelling.items()])
 
     # ------------------------------------------------------------------
-    def solve(self, assumptions: Sequence[int] = ()) -> Optional[Dict[State, str]]:
-        """One labelling satisfying all constraints, or ``None``."""
-        model = Solver.from_cnf(self.cnf).solve(assumptions)
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        deadline: Optional[float] = None,
+    ) -> Optional[Dict[State, str]]:
+        """One labelling satisfying all constraints, or ``None``.
+
+        ``deadline`` propagates to the SAT search, which raises
+        :class:`repro.sat.solver.SolverTimeout` when it expires.
+        """
+        model = Solver.from_cnf(self.cnf).solve(assumptions, deadline=deadline)
         if model is None:
             return None
         labelling: Dict[State, str] = {}

@@ -30,8 +30,9 @@ Both invariants are property-tested.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.assignment import LabelEncoding, lifted_phases, phases
 from repro.core.mc import MCReport, RegionVerdict, analyze_mc
@@ -424,10 +425,15 @@ def labelling_from_partition(
     return labels
 
 
+def _deadline_expired(deadline: Optional[float]) -> bool:
+    return deadline is not None and time.monotonic() > deadline
+
+
 def _partition_candidates(
     sg: StateGraph,
     report: MCReport,
     per_set_budget: int = 30,
+    deadline: Optional[float] = None,
 ):
     """High-quality candidates from 2-valued partitions with few crossings.
 
@@ -438,7 +444,7 @@ def _partition_candidates(
     partition is canonicalised by :func:`labelling_from_partition`.
     """
     from repro.sat.cnf import CNF
-    from repro.sat.solver import Solver
+    from repro.sat.solver import Solver, SolverTimeout
 
     states = sorted(sg.states, key=str)
     arcs = sg.arcs()
@@ -447,6 +453,8 @@ def _partition_candidates(
             region_value = orientation
             stuck_value = 1 - orientation
             for crossing_bound in (2, 4):
+                if _deadline_expired(deadline):
+                    return
                 cnf = CNF()
                 var = {s: cnf.var(("v", s)) for s in states}
                 for state in verdict.er.states:
@@ -466,7 +474,12 @@ def _partition_candidates(
                 solver = Solver.from_cnf(cnf)
                 produced = 0
                 while produced < per_set_budget:
-                    model = solver.solve()
+                    if _deadline_expired(deadline):
+                        return
+                    try:
+                        model = solver.solve(deadline=deadline)
+                    except SolverTimeout:
+                        return
                     if model is None:
                         break
                     produced += 1
@@ -482,6 +495,7 @@ def _candidate_labellings(
     sg: StateGraph,
     report: MCReport,
     per_set_budget: int = 20,
+    deadline: Optional[float] = None,
 ):
     """Yield labellings from progressively weaker constraint sets.
 
@@ -499,7 +513,7 @@ def _candidate_labellings(
 
     # High-quality partition-derived candidates first.
     emitted = set()
-    for labelling in _partition_candidates(sg, report):
+    for labelling in _partition_candidates(sg, report, deadline=deadline):
         key = tuple(sorted((str(s), l) for s, l in labelling.items()))
         if key not in emitted:
             emitted.add(key)
@@ -527,6 +541,8 @@ def _candidate_labellings(
             for combo in combos:
                 for with_alias in (True, False):
                     for tier in tiers:
+                        if _deadline_expired(deadline):
+                            return
                         encoding = LabelEncoding(sg)
                         for verdict, orientation in zip(subset, combo):
                             add_separation_constraints(
@@ -548,12 +564,19 @@ def _candidate_labellings(
 
     # Round-robin across the sets: one model from each live set per
     # sweep, so early exhaustive sets cannot starve the later ones.
+    from repro.sat.solver import SolverTimeout
+
     live = [[encoding, 0] for encoding in build_sets()]
     while live:
         still_live = []
         for entry in live:
+            if _deadline_expired(deadline):
+                return
             encoding, produced = entry
-            labelling = encoding.solve()
+            try:
+                labelling = encoding.solve(deadline=deadline)
+            except SolverTimeout:
+                return
             if labelling is None:
                 continue
             yield labelling
@@ -592,6 +615,7 @@ def insert_state_signals(
     max_models: int = 400,
     signal_prefix: str = "x",
     beam_width: int = 6,
+    deadline: Optional[float] = None,
 ) -> InsertionResult:
     """Insert internal signals until the MC requirement holds.
 
@@ -603,6 +627,13 @@ def insert_state_signals(
     acceptance: the best single-step improvement is not always on the
     path to the cheapest complete repair (multi-occurrence controllers
     like the duplicator need coordinated separations across rounds).
+
+    ``deadline`` is an absolute :func:`time.monotonic` timestamp bounding
+    the search (the candidate loop is SAT-driven and can dominate the
+    whole pipeline on adversarial graphs); when the clock passes it the
+    search stops with an :class:`InsertionError` whose message starts
+    with ``"insertion deadline expired"`` -- an *inconclusive* outcome,
+    not a proof that no repair exists.
 
     Returns the transformed state graph, the final MC report and the
     per-round history.  Raises :class:`InsertionError` when no candidate
@@ -621,7 +652,9 @@ def insert_state_signals(
             signal = _fresh_signal_name(node.sg, signal_prefix, round_index)
             failures_before = len(node.report.failed)
             tried = 0
-            for labelling in _candidate_labellings(node.sg, node.report):
+            for labelling in _candidate_labellings(
+                node.sg, node.report, deadline=deadline
+            ):
                 tried += 1
                 total_tried += 1
                 try:
@@ -656,6 +689,11 @@ def insert_state_signals(
                         expansions.append(child)
                 if tried >= max_models:
                     break
+        if _deadline_expired(deadline):
+            raise InsertionError(
+                f"insertion deadline expired in round {round_index + 1} "
+                f"after {total_tried} candidates"
+            )
         improving = [
             child
             for child in expansions

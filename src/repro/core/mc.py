@@ -16,7 +16,7 @@ neutralise them.  The insertion engine consumes these diagnostics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro import perf

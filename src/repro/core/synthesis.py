@@ -29,10 +29,8 @@ from repro.boolean.cover import Cover
 from repro.boolean.cube import Cube
 from repro.boolean.sop import format_cover, format_cube
 from repro.core.covers import (
-    check_generalized_mc,
     covers_correctly,
     find_generalized_monotonous_cover,
-    find_monotonous_cover,
     smallest_cover_cube,
 )
 from repro.core.mc import MCReport, analyze_mc

@@ -23,9 +23,8 @@ Composition rules, from a composed state ``(spec_state, values)``:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
-from repro.netlist.gates import GateKind
 from repro.netlist.netlist import Netlist
 from repro.sg.events import SignalEvent
 from repro.sg.graph import State, StateGraph

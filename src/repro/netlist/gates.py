@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Mapping, Sequence, Tuple
+from typing import Mapping, Tuple
 
 
 class GateKind(Enum):

@@ -24,7 +24,7 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from repro.netlist.gates import Gate, GateKind
-from repro.netlist.netlist import Netlist, NetlistError
+from repro.netlist.netlist import Netlist
 
 
 def decompose_fanin(netlist: Netlist, max_fanin: int = 2) -> Netlist:

@@ -18,7 +18,7 @@ BUF/NOT gate, reproducing the paper's ``d = x`` in equations (2).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.boolean.cube import Cube
 from repro.core.synthesis import Implementation

@@ -11,10 +11,10 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import List
 
 from repro.boolean.sop import format_cover
-from repro.netlist.gates import Gate, GateKind
+from repro.netlist.gates import GateKind
 from repro.netlist.netlist import Netlist
 from repro.sg.graph import StateGraph
 

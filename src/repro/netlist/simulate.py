@@ -22,9 +22,8 @@ from __future__ import annotations
 import heapq
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.netlist.gates import GateKind
 from repro.netlist.netlist import Netlist
 from repro.sg.events import SignalEvent
 from repro.sg.graph import StateGraph
@@ -53,6 +52,8 @@ class SimulationReport:
     fired_events: int
     disablings: List[Disabling] = field(default_factory=list)
     conformance_failures: List[Tuple[float, str]] = field(default_factory=list)
+    #: single-event upsets applied during the run (fault injection)
+    injections_applied: List[Tuple[float, str]] = field(default_factory=list)
 
     @property
     def hazard_free(self) -> bool:
@@ -100,6 +101,7 @@ def simulate(
     gate_delay: Tuple[float, float] = (1.0, 10.0),
     input_delay: Tuple[float, float] = (1.0, 20.0),
     delay_overrides: Optional[Dict[str, Tuple[float, float]]] = None,
+    injections: Optional[Sequence[Tuple[float, str]]] = None,
 ) -> SimulationReport:
     """Run one random-delay execution of the closed loop.
 
@@ -112,6 +114,14 @@ def simulate(
     ``delay_overrides`` maps individual gate names to their own delay
     ranges -- used e.g. to model the paper's bounded-inverter regime
     (``d_inv^max < D_sn^min``).
+
+    ``injections`` is a list of ``(time, gate_output)`` single-event
+    upsets (see :mod:`repro.verify.faults`): at the given time the named
+    gate output is forcibly flipped, any pending transition of that gate
+    is considered consumed by the flip, and simulation continues -- the
+    flip of an *interface* output is additionally checked against the
+    specification mirror, so an upset the environment cannot absorb is
+    recorded as a conformance failure.
     """
     rng = random.Random(seed)
     from repro.netlist.circuit_sg import _settled_initial_values
@@ -167,10 +177,44 @@ def simulate(
                 pending[name] = (fire_at, event.value_after)
                 scheduler.push(fire_at, name)
 
+    #: queued single-event upsets, earliest last (popped from the end)
+    upsets = sorted(injections or [], key=lambda entry: entry[0], reverse=True)
+
+    def apply_upset(time: float, target_name: str) -> bool:
+        """Flip a gate output in place; False when the run must stop."""
+        nonlocal spec_state
+        if target_name not in netlist.gates:
+            return True  # inputs are owned by the environment: ignore
+        values[target_name] ^= 1
+        pending[target_name] = None  # the flip consumed any pending firing
+        report.injections_applied.append((time, target_name))
+        if target_name in spec.non_inputs:
+            event = SignalEvent(target_name, +1 if values[target_name] else -1)
+            targets = spec.fire(spec_state, event)
+            if not targets:
+                report.conformance_failures.append((time, target_name))
+                return False
+            spec_state = targets[0]
+        refresh(time)
+        return True
+
     refresh(now)
     while report.fired_events < max_events:
         popped = scheduler.pop()
+        stopped = False
+        applied = False
+        while upsets and (popped is None or upsets[-1][0] <= popped[0]):
+            upset_time, upset_signal = upsets.pop()
+            now = max(now, upset_time)
+            applied = True
+            if not apply_upset(now, upset_signal):
+                stopped = True
+                break
+        if stopped:
+            break
         if popped is None:
+            if applied:
+                continue  # an upset may have re-excited some gate
             break
         now, signal = popped
         slot = pending.get(signal)

@@ -12,7 +12,16 @@ variable (entry 0 unused).
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class SolverTimeout(Exception):
+    """The search passed its deadline; satisfiability is *unknown*.
+
+    Distinct from an UNSAT ``None`` result: callers treating a timeout
+    as UNSAT would silently under-approximate the candidate space.
+    """
 
 
 class Solver:
@@ -52,11 +61,16 @@ class Solver:
 
     # ------------------------------------------------------------------
     def solve(
-        self, assumptions: Sequence[int] = ()
+        self,
+        assumptions: Sequence[int] = (),
+        deadline: Optional[float] = None,
     ) -> Optional[List[Optional[bool]]]:
         """Return a model or ``None`` if unsatisfiable.
 
         ``assumptions`` are literals forced true before search.
+        ``deadline`` is an absolute :func:`time.monotonic` timestamp;
+        the search raises :class:`SolverTimeout` (checked once per
+        decision and per conflict) when the clock passes it.
         """
         if self._trivially_unsat:
             return None
@@ -149,6 +163,8 @@ class Solver:
         propagated = len(trail)
 
         while True:
+            if deadline is not None and time.monotonic() > deadline:
+                raise SolverTimeout("SAT search passed its deadline")
             # pick an unassigned variable
             branch_var = 0
             best = -1.0
@@ -166,6 +182,8 @@ class Solver:
                 if conflict is None:
                     propagated = len(trail)
                     break
+                if deadline is not None and time.monotonic() > deadline:
+                    raise SolverTimeout("SAT search passed its deadline")
                 for literal in self.clauses[conflict]:
                     self._activity[abs(literal)] += 1.0
                 # flip the most recent un-flipped decision
@@ -182,6 +200,10 @@ class Solver:
                 propagated = min(propagated, len(trail) - 1)
 
 
-def solve(cnf, assumptions: Sequence[int] = ()) -> Optional[List[Optional[bool]]]:
+def solve(
+    cnf,
+    assumptions: Sequence[int] = (),
+    deadline: Optional[float] = None,
+) -> Optional[List[Optional[bool]]]:
     """One-shot convenience wrapper: solve a :class:`~repro.sat.cnf.CNF`."""
-    return Solver.from_cnf(cnf).solve(assumptions)
+    return Solver.from_cnf(cnf).solve(assumptions, deadline=deadline)

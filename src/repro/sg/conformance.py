@@ -16,8 +16,8 @@ ways gives trace equivalence.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import FrozenSet, Iterable, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Set, Tuple
 
 from repro.sg.events import SignalEvent
 from repro.sg.graph import State, StateGraph

@@ -10,7 +10,7 @@ gate level under the pure unbounded-delay model (Sec. III, citing [1]).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, List, Optional, Set, Tuple
+from typing import List, Optional, Set
 
 from repro.sg.events import SignalEvent
 from repro.sg.graph import State, StateGraph

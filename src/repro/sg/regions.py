@@ -17,8 +17,8 @@ states, matching the paper's "maximal connected set of states".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set
 
 from repro import perf
 from repro.sg.bitengine import bit_analysis

@@ -1,0 +1,58 @@
+"""Verification-of-the-verifier: oracle, fault injection, budgets.
+
+Three pillars, none imported by the synthesis pipeline itself:
+
+* :mod:`repro.verify.reference` -- the retained pure dict-based
+  region/cover/MC analysis (pre-bitengine semantics), used as the
+  ground truth of the differential oracle;
+* :mod:`repro.verify.differential` -- runs every analysis through both
+  the bitengine fast path and the reference path and diffs the claims
+  over randomized specifications;
+* :mod:`repro.verify.faults` -- delay storms, single-event upsets and
+  stuck-at faults against synthesized netlists, plus the Figure-4
+  negative control for Theorem 2;
+* :mod:`repro.verify.budget` -- cooperative state-count / wall-clock
+  guards turning exponential blowups into *inconclusive* partial
+  results instead of hung runs.
+"""
+
+from repro.verify.budget import Budget, BudgetExceeded
+from repro.verify.differential import (
+    CampaignReport,
+    DiffRecord,
+    diff_reports,
+    diff_state_graph,
+    diff_stg,
+    differential_campaign,
+)
+from repro.verify.faults import (
+    FaultOutcome,
+    FaultReport,
+    delay_storm,
+    glitch_campaign,
+    non_mc_cover_check,
+    run_fault_injection,
+    stuck_at,
+    stuck_campaign,
+)
+from repro.verify.reference import analyze_mc_reference
+
+__all__ = [
+    "Budget",
+    "BudgetExceeded",
+    "CampaignReport",
+    "DiffRecord",
+    "FaultOutcome",
+    "FaultReport",
+    "analyze_mc_reference",
+    "delay_storm",
+    "diff_reports",
+    "diff_state_graph",
+    "diff_stg",
+    "differential_campaign",
+    "glitch_campaign",
+    "non_mc_cover_check",
+    "run_fault_injection",
+    "stuck_at",
+    "stuck_campaign",
+]

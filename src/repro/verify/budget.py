@@ -1,0 +1,101 @@
+"""Graceful-degradation guards for exponential state-space blowups.
+
+Region analysis, circuit-level composition and the differential oracle
+all walk state spaces that can explode exponentially (``concurrent_fork``
+doubles per branch).  A :class:`Budget` bounds a verification run by
+state count and wall clock; when a bound trips, work stops with a
+:class:`BudgetExceeded` carrying whatever partial result was computed,
+instead of hanging CI or dying on memory.
+
+The guard is cooperative: long-running phases call
+:meth:`Budget.charge_states` / :meth:`Budget.check_time` at their
+natural checkpoints (after elaboration, between designs, between fault
+runs).  ``Budget(None, None)`` is a no-op guard, so callers never need
+an ``if budget`` dance.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class BudgetExceeded(RuntimeError):
+    """A verification budget tripped; the run is *inconclusive*.
+
+    Distinct from a hazard verdict: the circuit was neither proven
+    hazard-free nor shown hazardous.  ``partial`` carries whatever
+    result object the interrupted phase had already produced (may be
+    ``None``).
+    """
+
+    def __init__(self, reason: str, partial: object = None):
+        super().__init__(reason)
+        self.reason = reason
+        self.partial = partial
+
+
+@dataclass
+class Budget:
+    """State-count and wall-clock bounds for one verification run.
+
+    ``max_states`` bounds the *total* number of states charged via
+    :meth:`charge_states` across the run; ``max_seconds`` bounds wall
+    time since construction (or the last :meth:`restart`).  Either may
+    be ``None`` for unlimited.
+    """
+
+    max_states: Optional[int] = None
+    max_seconds: Optional[float] = None
+    charged_states: int = 0
+    _started: float = field(default_factory=time.monotonic, repr=False)
+
+    def restart(self) -> "Budget":
+        """Reset the clock and the state meter (for per-item budgets)."""
+        self._started = time.monotonic()
+        self.charged_states = 0
+        return self
+
+    @property
+    def elapsed(self) -> float:
+        return time.monotonic() - self._started
+
+    @property
+    def exhausted(self) -> bool:
+        """True when either bound is already over, without raising."""
+        if self.max_states is not None and self.charged_states > self.max_states:
+            return True
+        return self.max_seconds is not None and self.elapsed > self.max_seconds
+
+    def charge_states(self, count: int, what: str, partial: object = None) -> None:
+        """Account ``count`` states to the run; raise when over budget."""
+        self.charged_states += count
+        if self.max_states is not None and self.charged_states > self.max_states:
+            raise BudgetExceeded(
+                f"state budget exceeded: {self.charged_states} > "
+                f"{self.max_states} states after {what}",
+                partial=partial,
+            )
+
+    def check_time(self, what: str, partial: object = None) -> None:
+        """Raise when the wall clock ran out."""
+        if self.max_seconds is not None and self.elapsed > self.max_seconds:
+            raise BudgetExceeded(
+                f"wall-clock budget exceeded: {self.elapsed:.1f}s > "
+                f"{self.max_seconds:.1f}s during {what}",
+                partial=partial,
+            )
+
+    @property
+    def seconds_left(self) -> Optional[float]:
+        """Wall-clock remaining (never negative), or None when unbounded."""
+        if self.max_seconds is None:
+            return None
+        return max(0.0, self.max_seconds - self.elapsed)
+
+    def remaining_states(self, default: int) -> int:
+        """States left to spend, for passing down as a ``max_states`` cap."""
+        if self.max_states is None:
+            return default
+        return max(1, self.max_states - self.charged_states)

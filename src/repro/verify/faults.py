@@ -1,0 +1,374 @@
+"""Fault injection against synthesized netlists (dynamic Theorem-2 tests).
+
+Theorem 2 promises that an implementation built from monotonous covers
+is speed-independent: hazard-free under the pure (unbounded) gate delay
+model.  This module attacks that promise from three directions:
+
+* **delay storms** (:func:`delay_storm`) -- every gate gets its own
+  randomly drawn delay range per run.  Speed independence quantifies
+  over *all* delay assignments, so an MC circuit must stay clean under
+  every storm; a single :class:`~repro.netlist.simulate.Disabling`
+  falsifies the synthesis.
+* **single-event upsets** (:func:`glitch_campaign`) -- a random gate
+  output is forcibly flipped at a random time (``injections`` support in
+  :func:`repro.netlist.simulate.simulate`).  SI circuits are *not*
+  required to mask SEUs; the campaign instead characterises how faults
+  surface: a spec-violating output (``conformance``), a disabled gate
+  (``disabling``), a stalled handshake (``stall``), or full masking.
+* **stuck-at faults** (:func:`stuck_at`, :func:`stuck_campaign`) --
+  netlist surgery replaces one gate by a constant-0/1
+  :class:`~repro.netlist.gates.GateKind.COMPLEX` gate; the broken
+  circuit is then simulated against the specification mirror.
+
+The negative control (:func:`non_mc_cover_check`) closes the loop on
+Theorem 2's *premise*: a functionally correct but non-monotonous cover
+(the Figure-4 baseline of :mod:`repro.core.baseline`) must be caught as
+hazardous by the static verifier.  If the oracle ever stops catching it,
+the verifier -- not the circuit -- is broken.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.boolean.cover import Cover
+from repro.boolean.cube import Cube
+from repro.netlist.circuit_sg import CompositionError
+from repro.netlist.gates import Gate, GateKind
+from repro.netlist.netlist import Netlist
+from repro.netlist.simulate import SimulationReport, simulate
+from repro.sg.graph import StateGraph
+from repro.verify.budget import Budget, BudgetExceeded
+
+#: how a fault surfaced during simulation (``None`` = fully masked)
+DETECTION_KINDS = ("conformance", "disabling", "stall")
+
+
+@dataclass
+class FaultOutcome:
+    """One injected fault and how (whether) it was detected."""
+
+    model: str  # "glitch" | "stuck"
+    detail: str  # e.g. "and_b_0@t=37.2" or "S_b stuck-at-1"
+    detected_by: Optional[str]  # one of DETECTION_KINDS, or None
+    fired_events: int
+    clean_events: int
+    #: None when the fault was detected before simulation could start
+    #: (the faulty circuit's settled initial state contradicts the spec)
+    report: Optional[SimulationReport]
+
+    @property
+    def detected(self) -> bool:
+        return self.detected_by is not None
+
+    def __str__(self) -> str:
+        verdict = f"detected ({self.detected_by})" if self.detected else "masked"
+        return (
+            f"{self.model} {self.detail}: {verdict}, "
+            f"{self.fired_events}/{self.clean_events} events"
+        )
+
+
+@dataclass
+class FaultReport:
+    """Aggregate outcome of one fault-injection run."""
+
+    netlist_name: str
+    spec_name: str
+    #: clean-circuit runs under randomized per-gate delay ranges; an MC
+    #: implementation must keep every one of these hazard-free
+    delay_reports: List[SimulationReport] = field(default_factory=list)
+    outcomes: List[FaultOutcome] = field(default_factory=list)
+    #: budget reason when the run stopped early (results are partial)
+    truncated: Optional[str] = None
+
+    @property
+    def mc_robust(self) -> bool:
+        """All delay-storm runs hazard-free (vacuously true with none)."""
+        return all(r.hazard_free for r in self.delay_reports)
+
+    @property
+    def detected(self) -> List[FaultOutcome]:
+        return [o for o in self.outcomes if o.detected]
+
+    @property
+    def masked(self) -> List[FaultOutcome]:
+        return [o for o in self.outcomes if not o.detected]
+
+    def describe(self) -> str:
+        lines = [
+            f"fault injection: {self.netlist_name} vs {self.spec_name}: "
+            f"{len(self.delay_reports)} delay storm(s) "
+            f"({'all clean' if self.mc_robust else 'HAZARDOUS'}), "
+            f"{len(self.outcomes)} fault(s) injected, "
+            f"{len(self.detected)} detected / {len(self.masked)} masked"
+        ]
+        by_kind: Dict[str, int] = {}
+        for outcome in self.detected:
+            by_kind[outcome.detected_by] = by_kind.get(outcome.detected_by, 0) + 1
+        if by_kind:
+            lines.append(
+                "  detections: "
+                + ", ".join(f"{k}={v}" for k, v in sorted(by_kind.items()))
+            )
+        for report in self.delay_reports:
+            if not report.hazard_free:
+                lines.append("  " + report.describe().replace("\n", "\n  "))
+        if self.truncated:
+            lines.append(f"  TRUNCATED: {self.truncated} (partial results)")
+        return "\n".join(lines)
+
+
+def random_delay_overrides(
+    netlist: Netlist,
+    rng: random.Random,
+    spread: Tuple[float, float] = (0.1, 40.0),
+) -> Dict[str, Tuple[float, float]]:
+    """A fresh random delay range per gate (one point in delay space).
+
+    Speed independence quantifies over all delay assignments; each call
+    samples one adversarial corner -- some gates glacial, some nearly
+    instantaneous -- instead of the default uniform range shared by all
+    gates.
+    """
+    overrides: Dict[str, Tuple[float, float]] = {}
+    for name in netlist.gates:
+        lo = rng.uniform(*spread)
+        overrides[name] = (lo, lo * rng.uniform(1.0, 4.0))
+    return overrides
+
+
+def delay_storm(
+    netlist: Netlist,
+    spec: StateGraph,
+    runs: int = 25,
+    max_events: int = 600,
+    seed: int = 0,
+    budget: Optional[Budget] = None,
+) -> List[SimulationReport]:
+    """Monte-Carlo runs, each under a fresh per-gate delay assignment."""
+    budget = budget or Budget()
+    rng = random.Random(seed)
+    reports = []
+    for run in range(runs):
+        budget.check_time(f"delay storm run {run}", partial=reports)
+        reports.append(
+            simulate(
+                netlist,
+                spec,
+                max_events=max_events,
+                seed=seed + run,
+                delay_overrides=random_delay_overrides(netlist, rng),
+            )
+        )
+    return reports
+
+
+def _classify(
+    report: SimulationReport,
+    clean: SimulationReport,
+    model: str,
+    detail: str,
+) -> FaultOutcome:
+    """Triage one faulty run against its fault-free twin (same seed)."""
+    if report.conformance_failures:
+        detected: Optional[str] = "conformance"
+    elif report.disablings:
+        detected = "disabling"
+    elif report.fired_events < max(4, clean.fired_events // 2):
+        # the handshake wedged: the fault deadlocked the closed loop
+        detected = "stall"
+    else:
+        detected = None
+    return FaultOutcome(
+        model=model,
+        detail=detail,
+        detected_by=detected,
+        fired_events=report.fired_events,
+        clean_events=clean.fired_events,
+        report=report,
+    )
+
+
+def glitch_campaign(
+    netlist: Netlist,
+    spec: StateGraph,
+    runs: int = 20,
+    max_events: int = 400,
+    seed: int = 0,
+    window: Tuple[float, float] = (5.0, 150.0),
+    budget: Optional[Budget] = None,
+) -> List[FaultOutcome]:
+    """Inject one single-event upset per run and triage the fallout.
+
+    Each run flips one randomly chosen gate output at a random time in
+    ``window``, then compares against a fault-free run with the same
+    delay seed so a stalled handshake is distinguishable from a short
+    trace.
+    """
+    budget = budget or Budget()
+    rng = random.Random(seed)
+    targets = sorted(netlist.gates)
+    outcomes = []
+    for run in range(runs):
+        budget.check_time(f"glitch run {run}", partial=outcomes)
+        target = rng.choice(targets)
+        at = rng.uniform(*window)
+        run_seed = seed + 7919 * run
+        clean = simulate(netlist, spec, max_events=max_events, seed=run_seed)
+        faulty = simulate(
+            netlist,
+            spec,
+            max_events=max_events,
+            seed=run_seed,
+            injections=[(at, target)],
+        )
+        outcomes.append(
+            _classify(faulty, clean, "glitch", f"{target}@t={at:.1f}")
+        )
+    return outcomes
+
+
+def stuck_at(netlist: Netlist, gate_name: str, value: int) -> Netlist:
+    """A copy of ``netlist`` with one gate forced to a constant output.
+
+    The faulty gate keeps its fan-in pins (the wiring is intact; only
+    the function died), realised as a :class:`GateKind.COMPLEX` gate
+    whose cover is the empty cover (constant 0) or the single empty cube
+    (tautology, constant 1).
+    """
+    if gate_name not in netlist.gates:
+        raise ValueError(f"no gate drives {gate_name!r}")
+    if value not in (0, 1):
+        raise ValueError("stuck-at value must be 0 or 1")
+    forced = Netlist(
+        name=f"{netlist.name}__{gate_name}_sa{value}",
+        inputs=netlist.inputs,
+        interface_outputs=netlist.interface_outputs,
+        initial_hints=dict(netlist.initial_hints),
+        declared_state_holding=set(netlist.declared_state_holding),
+    )
+    constant = Cover([Cube()]) if value else Cover([])
+    for name, gate in netlist.gates.items():
+        if name == gate_name:
+            forced.gates[name] = Gate(
+                name, GateKind.COMPLEX, gate.inputs, function=constant
+            )
+        else:
+            forced.gates[name] = gate
+    return forced
+
+
+def stuck_campaign(
+    netlist: Netlist,
+    spec: StateGraph,
+    runs: int = 10,
+    max_events: int = 400,
+    seed: int = 0,
+    budget: Optional[Budget] = None,
+) -> List[FaultOutcome]:
+    """Simulate randomly chosen single stuck-at faults against the spec."""
+    budget = budget or Budget()
+    rng = random.Random(seed)
+    targets = sorted(netlist.gates)
+    outcomes = []
+    for run in range(runs):
+        budget.check_time(f"stuck-at run {run}", partial=outcomes)
+        target = rng.choice(targets)
+        value = rng.randint(0, 1)
+        run_seed = seed + 104_729 * run
+        clean = simulate(netlist, spec, max_events=max_events, seed=run_seed)
+        detail = f"{target} stuck-at-{value}"
+        try:
+            faulty = simulate(
+                stuck_at(netlist, target, value),
+                spec,
+                max_events=max_events,
+                seed=run_seed,
+            )
+        except CompositionError:
+            # the forced constant already contradicts the specification's
+            # initial state: detected before the first event can fire
+            outcomes.append(
+                FaultOutcome(
+                    model="stuck",
+                    detail=f"{detail} (initial state)",
+                    detected_by="conformance",
+                    fired_events=0,
+                    clean_events=clean.fired_events,
+                    report=None,
+                )
+            )
+            continue
+        outcomes.append(_classify(faulty, clean, "stuck", detail))
+    return outcomes
+
+
+def non_mc_cover_check(sg: Optional[StateGraph] = None, max_states: int = 200_000):
+    """Negative control: a correct non-MC cover must be caught (Thm. 2).
+
+    Builds the Beerel-style baseline implementation -- functionally
+    correct covers without the monotonicity requirement -- and runs it
+    through the static speed-independence verifier.  On the paper's
+    Figure-4 graph (the default) this is exactly Example 2's hazard: AND
+    gate ``t = c'd`` starts switching in ER(+b_2) and loses its
+    excitation when input ``a`` overtakes it.  Returns the
+    :class:`~repro.netlist.hazards.HazardReport`; callers assert
+    ``not hazard_free``.
+    """
+    from repro.bench.figures import figure4_sg
+    from repro.core.baseline import baseline_synthesize
+    from repro.netlist.hazards import verify_speed_independence
+    from repro.netlist.netlist import netlist_from_implementation
+
+    sg = sg or figure4_sg()
+    impl = baseline_synthesize(sg)
+    baseline = netlist_from_implementation(impl, style="C")
+    return verify_speed_independence(baseline, sg, max_states=max_states)
+
+
+def run_fault_injection(
+    netlist: Netlist,
+    spec: StateGraph,
+    models: Sequence[str] = ("delay", "glitch", "stuck"),
+    runs: int = 20,
+    max_events: int = 400,
+    seed: int = 0,
+    budget: Optional[Budget] = None,
+) -> FaultReport:
+    """Run the selected fault models; blown budgets truncate gracefully."""
+    known = {"delay", "glitch", "stuck"}
+    unknown = set(models) - known
+    if unknown:
+        raise ValueError(
+            f"unknown fault model(s) {sorted(unknown)}; choose from {sorted(known)}"
+        )
+    budget = budget or Budget()
+    report = FaultReport(netlist_name=netlist.name, spec_name=spec.name)
+    try:
+        if "delay" in models:
+            report.delay_reports = delay_storm(
+                netlist, spec, runs=runs, max_events=max_events,
+                seed=seed, budget=budget,
+            )
+        if "glitch" in models:
+            report.outcomes += glitch_campaign(
+                netlist, spec, runs=runs, max_events=max_events,
+                seed=seed, budget=budget,
+            )
+        if "stuck" in models:
+            report.outcomes += stuck_campaign(
+                netlist, spec, runs=max(1, runs // 2), max_events=max_events,
+                seed=seed, budget=budget,
+            )
+    except BudgetExceeded as exc:
+        report.truncated = exc.reason
+        partial = exc.partial
+        if isinstance(partial, list) and partial:
+            if isinstance(partial[0], FaultOutcome):
+                report.outcomes += [o for o in partial if o not in report.outcomes]
+            elif isinstance(partial[0], SimulationReport) and not report.delay_reports:
+                report.delay_reports = partial
+    return report

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro import synthesize_from_stg
 from repro.bench.components import COMPONENTS
 from repro.boolean.cube import Cube
 from repro.core.mc import analyze_mc

@@ -6,6 +6,8 @@ import pytest
 
 from repro.cli import main
 
+pytestmark = pytest.mark.smoke
+
 DATA = os.path.join(
     os.path.dirname(__file__), "..", "src", "repro", "bench", "data"
 )
@@ -115,3 +117,96 @@ def test_synth_regions_flag(capsys):
     assert main(["synth", spec("berkel2.g"), "--no-verify", "--regions"]) == 0
     out = capsys.readouterr().out
     assert "region mapping" in out
+
+
+class TestErrorPaths:
+    """Load failures must exit 2 with a message, never a traceback."""
+
+    def test_missing_spec_file(self, capsys):
+        assert main(["verify", spec("no-such-design.g")]) == 2
+        err = capsys.readouterr().err
+        assert "cannot read specification" in err
+
+    def test_malformed_g_file(self, tmp_path, capsys):
+        bad = tmp_path / "broken.g"
+        bad.write_text(".inputs a\nthis is not a transition line\n")
+        assert main(["verify", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "malformed" in err or "invalid" in err
+
+    def test_empty_g_file(self, tmp_path, capsys):
+        empty = tmp_path / "empty.g"
+        empty.write_text("")
+        assert main(["info", str(empty)]) == 2
+
+    def test_missing_spec_for_every_loading_command(self, capsys):
+        for argv in (
+            ["info", spec("ghost.g")],
+            ["synth", spec("ghost.g")],
+            ["simulate", spec("ghost.g")],
+        ):
+            assert main(argv) == 2, argv
+        capsys.readouterr()
+
+    def test_check_with_missing_netlist(self, tmp_path, capsys):
+        assert main(["check", spec("delement.g"), str(tmp_path / "no.json")]) == 2
+        assert "netlist" in capsys.readouterr().err
+
+
+class TestExitCodes:
+    """0 = hazard-free, 1 = hazard, 2 = usage, 3 = inconclusive."""
+
+    def test_budget_exceeded_is_inconclusive_not_hazard(self, capsys):
+        code = main(["verify", spec("delement.g"), "--budget-states", "5"])
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "budget" in err.lower() or "marking" in err.lower()
+
+    def test_time_budget_flag_accepted(self, capsys):
+        code = main(["verify", spec("delement.g"), "--budget-seconds", "120"])
+        assert code == 0
+
+    def test_unsynthesizable_arbitration_exits_1(self, tmp_path, capsys):
+        """Genuine arbitration is outside the theory: the insertion
+        engine gives up and the CLI must report failure, not usage."""
+        from repro.bench.components import mutex_request
+        from repro.stg.writer import dumps_g
+
+        bad = tmp_path / "mutex.g"
+        bad.write_text(dumps_g(mutex_request()))
+        assert main(["synth", str(bad), "--max-models", "5"]) == 1
+        assert "synthesis failed" in capsys.readouterr().err
+
+    def test_fault_models_on_mc_circuit_stay_clean(self, capsys):
+        code = main(
+            [
+                "verify",
+                spec("delement.g"),
+                "--fault-model",
+                "delay",
+                "--fault-model",
+                "stuck",
+                "--fault-runs",
+                "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault injection" in out
+        assert "all clean" in out
+
+
+class TestDiffCommand:
+    def test_diff_single_benchmark_agrees(self, capsys):
+        code = main(["diff", "--count", "2", "--seed", "3", "--no-repair"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0 DIVERGENT" in out
+
+    def test_diff_impossible_budget_is_inconclusive(self, capsys):
+        code = main(
+            ["diff", "--count", "2", "--seed", "0", "--max-states", "2"]
+        )
+        assert code == 3
+        out = capsys.readouterr().out
+        assert "skipped" in out

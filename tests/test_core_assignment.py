@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.assignment import (
-    LABELS,
     LabelEncoding,
     allowed_pair,
     lifted_phases,

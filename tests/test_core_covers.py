@@ -1,6 +1,5 @@
 """Unit tests for cover cubes and monotonous covers (Defs. 15-17, 19)."""
 
-import pytest
 
 from repro.boolean.cube import Cube
 from repro.core.covers import (

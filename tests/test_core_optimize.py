@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.bench.suite import run_pipeline
 from repro.boolean.cube import Cube
 from repro.core.optimize import (
     SharingError,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.boolean.cube import Cube
-from repro.core.baseline import BaselineError, baseline_synthesize
+from repro.core.baseline import baseline_synthesize
 from repro.core.synthesis import SynthesisError, synthesize
 
 

@@ -1,14 +1,12 @@
 """Additional coverage: RS-style simulation, nondeterministic specs,
 insertion determinism, and miscellaneous reporting paths."""
 
-import pytest
 
 from repro.core.insertion import insert_state_signals
 from repro.core.synthesis import synthesize
 from repro.netlist.circuit_sg import build_circuit_state_graph
 from repro.netlist.netlist import netlist_from_implementation
 from repro.netlist.simulate import simulate
-from repro.sg.builder import sg_from_arcs
 
 
 class TestRSSimulation:

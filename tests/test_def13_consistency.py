@@ -9,7 +9,6 @@ shared, degenerate -- must satisfy it.
 
 import pytest
 
-from repro.bench.suite import BENCHMARKS, run_pipeline
 from repro.boolean.cover import Cover
 from repro.boolean.cube import Cube
 from repro.core.covers import is_consistent_excitation_function

@@ -7,7 +7,6 @@ SG -> (regions synthesis) -> STG -> .g file -> CLI -> netlist JSON ->
 gate-level check -> hazard verdicts matching the direct in-memory run.
 """
 
-import os
 
 import pytest
 

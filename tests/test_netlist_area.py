@@ -1,6 +1,5 @@
 """Tests for transistor-count area estimation."""
 
-import pytest
 
 from repro.boolean.cover import Cover
 from repro.boolean.cube import Cube

@@ -62,8 +62,6 @@ class TestCliCheck:
     def test_check_catches_bad_netlist(self, tmp_path, capsys, fig4):
         """The Figure-4 baseline, saved and re-checked, must fail."""
         from repro.core.baseline import baseline_synthesize
-        from repro.sg import io as sgio
-        from repro.stg.writer import dumps_g
 
         netlist = netlist_from_implementation(baseline_synthesize(fig4), "C")
         saved = tmp_path / "bad.json"

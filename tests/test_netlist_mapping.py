@@ -2,12 +2,10 @@
 
 import pytest
 
-from repro.bench.suite import load_benchmark
 from repro.core.synthesis import synthesize
 from repro.netlist.hazards import verify_speed_independence
 from repro.netlist.mapping import decompose_fanin, fanin_violations
 from repro.netlist.netlist import netlist_from_implementation
-from repro.stg.reachability import stg_to_state_graph
 
 
 class TestDecomposition:

@@ -1,11 +1,10 @@
 """Unit tests for the random-delay discrete-event simulator."""
 
-import pytest
 
 from repro.core.baseline import baseline_synthesize
 from repro.core.synthesis import synthesize
 from repro.netlist.netlist import netlist_from_implementation
-from repro.netlist.simulate import Disabling, monte_carlo, simulate
+from repro.netlist.simulate import monte_carlo, simulate
 
 
 class TestBasicRuns:

@@ -5,6 +5,7 @@ paper; together they certify the figure data and the analysis pipeline
 against the published text.
 """
 
+
 import pytest
 
 from repro.boolean.cube import Cube
@@ -22,6 +23,8 @@ from repro.sg.properties import (
     non_persistent_pairs,
 )
 from repro.sg.regions import excitation_regions, minimal_states, trigger_events
+
+pytestmark = pytest.mark.smoke
 
 
 def er_of(sg, signal, direction, index=1):

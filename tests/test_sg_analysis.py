@@ -1,6 +1,5 @@
 """Tests for deadlock/liveness/statistics analysis."""
 
-import pytest
 
 from repro.sg.analysis import (
     deadlock_states,

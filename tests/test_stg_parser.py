@@ -3,7 +3,7 @@
 import pytest
 
 from repro.stg.parser import implicit_place_name, parse_g
-from repro.stg.stg import STG, parse_transition_id
+from repro.stg.stg import parse_transition_id
 from repro.stg.writer import dumps_g
 
 TOGGLE = """

@@ -10,7 +10,7 @@ from repro.sg.conformance import trace_equivalent
 from repro.stg.parser import parse_g
 from repro.stg.reachability import stg_to_state_graph
 from repro.stg.structural import is_live_and_safe
-from repro.stg.synthesis import NotSynthesizableError, stg_from_state_graph
+from repro.stg.synthesis import stg_from_state_graph
 from repro.stg.writer import dumps_g
 
 

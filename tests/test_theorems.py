@@ -8,22 +8,18 @@ objects.
 
 import pytest
 
-from repro.bench.suite import BENCHMARKS, run_pipeline
 from repro.boolean.cube import Cube
 from repro.core.covers import (
     covers_correctly,
     find_monotonous_cover,
     smallest_cover_cube,
 )
-from repro.core.insertion import insert_state_signals
 from repro.core.mc import analyze_mc
 from repro.core.synthesis import synthesize
 from repro.netlist.hazards import verify_speed_independence
 from repro.netlist.netlist import netlist_from_implementation
 from repro.sg.builder import sg_from_arcs
 from repro.sg.csc import has_csc
-from repro.sg.events import SignalEvent
-from repro.sg.graph import StateGraph
 from repro.sg.properties import (
     detonant_states,
     is_output_semi_modular,
@@ -32,10 +28,11 @@ from repro.sg.properties import (
 )
 from repro.sg.regions import (
     all_excitation_regions,
-    excitation_regions,
     minimal_states,
     trigger_events,
 )
+
+pytestmark = pytest.mark.smoke
 
 
 @pytest.fixture(scope="module")

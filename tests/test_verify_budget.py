@@ -1,0 +1,76 @@
+"""Unit tests for the graceful-degradation budget guard."""
+
+import pytest
+
+from repro.verify.budget import Budget, BudgetExceeded
+
+pytestmark = pytest.mark.smoke
+
+
+class TestNoOpBudget:
+    def test_unbounded_budget_never_raises(self):
+        budget = Budget()
+        budget.charge_states(10**9, "elaboration")
+        budget.check_time("analysis")
+        assert not budget.exhausted
+        assert budget.seconds_left is None
+        assert budget.remaining_states(42) == 42
+
+
+class TestStateBudget:
+    def test_charge_accumulates_across_calls(self):
+        budget = Budget(max_states=100)
+        budget.charge_states(60, "first")
+        with pytest.raises(BudgetExceeded) as info:
+            budget.charge_states(60, "second")
+        assert "120 > 100" in str(info.value)
+        assert "second" in info.value.reason
+
+    def test_partial_result_rides_on_the_exception(self):
+        budget = Budget(max_states=1)
+        partial = {"states": 2}
+        with pytest.raises(BudgetExceeded) as info:
+            budget.charge_states(2, "elaboration", partial=partial)
+        assert info.value.partial is partial
+
+    def test_remaining_states_never_hits_zero(self):
+        budget = Budget(max_states=10)
+        budget.charge_states(10, "all of it")
+        # a downstream cap of 0 would mean "unlimited" to some callers
+        assert budget.remaining_states(500) == 1
+
+    def test_exhausted_is_non_raising(self):
+        budget = Budget(max_states=5)
+        budget.charged_states = 6
+        assert budget.exhausted
+
+
+class TestTimeBudget:
+    def test_expired_clock_raises_with_reason(self):
+        budget = Budget(max_seconds=0.0)
+        budget._started -= 1.0
+        with pytest.raises(BudgetExceeded) as info:
+            budget.check_time("composition")
+        assert "wall-clock" in info.value.reason
+
+    def test_seconds_left_is_clamped_at_zero(self):
+        budget = Budget(max_seconds=0.5)
+        budget._started -= 2.0
+        assert budget.seconds_left == 0.0
+
+    def test_restart_resets_both_meters(self):
+        budget = Budget(max_states=5, max_seconds=10.0)
+        budget.charge_states(3, "warm-up")
+        budget._started -= 100.0
+        budget.restart()
+        assert budget.charged_states == 0
+        assert budget.elapsed < 1.0
+        budget.check_time("fresh")  # must not raise
+
+
+class TestInconclusiveSemantics:
+    def test_budget_exceeded_is_not_a_verdict(self):
+        """BudgetExceeded must stay distinguishable from hazard errors."""
+        exc = BudgetExceeded("state budget exceeded: 7 > 5")
+        assert isinstance(exc, RuntimeError)
+        assert exc.partial is None

@@ -1,0 +1,106 @@
+"""End-to-end tests of the differential oracle and its campaign driver."""
+
+from repro.bench.suite import load_benchmark
+from repro.stg.reachability import stg_to_state_graph
+from repro.verify.budget import Budget
+from repro.verify.differential import (
+    CampaignReport,
+    DiffRecord,
+    diff_state_graph,
+    diff_stg,
+    differential_campaign,
+)
+
+
+class TestSingleGraph:
+    def test_satisfied_graph_agrees(self, fig3):
+        record = diff_state_graph(fig3)
+        assert record.agree
+        assert record.satisfied is True
+        assert record.inserted_signals is None
+
+    def test_violated_graph_repairs_and_cross_checks(self, fig4):
+        """Figure 4 violates MC; the oracle must repair it and have the
+        reference path independently confirm the repaired graph."""
+        record = diff_state_graph(fig4)
+        assert record.agree, record.describe()
+        assert record.satisfied is False
+        assert record.inserted_signals == 1
+
+    def test_repair_can_be_disabled(self, fig4):
+        record = diff_state_graph(fig4, repair=False)
+        assert record.agree
+        assert record.inserted_signals is None
+        assert record.repair_note is None
+
+    def test_oversized_graph_skips_repair_not_the_diff(self, fig4):
+        record = diff_state_graph(fig4, repair_max_states=1)
+        assert record.agree  # analyses still diffed
+        assert record.inserted_signals is None
+        assert "repair_max_states" in record.repair_note
+
+    def test_describe_mentions_insertion(self, fig4):
+        text = diff_state_graph(fig4).describe()
+        assert "1 signal(s) inserted" in text
+
+
+class TestBudgets:
+    def test_state_budget_skips_design(self, fig3):
+        record = diff_state_graph(fig3, budget=Budget(max_states=2))
+        assert record.skipped is not None
+        assert "state budget" in record.skipped
+        assert not record.agree
+
+    def test_elaboration_blowup_becomes_skip(self):
+        stg = load_benchmark("delement")
+        budget = Budget(max_states=3)
+        record = diff_stg(stg, budget=budget)
+        assert record.skipped is not None
+        assert record.skipped.startswith("elaboration")
+
+
+class TestCampaign:
+    def test_small_campaign_has_zero_divergence(self):
+        report = differential_campaign(
+            count=8, seed=0, max_seconds_each=20.0, repair_seconds=1.0
+        )
+        assert len(report.records) == 8
+        assert report.divergent == [], report.describe()
+        assert report.ok
+        assert report.checked >= 6  # a couple may blow the budget
+
+    def test_campaign_over_explicit_specs(self):
+        specs = [("delement", load_benchmark("delement"))]
+        report = differential_campaign(specs=specs, repair=False)
+        assert report.ok
+        assert report.records[0].name == "delement"
+
+    def test_all_skipped_campaign_is_not_ok(self):
+        """Zero conclusive checks must not read as a green result."""
+        report = CampaignReport(
+            records=[DiffRecord(name="x", states=0, skipped="budget")]
+        )
+        assert not report.ok
+        assert report.checked == 0
+
+    def test_progress_callback_sees_every_record(self):
+        seen = []
+        specs = [("delement", load_benchmark("delement"))]
+        differential_campaign(specs=specs, repair=False, progress=seen.append)
+        assert [r.name for r in seen] == ["delement"]
+
+    def test_describe_summarises_counts(self):
+        specs = [("delement", load_benchmark("delement"))]
+        text = differential_campaign(specs=specs, repair=False).describe()
+        assert "1 design(s)" in text
+        assert "0 DIVERGENT" in text
+
+
+class TestDivergenceDetection:
+    def test_a_planted_divergence_is_reported(self, fig3):
+        """Corrupt the reference input: the oracle must notice, proving
+        it can actually fail (no vacuous green)."""
+        other = stg_to_state_graph(load_benchmark("delement"))
+        record = diff_state_graph(fig3, reference_sg=other)
+        assert record.mismatches
+        assert not record.agree

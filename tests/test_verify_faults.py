@@ -1,0 +1,136 @@
+"""Fault-injection engine: MC circuits survive, broken ones are caught."""
+
+import pytest
+
+from repro.core.synthesis import synthesize
+from repro.netlist.gates import GateKind
+from repro.netlist.netlist import netlist_from_implementation
+from repro.verify.budget import Budget
+from repro.verify.faults import (
+    DETECTION_KINDS,
+    delay_storm,
+    glitch_campaign,
+    non_mc_cover_check,
+    random_delay_overrides,
+    run_fault_injection,
+    stuck_at,
+    stuck_campaign,
+)
+
+import random
+
+
+@pytest.fixture(scope="module")
+def mc_circuit(request):
+    """A synthesized (hence MC) circuit for the toggle closed loop."""
+    sg = request.getfixturevalue("toggle_sg")
+    return netlist_from_implementation(synthesize(sg), "C"), sg
+
+
+class TestDelayStorms:
+    def test_mc_circuit_survives_every_storm(self, mc_circuit):
+        netlist, sg = mc_circuit
+        reports = delay_storm(netlist, sg, runs=8, max_events=300, seed=0)
+        assert len(reports) == 8
+        for report in reports:
+            assert report.hazard_free, report.describe()
+
+    def test_overrides_cover_every_gate(self, mc_circuit):
+        netlist, _ = mc_circuit
+        overrides = random_delay_overrides(netlist, random.Random(0))
+        assert set(overrides) == set(netlist.gates)
+        for lo, hi in overrides.values():
+            assert 0 < lo <= hi
+
+
+class TestGlitchCampaign:
+    def test_outcomes_are_triaged(self, mc_circuit):
+        netlist, sg = mc_circuit
+        outcomes = glitch_campaign(netlist, sg, runs=10, max_events=300, seed=1)
+        assert len(outcomes) == 10
+        for outcome in outcomes:
+            assert outcome.model == "glitch"
+            assert outcome.detected_by in DETECTION_KINDS + (None,)
+            assert outcome.detected == (outcome.detected_by is not None)
+
+    def test_some_upsets_are_detected(self, mc_circuit):
+        """SEUs are not maskable in general: the campaign must surface at
+        least one detection on a real closed loop."""
+        netlist, sg = mc_circuit
+        outcomes = glitch_campaign(netlist, sg, runs=15, max_events=300, seed=2)
+        assert any(o.detected for o in outcomes)
+
+
+class TestStuckAt:
+    def test_surgery_replaces_exactly_one_gate(self, mc_circuit):
+        netlist, _ = mc_circuit
+        target = sorted(netlist.gates)[0]
+        forced = stuck_at(netlist, target, 1)
+        stuck = forced.gates[target]
+        assert stuck.kind is GateKind.COMPLEX
+        pins = {signal: 0 for signal, _ in stuck.inputs}
+        assert stuck.next_value(pins, current=0) == 1
+        assert stuck.next_value({s: 1 for s in pins}, current=0) == 1
+        untouched = [n for n in netlist.gates if n != target]
+        for name in untouched:
+            assert forced.gates[name] is netlist.gates[name]
+        # the original is never mutated
+        assert netlist.gates[target].kind is not GateKind.COMPLEX
+
+    def test_stuck_at_zero_is_constant_zero(self, mc_circuit):
+        netlist, _ = mc_circuit
+        target = sorted(netlist.gates)[0]
+        forced = stuck_at(netlist, target, 0)
+        stuck = forced.gates[target]
+        pins = {signal: 0 for signal, _ in stuck.inputs}
+        assert stuck.next_value(pins, current=1) == 0
+
+    def test_bad_arguments_rejected(self, mc_circuit):
+        netlist, _ = mc_circuit
+        with pytest.raises(ValueError):
+            stuck_at(netlist, "no_such_gate", 0)
+        with pytest.raises(ValueError):
+            stuck_at(netlist, sorted(netlist.gates)[0], 2)
+
+    def test_campaign_detects_stuck_faults(self, mc_circuit):
+        netlist, sg = mc_circuit
+        outcomes = stuck_campaign(netlist, sg, runs=8, max_events=300, seed=0)
+        assert len(outcomes) == 8
+        assert any(o.detected for o in outcomes)
+
+
+class TestNegativeControl:
+    def test_non_mc_cover_is_caught(self):
+        """Theorem 2's premise matters: a functionally correct cover
+        without monotonicity must be flagged hazardous (Example 2)."""
+        report = non_mc_cover_check()
+        assert not report.hazard_free
+        assert report.conflicts or report.conformance_failures
+
+
+class TestRunFaultInjection:
+    def test_full_run_on_mc_circuit(self, mc_circuit):
+        netlist, sg = mc_circuit
+        report = run_fault_injection(
+            netlist, sg, runs=8, max_events=300, seed=0
+        )
+        assert report.mc_robust, report.describe()
+        assert report.truncated is None
+        assert len(report.detected) >= 1
+        assert "all clean" in report.describe()
+
+    def test_unknown_model_rejected(self, mc_circuit):
+        netlist, sg = mc_circuit
+        with pytest.raises(ValueError, match="unknown fault model"):
+            run_fault_injection(netlist, sg, models=("delay", "cosmic-ray"))
+
+    def test_budget_truncates_gracefully(self, mc_circuit):
+        netlist, sg = mc_circuit
+        budget = Budget(max_seconds=0.0)
+        budget._started -= 1.0
+        report = run_fault_injection(netlist, sg, runs=8, budget=budget)
+        assert report.truncated is not None
+        assert "wall-clock" in report.truncated
+        # partial results, never an exception, never a fake verdict
+        assert report.mc_robust  # vacuously: no storms completed
+        assert report.delay_reports == []
