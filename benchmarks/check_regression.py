@@ -2,11 +2,12 @@
 
 ``BENCH_pipeline.json`` freezes the paired A/B measurement that accepted
 the bitmask engine: ``pre_change_baseline_ms`` (the pure dict-based
-path, now retained verbatim as :mod:`repro.verify.reference`) against
-``paired_post_change_ms`` (the engine) on the same host.  Absolute
-milliseconds are meaningless across CI runners, but the *ratio* between
-the two paths is not: both run on the same interpreter on the same host
-in the same process.
+path, now registered as the ``reference`` analysis backend in
+:mod:`repro.pipeline.backends`) against ``paired_post_change_ms`` (the
+``bitengine`` backend) on the same host.  Absolute milliseconds are
+meaningless across CI runners, but the *ratio* between the two backends
+is not: both run on the same interpreter on the same host in the same
+process.
 
 This script re-measures both paths on the current host and fails (exit
 1) when the measured engine advantage falls more than ``--factor``
@@ -27,11 +28,12 @@ import json
 import os
 import sys
 import time
+from dataclasses import dataclass
+from typing import Dict
 
 from repro.bench.generators import concurrent_fork, token_ring
-from repro.core.mc import analyze_mc
+from repro.pipeline.backends import get_backend
 from repro.stg.reachability import stg_to_state_graph
-from repro.verify.reference import analyze_mc_reference
 
 CASES = {
     "concurrent_fork(5)": lambda: concurrent_fork(5),
@@ -44,32 +46,59 @@ _JSON_PATH = os.path.join(
 )
 
 
+@dataclass(frozen=True)
+class FrozenBaseline:
+    """The accepted A/B measurement, as a typed structured artifact."""
+
+    #: case -> best-of-N milliseconds of the reference (dict-based) path
+    reference_ms: Dict[str, float]
+    #: case -> best-of-N milliseconds of the bitengine path
+    engine_ms: Dict[str, float]
+
+    @property
+    def ratios(self) -> Dict[str, float]:
+        """Per-case frozen (reference / engine) speed ratios."""
+        return {
+            case: self.reference_ms[case] / self.engine_ms[case]
+            for case in self.reference_ms
+            if case in self.engine_ms
+        }
+
+    @classmethod
+    def from_json(cls, document: dict) -> "FrozenBaseline":
+        hotpath = document["hotpath"]
+        return cls(
+            reference_ms={
+                case: row["best"]
+                for case, row in hotpath["pre_change_baseline_ms"].items()
+            },
+            engine_ms={
+                case: row["best"]
+                for case, row in hotpath["paired_post_change_ms"].items()
+            },
+        )
+
+
 def frozen_ratios(path: str = _JSON_PATH) -> dict:
     """Per-case frozen (reference / engine) ratios from the pipeline log."""
     with open(path) as handle:
         document = json.load(handle)
-    hotpath = document["hotpath"]
-    baseline = hotpath["pre_change_baseline_ms"]
-    paired = hotpath["paired_post_change_ms"]
-    return {
-        case: baseline[case]["best"] / paired[case]["best"]
-        for case in baseline
-        if case in paired
-    }
+    return FrozenBaseline.from_json(document).ratios
 
 
 def measure_ratio(case: str, rounds: int = 5) -> tuple:
-    """Best-of-N wall times for both paths on a fresh graph per round."""
+    """Best-of-N wall times for both backends on a fresh graph per round."""
     stg = CASES[case]()
+    engine, reference = get_backend("bitengine"), get_backend("reference")
     engine_times, reference_times = [], []
     for _ in range(rounds):
         sg = stg_to_state_graph(stg)
         start = time.perf_counter()
-        analyze_mc(sg)
+        engine.analyze_mc(sg)
         engine_times.append(time.perf_counter() - start)
-        sg = stg_to_state_graph(stg)  # fresh: both paths start cold
+        sg = stg_to_state_graph(stg)  # fresh: both backends start cold
         start = time.perf_counter()
-        analyze_mc_reference(sg)
+        reference.analyze_mc(sg)
         reference_times.append(time.perf_counter() - start)
     return min(engine_times) * 1000, min(reference_times) * 1000
 

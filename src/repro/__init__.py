@@ -83,7 +83,22 @@ __all__ = [
     "SynthesisResult",
     "synthesize_from_stg",
     "synthesize_from_state_graph",
+    "Pipeline",
+    "PipelineSpec",
+    "AnalysisContext",
 ]
+
+#: orchestration names re-exported lazily (repro.pipeline imports parts
+#: of this package, so a module-level import here would be a cycle)
+_PIPELINE_EXPORTS = ("Pipeline", "PipelineSpec", "AnalysisContext")
+
+
+def __getattr__(name):
+    if name in _PIPELINE_EXPORTS:
+        from repro import pipeline as _pipeline
+
+        return getattr(_pipeline, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass
@@ -104,6 +119,36 @@ class SynthesisResult:
     def hazard_free(self) -> bool:
         return bool(self.hazard_report and self.hazard_report.hazard_free)
 
+    def to_json(self) -> dict:
+        """Structured artifact (see :mod:`repro.pipeline.serialize`)."""
+        from repro.pipeline.serialize import synthesis_result_to_json
+
+        return synthesis_result_to_json(self)
+
+    @classmethod
+    def from_json(cls, data: dict) -> "SynthesisResult":
+        """Rebuild from :meth:`to_json` output (detached where needed)."""
+        from repro.pipeline.serialize import synthesis_result_from_json
+
+        return synthesis_result_from_json(data)
+
+
+def _run_synthesis(spec, context) -> SynthesisResult:
+    """Drive the staged pipeline and package the classic result shape."""
+    from repro.pipeline import AnalysisContext, Pipeline
+
+    pipeline = Pipeline(context if context is not None else AnalysisContext())
+    synthesized = pipeline.run(spec, until="netlist")
+    plan = pipeline.run(spec, until="covers")  # memo hit: same artifacts
+    reached = pipeline.run(spec, until="reach")
+    return SynthesisResult(
+        spec=reached.sg,
+        insertion=plan.insertion,
+        implementation=plan.implementation,
+        netlist=synthesized.netlist,
+        hazard_report=synthesized.hazard_report,
+    )
+
 
 def synthesize_from_state_graph(
     sg: StateGraph,
@@ -112,6 +157,7 @@ def synthesize_from_state_graph(
     verify: bool = True,
     max_models: int = 400,
     verify_max_states: int = 500_000,
+    context=None,
 ) -> SynthesisResult:
     """The paper's full synthesis procedure from a state graph.
 
@@ -121,30 +167,22 @@ def synthesize_from_state_graph(
        (``verify_max_states`` caps the circuit-level composition; a
        truncated composition makes the hazard report *inconclusive*
        rather than hazard-free).
-    """
-    from repro import perf
 
-    with perf.phase("insertion"):
-        insertion = insert_state_signals(sg, max_models=max_models)
-    with perf.phase("synthesis"):
-        implementation = synthesize(insertion.sg, share_gates=share_gates)
-    with perf.phase("netlist"):
-        netlist = netlist_from_implementation(implementation, style)
-    with perf.phase("hazard-check"):
-        report = (
-            verify_speed_independence(
-                netlist, insertion.sg, max_states=verify_max_states
-            )
-            if verify
-            else None
-        )
-    return SynthesisResult(
-        spec=sg,
-        insertion=insertion,
-        implementation=implementation,
-        netlist=netlist,
-        hazard_report=report,
+    A thin wrapper over :class:`repro.pipeline.Pipeline`; pass an
+    :class:`~repro.pipeline.AnalysisContext` to choose the analysis
+    backend, share a budget, or reuse memoised stage artifacts.
+    """
+    from repro.pipeline import PipelineSpec
+
+    spec = PipelineSpec.from_state_graph(
+        sg,
+        style=style,
+        share_gates=share_gates,
+        verify=verify,
+        max_models=max_models,
+        verify_max_states=verify_max_states,
     )
+    return _run_synthesis(spec, context)
 
 
 def synthesize_from_stg(
@@ -153,12 +191,16 @@ def synthesize_from_stg(
     share_gates: bool = False,
     verify: bool = True,
     max_models: int = 400,
+    context=None,
 ) -> SynthesisResult:
     """Convenience wrapper: elaborate the STG, then synthesise."""
-    return synthesize_from_state_graph(
-        stg_to_state_graph(stg),
+    from repro.pipeline import PipelineSpec
+
+    spec = PipelineSpec.from_stg(
+        stg,
         style=style,
         share_gates=share_gates,
         verify=verify,
         max_models=max_models,
     )
+    return _run_synthesis(spec, context)

@@ -19,13 +19,12 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro import perf
-from repro.core.insertion import InsertionResult, insert_state_signals
-from repro.core.synthesis import Implementation, synthesize
-from repro.netlist.hazards import HazardReport, verify_speed_independence
+from repro.core.insertion import InsertionResult
+from repro.core.synthesis import Implementation
+from repro.netlist.hazards import HazardReport
 from repro.netlist.netlist import netlist_from_implementation
 from repro.sg.graph import StateGraph
 from repro.stg.parser import load_g
-from repro.stg.reachability import stg_to_state_graph
 from repro.stg.stg import STG
 
 _DATA_DIR = os.path.join(os.path.dirname(__file__), "data")
@@ -87,6 +86,19 @@ class PipelineResult:
             self.added_signals,
         )
 
+    def to_json(self) -> Dict:
+        """One structured Table-1 row (the ``table1`` section schema)."""
+        from repro.pipeline.serialize import pipeline_result_to_json
+
+        return pipeline_result_to_json(self)
+
+    @classmethod
+    def from_json(cls, data: Dict) -> "PipelineResult":
+        """Rebuild a comparable row from :meth:`to_json` output."""
+        from repro.pipeline.serialize import pipeline_result_from_json
+
+        return pipeline_result_from_json(data)
+
 
 def run_pipeline(
     name: str,
@@ -94,49 +106,48 @@ def run_pipeline(
     style: str = "C",
     max_models: int = 400,
     profile: bool = False,
+    context=None,
 ) -> PipelineResult:
     """Full MC-reduction pipeline for one benchmark.
 
-    STG -> state graph -> MC-driven state-signal insertion -> standard
-    implementation -> (optionally) circuit-level speed-independence
-    verification.
+    Drives :class:`repro.pipeline.Pipeline` end to end: STG -> state
+    graph -> MC-driven state-signal insertion -> standard implementation
+    -> (optionally) circuit-level speed-independence verification.
 
-    With ``profile=True`` a fresh :mod:`repro.perf` recorder is active
-    for the duration of the run and its per-phase wall times and op
-    counters land in ``result.profile`` (not thread-safe: the recorder
-    is process-global, so profile serially).
+    With ``profile=True`` a fresh :mod:`repro.perf` recorder is scoped
+    to this run (via :func:`repro.perf.recording`) and its per-phase
+    wall times and op counters land in ``result.profile``.  Pass a
+    ``context`` to choose the analysis backend or share budgets/caches
+    across designs; ``profile`` is ignored when a context is supplied
+    (the context's own recorder wins).
     """
-    previous = perf.active()
-    recorder = perf.enable() if profile else None
-    try:
-        started = time.perf_counter()
-        stg = load_benchmark(name)
-        spec_sg = stg_to_state_graph(stg)
-        with perf.phase("insertion"):
-            insertion = insert_state_signals(spec_sg, max_models=max_models)
-        with perf.phase("synthesis"):
-            implementation = synthesize(insertion.sg)
-        report = None
-        if verify:
-            with perf.phase("netlist"):
-                netlist = netlist_from_implementation(implementation, style)
-            with perf.phase("hazard-check"):
-                report = verify_speed_independence(netlist, insertion.sg)
-        return PipelineResult(
-            name=name,
-            stg=stg,
-            spec_sg=spec_sg,
-            insertion=insertion,
-            implementation=implementation,
-            hazard_report=report,
-            elapsed_seconds=time.perf_counter() - started,
-            profile=recorder.as_dict() if recorder is not None else None,
-        )
-    finally:
-        if profile:
-            perf.disable()
-            if previous is not None:
-                perf._recorder = previous
+    from repro.pipeline import AnalysisContext, Pipeline, PipelineSpec
+
+    if context is None:
+        context = AnalysisContext(recorder=perf.PerfRecorder() if profile else None)
+    started = time.perf_counter()
+    stg = load_benchmark(name)
+    spec = PipelineSpec.from_stg(
+        stg, name=name, style=style, verify=verify, max_models=max_models
+    )
+    pipeline = Pipeline(context)
+    hazard_report = None
+    if verify:
+        hazard_report = pipeline.run(spec, until="netlist").hazard_report
+    plan = pipeline.run(spec, until="covers")
+    reached = pipeline.run(spec, until="reach")
+    return PipelineResult(
+        name=name,
+        stg=stg,
+        spec_sg=reached.sg,
+        insertion=plan.insertion,
+        implementation=plan.implementation,
+        hazard_report=hazard_report,
+        elapsed_seconds=time.perf_counter() - started,
+        profile=(
+            context.recorder.as_dict() if context.recorder is not None else None
+        ),
+    )
 
 
 def run_table1(
@@ -200,27 +211,7 @@ def update_pipeline_json(
 
 def table1_payload(results: List[PipelineResult]) -> List[Dict]:
     """The ``table1`` section of BENCH_pipeline.json."""
-    payload = []
-    for result in results:
-        row = {
-            "name": result.name,
-            "inputs": len(result.stg.inputs),
-            "outputs": len(result.stg.non_inputs),
-            "added_signals": result.added_signals,
-            "paper_added_signals": paper_row(result.name)[2],
-            "spec_states": len(result.spec_sg),
-            "final_states": len(result.insertion.sg),
-            "hazard_free": (
-                None
-                if result.hazard_report is None
-                else result.hazard_report.hazard_free
-            ),
-            "elapsed_seconds": result.elapsed_seconds,
-        }
-        if result.profile is not None:
-            row["profile"] = result.profile
-        payload.append(row)
-    return payload
+    return [result.to_json() for result in results]
 
 
 def write_pipeline_json(

@@ -32,7 +32,6 @@ import sys
 from typing import List, Optional
 
 from repro import perf, synthesize_from_state_graph
-from repro.core.mc import analyze_mc
 from repro.netlist.render import netlist_to_dot, netlist_to_verilog, sg_to_dot
 from repro.netlist.simulate import monte_carlo
 from repro.sg.csc import has_csc, has_usc
@@ -85,6 +84,8 @@ def _finish_profile(recorder: Optional[perf.PerfRecorder]) -> None:
 
 
 def cmd_info(args: argparse.Namespace) -> int:
+    from repro.pipeline import AnalysisContext, Pipeline
+
     recorder = _start_profile(args)
     stg, sg = _load(args.spec)
     from repro.sg.analysis import statistics
@@ -95,7 +96,8 @@ def cmd_info(args: argparse.Namespace) -> int:
     print(f"  output distributive : {is_output_distributive(sg)}")
     print(f"  persistent          : {is_persistent(sg)}")
     print(f"  USC / CSC           : {has_usc(sg)} / {has_csc(sg)}")
-    report = analyze_mc(sg, jobs=args.jobs)
+    context = AnalysisContext(backend=args.backend, jobs=args.jobs)
+    report = Pipeline(context).run(sg, until="mc").report
     print(report.describe())
     if args.dot:
         with open(args.dot, "w") as handle:
@@ -106,6 +108,8 @@ def cmd_info(args: argparse.Namespace) -> int:
 
 
 def cmd_synth(args: argparse.Namespace) -> int:
+    from repro.pipeline import AnalysisContext
+
     recorder = _start_profile(args)
     _, sg = _load(args.spec)
     result = synthesize_from_state_graph(
@@ -114,6 +118,7 @@ def cmd_synth(args: argparse.Namespace) -> int:
         share_gates=args.share,
         verify=not args.no_verify,
         max_models=args.max_models,
+        context=AnalysisContext(backend=args.backend),
     )
     if result.added_signals:
         print(result.insertion.describe())
@@ -159,22 +164,22 @@ def cmd_synth(args: argparse.Namespace) -> int:
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
+    from repro.pipeline import AnalysisContext
     from repro.verify.budget import Budget
 
     recorder = _start_profile(args)
     budget = Budget(max_states=args.budget_states, max_seconds=args.budget_seconds)
     _, sg = _load(args.spec, max_states=budget.remaining_states(1_000_000))
     budget.charge_states(len(sg.state_list), "specification elaboration")
+    # the pipeline's netlist stage charges the circuit composition and
+    # runs the wall-clock check against this same budget -- exactly once
+    context = AnalysisContext(backend=args.backend, budget=budget)
     result = synthesize_from_state_graph(
         sg,
         style=args.style,
         verify=True,
-        verify_max_states=budget.remaining_states(500_000),
+        context=context,
     )
-    budget.charge_states(
-        len(result.hazard_report.circuit_sg.state_list), "circuit composition"
-    )
-    budget.check_time("speed-independence check")
     print(result.hazard_report.describe())
     exit_code = EXIT_OK if result.hazard_free else EXIT_HAZARD
     report = result.hazard_report
@@ -196,7 +201,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
             models=args.fault_model,
             runs=args.fault_runs,
             seed=args.seed,
-            budget=budget,
+            context=context,
         )
         print()
         print(fault_report.describe())
@@ -229,10 +234,55 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0 if not bad else 1
 
 
+def _diff_table1() -> int:
+    """Pipeline parity: run the Table-1 designs through both backends.
+
+    Every design's MC stage runs once per registered analysis backend;
+    the serialized artifacts (:mod:`repro.pipeline.serialize`) must be
+    identical.  Any artifact diff is a definite failure (exit 1).
+    """
+    from repro.bench.suite import BENCHMARKS, load_benchmark
+    from repro.pipeline import AnalysisContext, Pipeline, PipelineSpec
+    from repro.pipeline.backends import available_backends
+    from repro.pipeline.serialize import mc_report_to_json
+    from repro.verify.differential import diff_reports
+
+    backends = available_backends()
+    divergent = 0
+    for name in BENCHMARKS:
+        spec = PipelineSpec.from_stg(load_benchmark(name), name=name)
+        verdicts = {
+            backend: Pipeline(AnalysisContext(backend=backend)).run(spec, until="mc")
+            for backend in backends
+        }
+        artifacts = {b: mc_report_to_json(v.report) for b, v in verdicts.items()}
+        baseline_name, *other_names = backends
+        mismatches = []
+        for other in other_names:
+            if artifacts[other] != artifacts[baseline_name]:
+                mismatches += diff_reports(
+                    verdicts[baseline_name].report,
+                    verdicts[other].report,
+                    label=f"{baseline_name} vs {other}",
+                ) or [f"{baseline_name} vs {other}: artifacts differ"]
+        status = "parity" if not mismatches else "DIVERGED"
+        print(f"{name}: {status} ({', '.join(backends)})")
+        for line in mismatches:
+            print(f"  {line}")
+        divergent += bool(mismatches)
+    print(
+        f"pipeline parity: {len(BENCHMARKS)} design(s) x "
+        f"{len(backends)} backend(s), {divergent} divergent"
+    )
+    return EXIT_OK if divergent == 0 else EXIT_HAZARD
+
+
 def cmd_diff(args: argparse.Namespace) -> int:
     """Differential oracle sweep: bitengine vs reference path (CI gate)."""
     from repro.verify.differential import differential_campaign
 
+    if args.table1:
+        return _diff_table1()
     progress = None
     if args.verbose:
         progress = lambda record: print(record.describe(), file=sys.stderr)  # noqa: E731
@@ -334,6 +384,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="parallel MC analysis fan-out (threads over signals)",
     )
     p_info.add_argument(
+        "--backend", default=None,
+        help="analysis backend (bitengine | reference)",
+    )
+    p_info.add_argument(
         "--profile", action="store_true",
         help="print per-phase wall time and primitive-op counts",
     )
@@ -368,6 +422,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_synth.add_argument("--dot", help="write the netlist as Graphviz")
     p_synth.add_argument(
+        "--backend", default=None,
+        help="analysis backend (bitengine | reference)",
+    )
+    p_synth.add_argument(
         "--profile", action="store_true",
         help="print per-phase wall time and primitive-op counts",
     )
@@ -398,6 +456,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.add_argument(
         "--seed", type=int, default=0,
         help="random seed for fault injection",
+    )
+    p_verify.add_argument(
+        "--backend", default=None,
+        help="analysis backend (bitengine | reference)",
     )
     p_verify.add_argument(
         "--profile", action="store_true",
@@ -434,6 +496,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_diff.add_argument(
         "--verbose", action="store_true",
         help="stream one line per design to stderr",
+    )
+    p_diff.add_argument(
+        "--table1", action="store_true",
+        help="pipeline parity: run the Table-1 designs through every "
+        "registered backend and fail on any artifact diff",
     )
     p_diff.set_defaults(func=cmd_diff)
 

@@ -616,6 +616,7 @@ def insert_state_signals(
     signal_prefix: str = "x",
     beam_width: int = 6,
     deadline: Optional[float] = None,
+    report: Optional[MCReport] = None,
 ) -> InsertionResult:
     """Insert internal signals until the MC requirement holds.
 
@@ -638,8 +639,11 @@ def insert_state_signals(
     Returns the transformed state graph, the final MC report and the
     per-round history.  Raises :class:`InsertionError` when no candidate
     labelling improves any beam node within the budgets.
+
+    ``report`` lets callers that already hold the MC analysis of ``sg``
+    (the staged pipeline memoises it) skip the redundant re-analysis.
     """
-    report = analyze_mc(sg)
+    report = report if report is not None else analyze_mc(sg)
     if report.satisfied:
         return InsertionResult(sg=sg, report=report, rounds=[])
 

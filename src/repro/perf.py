@@ -126,6 +126,27 @@ def active() -> Optional[PerfRecorder]:
 
 
 @contextmanager
+def recording(recorder: Optional[PerfRecorder]):
+    """Install ``recorder`` for the duration of the block, then restore.
+
+    ``None`` leaves the currently active recorder in place (the block is
+    a no-op), so callers can thread an *optional* recorder without
+    branching.  This is the supported way to scope instrumentation to
+    one run -- harnesses must not assign ``perf._recorder`` directly.
+    """
+    global _recorder
+    if recorder is None:
+        yield None
+        return
+    previous = _recorder
+    _recorder = recorder
+    try:
+        yield recorder
+    finally:
+        _recorder = previous
+
+
+@contextmanager
 def phase(name: str):
     """Context manager timing one pipeline phase (no-op when disabled)."""
     recorder = _recorder

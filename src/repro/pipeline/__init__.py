@@ -1,0 +1,59 @@
+"""Staged synthesis pipeline with pluggable analysis backends.
+
+This package is the single orchestration layer of the repo: every
+end-to-end flow (CLI, library wrappers, bench harness, verify
+campaigns) is a :class:`Pipeline` run over a shared
+:class:`AnalysisContext`.
+
+* :mod:`repro.pipeline.core` -- the five-stage pipeline and
+  :class:`PipelineSpec`;
+* :mod:`repro.pipeline.artifacts` -- the typed frozen stage artifacts
+  and their fingerprint chain;
+* :mod:`repro.pipeline.context` -- backend + budget + memo cache +
+  profiling for one analysis world;
+* :mod:`repro.pipeline.backends` -- the ``bitengine`` / ``reference``
+  analysis backends behind one protocol;
+* :mod:`repro.pipeline.serialize` -- shared JSON round-tripping of
+  result artifacts.
+
+Quick start::
+
+    from repro.pipeline import AnalysisContext, Pipeline, PipelineSpec
+
+    spec = PipelineSpec.from_benchmark("delement")
+    pipeline = Pipeline(AnalysisContext(backend="bitengine"))
+    plan = pipeline.run(spec, until="covers")
+    print(plan.implementation.equations())
+"""
+
+from repro.pipeline.artifacts import (
+    CoverPlan,
+    MCVerdict,
+    ReachedSG,
+    RegionMap,
+    SynthesizedNetlist,
+)
+from repro.pipeline.backends import (
+    AnalysisBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from repro.pipeline.context import AnalysisContext
+from repro.pipeline.core import STAGES, Pipeline, PipelineSpec
+
+__all__ = [
+    "AnalysisBackend",
+    "AnalysisContext",
+    "CoverPlan",
+    "MCVerdict",
+    "Pipeline",
+    "PipelineSpec",
+    "ReachedSG",
+    "RegionMap",
+    "STAGES",
+    "SynthesizedNetlist",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+]

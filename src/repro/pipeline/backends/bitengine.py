@@ -1,0 +1,29 @@
+"""The production analysis backend: big-int bitset MC analysis.
+
+A thin adapter giving :func:`repro.core.mc.analyze_mc` -- the packed
+state-code engine of :mod:`repro.sg.bitengine` -- the uniform
+:class:`~repro.pipeline.backends.AnalysisBackend` shape.  This is the
+default backend of every pipeline; the ``jobs=`` fan-out (threads over
+excitation functions) passes straight through.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.mc import MCReport, analyze_mc
+from repro.sg.graph import StateGraph
+
+
+class BitengineBackend:
+    """Bitmask fast path (the synthesis engine the paper's tables use)."""
+
+    name = "bitengine"
+
+    def analyze_mc(
+        self, sg: StateGraph, jobs: Optional[int] = None
+    ) -> MCReport:
+        return analyze_mc(sg, jobs=jobs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<AnalysisBackend bitengine>"

@@ -1,0 +1,121 @@
+"""The shared AnalysisContext threaded through every pipeline stage.
+
+One context = one analysis world: *which engine* decides MC
+(:mod:`repro.pipeline.backends`), *how much* state/wall-clock it may
+spend (:class:`repro.verify.budget.Budget`), *where* per-stage artifacts
+are memoised, and *who* records phase timings
+(:mod:`repro.perf`).  Because every entry point -- ``repro-si``, the
+bench suite, the verify campaigns, the examples -- builds its flow on
+the same context type, budgets and profiling are started exactly once
+per run: nesting a pipeline inside a verify campaign shares the
+campaign's context instead of opening a second clock, so each
+wall-clock second and each elaborated state is charged once.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional, Tuple, Union
+
+from repro import perf
+from repro.pipeline.backends import AnalysisBackend, get_backend
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle: repro.verify -> pipeline
+    from repro.verify.budget import Budget
+
+
+class AnalysisContext:
+    """Backend + budget + memo cache + profiling for one analysis world.
+
+    Parameters
+    ----------
+    backend:
+        Backend name (``"bitengine"``, ``"reference"``) or an
+        :class:`~repro.pipeline.backends.AnalysisBackend` instance.
+    budget:
+        The single :class:`Budget` every stage charges; defaults to an
+        unbounded no-op guard.  Pass the *enclosing* campaign's budget
+        when nesting a pipeline inside a larger run -- contexts never
+        start a second clock of their own.
+    jobs:
+        Default thread fan-out for analyses that support it.
+    recorder:
+        Optional :class:`repro.perf.PerfRecorder` installed for the
+        duration of each ``Pipeline.run`` on this context.  ``None``
+        leaves the process-global recorder (CLI ``--profile``) alone.
+    """
+
+    def __init__(
+        self,
+        backend: Union[str, AnalysisBackend, None] = None,
+        budget: Optional["Budget"] = None,
+        jobs: Optional[int] = None,
+        recorder: Optional[perf.PerfRecorder] = None,
+    ):
+        from repro.verify.budget import Budget
+
+        self.backend: AnalysisBackend = get_backend(backend)
+        self.budget: Budget = budget if budget is not None else Budget()
+        self.jobs = jobs
+        self.recorder = recorder
+        self._memo: Dict[Tuple, object] = {}
+        #: per-stage memo traffic, e.g. ``{"regions": 1}``
+        self.cache_hits_by_stage: Dict[str, int] = {}
+        self.cache_misses_by_stage: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def cache_hits(self) -> int:
+        """Total artifact-cache hits across all stages."""
+        return sum(self.cache_hits_by_stage.values())
+
+    @property
+    def cache_misses(self) -> int:
+        """Total artifact-cache misses (stage computations performed)."""
+        return sum(self.cache_misses_by_stage.values())
+
+    def cache_info(self) -> Dict[str, Tuple[int, int]]:
+        """Stage -> (hits, misses) for everything this context ran."""
+        stages = set(self.cache_hits_by_stage) | set(self.cache_misses_by_stage)
+        return {
+            stage: (
+                self.cache_hits_by_stage.get(stage, 0),
+                self.cache_misses_by_stage.get(stage, 0),
+            )
+            for stage in sorted(stages)
+        }
+
+    def clear_cache(self) -> None:
+        """Drop memoised artifacts (counters are kept for inspection)."""
+        self._memo.clear()
+
+    # ------------------------------------------------------------------
+    def memoize(self, stage: str, key: Tuple, compute):
+        """Return the memoised artifact for ``key``, computing on miss.
+
+        ``key`` must chain the upstream artifact's fingerprint with every
+        option that can change this stage's result; see
+        :mod:`repro.pipeline.artifacts`.
+        """
+        full_key = (stage,) + key
+        if full_key in self._memo:
+            self.cache_hits_by_stage[stage] = (
+                self.cache_hits_by_stage.get(stage, 0) + 1
+            )
+            perf.count(f"pipeline-cache-hit:{stage}")
+            return self._memo[full_key]
+        self.cache_misses_by_stage[stage] = (
+            self.cache_misses_by_stage.get(stage, 0) + 1
+        )
+        artifact = compute()
+        self._memo[full_key] = artifact
+        return artifact
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"AnalysisContext(backend={self.backend.name!r}, "
+            f"budget={self.budget!r}, jobs={self.jobs!r}, "
+            f"cached={len(self._memo)})"
+        )
+
+
+__all__ = ["AnalysisContext"]

@@ -1,0 +1,287 @@
+"""The staged synthesis pipeline: one orchestrator for every flow.
+
+Every end-to-end run in the repo -- the ``repro-si`` CLI, the library
+wrappers (:func:`repro.synthesize_from_stg`), the Table-1 bench harness
+and the verify campaigns -- is a :class:`Pipeline` driving the same five
+stages over a shared :class:`~repro.pipeline.context.AnalysisContext`::
+
+    reach ──> regions ──> mc ──> covers ──> netlist
+
+========== ============================================================
+reach      elaborate the STG (or adopt a ready state graph)
+regions    excitation regions of every non-input signal
+mc         the context backend's Monotonous Cover analysis (Defs. 17-19)
+covers     MC-driven state-signal insertion + standard implementation
+netlist    basic-gate netlist + optional speed-independence check
+========== ============================================================
+
+``Pipeline.run(spec, until=<stage>)`` returns that stage's typed frozen
+artifact (:mod:`repro.pipeline.artifacts`).  Results are memoised on the
+context, keyed on the upstream artifact's fingerprint chained with every
+option that feeds the stage -- running the same spec twice in one
+context performs each analysis exactly once, while a mutated
+specification recomputes exactly the stages downstream of the mutation.
+
+The context also carries the single :class:`~repro.verify.budget.Budget`
+the run charges (circuit composition and specification elaboration are
+charged here, in the stage that performs them, and nowhere else) and the
+optional perf recorder installed for the duration of each ``run``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Union
+
+from repro import perf
+from repro.pipeline.artifacts import (
+    CoverPlan,
+    MCVerdict,
+    ReachedSG,
+    RegionMap,
+    SynthesizedNetlist,
+    fingerprint_cover_plan,
+    fingerprint_mc_report,
+    fingerprint_netlist,
+    fingerprint_region_map,
+    fingerprint_state_graph,
+    fingerprint_stg,
+)
+from repro.pipeline.context import AnalysisContext
+from repro.sg.graph import StateGraph
+from repro.stg.stg import STG
+
+#: stage names, in execution order (the ``until=`` vocabulary)
+STAGES = ("reach", "regions", "mc", "covers", "netlist")
+
+
+@dataclass(frozen=True)
+class PipelineSpec:
+    """What to synthesise and with which options.
+
+    Exactly one of ``stg`` / ``sg`` is the entry point; every other
+    field is a stage option.  Specs are immutable values -- derive
+    variants with :func:`dataclasses.replace` (the pipeline's
+    memoisation keys on the fields that matter per stage, so an
+    option-only variant reuses every unaffected upstream artifact).
+    """
+
+    stg: Optional[STG] = None
+    sg: Optional[StateGraph] = None
+    name: str = ""
+    style: str = "C"
+    #: ``False``, ``True`` (greedy Sec.-VI sharing) or ``"optimal"``
+    share_gates: object = False
+    verify: bool = True
+    max_models: int = 400
+    #: reachability cap when elaborating ``stg``
+    max_states: int = 200_000
+    #: circuit-composition cap for the hazard check
+    verify_max_states: int = 500_000
+
+    def __post_init__(self):
+        if (self.stg is None) == (self.sg is None):
+            raise ValueError("exactly one of stg/sg must be given")
+        if not self.name:
+            source = self.stg if self.stg is not None else self.sg
+            object.__setattr__(self, "name", source.name)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_stg(cls, stg: STG, **options) -> "PipelineSpec":
+        return cls(stg=stg, **options)
+
+    @classmethod
+    def from_state_graph(cls, sg: StateGraph, **options) -> "PipelineSpec":
+        return cls(sg=sg, **options)
+
+    @classmethod
+    def from_benchmark(cls, name: str, **options) -> "PipelineSpec":
+        """A Table-1 design by name (see :data:`repro.bench.BENCHMARKS`)."""
+        from repro.bench.suite import load_benchmark
+
+        return cls(stg=load_benchmark(name), name=name, **options)
+
+    def with_options(self, **options) -> "PipelineSpec":
+        return replace(self, **options)
+
+
+class Pipeline:
+    """Drives the staged flow over one :class:`AnalysisContext`."""
+
+    stages = STAGES
+
+    def __init__(self, context: Optional[AnalysisContext] = None):
+        self.context = context if context is not None else AnalysisContext()
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        spec: Union[PipelineSpec, STG, StateGraph],
+        until: str = "netlist",
+    ):
+        """Run the pipeline up to (and including) stage ``until``.
+
+        Returns that stage's artifact; upstream artifacts land in the
+        context's memo cache, so a later ``run`` of an earlier stage (or
+        a re-run) is a cache hit.  Raw ``STG`` / ``StateGraph`` inputs
+        are coerced to a default :class:`PipelineSpec`.
+        """
+        if until not in STAGES:
+            raise ValueError(f"unknown stage {until!r}; stages are {STAGES}")
+        if isinstance(spec, STG):
+            spec = PipelineSpec.from_stg(spec)
+        elif isinstance(spec, StateGraph):
+            spec = PipelineSpec.from_state_graph(spec)
+        with perf.recording(self.context.recorder):
+            reached = self._reach(spec)
+            if until == "reach":
+                return reached
+            regions = self._regions(reached)
+            if until == "regions":
+                return regions
+            mc = self._mc(reached, regions)
+            if until == "mc":
+                return mc
+            covers = self._covers(spec, reached, mc)
+            if until == "covers":
+                return covers
+            return self._netlist(spec, covers)
+
+    # ------------------------------------------------------------------
+    def _reach(self, spec: PipelineSpec) -> ReachedSG:
+        ctx = self.context
+        if spec.sg is not None:
+            key = (fingerprint_state_graph(spec.sg),)
+
+            def adopt() -> ReachedSG:
+                return ReachedSG(sg=spec.sg, source=None, fingerprint=key[0])
+
+            return ctx.memoize("reach", key, adopt)
+
+        key = (fingerprint_stg(spec.stg), spec.max_states)
+
+        def elaborate() -> ReachedSG:
+            from repro.stg.reachability import stg_to_state_graph
+
+            cap = ctx.budget.remaining_states(spec.max_states)
+            sg = stg_to_state_graph(spec.stg, max_states=min(cap, spec.max_states))
+            ctx.budget.charge_states(
+                len(sg.state_list), "specification elaboration"
+            )
+            return ReachedSG(
+                sg=sg, source=spec.stg, fingerprint=fingerprint_state_graph(sg)
+            )
+
+        return ctx.memoize("reach", key, elaborate)
+
+    def _regions(self, reached: ReachedSG) -> RegionMap:
+        ctx = self.context
+        key = (reached.fingerprint,)
+
+        def compute() -> RegionMap:
+            from repro.sg.regions import all_excitation_regions
+
+            with perf.phase("regions"):
+                regions = tuple(
+                    all_excitation_regions(reached.sg, only_non_inputs=True)
+                )
+            return RegionMap(
+                regions=regions,
+                fingerprint=fingerprint_region_map(reached.fingerprint, regions),
+            )
+
+        return ctx.memoize("regions", key, compute)
+
+    def _mc(self, reached: ReachedSG, regions: RegionMap) -> MCVerdict:
+        ctx = self.context
+        key = (regions.fingerprint, ctx.backend.name)
+
+        def analyze() -> MCVerdict:
+            report = ctx.backend.analyze_mc(reached.sg, jobs=ctx.jobs)
+            return MCVerdict(
+                report=report,
+                backend=ctx.backend.name,
+                fingerprint=fingerprint_mc_report(
+                    regions.fingerprint, ctx.backend.name, report
+                ),
+            )
+
+        return ctx.memoize("mc", key, analyze)
+
+    def _covers(
+        self, spec: PipelineSpec, reached: ReachedSG, mc: MCVerdict
+    ) -> CoverPlan:
+        ctx = self.context
+        key = (mc.fingerprint, spec.max_models, spec.share_gates)
+
+        def plan() -> CoverPlan:
+            from repro.core.insertion import insert_state_signals
+            from repro.core.synthesis import synthesize
+
+            with perf.phase("insertion"):
+                insertion = insert_state_signals(
+                    reached.sg, max_models=spec.max_models, report=mc.report
+                )
+            with perf.phase("synthesis"):
+                implementation = synthesize(
+                    insertion.sg,
+                    share_gates=spec.share_gates,
+                    report=insertion.report,
+                )
+            return CoverPlan(
+                insertion=insertion,
+                implementation=implementation,
+                fingerprint=fingerprint_cover_plan(
+                    mc.fingerprint, insertion, implementation
+                ),
+            )
+
+        return ctx.memoize("covers", key, plan)
+
+    def _netlist(self, spec: PipelineSpec, covers: CoverPlan) -> SynthesizedNetlist:
+        ctx = self.context
+        key = (
+            covers.fingerprint,
+            spec.style,
+            spec.verify,
+            spec.verify_max_states,
+        )
+
+        def build() -> SynthesizedNetlist:
+            from repro.netlist.hazards import verify_speed_independence
+            from repro.netlist.netlist import netlist_from_implementation
+
+            with perf.phase("netlist"):
+                netlist = netlist_from_implementation(
+                    covers.implementation, spec.style
+                )
+            report = None
+            if spec.verify:
+                with perf.phase("hazard-check"):
+                    report = verify_speed_independence(
+                        netlist,
+                        covers.sg,
+                        max_states=ctx.budget.remaining_states(
+                            spec.verify_max_states
+                        ),
+                    )
+                ctx.budget.charge_states(
+                    len(report.circuit_sg.state_list), "circuit composition"
+                )
+                ctx.budget.check_time("speed-independence check")
+            return SynthesizedNetlist(
+                netlist=netlist,
+                hazard_report=report,
+                fingerprint=fingerprint_netlist(
+                    covers.fingerprint, netlist, report
+                ),
+            )
+
+        return ctx.memoize("netlist", key, build)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Pipeline(context={self.context!r})"
+
+
+__all__ = ["Pipeline", "PipelineSpec", "STAGES"]

@@ -1,0 +1,320 @@
+"""Shared JSON round-tripping for pipeline result artifacts.
+
+``SynthesisResult`` (the library's end-to-end outcome),
+``PipelineResult`` (the Table-1 harness row) and ``MCReport`` (the
+per-region MC analysis) all serialise through this module, so
+``repro-si diff --json``, ``BENCH_pipeline.json`` and
+``benchmarks/check_regression.py`` compare *structured artifacts* with a
+single schema instead of ad-hoc dicts.
+
+The contract is a stable round-trip::
+
+    X.from_json(x.to_json()).to_json() == x.to_json()
+
+Reconstruction is faithful where the repo has a full interchange format
+(state graphs via :mod:`repro.sg.io`, netlists via
+:mod:`repro.netlist.io`) and *detached* where it does not: a detached
+stand-in carries exactly the serialised facts (equations text, hazard
+verdict, inserted-signal names) and re-serialises identically, but does
+not pretend to be re-runnable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+# ----------------------------------------------------------------------
+# Detached stand-ins (duck-typed against the real result classes)
+# ----------------------------------------------------------------------
+class _Sized:
+    """A state-graph stand-in knowing only its name and state count."""
+
+    def __init__(self, name: str, states: int = 0):
+        self.name = name
+        self._states = states
+
+    def __len__(self) -> int:
+        return self._states
+
+    @property
+    def state_list(self) -> Tuple[None, ...]:
+        return (None,) * self._states
+
+
+@dataclass
+class DetachedInsertion:
+    """Serialised view of an :class:`repro.core.insertion.InsertionResult`."""
+
+    sg: object
+    report: object
+    added_signals: List[str] = field(default_factory=list)
+
+    @property
+    def satisfied(self) -> bool:
+        return self.report.satisfied
+
+    def describe(self) -> str:
+        if not self.added_signals:
+            return "no state signals inserted"
+        return f"{len(self.added_signals)} state signal(s) inserted: " + ", ".join(
+            self.added_signals
+        )
+
+
+@dataclass
+class DetachedImplementation:
+    """Serialised view of a :class:`repro.core.synthesis.Implementation`."""
+
+    equations_text: str
+    shared: bool = False
+    method: str = "mc"
+
+    def equations(self) -> str:
+        return self.equations_text
+
+
+@dataclass
+class DetachedHazardReport:
+    """Serialised verdict of a :class:`repro.netlist.hazards.HazardReport`."""
+
+    hazard_free: bool
+    conflicts: int
+    truncated: bool
+    circuit_states: int
+
+    def as_json(self) -> Dict:
+        return {
+            "hazard_free": self.hazard_free,
+            "conflicts": self.conflicts,
+            "truncated": self.truncated,
+            "circuit_states": self.circuit_states,
+        }
+
+
+def _hazard_to_json(report) -> Optional[Dict]:
+    if report is None:
+        return None
+    if isinstance(report, DetachedHazardReport):
+        return report.as_json()
+    return {
+        "hazard_free": report.hazard_free,
+        "conflicts": len(report.conflicts),
+        "truncated": report.composition.truncated,
+        "circuit_states": len(report.circuit_sg.state_list),
+    }
+
+
+def _hazard_from_json(data: Optional[Dict]) -> Optional[DetachedHazardReport]:
+    if data is None:
+        return None
+    return DetachedHazardReport(
+        hazard_free=data["hazard_free"],
+        conflicts=data["conflicts"],
+        truncated=data["truncated"],
+        circuit_states=data["circuit_states"],
+    )
+
+
+# ----------------------------------------------------------------------
+# MCReport
+# ----------------------------------------------------------------------
+def _cube_to_json(cube) -> Optional[Dict[str, int]]:
+    if cube is None:
+        return None
+    return {signal: value for signal, value in sorted(cube.literals)}
+
+
+def _parse_transition_name(name: str):
+    from repro.sg.regions import ExcitationRegion
+
+    head, index = name.rsplit("/", 1)
+    signal, sign = head[:-1], head[-1]
+    return ExcitationRegion(
+        signal=signal,
+        direction=1 if sign == "+" else -1,
+        index=int(index),
+        states=frozenset(),
+    )
+
+
+def mc_report_to_json(report) -> Dict:
+    """Schema ``repro-mc-report/1``: every claim the report makes."""
+    verdicts = []
+    for verdict in report.verdicts:
+        verdicts.append(
+            {
+                "region": verdict.er.transition_name,
+                "unique_entry": verdict.unique_entry,
+                "cube": _cube_to_json(verdict.mc_cube),
+                "private": verdict.private,
+                "group": sorted(e.transition_name for e in verdict.group),
+                "stuck_stable": sorted(map(str, verdict.stuck_stable)),
+                "stuck_opposite": sorted(map(str, verdict.stuck_opposite)),
+            }
+        )
+    return {
+        "schema": "repro-mc-report/1",
+        "name": report.sg.name,
+        "satisfied": report.satisfied,
+        "verdicts": verdicts,
+    }
+
+
+def mc_report_from_json(data: Dict):
+    """Rebuild a comparable :class:`~repro.core.mc.MCReport`.
+
+    Excitation regions come back with their identity (signal, direction,
+    occurrence index) but empty state sets -- state membership is not
+    part of the serialised claims.
+    """
+    from repro.boolean.cube import Cube
+    from repro.core.mc import MCReport, RegionVerdict
+
+    verdicts = []
+    for entry in data["verdicts"]:
+        cube = None if entry["cube"] is None else Cube(dict(entry["cube"]))
+        verdicts.append(
+            RegionVerdict(
+                er=_parse_transition_name(entry["region"]),
+                cfr=frozenset(),
+                unique_entry=entry["unique_entry"],
+                mc_cube=cube,
+                group=tuple(
+                    _parse_transition_name(name) for name in entry["group"]
+                ),
+                private=entry["private"],
+                stuck_stable=frozenset(entry["stuck_stable"]),
+                stuck_opposite=frozenset(entry["stuck_opposite"]),
+            )
+        )
+    return MCReport(sg=_Sized(data["name"]), verdicts=verdicts)
+
+
+# ----------------------------------------------------------------------
+# SynthesisResult
+# ----------------------------------------------------------------------
+def synthesis_result_to_json(result) -> Dict:
+    """Schema ``repro-synthesis-result/1``: the full end-to-end outcome."""
+    import json as _json
+
+    from repro.netlist.io import netlist_to_json
+    from repro.sg import io as sg_io
+
+    return {
+        "schema": "repro-synthesis-result/1",
+        "spec": sg_io.dumps(result.spec),
+        "added_signals": list(result.insertion.added_signals),
+        "mc_report": mc_report_to_json(result.insertion.report),
+        "equations": result.implementation.equations(),
+        "shared": result.implementation.shared,
+        "method": result.implementation.method,
+        "netlist": _json.loads(netlist_to_json(result.netlist)),
+        "hazard": _hazard_to_json(result.hazard_report),
+    }
+
+
+def synthesis_result_from_json(data: Dict):
+    """Rebuild a :class:`repro.SynthesisResult` (detached where needed)."""
+    import json as _json
+
+    import repro
+    from repro.netlist.io import netlist_from_json
+    from repro.sg import io as sg_io
+
+    spec = sg_io.loads(data["spec"])
+    report = mc_report_from_json(data["mc_report"])
+    return repro.SynthesisResult(
+        spec=spec,
+        insertion=DetachedInsertion(
+            sg=spec, report=report, added_signals=list(data["added_signals"])
+        ),
+        implementation=DetachedImplementation(
+            equations_text=data["equations"],
+            shared=data["shared"],
+            method=data["method"],
+        ),
+        netlist=netlist_from_json(_json.dumps(data["netlist"])),
+        hazard_report=_hazard_from_json(data["hazard"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# PipelineResult (the Table-1 harness row)
+# ----------------------------------------------------------------------
+class _DetachedInterface:
+    """An STG stand-in knowing only its name and interface sizes."""
+
+    def __init__(self, name: str, inputs: int, outputs: int):
+        self.name = name
+        self.inputs = tuple(f"in{i}" for i in range(inputs))
+        self.non_inputs = tuple(f"out{i}" for i in range(outputs))
+
+
+def pipeline_result_to_json(result) -> Dict:
+    """One Table-1 row; exactly the ``table1`` section row schema of
+    ``BENCH_pipeline.json`` (key-compatible with frozen baselines)."""
+    from repro.bench.suite import BENCHMARKS, paper_row
+
+    row = {
+        "name": result.name,
+        "inputs": len(result.stg.inputs),
+        "outputs": len(result.stg.non_inputs),
+        "added_signals": len(result.insertion.added_signals),
+        "paper_added_signals": (
+            paper_row(result.name)[2] if result.name in BENCHMARKS else None
+        ),
+        "spec_states": len(result.spec_sg),
+        "final_states": len(result.insertion.sg),
+        "hazard_free": (
+            None
+            if result.hazard_report is None
+            else result.hazard_report.hazard_free
+        ),
+        "elapsed_seconds": result.elapsed_seconds,
+    }
+    if result.profile is not None:
+        row["profile"] = result.profile
+    return row
+
+
+def pipeline_result_from_json(data: Dict):
+    """Rebuild a comparable :class:`repro.bench.suite.PipelineResult`."""
+    from repro.bench.suite import PipelineResult
+
+    hazard = None
+    if data["hazard_free"] is not None:
+        hazard = DetachedHazardReport(
+            hazard_free=data["hazard_free"],
+            conflicts=0,
+            truncated=False,
+            circuit_states=0,
+        )
+    return PipelineResult(
+        name=data["name"],
+        stg=_DetachedInterface(data["name"], data["inputs"], data["outputs"]),
+        spec_sg=_Sized(data["name"], data["spec_states"]),
+        insertion=DetachedInsertion(
+            sg=_Sized(data["name"], data["final_states"]),
+            report=None,
+            added_signals=[f"x{i}" for i in range(data["added_signals"])],
+        ),
+        implementation=None,
+        hazard_report=hazard,
+        elapsed_seconds=data["elapsed_seconds"],
+        profile=data.get("profile"),
+    )
+
+
+__all__ = [
+    "DetachedHazardReport",
+    "DetachedImplementation",
+    "DetachedInsertion",
+    "mc_report_from_json",
+    "mc_report_to_json",
+    "pipeline_result_from_json",
+    "pipeline_result_to_json",
+    "synthesis_result_from_json",
+    "synthesis_result_to_json",
+]

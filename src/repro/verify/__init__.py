@@ -2,19 +2,23 @@
 
 Three pillars, none imported by the synthesis pipeline itself:
 
-* :mod:`repro.verify.reference` -- the retained pure dict-based
-  region/cover/MC analysis (pre-bitengine semantics), used as the
-  ground truth of the differential oracle;
-* :mod:`repro.verify.differential` -- runs every analysis through both
-  the bitengine fast path and the reference path and diffs the claims
-  over randomized specifications;
+* :mod:`repro.verify.differential` -- runs the staged pipeline once per
+  registered analysis backend (``bitengine`` vs ``reference``, see
+  :mod:`repro.pipeline.backends`) and diffs the claims over randomized
+  specifications;
 * :mod:`repro.verify.faults` -- delay storms, single-event upsets and
   stuck-at faults against synthesized netlists, plus the Figure-4
   negative control for Theorem 2;
 * :mod:`repro.verify.budget` -- cooperative state-count / wall-clock
   guards turning exponential blowups into *inconclusive* partial
   results instead of hung runs.
+
+The pure dict-based reference analysis itself lives at
+:mod:`repro.pipeline.backends.reference`; its old names under
+``repro.verify`` keep working through a deprecation forwarder.
 """
+
+import warnings as _warnings
 
 from repro.verify.budget import Budget, BudgetExceeded
 from repro.verify.differential import (
@@ -35,7 +39,6 @@ from repro.verify.faults import (
     stuck_at,
     stuck_campaign,
 )
-from repro.verify.reference import analyze_mc_reference
 
 __all__ = [
     "Budget",
@@ -44,7 +47,6 @@ __all__ = [
     "DiffRecord",
     "FaultOutcome",
     "FaultReport",
-    "analyze_mc_reference",
     "delay_storm",
     "diff_reports",
     "diff_state_graph",
@@ -56,3 +58,24 @@ __all__ = [
     "stuck_at",
     "stuck_campaign",
 ]
+
+
+def __getattr__(name):
+    """Forward the reference-analysis names that used to live here.
+
+    Kept generic on purpose: the moved surface is whatever
+    :mod:`repro.pipeline.backends.reference` exports, and each access
+    warns once so callers migrate to the ``reference`` backend.
+    """
+    from repro.pipeline.backends import reference as _reference
+
+    if name in _reference.__all__:
+        _warnings.warn(
+            f"repro.verify.{name} is deprecated; the reference analysis "
+            "moved to repro.pipeline.backends.reference (registered as "
+            "the 'reference' analysis backend)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(_reference, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

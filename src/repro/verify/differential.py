@@ -1,9 +1,10 @@
 """Differential oracle: the bitengine fast path vs the reference path.
 
 Every region/cover/MC analysis in the synthesis pipeline runs through
-the bitmask engine.  The oracle re-runs the same analysis through the
-retained pure-reference implementation (:mod:`repro.verify.reference`)
-and diffs the outcomes *claim for claim*:
+the bitmask engine.  The oracle runs the *same pipeline* twice -- once
+per registered analysis backend (``bitengine`` and ``reference``, see
+:mod:`repro.pipeline.backends`) -- and diffs the typed stage artifacts
+*claim for claim*:
 
 * per-region verdicts (MC satisfiable or not, unique entry),
 * the chosen cube for every satisfied region, including whether it is
@@ -26,12 +27,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, List, Optional, Tuple
 
-from repro.core.mc import MCReport, RegionVerdict, analyze_mc
+from repro.core.mc import MCReport, RegionVerdict
+from repro.pipeline import AnalysisContext, Pipeline
 from repro.sg.graph import StateGraph
 from repro.stg.reachability import stg_to_state_graph
 from repro.stg.stg import STG
 from repro.verify.budget import Budget, BudgetExceeded
-from repro.verify.reference import analyze_mc_reference
 
 
 def _fingerprint(verdict: RegionVerdict) -> Tuple:
@@ -146,13 +147,18 @@ def diff_state_graph(
     state count, so a deadline alone cannot bound them usefully.
     """
     budget = budget or Budget()
+    # Two analysis worlds over ONE budget: nesting the pipelines inside
+    # this campaign shares the campaign's clock/state meter, so each
+    # wall-clock second and each elaborated state is charged exactly once.
+    fast_pipeline = Pipeline(AnalysisContext(backend="bitengine", budget=budget))
+    reference_pipeline = Pipeline(AnalysisContext(backend="reference", budget=budget))
     record = DiffRecord(name=name or fast_sg.name, states=len(fast_sg.state_list))
     started = time.monotonic()
     try:
         budget.charge_states(len(fast_sg.state_list), "elaboration", partial=record)
-        fast = analyze_mc(fast_sg)
+        fast = fast_pipeline.run(fast_sg, until="mc").report
         budget.check_time("engine analysis", partial=record)
-        reference = analyze_mc_reference(reference_sg or fast_sg)
+        reference = reference_pipeline.run(reference_sg or fast_sg, until="mc").report
         budget.check_time("reference analysis", partial=record)
         record.mismatches += diff_reports(fast, reference)
         record.satisfied = fast.satisfied
@@ -196,7 +202,9 @@ def diff_state_graph(
                     len(insertion.sg.state_list), "repair", partial=record
                 )
                 budget.check_time("repair", partial=record)
-                repaired_ref = analyze_mc_reference(insertion.sg)
+                repaired_ref = reference_pipeline.run(
+                    insertion.sg, until="mc"
+                ).report
                 record.mismatches += diff_reports(
                     insertion.report, repaired_ref, label="after repair"
                 )

@@ -337,14 +337,22 @@ def run_fault_injection(
     max_events: int = 400,
     seed: int = 0,
     budget: Optional[Budget] = None,
+    context=None,
 ) -> FaultReport:
-    """Run the selected fault models; blown budgets truncate gracefully."""
+    """Run the selected fault models; blown budgets truncate gracefully.
+
+    Pass an :class:`repro.pipeline.AnalysisContext` to charge this
+    campaign against the same budget the synthesis pipeline already
+    used (an explicit ``budget`` wins over the context's).
+    """
     known = {"delay", "glitch", "stuck"}
     unknown = set(models) - known
     if unknown:
         raise ValueError(
             f"unknown fault model(s) {sorted(unknown)}; choose from {sorted(known)}"
         )
+    if budget is None and context is not None:
+        budget = context.budget
     budget = budget or Budget()
     report = FaultReport(netlist_name=netlist.name, spec_name=spec.name)
     try:

@@ -6,8 +6,8 @@ from repro.bench.generators import alternator, concurrent_fork, token_ring
 from repro.bench.suite import load_benchmark
 from repro.core.mc import analyze_mc
 from repro.stg.reachability import stg_to_state_graph
+from repro.pipeline.backends.reference import analyze_mc_reference
 from repro.verify.differential import diff_reports
-from repro.verify.reference import analyze_mc_reference
 
 pytestmark = pytest.mark.smoke
 
