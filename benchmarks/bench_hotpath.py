@@ -7,6 +7,11 @@ bound) -- and records the results into the ``hotpath`` section of
 ``BENCH_pipeline.json`` next to the frozen pre-engine baseline, so any
 later PR can see at a glance whether the hot path regressed.
 
+Also measures the persistent artifact store's cold-vs-warm win on the
+full Table-1 corpus (the ``store`` section): the warm sweep must serve
+every stage from disk (zero misses) and beat the cold sweep's wall
+time.
+
 Each measurement builds a *fresh* state graph per round: the engine
 memoises aggressively in ``sg._analysis_cache``, and a warm graph would
 time cache hits instead of the analysis.
@@ -105,3 +110,75 @@ def test_hotpath_smoke(maker, n):
     assert report.satisfied
     engine = bit_analysis(sg)
     assert engine.cube_evals > 0  # the bitset path actually ran
+
+
+# ----------------------------------------------------------------------
+# Persistent artifact store: cold vs warm over the Table-1 corpus
+# ----------------------------------------------------------------------
+_store_measured = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _record_store_json():
+    """Merge the cold/warm store measurements into the JSON log."""
+    yield
+    if not _store_measured:
+        return
+    update_pipeline_json("store", _store_measured, path=_JSON_PATH)
+
+
+def test_store_cold_vs_warm(tmp_path):
+    """A warm store sweep recomputes nothing and beats the cold sweep.
+
+    Runs the full Table-1 pipeline (insertion + synthesis + hazard
+    check) over every bundled design twice against one store directory.
+    The second sweep must be all hits -- zero reachability/MC/insertion
+    recomputation -- which is the store's entire reason to exist.
+    """
+    import time
+
+    from repro.bench.suite import BENCHMARKS, run_pipeline
+    from repro.pipeline.store import ArtifactStore
+
+    root = str(tmp_path / "artifact-store")
+
+    cold_store = ArtifactStore(root)
+    started = time.perf_counter()
+    cold = [run_pipeline(name, store=cold_store) for name in BENCHMARKS]
+    cold_seconds = time.perf_counter() - started
+    assert cold_store.totals()["hit"] == 0
+
+    warm_store = ArtifactStore(root)
+    started = time.perf_counter()
+    warm = [run_pipeline(name, store=warm_store) for name in BENCHMARKS]
+    warm_seconds = time.perf_counter() - started
+    traffic = warm_store.totals()
+    assert traffic["miss"] == 0, f"warm sweep recomputed stages: {traffic}"
+    assert traffic["hit"] >= 5 * len(BENCHMARKS)
+
+    # identical results either way (equations are the full functional
+    # content; the hazard verdict must agree claim-for-claim)
+    for cold_result, warm_result in zip(cold, warm):
+        assert (
+            cold_result.implementation.equations()
+            == warm_result.implementation.equations()
+        )
+        assert (
+            cold_result.hazard_report.hazard_free
+            == warm_result.hazard_report.hazard_free
+        )
+
+    _store_measured.update(
+        {
+            "designs": len(BENCHMARKS),
+            "cold_s": round(cold_seconds, 4),
+            "warm_s": round(warm_seconds, 4),
+            "speedup": round(cold_seconds / warm_seconds, 2),
+            "warm_traffic": traffic,
+        }
+    )
+    print(
+        f"\n[store] Table-1 corpus: cold {cold_seconds:.2f}s, "
+        f"warm {warm_seconds:.2f}s "
+        f"({cold_seconds / warm_seconds:.1f}x, {traffic['hit']} hits)"
+    )

@@ -1,0 +1,90 @@
+"""CI gate: the persistent artifact store actually warm-starts a batch.
+
+Runs ``repro-si batch`` twice over the bundled benchmark corpus against
+one fresh store directory and asserts the store's whole contract:
+
+* the warm run reports **zero** store misses (no reachability, MC,
+  insertion or hazard-check recomputation at all) and at least one hit
+  for every design;
+* the two runs' manifests are **byte-identical** (the manifest carries
+  only deterministic facts -- cache state must not leak into results).
+
+Exit 0 on success, 1 on any violation.  Usage::
+
+    python benchmarks/check_store_warm.py [--jobs N]
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+import tempfile
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.cli import main as repro_si  # noqa: E402
+
+
+def run_once(specs, store, out_dir, label, jobs):
+    manifest = os.path.join(out_dir, f"manifest-{label}.json")
+    stats = os.path.join(out_dir, f"stats-{label}.json")
+    argv = (
+        ["batch", *specs]
+        + ["--store", store, "--jobs", str(jobs)]
+        + ["--manifest", manifest, "--stats", stats]
+    )
+    code = repro_si(argv)
+    if code != 0:
+        raise SystemExit(f"FAIL: {label} batch exited {code}")
+    with open(manifest, "rb") as handle:
+        manifest_bytes = handle.read()
+    with open(stats, "r", encoding="utf-8") as handle:
+        return manifest_bytes, json.load(handle)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=2)
+    args = parser.parse_args()
+
+    specs = sorted(glob.glob(os.path.join(REPO, "src/repro/bench/data/*.g")))
+    if len(specs) < 3:
+        print(f"FAIL: expected >= 3 bundled designs, found {len(specs)}")
+        return 1
+
+    with tempfile.TemporaryDirectory() as scratch:
+        store = os.path.join(scratch, "artifact-store")
+        cold_manifest, cold_stats = run_once(
+            specs, store, scratch, "cold", args.jobs
+        )
+        warm_manifest, warm_stats = run_once(
+            specs, store, scratch, "warm", args.jobs
+        )
+
+    failures = []
+    traffic = warm_stats["store_traffic"]
+    if traffic.get("miss", 0) != 0:
+        failures.append(f"warm run recomputed stages: {traffic}")
+    for name, design in sorted(warm_stats["store_traffic_by_design"].items()):
+        if design.get("hit", 0) < 1:
+            failures.append(f"design {name!r} saw no store hit: {design}")
+    if cold_manifest != warm_manifest:
+        failures.append("cold and warm manifests differ byte-for-byte")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(
+        f"OK: {len(specs)} designs, warm run {traffic.get('hit', 0)} hit(s) "
+        f"/ 0 miss(es), manifests byte-identical "
+        f"(cold {cold_stats['seconds_total']:.2f}s -> "
+        f"warm {warm_stats['seconds_total']:.2f}s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

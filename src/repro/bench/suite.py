@@ -107,6 +107,7 @@ def run_pipeline(
     max_models: int = 400,
     profile: bool = False,
     context=None,
+    store=None,
 ) -> PipelineResult:
     """Full MC-reduction pipeline for one benchmark.
 
@@ -119,12 +120,17 @@ def run_pipeline(
     wall times and op counters land in ``result.profile``.  Pass a
     ``context`` to choose the analysis backend or share budgets/caches
     across designs; ``profile`` is ignored when a context is supplied
-    (the context's own recorder wins).
+    (the context's own recorder wins).  ``store`` (a directory path or
+    :class:`~repro.pipeline.store.ArtifactStore`) backs the default
+    context with the persistent artifact cache; it is ignored when an
+    explicit ``context`` is supplied (configure the context instead).
     """
     from repro.pipeline import AnalysisContext, Pipeline, PipelineSpec
 
     if context is None:
-        context = AnalysisContext(recorder=perf.PerfRecorder() if profile else None)
+        context = AnalysisContext(
+            recorder=perf.PerfRecorder() if profile else None, store=store
+        )
     started = time.perf_counter()
     stg = load_benchmark(name)
     spec = PipelineSpec.from_stg(
@@ -155,13 +161,16 @@ def run_table1(
     names: Optional[List[str]] = None,
     jobs: Optional[int] = None,
     profile: bool = False,
+    store=None,
 ) -> List[PipelineResult]:
     """Run the whole Table-1 suite; returns one result per design.
 
     ``jobs`` opts into a ``concurrent.futures`` fan-out across designs
     (each design's pipeline is fully independent); results come back in
     the requested design order either way.  ``profile`` implies serial
-    execution because the perf recorder is process-global.
+    execution because the perf recorder is process-global.  ``store``
+    (a directory path) warms every design from the persistent artifact
+    cache; each design opens its own handle, so the fan-out stays safe.
     """
     names = list(names or BENCHMARKS)
     if jobs is not None and jobs > 1 and not profile and len(names) > 1:
@@ -169,10 +178,14 @@ def run_table1(
 
         with ThreadPoolExecutor(max_workers=jobs) as pool:
             return list(
-                pool.map(lambda name: run_pipeline(name, verify=verify), names)
+                pool.map(
+                    lambda name: run_pipeline(name, verify=verify, store=store),
+                    names,
+                )
             )
     return [
-        run_pipeline(name, verify=verify, profile=profile) for name in names
+        run_pipeline(name, verify=verify, profile=profile, store=store)
+        for name in names
     ]
 
 

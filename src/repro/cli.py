@@ -71,6 +71,25 @@ def _load(path: str, max_states: int = 1_000_000):
         raise CliError(f"invalid specification {path!r}: {exc}") from exc
 
 
+def _positive_int(text: str) -> int:
+    """argparse type for ``--jobs``: a strictly positive integer.
+
+    Rejecting 0/negative values loudly (exit 2) replaces the old
+    behaviour where non-positive job counts silently ran serial.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid integer value: {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer (got {value})"
+        )
+    return value
+
+
 def _start_profile(args: argparse.Namespace) -> Optional[perf.PerfRecorder]:
     """Install a perf recorder when the subcommand got ``--profile``."""
     return perf.enable() if getattr(args, "profile", False) else None
@@ -96,7 +115,9 @@ def cmd_info(args: argparse.Namespace) -> int:
     print(f"  output distributive : {is_output_distributive(sg)}")
     print(f"  persistent          : {is_persistent(sg)}")
     print(f"  USC / CSC           : {has_usc(sg)} / {has_csc(sg)}")
-    context = AnalysisContext(backend=args.backend, jobs=args.jobs)
+    context = AnalysisContext(
+        backend=args.backend, jobs=args.jobs, store=args.store
+    )
     report = Pipeline(context).run(sg, until="mc").report
     print(report.describe())
     if args.dot:
@@ -118,7 +139,7 @@ def cmd_synth(args: argparse.Namespace) -> int:
         share_gates=args.share,
         verify=not args.no_verify,
         max_models=args.max_models,
-        context=AnalysisContext(backend=args.backend),
+        context=AnalysisContext(backend=args.backend, store=args.store),
     )
     if result.added_signals:
         print(result.insertion.describe())
@@ -173,7 +194,9 @@ def cmd_verify(args: argparse.Namespace) -> int:
     budget.charge_states(len(sg.state_list), "specification elaboration")
     # the pipeline's netlist stage charges the circuit composition and
     # runs the wall-clock check against this same budget -- exactly once
-    context = AnalysisContext(backend=args.backend, budget=budget)
+    context = AnalysisContext(
+        backend=args.backend, budget=budget, store=args.store
+    )
     result = synthesize_from_state_graph(
         sg,
         style=args.style,
@@ -294,6 +317,7 @@ def cmd_diff(args: argparse.Namespace) -> int:
         max_seconds_each=args.max_seconds_each,
         repair_seconds=args.repair_seconds,
         progress=progress,
+        store=args.store,
     )
     print(report.describe())
     if report.divergent:
@@ -350,7 +374,8 @@ def cmd_table1(args: argparse.Namespace) -> int:
     if args.jobs and args.jobs > 1 and not args.profile:
         print(f"running {len(names)} designs with jobs={args.jobs} ...", file=sys.stderr)
         results = run_table1(
-            verify=not args.no_verify, names=names, jobs=args.jobs
+            verify=not args.no_verify, names=names, jobs=args.jobs,
+            store=args.store,
         )
     else:
         results = []
@@ -358,7 +383,8 @@ def cmd_table1(args: argparse.Namespace) -> int:
             print(f"running {name} ...", file=sys.stderr)
             results.append(
                 run_pipeline(
-                    name, verify=not args.no_verify, profile=args.profile
+                    name, verify=not args.no_verify, profile=args.profile,
+                    store=args.store,
                 )
             )
     print(format_table1(results))
@@ -366,6 +392,43 @@ def cmd_table1(args: argparse.Namespace) -> int:
         path = write_pipeline_json(results, args.json)
         print(f"pipeline metrics written to {path}", file=sys.stderr)
     return 0
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    """Corpus synthesis: every ``.g`` spec through the full pipeline."""
+    from repro.pipeline.batch import run_batch
+
+    def stream(outcome) -> None:
+        print(outcome.describe(), file=sys.stderr)
+
+    report = run_batch(
+        args.specs,
+        store=args.store,
+        jobs=args.jobs,
+        backend=args.backend,
+        style=args.style,
+        share_gates=args.share,
+        verify=not args.no_verify,
+        max_models=args.max_models,
+        max_states=args.max_states,
+        timeout_seconds=args.timeout_seconds,
+        progress=stream,
+    )
+    print(report.describe())
+    if args.manifest:
+        with open(args.manifest, "w", encoding="utf-8") as handle:
+            handle.write(report.manifest_text())
+        print(f"manifest written to {args.manifest}", file=sys.stderr)
+    else:
+        print(report.manifest_text(), end="")
+    if args.stats:
+        import json as _json
+
+        with open(args.stats, "w", encoding="utf-8") as handle:
+            _json.dump(report.stats(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"run stats written to {args.stats}", file=sys.stderr)
+    return report.exit_code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -380,12 +443,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_info.add_argument("spec", help=".g file")
     p_info.add_argument("--dot", help="write the state graph as Graphviz")
     p_info.add_argument(
-        "--jobs", type=int, default=None,
+        "--jobs", type=_positive_int, default=None,
         help="parallel MC analysis fan-out (threads over signals)",
     )
     p_info.add_argument(
         "--backend", default=None,
         help="analysis backend (bitengine | reference)",
+    )
+    p_info.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="persistent artifact store directory (warm-start cache)",
     )
     p_info.add_argument(
         "--profile", action="store_true",
@@ -426,6 +493,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="analysis backend (bitengine | reference)",
     )
     p_synth.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="persistent artifact store directory (warm-start cache)",
+    )
+    p_synth.add_argument(
         "--profile", action="store_true",
         help="print per-phase wall time and primitive-op counts",
     )
@@ -460,6 +531,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.add_argument(
         "--backend", default=None,
         help="analysis backend (bitengine | reference)",
+    )
+    p_verify.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="persistent artifact store directory (warm-start cache)",
     )
     p_verify.add_argument(
         "--profile", action="store_true",
@@ -502,6 +577,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="pipeline parity: run the Table-1 designs through every "
         "registered backend and fail on any artifact diff",
     )
+    p_diff.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="persistent artifact store directory; NOTE: a warm store "
+        "serves previous verdicts instead of re-running both engines",
+    )
     p_diff.set_defaults(func=cmd_diff)
 
     p_sim = sub.add_parser("simulate", help="Monte-Carlo delay simulation")
@@ -524,7 +604,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_table.add_argument("designs", nargs="*", help="subset of designs")
     p_table.add_argument("--no-verify", action="store_true")
     p_table.add_argument(
-        "--jobs", type=int, default=None,
+        "--jobs", type=_positive_int, default=None,
         help="run designs concurrently (thread pool)",
     )
     p_table.add_argument(
@@ -534,7 +614,62 @@ def build_parser() -> argparse.ArgumentParser:
     p_table.add_argument(
         "--json", help="write/merge BENCH_pipeline.json at this path"
     )
+    p_table.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="persistent artifact store directory (warm-start cache)",
+    )
     p_table.set_defaults(func=cmd_table1)
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="synthesise a corpus of .g specs (process pool + shared "
+        "artifact store)",
+    )
+    p_batch.add_argument("specs", nargs="+", help=".g files")
+    p_batch.add_argument(
+        "--jobs", type=_positive_int, default=1,
+        help="worker processes (default 1: run inline)",
+    )
+    p_batch.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="persistent artifact store directory shared by all workers",
+    )
+    p_batch.add_argument(
+        "--backend", default=None,
+        help="analysis backend (bitengine | reference)",
+    )
+    p_batch.add_argument(
+        "--style", choices=["C", "RS", "RS-NOR", "C-INV"], default="C"
+    )
+    p_batch.add_argument(
+        "--share",
+        nargs="?",
+        const=True,
+        default=False,
+        choices=[True, "optimal"],
+        help="Sec.-VI gate sharing (pass 'optimal' for the exact optimiser)",
+    )
+    p_batch.add_argument("--no-verify", action="store_true")
+    p_batch.add_argument("--max-models", type=int, default=400)
+    p_batch.add_argument(
+        "--max-states", type=int, default=None,
+        help="per-design state budget (blown -> that design inconclusive)",
+    )
+    p_batch.add_argument(
+        "--timeout-seconds", type=float, default=None,
+        help="per-design wall-clock budget (blown -> that design "
+        "inconclusive, the batch continues)",
+    )
+    p_batch.add_argument(
+        "--manifest", metavar="FILE",
+        help="write the deterministic JSON results manifest here "
+        "(default: print to stdout)",
+    )
+    p_batch.add_argument(
+        "--stats", metavar="FILE",
+        help="write run stats (timings, store hit/miss traffic) here",
+    )
+    p_batch.set_defaults(func=cmd_batch)
 
     return parser
 

@@ -14,7 +14,11 @@ campaigns) is a :class:`Pipeline` run over a shared
 * :mod:`repro.pipeline.backends` -- the ``bitengine`` / ``reference``
   analysis backends behind one protocol;
 * :mod:`repro.pipeline.serialize` -- shared JSON round-tripping of
-  result artifacts.
+  result artifacts and the faithful stage-artifact codecs;
+* :mod:`repro.pipeline.store` -- the content-addressed persistent
+  artifact store backing :class:`AnalysisContext` memo caches on disk;
+* :mod:`repro.pipeline.batch` -- corpus-level batch synthesis over a
+  shared store (``repro-si batch``).
 
 Quick start::
 
@@ -39,13 +43,18 @@ from repro.pipeline.backends import (
     get_backend,
     register_backend,
 )
+from repro.pipeline.batch import BatchReport, DesignOutcome, run_batch
 from repro.pipeline.context import AnalysisContext
 from repro.pipeline.core import STAGES, Pipeline, PipelineSpec
+from repro.pipeline.store import ArtifactStore
 
 __all__ = [
     "AnalysisBackend",
     "AnalysisContext",
+    "ArtifactStore",
+    "BatchReport",
     "CoverPlan",
+    "DesignOutcome",
     "MCVerdict",
     "Pipeline",
     "PipelineSpec",
@@ -56,4 +65,5 @@ __all__ = [
     "available_backends",
     "get_backend",
     "register_backend",
+    "run_batch",
 ]

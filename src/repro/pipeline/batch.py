@@ -1,0 +1,368 @@
+"""Corpus-level batch synthesis: ``repro-si batch``.
+
+One batch run fans a corpus of ``.g`` specifications across worker
+processes, each running the full staged pipeline (reach -> regions ->
+mc -> covers -> netlist) under a per-design cooperative budget.  All
+workers share one :class:`~repro.pipeline.store.ArtifactStore`, so a
+repeated sweep -- the second CI invocation, a bench re-run, an edited
+corpus -- recomputes only the designs whose specifications changed.
+
+Determinism contract
+--------------------
+The **manifest** (:meth:`BatchReport.manifest`) contains only
+reproducible facts -- design name, verdict, state counts, equations,
+fingerprints -- ordered by design name.  A warm re-run over an unchanged
+corpus produces a byte-identical manifest; CI asserts exactly that.
+Wall-clock timings and store traffic are deliberately kept apart in
+:meth:`BatchReport.stats`.
+
+Per-design failures never abort the batch: a malformed file, a blown
+budget or a synthesis error each become one manifest row with
+``status`` ``"error"`` / ``"inconclusive"`` / ``"failed"``, and the
+batch exit code aggregates the worst verdict (hazard/failure beats
+inconclusive beats ok, mirroring the single-design CLI exit codes).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+# the CLI-wide exit vocabulary (mirrored from repro.cli, which imports
+# this module's report; see the exit-code table in that docstring)
+EXIT_OK = 0
+EXIT_HAZARD = 1
+EXIT_INCONCLUSIVE = 3
+
+#: manifest schema stamp (see :meth:`BatchReport.manifest`)
+MANIFEST_SCHEMA = "repro-batch-manifest/1"
+
+_STATUS_OK = "hazard-free"
+_STATUS_UNVERIFIED = "synthesised"
+_STATUS_HAZARD = "hazardous"
+_STATUS_INCONCLUSIVE = "inconclusive"
+_STATUS_FAILED = "failed"
+_STATUS_ERROR = "error"
+
+
+@dataclass
+class DesignOutcome:
+    """One design's batch result: a manifest row plus run metadata."""
+
+    name: str
+    spec: str
+    status: str
+    #: human-readable reason for non-ok statuses (deterministic text)
+    detail: str = ""
+    states: int = 0
+    inputs: int = 0
+    outputs: int = 0
+    added_signals: List[str] = field(default_factory=list)
+    equations: str = ""
+    gates: int = 0
+    hazard_free: Optional[bool] = None
+    circuit_states: int = 0
+    fingerprint: str = ""
+    #: wall seconds in the worker (stats only, never in the manifest)
+    seconds: float = 0.0
+    #: this design's store traffic, event -> count (stats only)
+    store_traffic: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status in (_STATUS_OK, _STATUS_UNVERIFIED)
+
+    def manifest_entry(self) -> Dict:
+        """The deterministic manifest row (no timings, no cache traffic)."""
+        return {
+            "name": self.name,
+            "spec": self.spec,
+            "status": self.status,
+            "detail": self.detail,
+            "states": self.states,
+            "inputs": self.inputs,
+            "outputs": self.outputs,
+            "added_signals": list(self.added_signals),
+            "equations": self.equations,
+            "gates": self.gates,
+            "hazard_free": self.hazard_free,
+            "circuit_states": self.circuit_states,
+            "fingerprint": self.fingerprint,
+        }
+
+    def describe(self) -> str:
+        extra = f" ({self.detail})" if self.detail else ""
+        added = f", +{len(self.added_signals)} signal(s)" if self.added_signals else ""
+        return (
+            f"{self.name}: {self.status}{extra} "
+            f"[{self.states} states{added}, {self.seconds:.2f}s]"
+        )
+
+
+@dataclass
+class BatchReport:
+    """Everything one :func:`run_batch` produced."""
+
+    outcomes: List[DesignOutcome]
+    jobs: int = 1
+    store_root: Optional[str] = None
+
+    @property
+    def exit_code(self) -> int:
+        statuses = {outcome.status for outcome in self.outcomes}
+        if statuses & {_STATUS_HAZARD, _STATUS_FAILED, _STATUS_ERROR}:
+            return EXIT_HAZARD
+        if _STATUS_INCONCLUSIVE in statuses:
+            return EXIT_INCONCLUSIVE
+        return EXIT_OK
+
+    def manifest(self) -> Dict:
+        """The deterministic corpus manifest, rows ordered by name."""
+        return {
+            "schema": MANIFEST_SCHEMA,
+            "designs": [
+                outcome.manifest_entry()
+                for outcome in sorted(
+                    self.outcomes, key=lambda o: (o.name, o.spec)
+                )
+            ],
+        }
+
+    def manifest_text(self) -> str:
+        """The manifest as canonical JSON text (what CI byte-compares)."""
+        return json.dumps(self.manifest(), indent=2, sort_keys=True) + "\n"
+
+    def stats(self) -> Dict:
+        """Run metadata: timings and aggregated store traffic."""
+        traffic: Dict[str, int] = {}
+        for outcome in self.outcomes:
+            for event, count in outcome.store_traffic.items():
+                traffic[event] = traffic.get(event, 0) + count
+        return {
+            "designs": len(self.outcomes),
+            "jobs": self.jobs,
+            "store": self.store_root,
+            "seconds_total": sum(o.seconds for o in self.outcomes),
+            "seconds_by_design": {
+                o.name: round(o.seconds, 6) for o in self.outcomes
+            },
+            "store_traffic": traffic,
+            "store_traffic_by_design": {
+                o.name: dict(o.store_traffic) for o in self.outcomes
+            },
+        }
+
+    def describe(self) -> str:
+        counts: Dict[str, int] = {}
+        for outcome in self.outcomes:
+            counts[outcome.status] = counts.get(outcome.status, 0) + 1
+        summary = ", ".join(f"{n} {s}" for s, n in sorted(counts.items()))
+        traffic = self.stats()["store_traffic"]
+        hits, misses = traffic.get("hit", 0), traffic.get("miss", 0)
+        store = (
+            f"; store: {hits} hit(s), {misses} miss(es)"
+            if self.store_root
+            else ""
+        )
+        return f"batch: {len(self.outcomes)} design(s): {summary}{store}"
+
+
+def _design_name(path: str) -> str:
+    return os.path.splitext(os.path.basename(path))[0]
+
+
+def _run_design(task: Dict) -> Dict:
+    """Worker body: one design through the full pipeline (picklable I/O)."""
+    from repro.core.complexgate import CSCViolation
+    from repro.core.insertion import InsertionError
+    from repro.core.synthesis import SynthesisError
+    from repro.pipeline.context import AnalysisContext
+    from repro.pipeline.core import Pipeline, PipelineSpec
+    from repro.stg.parser import load_g
+    from repro.stg.reachability import ReachabilityError
+    from repro.verify.budget import Budget, BudgetExceeded
+
+    path = task["spec"]
+    started = time.perf_counter()
+    outcome = {
+        "name": _design_name(path),
+        "spec": path,
+        "status": _STATUS_ERROR,
+        "detail": "",
+        "states": 0,
+        "inputs": 0,
+        "outputs": 0,
+        "added_signals": [],
+        "equations": "",
+        "gates": 0,
+        "hazard_free": None,
+        "circuit_states": 0,
+        "fingerprint": "",
+        "seconds": 0.0,
+        "store_traffic": {},
+    }
+    budget = Budget(
+        max_states=task["max_states"], max_seconds=task["timeout_seconds"]
+    )
+    context = AnalysisContext(
+        backend=task["backend"], budget=budget, store=task["store_root"]
+    )
+    try:
+        try:
+            stg = load_g(path)
+        except (OSError, ValueError) as exc:
+            outcome["detail"] = f"cannot load specification: {exc}"
+            return outcome
+        if not stg.net.transitions:
+            outcome["detail"] = "malformed .g file: no transitions"
+            return outcome
+        spec = PipelineSpec.from_stg(
+            stg,
+            name=outcome["name"],
+            style=task["style"],
+            share_gates=task["share_gates"],
+            verify=task["verify"],
+            max_models=task["max_models"],
+            max_states=task["max_states"] or 200_000,
+        )
+        pipeline = Pipeline(context)
+        try:
+            netlist = pipeline.run(spec, until="netlist")
+            covers = pipeline.run(spec, until="covers")
+            reached = pipeline.run(spec, until="reach")
+        except (BudgetExceeded, ReachabilityError) as exc:
+            reason = getattr(exc, "reason", None) or str(exc)
+            outcome["status"] = _STATUS_INCONCLUSIVE
+            outcome["detail"] = reason
+            return outcome
+        except (CSCViolation, InsertionError, SynthesisError) as exc:
+            outcome["status"] = _STATUS_FAILED
+            outcome["detail"] = f"synthesis failed: {exc}"
+            return outcome
+        except ValueError as exc:
+            outcome["detail"] = f"invalid specification: {exc}"
+            return outcome
+        outcome["states"] = reached.states
+        outcome["inputs"] = len(reached.sg.inputs)
+        outcome["outputs"] = len(reached.sg.signals) - len(reached.sg.inputs)
+        outcome["added_signals"] = list(covers.added_signals)
+        outcome["equations"] = covers.implementation.equations()
+        outcome["gates"] = len(netlist.netlist.gates)
+        outcome["fingerprint"] = netlist.fingerprint
+        report = netlist.hazard_report
+        if report is None:
+            outcome["status"] = _STATUS_UNVERIFIED
+        else:
+            outcome["hazard_free"] = bool(report.hazard_free)
+            outcome["circuit_states"] = _circuit_states(report)
+            if report.hazard_free:
+                outcome["status"] = _STATUS_OK
+            elif _truncated_without_witness(report):
+                outcome["status"] = _STATUS_INCONCLUSIVE
+                outcome["detail"] = (
+                    "circuit state space truncated before full exploration"
+                )
+            else:
+                outcome["status"] = _STATUS_HAZARD
+                outcome["detail"] = f"{_conflict_count(report)} conflict(s)"
+        return outcome
+    finally:
+        outcome["seconds"] = time.perf_counter() - started
+        if context.store is not None:
+            outcome["store_traffic"] = context.store.totals()
+
+
+def _conflict_count(report) -> int:
+    conflicts = report.conflicts
+    return conflicts if isinstance(conflicts, int) else len(conflicts)
+
+
+def _circuit_states(report) -> int:
+    if hasattr(report, "circuit_states"):  # cached (detached) verdict
+        return report.circuit_states
+    return len(report.circuit_sg.state_list)
+
+
+def _truncated_without_witness(report) -> bool:
+    composition = report.composition
+    return (
+        composition.truncated
+        and not _conflict_count(report)
+        and not composition.conformance_failures
+    )
+
+
+def run_batch(
+    specs: Sequence[str],
+    store: Union[str, None] = None,
+    jobs: int = 1,
+    backend: Optional[str] = None,
+    style: str = "C",
+    share_gates: object = False,
+    verify: bool = True,
+    max_models: int = 400,
+    max_states: Optional[int] = None,
+    timeout_seconds: Optional[float] = None,
+    progress: Optional[Callable[[DesignOutcome], None]] = None,
+) -> BatchReport:
+    """Synthesise every ``.g`` specification in ``specs``.
+
+    Parameters mirror one ``repro-si synth`` run applied per design;
+    ``timeout_seconds`` / ``max_states`` bound each design *separately*
+    (a blown budget marks that design inconclusive, the batch goes on).
+    ``jobs`` > 1 fans designs across a :class:`ProcessPoolExecutor`;
+    ``store`` (a directory path) is shared by all workers.  ``progress``
+    is called with each :class:`DesignOutcome` as it completes, in
+    completion order.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be a positive integer, got {jobs}")
+    if not specs:
+        raise ValueError("no specifications given")
+    tasks = [
+        {
+            "spec": str(path),
+            "store_root": None if store is None else str(store),
+            "backend": backend,
+            "style": style,
+            "share_gates": share_gates,
+            "verify": verify,
+            "max_models": max_models,
+            "max_states": max_states,
+            "timeout_seconds": timeout_seconds,
+        }
+        for path in specs
+    ]
+    outcomes: List[DesignOutcome] = []
+
+    def collect(raw: Dict) -> None:
+        outcome = DesignOutcome(**raw)
+        outcomes.append(outcome)
+        if progress is not None:
+            progress(outcome)
+
+    if jobs == 1 or len(tasks) == 1:
+        for task in tasks:
+            collect(_run_design(task))
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+            futures = [pool.submit(_run_design, task) for task in tasks]
+            for future in as_completed(futures):
+                collect(future.result())
+    return BatchReport(
+        outcomes=outcomes,
+        jobs=jobs,
+        store_root=None if store is None else str(store),
+    )
+
+
+__all__ = [
+    "BatchReport",
+    "DesignOutcome",
+    "MANIFEST_SCHEMA",
+    "run_batch",
+]

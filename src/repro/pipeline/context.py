@@ -14,12 +14,14 @@ wall-clock second and each elaborated state is charged once.
 
 from __future__ import annotations
 
+import os
 from typing import TYPE_CHECKING, Dict, Optional, Tuple, Union
 
 from repro import perf
 from repro.pipeline.backends import AnalysisBackend, get_backend
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle: repro.verify -> pipeline
+    from repro.pipeline.store import ArtifactStore
     from repro.verify.budget import Budget
 
 
@@ -42,6 +44,12 @@ class AnalysisContext:
         Optional :class:`repro.perf.PerfRecorder` installed for the
         duration of each ``Pipeline.run`` on this context.  ``None``
         leaves the process-global recorder (CLI ``--profile``) alone.
+    store:
+        Optional persistent artifact store backing the in-process memo
+        cache: an :class:`~repro.pipeline.store.ArtifactStore` or a
+        directory path to open one at.  A memo miss consults the store
+        before computing, and computed artifacts are spilled to it, so
+        separate processes (CLI runs, batch workers) share warm starts.
     """
 
     def __init__(
@@ -50,13 +58,19 @@ class AnalysisContext:
         budget: Optional["Budget"] = None,
         jobs: Optional[int] = None,
         recorder: Optional[perf.PerfRecorder] = None,
+        store: Union["ArtifactStore", str, None] = None,
     ):
         from repro.verify.budget import Budget
 
+        if isinstance(store, (str, os.PathLike)):
+            from repro.pipeline.store import ArtifactStore
+
+            store = ArtifactStore(str(store))
         self.backend: AnalysisBackend = get_backend(backend)
         self.budget: Budget = budget if budget is not None else Budget()
         self.jobs = jobs
         self.recorder = recorder
+        self.store: Optional["ArtifactStore"] = store
         self._memo: Dict[Tuple, object] = {}
         #: per-stage memo traffic, e.g. ``{"regions": 1}``
         self.cache_hits_by_stage: Dict[str, int] = {}
@@ -106,8 +120,15 @@ class AnalysisContext:
         self.cache_misses_by_stage[stage] = (
             self.cache_misses_by_stage.get(stage, 0) + 1
         )
+        if self.store is not None:
+            artifact = self.store.get(stage, key)
+            if artifact is not None:
+                self._memo[full_key] = artifact
+                return artifact
         artifact = compute()
         self._memo[full_key] = artifact
+        if self.store is not None:
+            self.store.put(stage, key, artifact)
         return artifact
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -17,12 +17,27 @@ Reconstruction is faithful where the repo has a full interchange format
 stand-in carries exactly the serialised facts (equations text, hazard
 verdict, inserted-signal names) and re-serialises identically, but does
 not pretend to be re-runnable.
+
+A second family of codecs (:func:`stage_artifact_to_json` /
+:func:`stage_artifact_from_json`) serialises the five *pipeline stage
+artifacts* for the persistent artifact store
+(:mod:`repro.pipeline.store`).  Unlike the detached result codecs these
+round-trips are **faithful**: a loaded artifact must be able to drive
+every downstream stage to byte-identical results, so excitation-region
+state sets, MC diagnostics, cover ordering and degenerate flags are all
+preserved exactly.  The only intentionally detached piece is the hazard
+report inside a loaded ``SynthesizedNetlist`` (the final stage -- no
+downstream stage consumes it, only its verdict is kept).  State ids may
+be strings, ints or arbitrarily nested tuples thereof (state-signal
+insertion produces ``(state, phase)`` pairs); artifacts using any other
+id type raise :class:`ArtifactCodingError`, which the store treats as
+"do not persist", never as an error.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 
 # ----------------------------------------------------------------------
@@ -76,13 +91,47 @@ class DetachedImplementation:
 
 
 @dataclass
+class _DetachedComposition:
+    """Composition stand-in: just the facts the CLI verdict logic reads."""
+
+    truncated: bool = False
+    conformance_failures: Tuple = ()
+
+
+@dataclass
 class DetachedHazardReport:
-    """Serialised verdict of a :class:`repro.netlist.hazards.HazardReport`."""
+    """Serialised verdict of a :class:`repro.netlist.hazards.HazardReport`.
+
+    Carries exactly the serialised facts; ``conflicts`` is a *count*,
+    not the witness list.  ``netlist`` is attached when the report is
+    rebuilt next to its netlist (the store's ``SynthesizedNetlist``
+    codec does) so harness code reading ``hazard_report.netlist`` keeps
+    working on cached verdicts.
+    """
 
     hazard_free: bool
     conflicts: int
     truncated: bool
     circuit_states: int
+    #: the synthesised netlist, when rebuilt alongside one (not serialised)
+    netlist: Optional[object] = None
+
+    @property
+    def composition(self) -> _DetachedComposition:
+        """Duck-typed composition view (truncation flag only)."""
+        return _DetachedComposition(truncated=self.truncated)
+
+    def describe(self) -> str:
+        verdict = (
+            "HAZARD-FREE"
+            if self.hazard_free
+            else f"HAZARDOUS ({self.conflicts} conflict(s))"
+        )
+        suffix = ", truncated" if self.truncated else ""
+        return (
+            f"speed independence: {verdict} "
+            f"(cached verdict, {self.circuit_states} circuit states{suffix})"
+        )
 
     def as_json(self) -> Dict:
         return {
@@ -307,14 +356,412 @@ def pipeline_result_from_json(data: Dict):
     )
 
 
+# ----------------------------------------------------------------------
+# Stage artifacts (the persistent artifact store payloads)
+# ----------------------------------------------------------------------
+class ArtifactCodingError(ValueError):
+    """The artifact cannot be spilled faithfully (e.g. state ids of an
+    unsupported type -- anything but strings, ints and tuples thereof).
+
+    The store treats this as "keep the artifact in memory only" -- it is
+    a capability signal, never a failure of the pipeline run.
+    """
+
+
+def _encode_state(state):
+    """Encode one state id losslessly.
+
+    STG elaboration names states ``"m0"``-style; state-signal insertion
+    nests them into ``(state, phase)`` tuples; hand-built graphs may use
+    ints.  Strings pass through, everything else is tagged so the type
+    survives JSON (``{"i": 3}`` vs ``"3"``, ``{"t": [...]}`` for tuples).
+    """
+    if isinstance(state, str):
+        return state
+    if isinstance(state, bool):
+        raise ArtifactCodingError(f"unsupported state id type: {state!r}")
+    if isinstance(state, int):
+        return {"i": state}
+    if isinstance(state, tuple):
+        return {"t": [_encode_state(part) for part in state]}
+    raise ArtifactCodingError(f"unsupported state id type: {state!r}")
+
+
+def _decode_state(data):
+    if isinstance(data, str):
+        return data
+    if "i" in data:
+        return data["i"]
+    return tuple(_decode_state(part) for part in data["t"])
+
+
+def _states_to_json(states) -> List:
+    """A state *set* as a deterministically ordered JSON list."""
+    return [_encode_state(state) for state in sorted(states, key=repr)]
+
+
+def _states_from_json(data) -> FrozenSet:
+    return frozenset(_decode_state(entry) for entry in data)
+
+
+def _sg_to_json(sg) -> Dict:
+    """A state graph as a faithful JSON document (unlike the ``.sg``
+    text format, arbitrary str/int/tuple state ids survive)."""
+    states = list(sg.state_list)
+    index = {state: position for position, state in enumerate(states)}
+    return {
+        "name": sg.name,
+        "signals": list(sg.signals),
+        "inputs": sorted(sg.inputs),
+        "states": [_encode_state(state) for state in states],
+        "codes": [list(sg.code(state)) for state in states],
+        "arcs": sorted(
+            [index[s], event.signal, event.direction, index[t]]
+            for s, event, t in sg.arcs()
+        ),
+        "initial": index[sg.initial],
+    }
+
+
+def _sg_from_json(data: Dict):
+    from repro.sg.graph import SignalEvent, StateGraph
+
+    states = [_decode_state(entry) for entry in data["states"]]
+    return StateGraph(
+        tuple(data["signals"]),
+        frozenset(data["inputs"]),
+        {state: tuple(code) for state, code in zip(states, data["codes"])},
+        [
+            (states[s], SignalEvent(signal, direction), states[t])
+            for s, signal, direction, t in data["arcs"]
+        ],
+        states[data["initial"]],
+        name=data["name"],
+    )
+
+
+def _er_to_json(er) -> Dict:
+    return {
+        "signal": er.signal,
+        "direction": er.direction,
+        "index": er.index,
+        "states": _states_to_json(er.states),
+    }
+
+
+def _er_from_json(data: Dict):
+    from repro.sg.regions import ExcitationRegion
+
+    return ExcitationRegion(
+        signal=data["signal"],
+        direction=data["direction"],
+        index=data["index"],
+        states=_states_from_json(data["states"]),
+    )
+
+
+def _cube_literals(cube) -> Optional[List[List]]:
+    if cube is None:
+        return None
+    return [[signal, value] for signal, value in cube.literals]
+
+
+def _cube_from_literals(data):
+    from repro.boolean.cube import Cube
+
+    if data is None:
+        return None
+    return Cube({signal: int(value) for signal, value in data})
+
+
+def _mc_report_to_full_json(report) -> Dict:
+    """Every verdict with its *full* state sets (unlike the detached
+    :func:`mc_report_to_json`): loaded reports must be able to drive the
+    insertion engine and the synthesiser exactly like fresh ones."""
+    verdicts = []
+    for verdict in report.verdicts:
+        verdicts.append(
+            {
+                "er": _er_to_json(verdict.er),
+                "cfr": _states_to_json(verdict.cfr),
+                "unique_entry": verdict.unique_entry,
+                "cube": _cube_literals(verdict.mc_cube),
+                "group": [_er_to_json(er) for er in verdict.group],
+                "private": verdict.private,
+                "stuck_stable": _states_to_json(verdict.stuck_stable),
+                "stuck_opposite": _states_to_json(verdict.stuck_opposite),
+            }
+        )
+    return {"verdicts": verdicts}
+
+
+def _mc_report_from_full_json(data: Dict, sg):
+    from repro.core.mc import MCReport, RegionVerdict
+
+    verdicts = []
+    for entry in data["verdicts"]:
+        verdicts.append(
+            RegionVerdict(
+                er=_er_from_json(entry["er"]),
+                cfr=_states_from_json(entry["cfr"]),
+                unique_entry=entry["unique_entry"],
+                mc_cube=_cube_from_literals(entry["cube"]),
+                group=tuple(_er_from_json(er) for er in entry["group"]),
+                private=entry["private"],
+                stuck_stable=_states_from_json(entry["stuck_stable"]),
+                stuck_opposite=_states_from_json(entry["stuck_opposite"]),
+            )
+        )
+    return MCReport(sg=sg, verdicts=verdicts)
+
+
+def reached_sg_to_json(artifact) -> Dict:
+    """Stage ``reach``.  The source STG is not persisted -- no
+    downstream stage reads it, and the store key already identifies it."""
+    return {
+        "sg": _sg_to_json(artifact.sg),
+        "fingerprint": artifact.fingerprint,
+    }
+
+
+def reached_sg_from_json(data: Dict):
+    from repro.pipeline.artifacts import ReachedSG
+
+    return ReachedSG(
+        sg=_sg_from_json(data["sg"]),
+        source=None,
+        fingerprint=data["fingerprint"],
+    )
+
+
+def region_map_to_json(artifact) -> Dict:
+    """Stage ``regions``: the region tuple in analysis order."""
+    return {
+        "regions": [_er_to_json(er) for er in artifact.regions],
+        "fingerprint": artifact.fingerprint,
+    }
+
+
+def region_map_from_json(data: Dict):
+    from repro.pipeline.artifacts import RegionMap
+
+    return RegionMap(
+        regions=tuple(_er_from_json(er) for er in data["regions"]),
+        fingerprint=data["fingerprint"],
+    )
+
+
+def mc_verdict_to_json(artifact) -> Dict:
+    """Stage ``mc``: the full report plus the graph it analysed.
+
+    The graph is embedded so a loaded report is self-contained: its
+    region verdicts compare equal (state sets included) to those a
+    fresh analysis of the same graph would produce.
+    """
+    return {
+        "sg": _sg_to_json(artifact.report.sg),
+        "report": _mc_report_to_full_json(artifact.report),
+        "backend": artifact.backend,
+        "fingerprint": artifact.fingerprint,
+    }
+
+
+def mc_verdict_from_json(data: Dict):
+    from repro.pipeline.artifacts import MCVerdict
+
+    sg = _sg_from_json(data["sg"])
+    return MCVerdict(
+        report=_mc_report_from_full_json(data["report"], sg),
+        backend=data["backend"],
+        fingerprint=data["fingerprint"],
+    )
+
+
+def _network_to_json(network) -> Dict:
+    def region_mapping(mapping) -> List:
+        return [
+            [_cube_literals(cube), [_er_to_json(er) for er in regions]]
+            for cube, regions in mapping.items()
+        ]
+
+    return {
+        "set_cover": [_cube_literals(c) for c in network.set_cover.cubes],
+        "reset_cover": [_cube_literals(c) for c in network.reset_cover.cubes],
+        "set_regions": region_mapping(network.set_regions),
+        "reset_regions": region_mapping(network.reset_regions),
+        "degenerate_set": network.degenerate_set,
+        "degenerate_reset": network.degenerate_reset,
+    }
+
+
+def _network_from_json(signal: str, data: Dict):
+    from repro.boolean.cover import Cover
+    from repro.core.synthesis import SignalNetwork
+
+    def region_mapping(entries) -> Dict:
+        return {
+            _cube_from_literals(cube): tuple(
+                _er_from_json(er) for er in regions
+            )
+            for cube, regions in entries
+        }
+
+    return SignalNetwork(
+        signal=signal,
+        set_cover=Cover([_cube_from_literals(c) for c in data["set_cover"]]),
+        reset_cover=Cover(
+            [_cube_from_literals(c) for c in data["reset_cover"]]
+        ),
+        set_regions=region_mapping(data["set_regions"]),
+        reset_regions=region_mapping(data["reset_regions"]),
+        degenerate_set=data["degenerate_set"],
+        degenerate_reset=data["degenerate_reset"],
+    )
+
+
+def cover_plan_to_json(artifact) -> Dict:
+    """Stage ``covers``: insertion outcome + implementation, faithfully.
+
+    Cube order inside each cover is preserved (it determines gate
+    naming and equation text downstream), and the final MC report
+    keeps its full state sets.  The per-round SAT labellings are the one
+    thing dropped: nothing downstream of the stage reads them.
+    """
+    insertion = artifact.insertion
+    implementation = artifact.implementation
+    if implementation.sg is not insertion.sg:
+        from repro.pipeline.artifacts import fingerprint_state_graph
+
+        if fingerprint_state_graph(implementation.sg) != fingerprint_state_graph(
+            insertion.sg
+        ):
+            raise ArtifactCodingError(
+                "insertion and implementation disagree on the state graph"
+            )
+    return {
+        "sg": _sg_to_json(insertion.sg),
+        "report": _mc_report_to_full_json(insertion.report),
+        "rounds": [
+            {
+                "signal": r.signal,
+                "failures_before": r.failures_before,
+                "failures_after": r.failures_after,
+                "models_tried": r.models_tried,
+            }
+            for r in insertion.rounds
+        ],
+        "networks": {
+            signal: _network_to_json(network)
+            for signal, network in implementation.networks.items()
+        },
+        "shared": implementation.shared,
+        "method": implementation.method,
+        "fingerprint": artifact.fingerprint,
+    }
+
+
+def cover_plan_from_json(data: Dict):
+    from repro.core.insertion import InsertionResult, InsertionRound
+    from repro.core.synthesis import Implementation
+    from repro.pipeline.artifacts import CoverPlan
+
+    sg = _sg_from_json(data["sg"])
+    report = _mc_report_from_full_json(data["report"], sg)
+    rounds = [
+        InsertionRound(
+            signal=entry["signal"],
+            labelling={},  # the SAT labelling is not persisted
+            failures_before=entry["failures_before"],
+            failures_after=entry["failures_after"],
+            models_tried=entry["models_tried"],
+        )
+        for entry in data["rounds"]
+    ]
+    implementation = Implementation(
+        sg=sg,
+        networks={
+            signal: _network_from_json(signal, entry)
+            for signal, entry in data["networks"].items()
+        },
+        shared=data["shared"],
+        method=data["method"],
+    )
+    return CoverPlan(
+        insertion=InsertionResult(sg=sg, report=report, rounds=rounds),
+        implementation=implementation,
+        fingerprint=data["fingerprint"],
+    )
+
+
+def synthesized_netlist_to_json(artifact) -> Dict:
+    """Stage ``netlist``: the netlist faithfully, the hazard report as
+    its verdict (no downstream stage consumes the witness traces)."""
+    import json as _json
+
+    from repro.netlist.io import netlist_to_json
+
+    return {
+        "netlist": _json.loads(netlist_to_json(artifact.netlist)),
+        "hazard": _hazard_to_json(artifact.hazard_report),
+        "fingerprint": artifact.fingerprint,
+    }
+
+
+def synthesized_netlist_from_json(data: Dict):
+    import json as _json
+
+    from repro.netlist.io import netlist_from_json
+    from repro.pipeline.artifacts import SynthesizedNetlist
+
+    netlist = netlist_from_json(_json.dumps(data["netlist"]))
+    hazard = _hazard_from_json(data["hazard"])
+    if hazard is not None:
+        hazard.netlist = netlist
+    return SynthesizedNetlist(
+        netlist=netlist,
+        hazard_report=hazard,
+        fingerprint=data["fingerprint"],
+    )
+
+
+#: stage name -> (encode, decode) for the persistent artifact store
+STAGE_CODECS = {
+    "reach": (reached_sg_to_json, reached_sg_from_json),
+    "regions": (region_map_to_json, region_map_from_json),
+    "mc": (mc_verdict_to_json, mc_verdict_from_json),
+    "covers": (cover_plan_to_json, cover_plan_from_json),
+    "netlist": (synthesized_netlist_to_json, synthesized_netlist_from_json),
+}
+
+
+def stage_artifact_to_json(stage: str, artifact) -> Dict:
+    """Serialise one pipeline stage artifact for the persistent store.
+
+    Raises :class:`ArtifactCodingError` when the artifact cannot be
+    spilled faithfully and :class:`KeyError` for an unknown stage.
+    """
+    encode, _ = STAGE_CODECS[stage]
+    return encode(artifact)
+
+
+def stage_artifact_from_json(stage: str, data: Dict):
+    """Rebuild one pipeline stage artifact from its store payload."""
+    _, decode = STAGE_CODECS[stage]
+    return decode(data)
+
+
 __all__ = [
+    "ArtifactCodingError",
     "DetachedHazardReport",
     "DetachedImplementation",
     "DetachedInsertion",
+    "STAGE_CODECS",
     "mc_report_from_json",
     "mc_report_to_json",
     "pipeline_result_from_json",
     "pipeline_result_to_json",
+    "stage_artifact_from_json",
+    "stage_artifact_to_json",
     "synthesis_result_from_json",
     "synthesis_result_to_json",
 ]

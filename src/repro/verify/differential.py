@@ -126,6 +126,7 @@ def diff_state_graph(
     budget: Optional[Budget] = None,
     repair_seconds: Optional[float] = 5.0,
     repair_max_states: int = 2_000,
+    store=None,
 ) -> DiffRecord:
     """Run both analysis paths over one state graph and diff the claims.
 
@@ -133,6 +134,13 @@ def diff_state_graph(
     specification so the two paths share no per-graph caches; it
     defaults to the fast path's graph (the reference path never reads
     the bitengine caches either way).
+
+    ``store`` optionally backs both contexts with a persistent
+    :class:`~repro.pipeline.store.ArtifactStore` (MC entries are keyed
+    per backend, so the paths stay independent on disk too).  Note that
+    a *warm* store serves previously-persisted verdicts instead of
+    re-running the analyses -- point it at a fresh directory when the
+    point of the sweep is to exercise both engines.
 
     With ``repair=True`` a violated graph is additionally run through
     the insertion engine, and the repaired graph's reports are diffed
@@ -150,8 +158,12 @@ def diff_state_graph(
     # Two analysis worlds over ONE budget: nesting the pipelines inside
     # this campaign shares the campaign's clock/state meter, so each
     # wall-clock second and each elaborated state is charged exactly once.
-    fast_pipeline = Pipeline(AnalysisContext(backend="bitengine", budget=budget))
-    reference_pipeline = Pipeline(AnalysisContext(backend="reference", budget=budget))
+    fast_pipeline = Pipeline(
+        AnalysisContext(backend="bitengine", budget=budget, store=store)
+    )
+    reference_pipeline = Pipeline(
+        AnalysisContext(backend="reference", budget=budget, store=store)
+    )
     record = DiffRecord(name=name or fast_sg.name, states=len(fast_sg.state_list))
     started = time.monotonic()
     try:
@@ -224,6 +236,7 @@ def diff_stg(
     repair: bool = True,
     budget: Optional[Budget] = None,
     repair_seconds: Optional[float] = 5.0,
+    store=None,
 ) -> DiffRecord:
     """Elaborate a specification twice -- once per path -- and diff."""
     from repro.stg.reachability import ReachabilityError
@@ -244,6 +257,7 @@ def diff_stg(
         repair=repair,
         budget=budget,
         repair_seconds=repair_seconds,
+        store=store,
     )
 
 
@@ -309,6 +323,7 @@ def differential_campaign(
     max_seconds_each: Optional[float] = 30.0,
     repair_seconds: Optional[float] = 5.0,
     progress: Optional[Callable[[DiffRecord], None]] = None,
+    store=None,
 ) -> CampaignReport:
     """Sweep ``count`` randomized specifications through the oracle.
 
@@ -335,6 +350,7 @@ def differential_campaign(
             repair=repair,
             budget=budget,
             repair_seconds=repair_seconds,
+            store=store,
         )
         report.records.append(record)
         if progress is not None:

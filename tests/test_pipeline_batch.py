@@ -1,0 +1,141 @@
+"""Batch orchestration (`repro-si batch`) and --jobs validation."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.pipeline.batch import MANIFEST_SCHEMA, run_batch
+
+pytestmark = pytest.mark.smoke
+
+DATA = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "src", "repro", "bench", "data",
+)
+SPECS = [os.path.join(DATA, f"{name}.g") for name in
+         ("delement", "nak-pa", "mp-forward-pkt")]
+
+
+# ----------------------------------------------------------------------
+# The library API
+# ----------------------------------------------------------------------
+class TestRunBatch:
+    def test_cold_then_warm_shares_store(self, tmp_path):
+        store = str(tmp_path / "store")
+        cold = run_batch(SPECS, store=store)
+        warm = run_batch(SPECS, store=store)
+
+        assert cold.exit_code == 0 and warm.exit_code == 0
+        assert [o.status for o in warm.outcomes] == ["hazard-free"] * 3
+        assert warm.stats()["store_traffic"]["miss"] == 0
+        assert all(
+            o.store_traffic.get("hit", 0) >= 1 for o in warm.outcomes
+        )
+        # the manifest is cache-state independent, byte for byte
+        assert cold.manifest_text() == warm.manifest_text()
+
+    def test_manifest_shape_and_order(self, tmp_path):
+        report = run_batch(list(reversed(SPECS)), store=str(tmp_path / "s"))
+        manifest = report.manifest()
+        assert manifest["schema"] == MANIFEST_SCHEMA
+        names = [entry["name"] for entry in manifest["designs"]]
+        assert names == sorted(names)  # ordered by name, not input order
+        entry = manifest["designs"][0]
+        assert entry["status"] == "hazard-free"
+        assert entry["hazard_free"] is True
+        assert entry["equations"]
+        assert entry["fingerprint"]
+        # nondeterministic facts stay out of the manifest
+        assert "seconds" not in entry and "store_traffic" not in entry
+
+    def test_process_pool_matches_serial(self, tmp_path):
+        serial = run_batch(SPECS, store=str(tmp_path / "a"))
+        fanned = run_batch(SPECS, store=str(tmp_path / "b"), jobs=2)
+        assert serial.manifest_text() == fanned.manifest_text()
+
+    def test_progress_streams_every_design(self):
+        seen = []
+        run_batch(SPECS[:2], progress=lambda o: seen.append(o.name))
+        assert sorted(seen) == sorted(
+            os.path.splitext(os.path.basename(p))[0] for p in SPECS[:2]
+        )
+
+    def test_bad_design_does_not_abort_batch(self, tmp_path):
+        bad = tmp_path / "broken.g"
+        bad.write_text(".model broken\n.inputs a\n.end\n")
+        report = run_batch([str(bad)] + SPECS[:1])
+        statuses = {o.name: o.status for o in report.outcomes}
+        assert statuses["broken"] == "error"
+        assert statuses["delement"] == "hazard-free"
+        assert report.exit_code == 1
+
+    def test_per_design_timeout_marks_inconclusive(self):
+        report = run_batch(SPECS[:1], timeout_seconds=1e-9)
+        (outcome,) = report.outcomes
+        assert outcome.status == "inconclusive"
+        assert report.exit_code == 3
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            run_batch(SPECS, jobs=0)
+        with pytest.raises(ValueError, match="no specifications"):
+            run_batch([])
+
+
+# ----------------------------------------------------------------------
+# The CLI verb
+# ----------------------------------------------------------------------
+class TestBatchCli:
+    def test_smoke_three_bundled_designs(self, tmp_path, capsys):
+        manifest = tmp_path / "manifest.json"
+        stats = tmp_path / "stats.json"
+        code = main(
+            ["batch", *SPECS, "--store", str(tmp_path / "store"),
+             "--manifest", str(manifest), "--stats", str(stats)]
+        )
+        assert code == 0
+        out = capsys.readouterr()
+        assert "3 design(s): 3 hazard-free" in out.out
+        document = json.loads(manifest.read_text())
+        assert document["schema"] == MANIFEST_SCHEMA
+        assert len(document["designs"]) == 3
+        traffic = json.loads(stats.read_text())["store_traffic"]
+        assert traffic["miss"] == 5 * 3  # cold: every stage computed
+
+    def test_manifest_to_stdout_by_default(self, capsys):
+        code = main(["batch", SPECS[0]])
+        assert code == 0
+        payload = capsys.readouterr().out
+        start = payload.index("{")
+        document = json.loads(payload[start:])
+        assert document["schema"] == MANIFEST_SCHEMA
+
+    def test_missing_file_exits_one(self, tmp_path, capsys):
+        code = main(["batch", str(tmp_path / "nope.g")])
+        assert code == 1
+        assert '"status": "error"' in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# --jobs validation across verbs (exit 2, loud)
+# ----------------------------------------------------------------------
+class TestJobsValidation:
+    @pytest.mark.parametrize("argv", [
+        ["batch", "x.g", "--jobs", "0"],
+        ["batch", "x.g", "--jobs", "-2"],
+        ["table1", "--jobs", "0"],
+        ["table1", "--jobs", "-1"],
+        ["info", "x.g", "--jobs", "0"],
+        ["info", "x.g", "--jobs", "banana"],
+    ])
+    def test_non_positive_jobs_rejected(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "positive integer" in err or "invalid" in err
+
+    def test_jobs_one_accepted(self, capsys):
+        assert main(["batch", SPECS[0], "--jobs", "1"]) == 0
