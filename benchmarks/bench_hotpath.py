@@ -12,6 +12,12 @@ full Table-1 corpus (the ``store`` section): the warm sweep must serve
 every stage from disk (zero misses) and beat the cold sweep's wall
 time.
 
+The ``hazard-sim`` section records the compiled-IR win on circuit
+composition: the packed-int BFS (:func:`build_circuit_state_graph`)
+against the retained per-literal dict reference
+(:func:`build_circuit_state_graph_reference`) over every synthesized
+Table-1 netlist, next to the frozen paired A/B that accepted the IR.
+
 Each measurement builds a *fresh* state graph per round: the engine
 memoises aggressively in ``sg._analysis_cache``, and a warm graph would
 time cache hits instead of the analysis.
@@ -181,4 +187,105 @@ def test_store_cold_vs_warm(tmp_path):
         f"\n[store] Table-1 corpus: cold {cold_seconds:.2f}s, "
         f"warm {warm_seconds:.2f}s "
         f"({cold_seconds / warm_seconds:.1f}x, {traffic['hit']} hits)"
+    )
+
+
+# ----------------------------------------------------------------------
+# Circuit composition: compiled-IR BFS vs dict reference (Table-1)
+# ----------------------------------------------------------------------
+
+#: total wall time for one composition sweep over every synthesized
+#: Table-1 netlist, per-literal dict evaluation (the path before the
+#: compiled IR; retained as build_circuit_state_graph_reference).
+#: Best/median over 7 interleaved trials of the paired A/B run that
+#: accepted the IR on this host. Frozen: do not re-measure.
+HAZARD_SIM_PRE_IR_MS = {
+    "table1_corpus": {"best": 34.62, "median": 37.04},
+}
+
+#: the packed-int BFS times from the *same* paired run as the baseline
+#: above (1.58x best / 1.63x median). Frozen alongside it.
+HAZARD_SIM_PAIRED_POST_IR_MS = {
+    "table1_corpus": {"best": 21.97, "median": 22.76},
+}
+
+_hazard_sim_measured = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _record_hazard_sim_json():
+    """Merge the hazard-sim A/B measurements into the JSON log."""
+    yield
+    if not _hazard_sim_measured:
+        return
+    update_pipeline_json(
+        "hazard-sim",
+        {
+            "pre_ir_baseline_ms": HAZARD_SIM_PRE_IR_MS,
+            "paired_post_ir_ms": HAZARD_SIM_PAIRED_POST_IR_MS,
+            "measured_ms": _hazard_sim_measured,
+        },
+        path=_JSON_PATH,
+    )
+
+
+def _table1_composition_pairs():
+    """Every Table-1 (netlist, spec) composition input, synthesized once."""
+    from repro.bench.suite import BENCHMARKS, run_pipeline
+
+    pairs = []
+    for name in BENCHMARKS:
+        result = run_pipeline(name)
+        pairs.append((result.hazard_report.netlist, result.insertion.sg))
+    return pairs
+
+
+def test_hazard_sim_packed_vs_reference():
+    """The packed BFS beats the dict reference and agrees state-for-state."""
+    import time
+
+    from repro.netlist.circuit_sg import (
+        build_circuit_state_graph,
+        build_circuit_state_graph_reference,
+    )
+
+    pairs = _table1_composition_pairs()
+
+    # parity first: the benchmark is meaningless if the paths diverge
+    for netlist, spec in pairs:
+        packed = build_circuit_state_graph(netlist, spec)
+        reference = build_circuit_state_graph_reference(netlist, spec)
+        assert packed.sg.states == reference.sg.states
+        assert sorted(packed.sg.arcs()) == sorted(reference.sg.arcs())
+        assert packed.conformance_failures == reference.conformance_failures
+        assert packed.rs_violations == reference.rs_violations
+
+    packed_times, reference_times = [], []
+    for _ in range(7):
+        start = time.perf_counter()
+        for netlist, spec in pairs:
+            build_circuit_state_graph(netlist, spec)
+        packed_times.append((time.perf_counter() - start) * 1000)
+        start = time.perf_counter()
+        for netlist, spec in pairs:
+            build_circuit_state_graph_reference(netlist, spec)
+        reference_times.append((time.perf_counter() - start) * 1000)
+
+    packed_times.sort()
+    reference_times.sort()
+    _hazard_sim_measured["table1_corpus"] = {
+        "packed": {
+            "best": round(packed_times[0], 2),
+            "median": round(packed_times[3], 2),
+        },
+        "reference": {
+            "best": round(reference_times[0], 2),
+            "median": round(reference_times[3], 2),
+        },
+        "speedup_best": round(reference_times[0] / packed_times[0], 2),
+    }
+    print(
+        f"\n[hazard-sim] Table-1 corpus: packed {packed_times[0]:.2f}ms, "
+        f"reference {reference_times[0]:.2f}ms "
+        f"({reference_times[0] / packed_times[0]:.2f}x)"
     )

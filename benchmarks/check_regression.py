@@ -9,9 +9,16 @@ meaningless across CI runners, but the *ratio* between the two backends
 is not: both run on the same interpreter on the same host in the same
 process.
 
-This script re-measures both paths on the current host and fails (exit
-1) when the measured engine advantage falls more than ``--factor``
-(default 1.25, i.e. 25%) below the frozen ratio -- the engine got
+The ``hazard-sim`` section freezes the analogous pair for circuit
+composition: the compiled-IR packed BFS
+(:func:`~repro.netlist.circuit_sg.build_circuit_state_graph`) against
+the retained per-literal dict reference
+(:func:`~repro.netlist.circuit_sg.build_circuit_state_graph_reference`)
+over every synthesized Table-1 netlist.
+
+This script re-measures both paths of each pair on the current host and
+fails (exit 1) when a measured advantage falls more than ``--factor``
+(default 1.25, i.e. 25%) below its frozen ratio -- the fast path got
 relatively slower, which is exactly what a hot-path regression looks
 like regardless of how fast the runner is.
 
@@ -86,6 +93,48 @@ def frozen_ratios(path: str = _JSON_PATH) -> dict:
     return FrozenBaseline.from_json(document).ratios
 
 
+def frozen_hazard_sim_ratios(path: str = _JSON_PATH) -> dict:
+    """Frozen (dict reference / packed BFS) composition ratios."""
+    with open(path) as handle:
+        document = json.load(handle)
+    section = document["hazard-sim"]
+    return FrozenBaseline(
+        reference_ms={
+            case: row["best"]
+            for case, row in section["pre_ir_baseline_ms"].items()
+        },
+        engine_ms={
+            case: row["best"]
+            for case, row in section["paired_post_ir_ms"].items()
+        },
+    ).ratios
+
+
+def measure_hazard_sim_ratio(rounds: int = 5) -> tuple:
+    """Best-of-N corpus sweep times for the packed and dict BFS paths."""
+    from repro.bench.suite import BENCHMARKS, run_pipeline
+    from repro.netlist.circuit_sg import (
+        build_circuit_state_graph,
+        build_circuit_state_graph_reference,
+    )
+
+    pairs = []
+    for name in BENCHMARKS:
+        result = run_pipeline(name)
+        pairs.append((result.hazard_report.netlist, result.insertion.sg))
+    packed_times, reference_times = [], []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for netlist, spec in pairs:
+            build_circuit_state_graph(netlist, spec)
+        packed_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        for netlist, spec in pairs:
+            build_circuit_state_graph_reference(netlist, spec)
+        reference_times.append(time.perf_counter() - start)
+    return min(packed_times) * 1000, min(reference_times) * 1000
+
+
 def measure_ratio(case: str, rounds: int = 5) -> tuple:
     """Best-of-N wall times for both backends on a fresh graph per round."""
     stg = CASES[case]()
@@ -143,6 +192,27 @@ def main(argv=None) -> int:
         )
         if measured < floor:
             failed.append(case)
+
+    try:
+        frozen_hazard = frozen_hazard_sim_ratios(args.json)
+    except (OSError, KeyError, ValueError):
+        print("hazard-sim: no frozen baseline, skipped")
+        frozen_hazard = {}
+    if "table1_corpus" in frozen_hazard:
+        packed_ms, reference_ms = measure_hazard_sim_ratio(rounds=args.rounds)
+        measured = reference_ms / packed_ms
+        frozen_ratio = frozen_hazard["table1_corpus"]
+        floor = frozen_ratio / args.factor
+        verdict = "ok" if measured >= floor else "REGRESSED"
+        print(
+            f"hazard-sim/table1_corpus: packed {packed_ms:.2f}ms, "
+            f"reference {reference_ms:.2f}ms "
+            f"-> {measured:.2f}x (frozen {frozen_ratio:.2f}x, "
+            f"floor {floor:.2f}x): {verdict}"
+        )
+        if measured < floor:
+            failed.append("hazard-sim/table1_corpus")
+
     if failed:
         print(
             f"check_regression: hot path regressed on {', '.join(failed)}",

@@ -1,22 +1,30 @@
 """Shannon-recursion algorithms on covers (espresso-style).
 
-Unate-recursive-paradigm classics over the cube-list representation:
-tautology checking, complementation, cofactoring and semantic
-containment/equivalence.  These complement the explicit on-set
-minimiser (:mod:`repro.boolean.minimize`) with algorithms that never
-enumerate minterms, so they stay usable when the signal count grows.
+Unate-recursive-paradigm classics -- tautology checking, complementation,
+cofactoring and semantic containment/equivalence.  These complement the
+explicit on-set minimiser (:mod:`repro.boolean.minimize`) with algorithms
+that never enumerate minterms, so they stay usable when the signal count
+grows.
 
 All functions take an explicit ``signals`` universe: a cover is a
 function of exactly those variables (literals on other signals are
-rejected).
+rejected).  Internally the recursion runs entirely on the compiled IR
+(:mod:`repro.boolean.compiled`): covers compile once against the
+universe's interned :class:`~repro.boolean.compiled.SignalSpace` and
+every cofactor/containment step is mask-value bit arithmetic on
+``(mask, value)`` big-int pairs; the literal-dict :class:`Cover` API is
+a thin view at the entry and exit points.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
+from repro.boolean.compiled import CompiledCube, SignalSpace
 from repro.boolean.cover import Cover
-from repro.boolean.cube import Cube
+
+#: the recursion's working form: one cube as its (mask, value) pair
+_Pair = Tuple[int, int]
 
 
 def _check_signals(cover: Cover, signals: Sequence[str]) -> None:
@@ -25,97 +33,141 @@ def _check_signals(cover: Cover, signals: Sequence[str]) -> None:
         raise ValueError(f"cover uses signals outside the universe: {sorted(extra)}")
 
 
+def _compile(cover: Cover, signals: Sequence[str]) -> Tuple[SignalSpace, List[_Pair]]:
+    _check_signals(cover, signals)
+    space = SignalSpace.of(tuple(signals))
+    compiled = cover.compiled(space)
+    return space, [(c.mask, c.value) for c in compiled.cubes]
+
+
+def _decompile(space: SignalSpace, pairs: Sequence[_Pair]) -> Cover:
+    return Cover(
+        CompiledCube(space, mask, value).to_cube() for mask, value in pairs
+    )
+
+
+def _cofactor_pairs(pairs: Sequence[_Pair], bit: int, bit_value: int) -> List[_Pair]:
+    """Shannon cofactor w.r.t. one position: drop killed cubes, clear the
+    bit from the survivors that constrained it."""
+    kept: List[_Pair] = []
+    want = bit if bit_value else 0
+    for mask, value in pairs:
+        if not mask & bit:
+            kept.append((mask, value))
+        elif value & bit == want:
+            kept.append((mask ^ bit, value & ~bit))
+    return kept
+
+
+def _select_split(pairs: Sequence[_Pair], remaining: Sequence[int]) -> Optional[int]:
+    """The most frequently constrained position -- the classic binate
+    heuristic, ties broken by universe order."""
+    best, best_count = None, 0
+    for position in remaining:
+        bit = 1 << position
+        count = sum(1 for mask, _ in pairs if mask & bit)
+        if count > best_count:
+            best, best_count = position, count
+    return best
+
+
 def cofactor(cover: Cover, signal: str, value: int) -> Cover:
     """The Shannon cofactor of the cover with respect to ``signal = value``."""
-    kept: List[Cube] = []
-    for cube in cover:
-        lit = cube.value_of(signal)
-        if lit is None:
-            kept.append(cube)
-        elif lit == value:
-            kept.append(cube.without((signal,)))
-    return Cover(kept)
-
-
-def _select_split(cover: Cover, signals: Sequence[str]) -> Optional[str]:
-    """The most frequently constrained signal -- a classic binate heuristic."""
-    counts = {s: 0 for s in signals}
-    for cube in cover:
-        for signal, _ in cube.literals:
-            counts[signal] += 1
-    best, best_count = None, 0
-    for signal in signals:
-        if counts[signal] > best_count:
-            best, best_count = signal, counts[signal]
-    return best
+    space = SignalSpace.of(tuple(sorted(cover.signals | {signal})))
+    compiled = cover.compiled(space)
+    bit = 1 << space.position[signal]
+    pairs = _cofactor_pairs(
+        [(c.mask, c.value) for c in compiled.cubes], bit, value
+    )
+    return _decompile(space, pairs)
 
 
 def is_tautology(cover: Cover, signals: Sequence[str]) -> bool:
     """True iff the cover is 1 on every assignment of ``signals``."""
-    _check_signals(cover, signals)
+    space, pairs = _compile(cover, signals)
+    return _is_tautology_pairs(pairs, list(range(space.width)))
 
-    def recurse(current: Cover, remaining: Tuple[str, ...]) -> bool:
-        if any(len(cube) == 0 for cube in current):
-            return True  # contains the universal cube
-        if current.is_empty():
-            return False
-        split = _select_split(current, remaining)
-        if split is None:
-            # no literals at all and no universal cube: impossible since
-            # non-empty covers without literals contain a universal cube
-            return False
-        rest = tuple(s for s in remaining if s != split)
-        return recurse(cofactor(current, split, 0), rest) and recurse(
-            cofactor(current, split, 1), rest
+
+def _is_tautology_pairs(pairs: List[_Pair], remaining: List[int]) -> bool:
+    if any(mask == 0 for mask, _ in pairs):
+        return True  # contains the universal cube
+    if not pairs:
+        return False
+    split = _select_split(pairs, remaining)
+    if split is None:
+        # no literals at all and no universal cube: impossible since
+        # non-empty covers without literals contain a universal cube
+        return False
+    rest = [p for p in remaining if p != split]
+    bit = 1 << split
+    return _is_tautology_pairs(
+        _cofactor_pairs(pairs, bit, 0), rest
+    ) and _is_tautology_pairs(_cofactor_pairs(pairs, bit, 1), rest)
+
+
+def _irredundant_pairs(pairs: List[_Pair]) -> List[_Pair]:
+    """Drop cubes single-cube-contained in another cube of the list."""
+    kept: List[_Pair] = []
+    for i, (mask, value) in enumerate(pairs):
+        contained = any(
+            mask & other_mask == other_mask and value & other_mask == other_value
+            for j, (other_mask, other_value) in enumerate(pairs)
+            if j != i
         )
-
-    return recurse(cover, tuple(signals))
+        if not contained:
+            kept.append((mask, value))
+    return kept
 
 
 def complement(cover: Cover, signals: Sequence[str]) -> Cover:
     """A cover of the complement function (not guaranteed minimal)."""
-    _check_signals(cover, signals)
+    space, pairs = _compile(cover, signals)
 
-    def recurse(current: Cover, remaining: Tuple[str, ...]) -> Cover:
-        if current.is_empty():
-            return Cover([Cube()])
-        if any(len(cube) == 0 for cube in current):
-            return Cover()
+    def recurse(current: List[_Pair], remaining: List[int]) -> List[_Pair]:
+        if not current:
+            return [(0, 0)]  # complement of 0 is the universal cube
+        if any(mask == 0 for mask, _ in current):
+            return []
         if len(current) == 1:
-            # De Morgan on a single cube
-            return Cover(
-                [Cube({s: 1 - v}) for s, v in current.cubes[0].literals]
-            )
+            # De Morgan on a single cube: one flipped literal per bit
+            mask, value = current[0]
+            literals: List[_Pair] = []
+            probe = mask
+            while probe:
+                bit = probe & -probe
+                probe ^= bit
+                literals.append((bit, (value & bit) ^ bit))
+            return literals
         split = _select_split(current, remaining)
-        rest = tuple(s for s in remaining if s != split)
-        negative = recurse(cofactor(current, split, 0), rest)
-        positive = recurse(cofactor(current, split, 1), rest)
-        cubes: List[Cube] = []
-        for cube in negative:
-            cubes.append(cube.with_literal(split, 0))
-        for cube in positive:
-            cubes.append(cube.with_literal(split, 1))
-        return Cover(cubes).irredundant()
+        rest = [p for p in remaining if p != split]
+        bit = 1 << split
+        negative = recurse(_cofactor_pairs(current, bit, 0), rest)
+        positive = recurse(_cofactor_pairs(current, bit, 1), rest)
+        merged = [(m | bit, v) for m, v in negative]
+        merged += [(m | bit, v | bit) for m, v in positive]
+        return _irredundant_pairs(merged)
 
-    return recurse(cover, tuple(signals))
+    return _decompile(space, recurse(pairs, list(range(space.width))))
 
 
 def covers_implies(left: Cover, right: Cover, signals: Sequence[str]) -> bool:
     """Semantic containment: every point of ``left`` is in ``right``.
 
-    Implemented as tautology of ``right + complement(left)`` restricted
-    the cheap way: ``left <= right`` iff each cube of ``left`` cofactored
-    into ``right`` leaves a tautology.
+    ``left <= right`` iff each cube of ``left`` cofactored into ``right``
+    leaves a tautology over the cube's free positions.
     """
-    _check_signals(left, signals)
-    _check_signals(right, signals)
-    for cube in left:
-        reduced = right
-        remaining = [s for s in signals]
-        for signal, value in cube.literals:
-            reduced = cofactor(reduced, signal, value)
-            remaining.remove(signal)
-        if not is_tautology(reduced, remaining):
+    space, left_pairs = _compile(left, signals)
+    _, right_pairs = _compile(right, signals)
+    all_positions = list(range(space.width))
+    for cube_mask, cube_value in left_pairs:
+        reduced = right_pairs
+        probe = cube_mask
+        while probe:
+            bit = probe & -probe
+            probe ^= bit
+            reduced = _cofactor_pairs(reduced, bit, 1 if cube_value & bit else 0)
+        remaining = [p for p in all_positions if not cube_mask & (1 << p)]
+        if not _is_tautology_pairs(reduced, remaining):
             return False
     return True
 
@@ -125,3 +177,12 @@ def covers_equivalent(left: Cover, right: Cover, signals: Sequence[str]) -> bool
     return covers_implies(left, right, signals) and covers_implies(
         right, left, signals
     )
+
+
+__all__ = [
+    "cofactor",
+    "complement",
+    "covers_equivalent",
+    "covers_implies",
+    "is_tautology",
+]

@@ -10,11 +10,18 @@ state of the region).
 
 Cubes here are immutable and hashable so they can live in sets, serve as
 dictionary keys during cover selection, and be compared structurally.
+
+The literal dict is the *construction-time* form; every hot-path
+operation compiles into the shared mask-value IR
+(:mod:`repro.boolean.compiled`) on first use and is memoised per
+interned :class:`~repro.boolean.compiled.SignalSpace`.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
+
+from repro.boolean.compiled import CompiledCube, SignalSpace
 
 
 class Cube:
@@ -42,8 +49,8 @@ class Cube:
                 )
         self._literals: Dict[str, int] = items
         self._hash: Optional[int] = None
-        #: signal-order tuple -> compiled (mask, value) pair
-        self._compiled: Optional[Dict[Tuple[str, ...], Tuple[int, int]]] = None
+        #: interned SignalSpace -> CompiledCube (memoised per space)
+        self._compiled: Optional[Dict[SignalSpace, CompiledCube]] = None
         self._sorted: Optional[Tuple[Tuple[str, int], ...]] = None
 
     # ------------------------------------------------------------------
@@ -106,40 +113,43 @@ class Cube:
                 return False
         return True
 
-    def compile(self, signal_order: Sequence[str]) -> Tuple[int, int]:
-        """The cube as a ``(mask, value)`` bit pair against an ordering.
+    def compiled(self, space: SignalSpace) -> CompiledCube:
+        """The cube in the shared mask-value IR against one space.
 
         With every state code packed into a single int (bit ``i`` holding
-        the value of ``signal_order[i]``), the cube covers a packed code
+        the value of ``space.signals[i]``), the cube covers a packed code
         ``p`` iff ``p & mask == value`` -- one AND plus one compare,
-        independent of the literal count.  This is the O(1) form the
-        bitmask analysis engine uses on the synthesis hot path.
+        independent of the literal count.  This is the O(words) form the
+        bitmask analysis engine and the netlist evaluators use on the
+        synthesis hot path.
 
-        The result is memoised per ordering (a cube is typically queried
-        against exactly one graph's signal tuple thousands of times).
+        The result is memoised per interned space (a cube is typically
+        queried against exactly one graph's ordering thousands of times).
         """
-        key = tuple(signal_order)
         cache = self._compiled
         if cache is None:
             cache = self._compiled = {}
-        cached = cache.get(key)
-        if cached is not None:
-            return cached
-        index = {signal: i for i, signal in enumerate(key)}
-        mask = 0
-        value = 0
-        for signal, bit_value in self._literals.items():
-            position = index[signal]
-            mask |= 1 << position
-            if bit_value:
-                value |= 1 << position
-        cache[key] = (mask, value)
-        return (mask, value)
+        cached = cache.get(space)
+        if cached is None:
+            cached = cache[space] = CompiledCube.from_literals(
+                space, self._literals.items()
+            )
+        return cached
+
+    def compile(self, signal_order: Sequence[str]) -> Tuple[int, int]:
+        """The cube's ``(mask, value)`` pair against an ordering.
+
+        Thin wrapper over :meth:`compiled` kept for callers that want the
+        raw bit pair rather than the :class:`CompiledCube` object.
+        """
+        compiled = self.compiled(SignalSpace.of(signal_order))
+        return (compiled.mask, compiled.value)
 
     def covers_packed(self, packed_code: int, signal_order: Sequence[str]) -> bool:
-        """O(1) covering test against a packed state code (see :meth:`compile`)."""
-        mask, value = self.compile(signal_order)
-        return packed_code & mask == value
+        """O(1) covering test against a packed state code (see :meth:`compiled`)."""
+        return self.compiled(SignalSpace.of(signal_order)).covers_packed(
+            packed_code
+        )
 
     def evaluator(self, signal_order: Sequence[str]):
         """Compile the cube against a signal ordering.

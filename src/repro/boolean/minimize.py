@@ -8,77 +8,89 @@ generator plus a branch-and-bound unate-covering solver, over functions
 given as explicit on/off/dc sets of state codes.
 
 Functions are specified over *named* signals (consistent with the rest of
-the library); internally minterms are bit vectors over a fixed ordering.
+the library); internally everything runs on the shared compiled IR
+(:mod:`repro.boolean.compiled`): minterms are packed ints against an
+interned :class:`~repro.boolean.compiled.SignalSpace` and implicants are
+:class:`~repro.boolean.compiled.CompiledCube` mask-value pairs, so the
+cover test is one AND plus one compare and the QM merge is pure bit
+arithmetic.  The historical ``(dc_mask, value)`` tuple form of
+:func:`generate_primes` is kept as a thin compatibility view.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
-from repro.boolean.cube import Cube
+from repro.boolean.compiled import CompiledCube, SignalSpace, popcount
 from repro.boolean.cover import Cover
 
-# An implicant is a pair (mask, value): ``mask`` has a 1-bit for every
-# *don't-care* position, ``value`` holds the fixed bits (0 where masked).
+# The legacy implicant view: ``mask`` has a 1-bit for every *don't-care*
+# position (the complement of the IR's cared-bit mask), ``value`` holds
+# the fixed bits (0 where masked).
 _Implicant = Tuple[int, int]
 
 
-def _code_to_int(code: Mapping[str, int], signals: Sequence[str]) -> int:
-    word = 0
-    for i, signal in enumerate(signals):
-        if code[signal]:
-            word |= 1 << i
-    return word
+def generate_prime_cubes(
+    space: SignalSpace, on_minterms: Set[int], dc_minterms: Set[int]
+) -> List[CompiledCube]:
+    """All prime implicants of the function (Quine--McCluskey).
 
-
-def _implicant_to_cube(implicant: _Implicant, signals: Sequence[str]) -> Cube:
-    mask, value = implicant
-    literals = {}
-    for i, signal in enumerate(signals):
-        bit = 1 << i
-        if not mask & bit:
-            literals[signal] = 1 if value & bit else 0
-    return Cube(literals)
-
-
-def _implicant_covers(implicant: _Implicant, minterm: int) -> bool:
-    mask, value = implicant
-    return (minterm | mask) == (value | mask)
+    ``on_minterms``/``dc_minterms`` are disjoint sets of packed minterms
+    against ``space``.  Implicants are manipulated directly in the IR's
+    ``(mask, value)`` convention (mask = cared positions): two implicants
+    with the same mask merge when their values differ in exactly one
+    cared bit, clearing that bit from both words.  Primes that cover no
+    on-set minterm (pure don't-care primes) are dropped.  The result is
+    canonically ordered by (literal count, mask, value).
+    """
+    full = space.full_mask
+    current: Set[Tuple[int, int]] = {
+        (full, m) for m in on_minterms | dc_minterms
+    }
+    primes: Set[Tuple[int, int]] = set()
+    while current:
+        merged_from: Set[Tuple[int, int]] = set()
+        next_level: Set[Tuple[int, int]] = set()
+        grouped: dict = {}
+        for implicant in current:
+            grouped.setdefault(implicant[0], []).append(implicant)
+        for mask, implicants in grouped.items():
+            by_value = set(v for _, v in implicants)
+            probe = mask
+            while probe:
+                bit = probe & -probe
+                probe ^= bit
+                for value in by_value:
+                    if value & bit:
+                        continue  # canonical side: merge from the 0-value
+                    if value ^ bit in by_value:
+                        next_level.add((mask ^ bit, value))
+                        merged_from.add((mask, value))
+                        merged_from.add((mask, value ^ bit))
+        primes |= current - merged_from
+        current = next_level
+    kept = [
+        (mask, value)
+        for mask, value in primes
+        if any(m & mask == value for m in on_minterms)
+    ]
+    kept.sort(key=lambda pair: (popcount(pair[0]), pair[0], pair[1]))
+    return [CompiledCube(space, mask, value) for mask, value in kept]
 
 
 def generate_primes(
     on_minterms: Set[int], dc_minterms: Set[int], width: int
 ) -> List[_Implicant]:
-    """All prime implicants of the function (Quine--McCluskey).
+    """Compatibility view of :func:`generate_prime_cubes`.
 
-    ``on_minterms``/``dc_minterms`` are disjoint sets of integer minterms
-    over ``width`` variables.  Returns implicants as (mask, value) pairs.
+    Returns the historical ``(dc_mask, value)`` tuples: ``dc_mask`` has a
+    1-bit for every *don't-care* position.
     """
-    current: Set[_Implicant] = {(0, m) for m in on_minterms | dc_minterms}
-    primes: Set[_Implicant] = set()
-    while current:
-        merged_from: Set[_Implicant] = set()
-        next_level: Set[_Implicant] = set()
-        grouped: Dict[int, List[_Implicant]] = {}
-        for implicant in current:
-            grouped.setdefault(implicant[0], []).append(implicant)
-        for mask, implicants in grouped.items():
-            by_value = set(v for _, v in implicants)
-            for value in by_value:
-                for bit_index in range(width):
-                    bit = 1 << bit_index
-                    if mask & bit:
-                        continue
-                    partner = value ^ bit
-                    if partner in by_value and value & bit == 0:
-                        next_level.add((mask | bit, value))
-                        merged_from.add((mask, value))
-                        merged_from.add((mask, partner))
-        primes |= current - merged_from
-        current = next_level
-    # Primes consisting purely of don't-cares are useless for covering but
-    # harmless; filter those covering no on-set minterm.
-    return [p for p in primes if any(_implicant_covers(p, m) for m in on_minterms)]
+    space = SignalSpace.of(tuple(f"_b{i}" for i in range(width)))
+    return [
+        (space.full_mask & ~cube.mask, cube.value)
+        for cube in generate_prime_cubes(space, on_minterms, dc_minterms)
+    ]
 
 
 def solve_covering(
@@ -171,14 +183,15 @@ def minimize_onset(
     on_codes / dc_codes:
         State codes where the function must be 1 / may be either.
 
-    Returns the minimum-cardinality prime cover as a :class:`Cover`.
+    Returns the minimum-cardinality prime cover as a :class:`Cover`
+    (literal-dict view of the compiled primes the solver picked).
     """
-    width = len(signals)
-    on = {_code_to_int(code, signals) for code in on_codes}
-    dc = {_code_to_int(code, signals) for code in dc_codes} - on
+    space = SignalSpace.of(tuple(signals))
+    on = {space.pack(code) for code in on_codes}
+    dc = {space.pack(code) for code in dc_codes} - on
     if not on:
         return Cover()
-    primes = generate_primes(on, dc, width)
-    rows = [frozenset(m for m in on if _implicant_covers(p, m)) for p in primes]
+    primes = generate_prime_cubes(space, on, dc)
+    rows = [frozenset(m for m in on if p.covers_packed(m)) for p in primes]
     chosen = solve_covering(rows, set(on))
-    return Cover(_implicant_to_cube(primes[i], signals) for i in chosen)
+    return Cover(primes[i].to_cube() for i in chosen)

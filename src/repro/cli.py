@@ -71,10 +71,12 @@ def _load(path: str, max_states: int = 1_000_000):
         raise CliError(f"invalid specification {path!r}: {exc}") from exc
 
 
-def _positive_int(text: str) -> int:
+def parse_jobs(text: str) -> int:
     """argparse type for ``--jobs``: a strictly positive integer.
 
-    Rejecting 0/negative values loudly (exit 2) replaces the old
+    The one shared validator for every verb that fans out (``info``,
+    ``synth``, ``verify``, ``diff``, ``table1``, ``batch``): rejecting
+    0/negative values loudly (usage error, exit 2) replaces the old
     behaviour where non-positive job counts silently ran serial.
     """
     try:
@@ -139,7 +141,9 @@ def cmd_synth(args: argparse.Namespace) -> int:
         share_gates=args.share,
         verify=not args.no_verify,
         max_models=args.max_models,
-        context=AnalysisContext(backend=args.backend, store=args.store),
+        context=AnalysisContext(
+            backend=args.backend, jobs=args.jobs, store=args.store
+        ),
     )
     if result.added_signals:
         print(result.insertion.describe())
@@ -195,7 +199,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
     # the pipeline's netlist stage charges the circuit composition and
     # runs the wall-clock check against this same budget -- exactly once
     context = AnalysisContext(
-        backend=args.backend, budget=budget, store=args.store
+        backend=args.backend, budget=budget, jobs=args.jobs, store=args.store
     )
     result = synthesize_from_state_graph(
         sg,
@@ -317,6 +321,7 @@ def cmd_diff(args: argparse.Namespace) -> int:
         max_seconds_each=args.max_seconds_each,
         repair_seconds=args.repair_seconds,
         progress=progress,
+        jobs=args.jobs,
         store=args.store,
     )
     print(report.describe())
@@ -443,7 +448,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_info.add_argument("spec", help=".g file")
     p_info.add_argument("--dot", help="write the state graph as Graphviz")
     p_info.add_argument(
-        "--jobs", type=_positive_int, default=None,
+        "--jobs", type=parse_jobs, default=None,
         help="parallel MC analysis fan-out (threads over signals)",
     )
     p_info.add_argument(
@@ -493,6 +498,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="analysis backend (bitengine | reference)",
     )
     p_synth.add_argument(
+        "--jobs", type=parse_jobs, default=None,
+        help="thread fan-out for the MC analysis (positive integer)",
+    )
+    p_synth.add_argument(
         "--store", default=None, metavar="DIR",
         help="persistent artifact store directory (warm-start cache)",
     )
@@ -531,6 +540,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.add_argument(
         "--backend", default=None,
         help="analysis backend (bitengine | reference)",
+    )
+    p_verify.add_argument(
+        "--jobs", type=parse_jobs, default=None,
+        help="thread fan-out for the MC analysis (positive integer)",
     )
     p_verify.add_argument(
         "--store", default=None, metavar="DIR",
@@ -578,6 +591,11 @@ def build_parser() -> argparse.ArgumentParser:
         "registered backend and fail on any artifact diff",
     )
     p_diff.add_argument(
+        "--jobs", type=parse_jobs, default=None,
+        help="thread fan-out for each design's MC analyses "
+        "(positive integer)",
+    )
+    p_diff.add_argument(
         "--store", default=None, metavar="DIR",
         help="persistent artifact store directory; NOTE: a warm store "
         "serves previous verdicts instead of re-running both engines",
@@ -604,7 +622,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_table.add_argument("designs", nargs="*", help="subset of designs")
     p_table.add_argument("--no-verify", action="store_true")
     p_table.add_argument(
-        "--jobs", type=_positive_int, default=None,
+        "--jobs", type=parse_jobs, default=None,
         help="run designs concurrently (thread pool)",
     )
     p_table.add_argument(
@@ -627,7 +645,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_batch.add_argument("specs", nargs="+", help=".g files")
     p_batch.add_argument(
-        "--jobs", type=_positive_int, default=1,
+        "--jobs", type=parse_jobs, default=1,
         help="worker processes (default 1: run inline)",
     )
     p_batch.add_argument(

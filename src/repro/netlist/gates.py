@@ -10,13 +10,25 @@ Each gate computes a next output value from its (polarity-adjusted)
 input values and its current output; under the pure unbounded gate delay
 model the output is *excited* whenever next != current, and the delay
 before it fires is arbitrary.
+
+Two evaluation forms exist.  :meth:`Gate.next_value` is the reference
+semantics over a ``{signal: value}`` dict.  :meth:`Gate.compiled_evaluator`
+compiles the gate against a :class:`~repro.boolean.compiled.SignalSpace`
+into a closure over *packed* state codes -- e.g. an AND gate becomes one
+``packed & inmask == want`` test -- which is what the circuit-level BFS
+and the discrete-event simulator run on their hot paths.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Mapping, Tuple
+from typing import Callable, Mapping, Optional, Tuple
+
+from repro.boolean.compiled import SignalSpace
+
+#: a compiled gate function: (packed code, current output bit) -> next bit
+PackedEvaluator = Callable[[int, int], int]
 
 
 class GateKind(Enum):
@@ -101,6 +113,104 @@ class Gate:
                 return 0
             return current  # both idle -> hold; both active -> hold (illegal)
         raise AssertionError(f"unknown gate kind {self.kind}")  # pragma: no cover
+
+    def _input_requirements(
+        self, space: SignalSpace, flip: bool = False
+    ) -> Optional[Tuple[int, int]]:
+        """The ``(mask, want)`` pair for "every effective input reads 1".
+
+        An effective input reads 1 iff the packed bit equals its polarity
+        (or the opposite polarity with ``flip``, i.e. "every effective
+        input reads 0").  Returns ``None`` when the same signal appears
+        with both polarities, making the conjunction unsatisfiable.
+        """
+        required: dict = {}
+        for signal, polarity in self.inputs:
+            bit = 1 << space.position[signal]
+            want = (polarity ^ 1) if flip else polarity
+            if required.setdefault(bit, want) != want:
+                return None
+        mask = 0
+        value = 0
+        for bit, want in required.items():
+            mask |= bit
+            if want:
+                value |= bit
+        return mask, value
+
+    def compiled_evaluator(self, space: SignalSpace) -> PackedEvaluator:
+        """Compile the gate into a packed next-state closure.
+
+        The returned callable takes ``(packed_code, current_output)`` and
+        returns the next output bit; it agrees with :meth:`next_value` on
+        every complete code of ``space``.  AND/OR families reduce to one
+        AND-plus-compare on the packed word; COMPLEX gates evaluate their
+        cover through the shared compiled IR.
+        """
+        if self.kind == GateKind.COMPLEX:
+            compiled = self.function.compiled(space)
+            cubes = tuple((c.mask, c.value) for c in compiled.cubes)
+            def complex_eval(packed: int, current: int) -> int:
+                for mask, value in cubes:
+                    if packed & mask == value:
+                        return 1
+                return 0
+            return complex_eval
+        if self.kind in (GateKind.AND, GateKind.NAND):
+            ones = self._input_requirements(space)
+            zero = 0 if self.kind == GateKind.AND else 1
+            if ones is None:
+                return lambda packed, current, _z=zero: _z
+            mask, want = ones
+            if self.kind == GateKind.AND:
+                return lambda packed, current: int(packed & mask == want)
+            return lambda packed, current: int(packed & mask != want)
+        if self.kind in (GateKind.OR, GateKind.NOR):
+            zeros = self._input_requirements(space, flip=True)
+            if zeros is None:  # some input is always 1
+                one = 1 if self.kind == GateKind.OR else 0
+                return lambda packed, current, _o=one: _o
+            mask, want = zeros
+            if self.kind == GateKind.OR:
+                return lambda packed, current: int(packed & mask != want)
+            return lambda packed, current: int(packed & mask == want)
+        if self.kind in (GateKind.BUF, GateKind.NOT):
+            (signal, polarity), = self.inputs
+            bit = 1 << space.position[signal]
+            same = polarity if self.kind == GateKind.BUF else polarity ^ 1
+            if same:
+                return lambda packed, current: int(bool(packed & bit))
+            return lambda packed, current: int(not packed & bit)
+        # C / RS: two-input latches over effective values
+        (s_sig, s_pol), (r_sig, r_pol) = self.inputs
+        s_bit = 1 << space.position[s_sig]
+        r_bit = 1 << space.position[r_sig]
+        if self.kind == GateKind.C:
+            def c_eval(packed: int, current: int) -> int:
+                set_in = int(bool(packed & s_bit) == bool(s_pol))
+                reset_in = int(bool(packed & r_bit) == bool(r_pol))
+                return set_in if set_in == reset_in else current
+            return c_eval
+        if self.kind == GateKind.RS:
+            def rs_eval(packed: int, current: int) -> int:
+                set_in = bool(packed & s_bit) == bool(s_pol)
+                reset_in = bool(packed & r_bit) == bool(r_pol)
+                if set_in and not reset_in:
+                    return 1
+                if reset_in and not set_in:
+                    return 0
+                return current
+            return rs_eval
+        raise AssertionError(f"unknown gate kind {self.kind}")  # pragma: no cover
+
+    def rs_illegal_test(self, space: SignalSpace) -> Optional[Tuple[int, int]]:
+        """Packed form of :meth:`rs_illegal`: S = R = 1 iff
+        ``packed & mask == value``.  ``None`` for non-RS gates and for RS
+        gates whose input wiring makes the overlap unsatisfiable.
+        """
+        if self.kind != GateKind.RS:
+            return None
+        return self._input_requirements(space)
 
     def rs_illegal(self, values: Mapping[str, int]) -> bool:
         """True when an RS latch sees S = R = 1 (forbidden input state)."""

@@ -20,13 +20,61 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.boolean.compiled import SignalSpace
 from repro.boolean.cube import Cube
 from repro.core.synthesis import Implementation
-from repro.netlist.gates import Gate, GateKind
+from repro.netlist.gates import Gate, GateKind, PackedEvaluator
 
 
 class NetlistError(ValueError):
     pass
+
+
+class NetlistPlan:
+    """Compiled evaluation plan: every gate as a packed-code closure.
+
+    Built once per analysis (BFS composition, discrete-event run) against
+    the netlist's interned :class:`SignalSpace`; the per-gate closures
+    come from :meth:`repro.netlist.gates.Gate.compiled_evaluator`, so the
+    whole circuit evaluates on packed ints with no per-literal dict
+    lookups.  ``items`` preserves the netlist's gate insertion order --
+    composition traversal order (and therefore every serialized artifact)
+    depends on it.
+    """
+
+    __slots__ = ("netlist", "space", "items", "rs_checks", "input_bits")
+
+    def __init__(self, netlist: "Netlist", space: Optional[SignalSpace] = None):
+        if space is None:
+            space = SignalSpace.of(netlist.signals)
+        self.netlist = netlist
+        self.space = space
+        #: (gate name, output bit, evaluator) in gate insertion order
+        try:
+            self.items: Tuple[Tuple[str, int, PackedEvaluator], ...] = tuple(
+                (name, 1 << space.position[name], gate.compiled_evaluator(space))
+                for name, gate in netlist.gates.items()
+            )
+        except KeyError as error:
+            raise NetlistError(
+                f"gate reads a signal outside the netlist: {error}"
+            ) from error
+        #: (gate name, mask, value) per RS gate with a satisfiable S=R=1
+        self.rs_checks: Tuple[Tuple[str, int, int], ...] = tuple(
+            (name, test[0], test[1])
+            for name, gate in netlist.gates.items()
+            for test in (gate.rs_illegal_test(space),)
+            if test is not None
+        )
+        self.input_bits: Dict[str, int] = {
+            name: 1 << space.position[name] for name in netlist.inputs
+        }
+
+    def pack(self, values: Dict[str, int]) -> int:
+        return self.space.pack(values)
+
+    def unpack_vector(self, packed: int) -> Tuple[int, ...]:
+        return self.space.unpack_vector(packed)
 
 
 @dataclass

@@ -24,7 +24,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.netlist.netlist import Netlist
+from repro.netlist.netlist import Netlist, NetlistPlan
 from repro.sg.events import SignalEvent
 from repro.sg.graph import StateGraph
 
@@ -126,7 +126,11 @@ def simulate(
     rng = random.Random(seed)
     from repro.netlist.circuit_sg import _settled_initial_values
 
-    values = _settled_initial_values(netlist, spec)
+    plan = NetlistPlan(netlist)
+    space = plan.space
+    bit_of = {s: 1 << space.position[s] for s in netlist.signals}
+    gate_plan = {name: (out_bit, ev) for name, out_bit, ev in plan.items}
+    packed = space.pack(_settled_initial_values(netlist, spec))
     spec_state = spec.initial
     report = SimulationReport(netlist=netlist, spec=spec, seed=seed, fired_events=0)
 
@@ -138,9 +142,10 @@ def simulate(
     now = 0.0
 
     def gate_target(name: str) -> Optional[int]:
-        gate = netlist.gates[name]
-        nxt = gate.next_value(values, values[name])
-        return nxt if nxt != values[name] else None
+        out_bit, evaluate = gate_plan[name]
+        current = 1 if packed & out_bit else 0
+        nxt = evaluate(packed, current)
+        return nxt if nxt != current else None
 
     def enabled_inputs() -> List[SignalEvent]:
         return [
@@ -151,8 +156,10 @@ def simulate(
 
     def refresh(time: float) -> None:
         # gates: schedule new excitations, withdraw vanished ones
-        for name in netlist.gates:
-            target = gate_target(name)
+        for name, out_bit, evaluate in plan.items:
+            current = 1 if packed & out_bit else 0
+            nxt = evaluate(packed, current)
+            target = nxt if nxt != current else None
             slot = pending.get(name)
             if target is None and slot is not None:
                 report.disablings.append(
@@ -182,14 +189,14 @@ def simulate(
 
     def apply_upset(time: float, target_name: str) -> bool:
         """Flip a gate output in place; False when the run must stop."""
-        nonlocal spec_state
+        nonlocal spec_state, packed
         if target_name not in netlist.gates:
             return True  # inputs are owned by the environment: ignore
-        values[target_name] ^= 1
+        packed ^= bit_of[target_name]
         pending[target_name] = None  # the flip consumed any pending firing
         report.injections_applied.append((time, target_name))
         if target_name in spec.non_inputs:
-            event = SignalEvent(target_name, +1 if values[target_name] else -1)
+            event = SignalEvent(target_name, +1 if packed & bit_of[target_name] else -1)
             targets = spec.fire(spec_state, event)
             if not targets:
                 report.conformance_failures.append((time, target_name))
@@ -228,11 +235,13 @@ def simulate(
             if not targets:
                 continue  # environment changed its mind; skip silently
             spec_state = targets[0]
-            values[signal] = target
+            bit = bit_of[signal]
+            packed = (packed | bit) if target else (packed & ~bit)
         else:
             if gate_target(signal) != target:
                 continue  # vanished between scheduling and now (recorded)
-            values[signal] = target
+            bit = bit_of[signal]
+            packed = (packed | bit) if target else (packed & ~bit)
             if signal in spec.non_inputs:
                 event = SignalEvent(signal, +1 if target else -1)
                 targets = spec.fire(spec_state, event)

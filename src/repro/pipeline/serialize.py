@@ -25,7 +25,11 @@ artifacts* for the persistent artifact store
 round-trips are **faithful**: a loaded artifact must be able to drive
 every downstream stage to byte-identical results, so excitation-region
 state sets, MC diagnostics, cover ordering and degenerate flags are all
-preserved exactly.  The only intentionally detached piece is the hazard
+preserved exactly.  Cubes inside stage payloads are stored in the
+compiled IR form -- a ``[mask, value]`` big-int pair resolved against
+the embedded state graph's signal order (store envelope
+``repro-artifact-store/2``; the literal-list dialect of envelope ``/1``
+is no longer read, old entries degrade to counted misses).  The only intentionally detached piece is the hazard
 report inside a loaded ``SynthesizedNetlist`` (the final stage -- no
 downstream stage consumes it, only its verdict is kept).  State ids may
 be strings, ints or arbitrarily nested tuples thereof (state-signal
@@ -460,24 +464,40 @@ def _er_from_json(data: Dict):
     )
 
 
-def _cube_literals(cube) -> Optional[List[List]]:
+def _space_of(sg):
+    """The interned signal space of an embedded state graph."""
+    from repro.boolean.compiled import SignalSpace
+
+    return SignalSpace.of(tuple(sg.signals))
+
+
+def _cube_packed(cube, space) -> Optional[List[int]]:
+    """A cube as its compiled ``[mask, value]`` pair against ``space``."""
     if cube is None:
         return None
-    return [[signal, value] for signal, value in cube.literals]
+    try:
+        compiled = cube.compiled(space)
+    except KeyError as error:  # literal outside the embedded graph
+        raise ArtifactCodingError(
+            f"cube constrains a signal outside the graph: {error}"
+        ) from error
+    return [compiled.mask, compiled.value]
 
 
-def _cube_from_literals(data):
-    from repro.boolean.cube import Cube
+def _cube_from_packed(data, space):
+    from repro.boolean.compiled import CompiledCube
 
     if data is None:
         return None
-    return Cube({signal: int(value) for signal, value in data})
+    mask, value = data
+    return CompiledCube(space, int(mask), int(value)).to_cube()
 
 
-def _mc_report_to_full_json(report) -> Dict:
+def _mc_report_to_full_json(report, space) -> Dict:
     """Every verdict with its *full* state sets (unlike the detached
     :func:`mc_report_to_json`): loaded reports must be able to drive the
-    insertion engine and the synthesiser exactly like fresh ones."""
+    insertion engine and the synthesiser exactly like fresh ones.  MC
+    cubes are stored compiled (``[mask, value]`` against ``space``)."""
     verdicts = []
     for verdict in report.verdicts:
         verdicts.append(
@@ -485,7 +505,7 @@ def _mc_report_to_full_json(report) -> Dict:
                 "er": _er_to_json(verdict.er),
                 "cfr": _states_to_json(verdict.cfr),
                 "unique_entry": verdict.unique_entry,
-                "cube": _cube_literals(verdict.mc_cube),
+                "cube": _cube_packed(verdict.mc_cube, space),
                 "group": [_er_to_json(er) for er in verdict.group],
                 "private": verdict.private,
                 "stuck_stable": _states_to_json(verdict.stuck_stable),
@@ -495,7 +515,7 @@ def _mc_report_to_full_json(report) -> Dict:
     return {"verdicts": verdicts}
 
 
-def _mc_report_from_full_json(data: Dict, sg):
+def _mc_report_from_full_json(data: Dict, sg, space):
     from repro.core.mc import MCReport, RegionVerdict
 
     verdicts = []
@@ -505,7 +525,7 @@ def _mc_report_from_full_json(data: Dict, sg):
                 er=_er_from_json(entry["er"]),
                 cfr=_states_from_json(entry["cfr"]),
                 unique_entry=entry["unique_entry"],
-                mc_cube=_cube_from_literals(entry["cube"]),
+                mc_cube=_cube_from_packed(entry["cube"], space),
                 group=tuple(_er_from_json(er) for er in entry["group"]),
                 private=entry["private"],
                 stuck_stable=_states_from_json(entry["stuck_stable"]),
@@ -558,9 +578,10 @@ def mc_verdict_to_json(artifact) -> Dict:
     region verdicts compare equal (state sets included) to those a
     fresh analysis of the same graph would produce.
     """
+    space = _space_of(artifact.report.sg)
     return {
         "sg": _sg_to_json(artifact.report.sg),
-        "report": _mc_report_to_full_json(artifact.report),
+        "report": _mc_report_to_full_json(artifact.report, space),
         "backend": artifact.backend,
         "fingerprint": artifact.fingerprint,
     }
@@ -570,23 +591,24 @@ def mc_verdict_from_json(data: Dict):
     from repro.pipeline.artifacts import MCVerdict
 
     sg = _sg_from_json(data["sg"])
+    space = _space_of(sg)
     return MCVerdict(
-        report=_mc_report_from_full_json(data["report"], sg),
+        report=_mc_report_from_full_json(data["report"], sg, space),
         backend=data["backend"],
         fingerprint=data["fingerprint"],
     )
 
 
-def _network_to_json(network) -> Dict:
+def _network_to_json(network, space) -> Dict:
     def region_mapping(mapping) -> List:
         return [
-            [_cube_literals(cube), [_er_to_json(er) for er in regions]]
+            [_cube_packed(cube, space), [_er_to_json(er) for er in regions]]
             for cube, regions in mapping.items()
         ]
 
     return {
-        "set_cover": [_cube_literals(c) for c in network.set_cover.cubes],
-        "reset_cover": [_cube_literals(c) for c in network.reset_cover.cubes],
+        "set_cover": [_cube_packed(c, space) for c in network.set_cover.cubes],
+        "reset_cover": [_cube_packed(c, space) for c in network.reset_cover.cubes],
         "set_regions": region_mapping(network.set_regions),
         "reset_regions": region_mapping(network.reset_regions),
         "degenerate_set": network.degenerate_set,
@@ -594,13 +616,13 @@ def _network_to_json(network) -> Dict:
     }
 
 
-def _network_from_json(signal: str, data: Dict):
+def _network_from_json(signal: str, data: Dict, space):
     from repro.boolean.cover import Cover
     from repro.core.synthesis import SignalNetwork
 
     def region_mapping(entries) -> Dict:
         return {
-            _cube_from_literals(cube): tuple(
+            _cube_from_packed(cube, space): tuple(
                 _er_from_json(er) for er in regions
             )
             for cube, regions in entries
@@ -608,9 +630,11 @@ def _network_from_json(signal: str, data: Dict):
 
     return SignalNetwork(
         signal=signal,
-        set_cover=Cover([_cube_from_literals(c) for c in data["set_cover"]]),
+        set_cover=Cover(
+            [_cube_from_packed(c, space) for c in data["set_cover"]]
+        ),
         reset_cover=Cover(
-            [_cube_from_literals(c) for c in data["reset_cover"]]
+            [_cube_from_packed(c, space) for c in data["reset_cover"]]
         ),
         set_regions=region_mapping(data["set_regions"]),
         reset_regions=region_mapping(data["reset_regions"]),
@@ -638,9 +662,10 @@ def cover_plan_to_json(artifact) -> Dict:
             raise ArtifactCodingError(
                 "insertion and implementation disagree on the state graph"
             )
+    space = _space_of(insertion.sg)
     return {
         "sg": _sg_to_json(insertion.sg),
-        "report": _mc_report_to_full_json(insertion.report),
+        "report": _mc_report_to_full_json(insertion.report, space),
         "rounds": [
             {
                 "signal": r.signal,
@@ -651,7 +676,7 @@ def cover_plan_to_json(artifact) -> Dict:
             for r in insertion.rounds
         ],
         "networks": {
-            signal: _network_to_json(network)
+            signal: _network_to_json(network, space)
             for signal, network in implementation.networks.items()
         },
         "shared": implementation.shared,
@@ -666,7 +691,8 @@ def cover_plan_from_json(data: Dict):
     from repro.pipeline.artifacts import CoverPlan
 
     sg = _sg_from_json(data["sg"])
-    report = _mc_report_from_full_json(data["report"], sg)
+    space = _space_of(sg)
+    report = _mc_report_from_full_json(data["report"], sg, space)
     rounds = [
         InsertionRound(
             signal=entry["signal"],
@@ -680,7 +706,7 @@ def cover_plan_from_json(data: Dict):
     implementation = Implementation(
         sg=sg,
         networks={
-            signal: _network_from_json(signal, entry)
+            signal: _network_from_json(signal, entry, space)
             for signal, entry in data["networks"].items()
         },
         shared=data["shared"],

@@ -8,7 +8,7 @@ cube; this engine packs each state's code into a single int and
 maintains, per ``StateGraph``, bitsets over the state set so that
 
 * ``cube covers state`` is one AND plus one compare on the packed code
-  (via :meth:`repro.boolean.cube.Cube.compile`),
+  (via the shared compiled IR, :mod:`repro.boolean.compiled`),
 * ``states covered by cube`` is L big-int ANDs of per-literal state
   bitsets -- V/word words each -- instead of a V.L Python loop,
 * region-level conditions (covers all of ER, covers nothing outside the
@@ -17,7 +17,11 @@ maintains, per ``StateGraph``, bitsets over the state set so that
 
 The engine is built lazily, once per graph, and cached in
 ``sg._analysis_cache`` (the graph is immutable after construction).  All
-bitsets index states by their position in ``sg.state_list``.
+bitsets index states by their position in ``sg.state_list``.  The code
+packing itself is owned by the shared compiled IR: the engine interns
+one :class:`~repro.boolean.compiled.SignalSpace` per graph ordering and
+compiles cubes through it, so boolean/, netlist/ and the pipeline all
+agree on what a packed code means.
 """
 
 from __future__ import annotations
@@ -26,6 +30,7 @@ from itertools import compress
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro import perf
+from repro.boolean.compiled import SignalSpace
 from repro.boolean.cube import Cube
 from repro.sg.graph import State, StateGraph
 
@@ -35,6 +40,7 @@ class BitEngine:
 
     __slots__ = (
         "sg",
+        "space",
         "signals",
         "position",
         "states",
@@ -53,20 +59,16 @@ class BitEngine:
 
     def __init__(self, sg: StateGraph):
         self.sg = sg
-        self.signals: Tuple[str, ...] = sg.signals
-        self.position: Dict[str, int] = {
-            s: i for i, s in enumerate(self.signals)
-        }
+        #: the interned signal space shared with the compiled-IR layer
+        self.space: SignalSpace = SignalSpace.of(sg.signals)
+        self.signals: Tuple[str, ...] = self.space.signals
+        self.position: Dict[str, int] = self.space.position
         self.states: Tuple[State, ...] = sg.state_list
         self.index: Dict[State, int] = {s: i for i, s in enumerate(self.states)}
-        packed: Dict[State, int] = {}
-        for state in self.states:
-            code = sg.code(state)
-            word = 0
-            for position, value in enumerate(code):
-                if value:
-                    word |= 1 << position
-            packed[state] = word
+        pack_vector = self.space.pack_vector
+        packed: Dict[State, int] = {
+            state: pack_vector(sg.code(state)) for state in self.states
+        }
         self.packed: Dict[State, int] = packed
         self.packed_list: List[int] = [packed[s] for s in self.states]
         self.all_states_bits: int = (1 << len(self.states)) - 1
@@ -144,10 +146,13 @@ class BitEngine:
         # plain attribute compare, not a function call
         if perf._recorder is not None:
             perf._recorder.increment("cube.evaluations")
+        compiled = cube.compiled(self.space)
         bits = self.all_states_bits
-        position_of = self.position
-        for signal, value in cube.literals:
-            bits &= self.literal_bits(position_of[signal], value)
+        mask, value = compiled.mask, compiled.value
+        while mask:
+            low = mask & -mask
+            mask ^= low
+            bits &= self.literal_bits(low.bit_length() - 1, value & low)
             if not bits:
                 break
         return bits
@@ -157,8 +162,7 @@ class BitEngine:
         self.cube_evals += 1
         if perf._recorder is not None:
             perf._recorder.increment("cube.evaluations")
-        mask, value = cube.compile(self.signals)
-        return self.packed[state] & mask == value
+        return cube.compiled(self.space).covers_packed(self.packed[state])
 
     # ------------------------------------------------------------------
     # Arc structure

@@ -126,6 +126,7 @@ def diff_state_graph(
     budget: Optional[Budget] = None,
     repair_seconds: Optional[float] = 5.0,
     repair_max_states: int = 2_000,
+    jobs: Optional[int] = None,
     store=None,
 ) -> DiffRecord:
     """Run both analysis paths over one state graph and diff the claims.
@@ -159,10 +160,10 @@ def diff_state_graph(
     # this campaign shares the campaign's clock/state meter, so each
     # wall-clock second and each elaborated state is charged exactly once.
     fast_pipeline = Pipeline(
-        AnalysisContext(backend="bitengine", budget=budget, store=store)
+        AnalysisContext(backend="bitengine", budget=budget, jobs=jobs, store=store)
     )
     reference_pipeline = Pipeline(
-        AnalysisContext(backend="reference", budget=budget, store=store)
+        AnalysisContext(backend="reference", budget=budget, jobs=jobs, store=store)
     )
     record = DiffRecord(name=name or fast_sg.name, states=len(fast_sg.state_list))
     started = time.monotonic()
@@ -236,6 +237,7 @@ def diff_stg(
     repair: bool = True,
     budget: Optional[Budget] = None,
     repair_seconds: Optional[float] = 5.0,
+    jobs: Optional[int] = None,
     store=None,
 ) -> DiffRecord:
     """Elaborate a specification twice -- once per path -- and diff."""
@@ -257,6 +259,7 @@ def diff_stg(
         repair=repair,
         budget=budget,
         repair_seconds=repair_seconds,
+        jobs=jobs,
         store=store,
     )
 
@@ -323,6 +326,7 @@ def differential_campaign(
     max_seconds_each: Optional[float] = 30.0,
     repair_seconds: Optional[float] = 5.0,
     progress: Optional[Callable[[DiffRecord], None]] = None,
+    jobs: Optional[int] = None,
     store=None,
 ) -> CampaignReport:
     """Sweep ``count`` randomized specifications through the oracle.
@@ -350,6 +354,7 @@ def differential_campaign(
             repair=repair,
             budget=budget,
             repair_seconds=repair_seconds,
+            jobs=jobs,
             store=store,
         )
         report.records.append(record)

@@ -12,6 +12,12 @@ import warnings as _warnings
 
 from repro.pipeline.backends.reference import *  # noqa: F401,F403
 from repro.pipeline.backends.reference import __all__  # noqa: F401
+from repro.pipeline.backends import reference as _reference
+
+# forward the real module's docstring after the deprecation notice, so
+# ``help(repro.verify.reference)`` documents the API it re-exports
+if _reference.__doc__:
+    __doc__ = f"{__doc__}\n{_reference.__doc__}"
 
 _warnings.warn(
     "repro.verify.reference is deprecated; the reference analysis moved to "

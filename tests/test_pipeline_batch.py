@@ -129,6 +129,12 @@ class TestJobsValidation:
         ["table1", "--jobs", "-1"],
         ["info", "x.g", "--jobs", "0"],
         ["info", "x.g", "--jobs", "banana"],
+        ["synth", "x.g", "--jobs", "0"],
+        ["synth", "x.g", "--jobs", "-3"],
+        ["verify", "x.g", "--jobs", "0"],
+        ["verify", "x.g", "--jobs", "2.5"],
+        ["diff", "--count", "1", "--jobs", "0"],
+        ["diff", "--count", "1", "--jobs", "-1"],
     ])
     def test_non_positive_jobs_rejected(self, argv, capsys):
         with pytest.raises(SystemExit) as excinfo:
@@ -139,3 +145,10 @@ class TestJobsValidation:
 
     def test_jobs_one_accepted(self, capsys):
         assert main(["batch", SPECS[0], "--jobs", "1"]) == 0
+
+    @pytest.mark.parametrize("verb", ["synth", "verify"])
+    def test_fanout_verbs_accept_jobs(self, verb, capsys):
+        assert main([verb, SPECS[0], "--jobs", "2"]) == 0
+
+    def test_diff_accepts_jobs(self, capsys):
+        assert main(["diff", "--count", "1", "--jobs", "2"]) == 0

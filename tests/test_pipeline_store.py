@@ -186,6 +186,26 @@ class TestArtifactStore:
         json.dump(entry, open(path, "w"))
         assert store.get("reach", key) is None
 
+    def test_old_envelope_version_degrades_to_counted_miss(
+        self, tmp_path, artifacts
+    ):
+        """A ``/1`` entry (pre-compiled-IR cubes) is a corrupt miss, not a
+        crash, and the slot is rewritten on the next put."""
+        store = ArtifactStore(str(tmp_path / "store"))
+        key = ("fp",)
+        store.put("reach", key, artifacts["reach"])
+        path = store.path_for("reach", key)
+        entry = json.load(open(path))
+        entry["schema"] = "repro-artifact-store/1"
+        json.dump(entry, open(path, "w"))
+        assert store.get("reach", key) is None
+        assert store.stats()["corrupt"] == {"reach": 1}
+        assert store.stats()["miss"] == {"reach": 1}
+        # the defective entry was discarded; a fresh put repopulates it
+        assert not os.path.exists(path)
+        assert store.put("reach", key, artifacts["reach"])
+        assert store.get("reach", key) is not None
+
     def test_key_mismatch_is_miss(self, tmp_path, artifacts):
         """A colliding/moved file never answers for the wrong key."""
         store = ArtifactStore(str(tmp_path / "store"))
