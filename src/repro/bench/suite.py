@@ -108,6 +108,7 @@ def run_pipeline(
     profile: bool = False,
     context=None,
     store=None,
+    backend: Optional[str] = None,
 ) -> PipelineResult:
     """Full MC-reduction pipeline for one benchmark.
 
@@ -124,12 +125,17 @@ def run_pipeline(
     :class:`~repro.pipeline.store.ArtifactStore`) backs the default
     context with the persistent artifact cache; it is ignored when an
     explicit ``context`` is supplied (configure the context instead).
+    ``backend`` picks the registered analysis backend for the default
+    context (``bitengine`` when omitted); like ``store`` it is ignored
+    when an explicit ``context`` is supplied.
     """
     from repro.pipeline import AnalysisContext, Pipeline, PipelineSpec
 
     if context is None:
         context = AnalysisContext(
-            recorder=perf.PerfRecorder() if profile else None, store=store
+            backend=backend or "bitengine",
+            recorder=perf.PerfRecorder() if profile else None,
+            store=store,
         )
     started = time.perf_counter()
     stg = load_benchmark(name)
@@ -162,6 +168,7 @@ def run_table1(
     jobs: Optional[int] = None,
     profile: bool = False,
     store=None,
+    backend: Optional[str] = None,
 ) -> List[PipelineResult]:
     """Run the whole Table-1 suite; returns one result per design.
 
@@ -179,12 +186,16 @@ def run_table1(
         with ThreadPoolExecutor(max_workers=jobs) as pool:
             return list(
                 pool.map(
-                    lambda name: run_pipeline(name, verify=verify, store=store),
+                    lambda name: run_pipeline(
+                        name, verify=verify, store=store, backend=backend
+                    ),
                     names,
                 )
             )
     return [
-        run_pipeline(name, verify=verify, profile=profile, store=store)
+        run_pipeline(
+            name, verify=verify, profile=profile, store=store, backend=backend
+        )
         for name in names
     ]
 

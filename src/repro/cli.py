@@ -305,7 +305,7 @@ def _diff_table1() -> int:
 
 
 def cmd_diff(args: argparse.Namespace) -> int:
-    """Differential oracle sweep: bitengine vs reference path (CI gate)."""
+    """Differential oracle sweep: fast backend vs reference path (CI gate)."""
     from repro.verify.differential import differential_campaign
 
     if args.table1:
@@ -323,6 +323,7 @@ def cmd_diff(args: argparse.Namespace) -> int:
         progress=progress,
         jobs=args.jobs,
         store=args.store,
+        backend=args.backend or "bitengine",
     )
     print(report.describe())
     if report.divergent:
@@ -380,7 +381,7 @@ def cmd_table1(args: argparse.Namespace) -> int:
         print(f"running {len(names)} designs with jobs={args.jobs} ...", file=sys.stderr)
         results = run_table1(
             verify=not args.no_verify, names=names, jobs=args.jobs,
-            store=args.store,
+            store=args.store, backend=args.backend,
         )
     else:
         results = []
@@ -389,7 +390,7 @@ def cmd_table1(args: argparse.Namespace) -> int:
             results.append(
                 run_pipeline(
                     name, verify=not args.no_verify, profile=args.profile,
-                    store=args.store,
+                    store=args.store, backend=args.backend,
                 )
             )
     print(format_table1(results))
@@ -436,6 +437,23 @@ def cmd_batch(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _add_backend_option(parser: argparse.ArgumentParser) -> None:
+    """``--backend`` with choices drawn from the live backend registry.
+
+    The choice list comes from :func:`available_backends` at parser
+    build time, so backends added via ``register_backend`` appear here
+    without touching the CLI; argparse rejects an unknown name with
+    exit status 2 and a message enumerating the registered names.
+    """
+    from repro.pipeline.backends import available_backends
+
+    names = available_backends()
+    parser.add_argument(
+        "--backend", default=None, choices=names, metavar="NAME",
+        help="analysis backend: " + " | ".join(names),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-si",
@@ -451,10 +469,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=parse_jobs, default=None,
         help="parallel MC analysis fan-out (threads over signals)",
     )
-    p_info.add_argument(
-        "--backend", default=None,
-        help="analysis backend (bitengine | reference)",
-    )
+    _add_backend_option(p_info)
     p_info.add_argument(
         "--store", default=None, metavar="DIR",
         help="persistent artifact store directory (warm-start cache)",
@@ -493,10 +508,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the (repaired) specification back as a .g STG",
     )
     p_synth.add_argument("--dot", help="write the netlist as Graphviz")
-    p_synth.add_argument(
-        "--backend", default=None,
-        help="analysis backend (bitengine | reference)",
-    )
+    _add_backend_option(p_synth)
     p_synth.add_argument(
         "--jobs", type=parse_jobs, default=None,
         help="thread fan-out for the MC analysis (positive integer)",
@@ -537,10 +549,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=0,
         help="random seed for fault injection",
     )
-    p_verify.add_argument(
-        "--backend", default=None,
-        help="analysis backend (bitengine | reference)",
-    )
+    _add_backend_option(p_verify)
     p_verify.add_argument(
         "--jobs", type=parse_jobs, default=None,
         help="thread fan-out for the MC analysis (positive integer)",
@@ -557,7 +566,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_diff = sub.add_parser(
         "diff",
-        help="differential oracle: bitengine vs reference on random STGs",
+        help="differential oracle: a fast backend vs reference on "
+        "random STGs",
     )
     p_diff.add_argument(
         "--count", type=int, default=200,
@@ -590,6 +600,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="pipeline parity: run the Table-1 designs through every "
         "registered backend and fail on any artifact diff",
     )
+    _add_backend_option(p_diff)
     p_diff.add_argument(
         "--jobs", type=parse_jobs, default=None,
         help="thread fan-out for each design's MC analyses "
@@ -632,6 +643,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_table.add_argument(
         "--json", help="write/merge BENCH_pipeline.json at this path"
     )
+    _add_backend_option(p_table)
     p_table.add_argument(
         "--store", default=None, metavar="DIR",
         help="persistent artifact store directory (warm-start cache)",
@@ -652,10 +664,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--store", default=None, metavar="DIR",
         help="persistent artifact store directory shared by all workers",
     )
-    p_batch.add_argument(
-        "--backend", default=None,
-        help="analysis backend (bitengine | reference)",
-    )
+    _add_backend_option(p_batch)
     p_batch.add_argument(
         "--style", choices=["C", "RS", "RS-NOR", "C-INV"], default="C"
     )

@@ -25,8 +25,84 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.netlist.netlist import Netlist, NetlistPlan
+from repro.sg import lanes
 from repro.sg.events import SignalEvent
 from repro.sg.graph import StateGraph
+
+#: gate count from which the auto mode batches the excitation refresh
+#: (below it, one lane sweep costs more than the per-gate closure calls)
+BATCH_GATE_THRESHOLD = 32
+
+
+class _LaneSweep:
+    """Whole-netlist excitation scoring for one packed code.
+
+    Replaces the per-gate closure calls of the simulator's refresh loop:
+    every match-family gate (:meth:`repro.netlist.gates.Gate.lane_test`)
+    is one row of a ``(mask, value, flip)`` lane table and the whole
+    table is scored against the current code in one vectorised
+    comparison; C/RS/COMPLEX gates keep their compiled closures.  The
+    produced targets are exactly those of the scalar loop, in the same
+    gate order.
+    """
+
+    def __init__(self, plan: NetlistPlan, kernel) -> None:
+        self.kernel = kernel
+        space = plan.space
+        self.nwords = lanes.words_for(space.width)
+        width = space.width
+        simple: List[Tuple[int, int, int, int, int]] = []
+        special: List[Tuple[int, int, object]] = []
+        for slot, (name, out_bit, evaluate) in enumerate(plan.items):
+            test = plan.netlist.gates[name].lane_test(space)
+            if test is not None:
+                mask, value, flip = test
+                simple.append((slot, mask, value, flip, space.position[name]))
+            else:
+                special.append((slot, out_bit, evaluate))
+        self.ngates = len(plan.items)
+        self.simple = simple
+        self.special = special
+        if kernel.name == "numpy" and simple:
+            np = lanes._np
+            self.slots = [entry[0] for entry in simple]
+            self.masks = np.vstack(
+                [kernel.to_words(entry[1], width) for entry in simple]
+            )
+            self.values = np.vstack(
+                [kernel.to_words(entry[2], width) for entry in simple]
+            )
+            self.flips = np.array([bool(entry[3]) for entry in simple])
+            self.out_word = np.array(
+                [entry[4] >> 6 for entry in simple], dtype=np.intp
+            )
+            self.out_shift = np.array(
+                [entry[4] & 63 for entry in simple], dtype=np.uint64
+            )
+
+    def targets(self, packed: int) -> List[Optional[int]]:
+        """Per gate slot: the pending output value, ``None`` if unexcited."""
+        out: List[Optional[int]] = [None] * self.ngates
+        if self.kernel.name == "numpy" and self.simple:
+            np = lanes._np
+            code = np.frombuffer(
+                packed.to_bytes(self.nwords * 8, "little"), dtype=np.uint64
+            )
+            nxt = ((code & self.masks) == self.values).all(axis=1) ^ self.flips
+            cur = ((code[self.out_word] >> self.out_shift) & 1).astype(bool)
+            for k in np.nonzero(nxt != cur)[0].tolist():
+                out[self.slots[k]] = int(nxt[k])
+        else:
+            for slot, mask, value, flip, pos in self.simple:
+                nxt = (packed & mask == value) ^ flip
+                if nxt != packed >> pos & 1:
+                    out[slot] = int(nxt)
+        for slot, out_bit, evaluate in self.special:
+            current = 1 if packed & out_bit else 0
+            nxt = evaluate(packed, current)
+            if nxt != current:
+                out[slot] = nxt
+        return out
 
 
 @dataclass
@@ -102,6 +178,7 @@ def simulate(
     input_delay: Tuple[float, float] = (1.0, 20.0),
     delay_overrides: Optional[Dict[str, Tuple[float, float]]] = None,
     injections: Optional[Sequence[Tuple[float, str]]] = None,
+    batch: Optional[bool] = None,
 ) -> SimulationReport:
     """Run one random-delay execution of the closed loop.
 
@@ -122,6 +199,13 @@ def simulate(
     flip of an *interface* output is additionally checked against the
     specification mirror, so an upset the environment cannot absorb is
     recorded as a conformance failure.
+
+    ``batch`` selects the refresh strategy: ``True`` scores every
+    match-family gate in one lane sweep (:class:`_LaneSweep`), ``False``
+    keeps the per-gate compiled closures, ``None`` (default) batches
+    automatically when the numpy kernel is available and the netlist has
+    at least :data:`BATCH_GATE_THRESHOLD` gates.  Reports are identical
+    either way -- the sweep computes the same targets in the same order.
     """
     rng = random.Random(seed)
     from repro.netlist.circuit_sg import _settled_initial_values
@@ -130,6 +214,11 @@ def simulate(
     space = plan.space
     bit_of = {s: 1 << space.position[s] for s in netlist.signals}
     gate_plan = {name: (out_bit, ev) for name, out_bit, ev in plan.items}
+    sweep: Optional[_LaneSweep] = None
+    if batch or (batch is None and len(plan.items) >= BATCH_GATE_THRESHOLD):
+        kernel = lanes.get_kernel()
+        if batch or kernel.name == "numpy":
+            sweep = _LaneSweep(plan, kernel)
     packed = space.pack(_settled_initial_values(netlist, spec))
     spec_state = spec.initial
     report = SimulationReport(netlist=netlist, spec=spec, seed=seed, fired_events=0)
@@ -155,11 +244,16 @@ def simulate(
         ]
 
     def refresh(time: float) -> None:
-        # gates: schedule new excitations, withdraw vanished ones
-        for name, out_bit, evaluate in plan.items:
-            current = 1 if packed & out_bit else 0
-            nxt = evaluate(packed, current)
-            target = nxt if nxt != current else None
+        # gates: schedule new excitations, withdraw vanished ones; the
+        # batched sweep precomputes every gate's target in one pass
+        targets = sweep.targets(packed) if sweep is not None else None
+        for slot_index, (name, out_bit, evaluate) in enumerate(plan.items):
+            if targets is not None:
+                target = targets[slot_index]
+            else:
+                current = 1 if packed & out_bit else 0
+                nxt = evaluate(packed, current)
+                target = nxt if nxt != current else None
             slot = pending.get(name)
             if target is None and slot is not None:
                 report.disablings.append(
@@ -260,6 +354,7 @@ def monte_carlo(
     runs: int = 25,
     max_events: int = 1000,
     seed: int = 0,
+    batch: Optional[bool] = None,
 ) -> List[SimulationReport]:
     """Independent random-delay runs; returns one report per run."""
     return [
@@ -268,6 +363,7 @@ def monte_carlo(
             spec,
             max_events=max_events,
             seed=seed + run,
+            batch=batch,
         )
         for run in range(runs)
     ]

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro import perf
 from repro.core.mc import MCReport, analyze_mc
 from repro.sg.graph import StateGraph
 
@@ -23,6 +24,7 @@ class BitengineBackend:
     def analyze_mc(
         self, sg: StateGraph, jobs: Optional[int] = None
     ) -> MCReport:
+        perf.count("backend.bitengine.analyze_mc")
         return analyze_mc(sg, jobs=jobs)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

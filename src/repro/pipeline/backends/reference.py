@@ -33,6 +33,7 @@ from __future__ import annotations
 from itertools import combinations
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
+from repro import perf
 from repro.boolean.cube import Cube
 from repro.core.covers import CoverDiagnostics
 from repro.core.mc import MCReport, RegionVerdict, _classify_stuck
@@ -419,6 +420,7 @@ class ReferenceBackend:
     def analyze_mc(
         self, sg: StateGraph, jobs: Optional[int] = None
     ) -> MCReport:
+        perf.count("backend.reference.analyze_mc")
         return analyze_mc_reference(sg)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -1,0 +1,32 @@
+"""The word-lane vectorised analysis backend.
+
+Installs a :class:`~repro.sg.wordlane.LaneEngine` into the graph's
+analysis cache and then delegates to the shared
+:func:`repro.core.mc.analyze_mc` orchestration: every region, cube and
+verdict is produced by exactly the code the ``bitengine`` backend runs,
+but all bulk primitives underneath resolve to uint64 lane kernels
+(numpy when installed via the ``fast`` extra, the pure-python
+``array('Q')`` kernel otherwise).  Output equality with ``bitengine``
+and ``reference`` is enforced claim-for-claim by the differential
+oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro import perf
+from repro.core.mc import MCReport, analyze_mc
+from repro.sg.graph import StateGraph
+from repro.sg.wordlane import lane_analysis
+
+
+class WordlaneBackend:
+    """AnalysisBackend running the MC analysis on the lane engine."""
+
+    name = "wordlane"
+
+    def analyze_mc(self, sg: StateGraph, jobs: Optional[int] = None) -> MCReport:
+        perf.count("backend.wordlane.analyze_mc")
+        lane_analysis(sg)
+        return analyze_mc(sg, jobs=jobs)

@@ -110,6 +110,7 @@ class BatchReport:
     outcomes: List[DesignOutcome]
     jobs: int = 1
     store_root: Optional[str] = None
+    backend: Optional[str] = None
 
     @property
     def exit_code(self) -> int:
@@ -145,6 +146,7 @@ class BatchReport:
         return {
             "designs": len(self.outcomes),
             "jobs": self.jobs,
+            "backend": self.backend or "bitengine",
             "store": self.store_root,
             "seconds_total": sum(o.seconds for o in self.outcomes),
             "seconds_by_design": {
@@ -357,6 +359,7 @@ def run_batch(
         outcomes=outcomes,
         jobs=jobs,
         store_root=None if store is None else str(store),
+        backend=backend,
     )
 
 

@@ -1,0 +1,459 @@
+"""uint64 lane kernels for the word-parallel analysis engine.
+
+The wordlane backend (:mod:`repro.sg.wordlane`) keeps the BitEngine's
+*interface* -- big-int bitsets indexed by ``sg.state_list`` position --
+but lowers every batch-amenable step to dense ``uint64`` lane operations:
+packing all state codes at once, building the succ/pred/adjacency tables
+as an ``n x words`` matrix, OR-reducing many rows in one sweep, and
+testing a whole frontier of packed codes against one ``(mask, value)``
+cube.  This module provides those primitives behind a small kernel
+interface with two interchangeable implementations:
+
+* :class:`NumpyKernel` -- vectorised over ``numpy`` ``uint64`` arrays
+  (installed via the ``fast`` extra, see ``pyproject.toml``);
+* :class:`PythonKernel` -- pure python over ``array('Q')`` word buffers
+  and big ints, dependency-free, bit-for-bit identical results.
+
+Bitsets cross the kernel boundary as python ints (little-endian word
+order); lane matrices are opaque kernel-owned handles.  Selection is
+automatic (numpy when importable) and observable: every selection bumps
+a module counter and, when a :mod:`repro.perf` recorder is active, a
+``lane.kernel.<name>`` perf counter, so ``--profile`` output shows which
+kernel actually ran; a numpy request that falls back to pure python is
+additionally counted under ``lane.kernel.fallback``.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import perf
+
+try:  # the core install is dependency-free; numpy is the `fast` extra
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the fallback tests
+    _np = None
+
+HAVE_NUMPY = _np is not None
+
+#: environment override for kernel selection: "numpy" | "python"
+KERNEL_ENV = "REPRO_LANE_KERNEL"
+
+#: running selection counts (always on, independent of the perf recorder)
+KERNEL_SELECTIONS: Dict[str, int] = {"numpy": 0, "python": 0, "fallback": 0}
+
+
+def words_for(nbits: int) -> int:
+    """Number of 64-bit words needed for a bitset over ``nbits`` items."""
+    return max(1, (nbits + 63) >> 6)
+
+
+# ----------------------------------------------------------------------
+# numpy kernel
+# ----------------------------------------------------------------------
+class NumpyKernel:
+    """Lane primitives vectorised over numpy ``uint64`` arrays."""
+
+    name = "numpy"
+
+    # -- bitset <-> lane conversions -----------------------------------
+    def to_words(self, bits: int, nbits: int):
+        nwords = words_for(nbits)
+        return _np.frombuffer(
+            bits.to_bytes(nwords * 8, "little"), dtype=_np.uint64
+        )
+
+    def to_int(self, words) -> int:
+        return int.from_bytes(words.astype("<u8", copy=False).tobytes(), "little")
+
+    def indices(self, bits: int, nbits: int):
+        """Ascending positions of the set bits of ``bits``."""
+        nbytes = words_for(nbits) * 8
+        flags = _np.unpackbits(
+            _np.frombuffer(bits.to_bytes(nbytes, "little"), dtype=_np.uint8),
+            bitorder="little",
+            count=nbits,
+        )
+        return _np.nonzero(flags)[0]
+
+    def bits_from_indices(self, idx, nbits: int) -> int:
+        flags = _np.zeros(words_for(nbits) * 64, dtype=_np.uint8)
+        flags[idx] = 1
+        return int.from_bytes(
+            _np.packbits(flags, bitorder="little").tobytes(), "little"
+        )
+
+    # -- bulk bit-table packing ----------------------------------------
+    def bit_table(
+        self,
+        flat: bytes,
+        rows: int,
+        cols: int,
+        want_rows: bool = True,
+        want_cols: bool = True,
+    ) -> Tuple[Optional[List[int]], Optional[List[int]]]:
+        """Pack an (implicitly row-major) 0/1 table both ways at once.
+
+        Returns ``(row_ints, col_ints)``: per row the packed int over the
+        columns (bit j = column j), per column the bitset over the rows.
+        Either side can be skipped with ``want_rows`` / ``want_cols``.
+        """
+        if rows == 0 or cols == 0:
+            return (
+                [0] * rows if want_rows else None,
+                [0] * cols if want_cols else None,
+            )
+        table = _np.frombuffer(flat, dtype=_np.uint8).reshape(rows, cols)
+        row_ints = col_ints = None
+        if want_rows:
+            row_packed = _np.packbits(table, axis=1, bitorder="little")
+            stride = row_packed.shape[1]
+            row_bytes = row_packed.tobytes()
+            row_ints = [
+                int.from_bytes(row_bytes[i * stride : (i + 1) * stride], "little")
+                for i in range(rows)
+            ]
+        if want_cols:
+            col_packed = _np.ascontiguousarray(
+                _np.packbits(table, axis=0, bitorder="little").T
+            )
+            cstride = col_packed.shape[1]
+            col_bytes = col_packed.tobytes()
+            col_ints = [
+                int.from_bytes(col_bytes[j * cstride : (j + 1) * cstride], "little")
+                for j in range(cols)
+            ]
+        return row_ints, col_ints
+
+    # -- lane matrices -------------------------------------------------
+    def repeat_indices(self, counts: Sequence[int]):
+        """``[0]*counts[0] + [1]*counts[1] + ...`` as an index vector."""
+        return _np.repeat(_np.arange(len(counts), dtype=_np.intp), counts)
+
+    def or_table(self, nrows: int, ncols: int, rows, cols):
+        """Scatter-OR table: bit ``c`` of row ``r`` set per ``(r, c)`` pair."""
+        mat = _np.zeros((nrows, words_for(ncols)), dtype=_np.uint64)
+        if len(rows):
+            r = _np.asarray(rows, dtype=_np.intp)
+            c = _np.asarray(cols, dtype=_np.intp)
+            _np.bitwise_or.at(
+                mat,
+                (r, c >> 6),
+                _np.uint64(1) << (c & 63).astype(_np.uint64),
+            )
+        return mat
+
+    def or_matrix(self, n: int, srcs: Sequence[int], tgts: Sequence[int]):
+        """Rows-of-bitsets matrix: row[s] accumulates bit t per (s, t)."""
+        return self.or_table(n, n, srcs, tgts)
+
+    def matrix_or(self, a, b):
+        return a | b
+
+    def row_int(self, mat, i: int) -> int:
+        return self.to_int(mat[i])
+
+    def row_ints(self, mat) -> List[int]:
+        stride = mat.shape[1] * 8
+        raw = mat.astype("<u8", copy=False).tobytes()
+        return [
+            int.from_bytes(raw[i * stride : (i + 1) * stride], "little")
+            for i in range(mat.shape[0])
+        ]
+
+    def union_rows(self, mat, member_bits: int, nbits: int) -> int:
+        """OR of the rows named by a member bitset, as one reduction."""
+        if member_bits == 0:
+            return 0
+        idx = self.indices(member_bits, nbits)
+        return self.to_int(_np.bitwise_or.reduce(mat[idx], axis=0))
+
+    def rows_hitting(
+        self, mat, member_bits: int, target_bits: int, nbits: int
+    ) -> int:
+        """Bitset of members whose row intersects ``target_bits``."""
+        if member_bits == 0:
+            return 0
+        idx = self.indices(member_bits, nbits)
+        target = self.to_words(target_bits, nbits)
+        hit = ((mat[idx] & target) != 0).any(axis=1)
+        return self.bits_from_indices(idx[hit], nbits)
+
+    def first_hit(
+        self, mat, zeros: int, ones: int, nbits: int
+    ) -> Optional[Tuple[int, int]]:
+        """First member of ``zeros`` (ascending) whose row meets ``ones``.
+
+        Returns ``(member index, highest bit of the intersection)`` --
+        exactly the witness pair :meth:`BitEngine.first_rise_edge` picks.
+        """
+        if zeros == 0:
+            return None
+        idx = self.indices(zeros, nbits)
+        inter = mat[idx] & self.to_words(ones, nbits)
+        hit = (inter != 0).any(axis=1)
+        if not hit.any():
+            return None
+        k = int(hit.argmax())
+        return int(idx[k]), self.to_int(inter[k]).bit_length() - 1
+
+    def any_hit(self, mat, zeros: int, ones: int, nbits: int) -> bool:
+        if zeros == 0:
+            return False
+        idx = self.indices(zeros, nbits)
+        return bool(((mat[idx] & self.to_words(ones, nbits)) != 0).any())
+
+    def components(self, adj, subset: int, nbits: int) -> List[int]:
+        """Weakly connected components over a symmetric lane matrix.
+
+        Seeds at the lowest set bit of the remainder, like the BitEngine
+        flood fill, so component order is identical.
+        """
+        remaining = self.to_words(subset, nbits).copy()
+        result: List[int] = []
+        while remaining.any():
+            rem_int = self.to_int(remaining)
+            seed = rem_int & -rem_int
+            comp = self.to_words(seed, nbits).copy()
+            remaining &= ~comp
+            frontier = self.indices(seed, nbits)
+            while len(frontier):
+                reached = _np.bitwise_or.reduce(adj[frontier], axis=0)
+                grown = reached & remaining
+                if not grown.any():
+                    break
+                comp |= grown
+                remaining &= ~grown
+                frontier = self.indices(self.to_int(grown), nbits)
+            result.append(self.to_int(comp))
+        return result
+
+    # -- whole-frontier cube matching ----------------------------------
+    def match_rows(self, row_words, mask: int, value: int, nbits: int) -> int:
+        """Bitset of rows whose packed code satisfies ``& mask == value``.
+
+        ``row_words`` is a lane matrix of packed codes (one row per
+        item, enough words for the signal count).
+        """
+        signal_bits = row_words.shape[1] * 64
+        mask_w = self.to_words(mask, signal_bits)
+        value_w = self.to_words(value, signal_bits)
+        ok = ((row_words & mask_w) == value_w).all(axis=1)
+        return int.from_bytes(
+            _np.packbits(ok.astype(_np.uint8), bitorder="little").tobytes(),
+            "little",
+        )
+
+    def pack_code_matrix(self, packed: Sequence[int], signal_count: int):
+        """Packed per-item codes as a lane matrix for :meth:`match_rows`."""
+        nwords = words_for(signal_count)
+        raw = b"".join(code.to_bytes(nwords * 8, "little") for code in packed)
+        return _np.frombuffer(raw, dtype=_np.uint64).reshape(len(packed), nwords)
+
+    def or_reduce_subsets(self, rows, combos):
+        """Per combo (a row of indices), OR of the selected lane rows."""
+        return _np.bitwise_or.reduce(rows[combos], axis=1)
+
+
+# ----------------------------------------------------------------------
+# pure-python kernel
+# ----------------------------------------------------------------------
+class PythonKernel:
+    """Dependency-free kernel over ``array('Q')`` words and big ints.
+
+    Semantics are bit-for-bit those of :class:`NumpyKernel`; throughput
+    is secondary -- this is the fallback when numpy is not installed.
+    """
+
+    name = "python"
+
+    def to_words(self, bits: int, nbits: int) -> array:
+        nwords = words_for(nbits)
+        return array("Q", bits.to_bytes(nwords * 8, "little"))
+
+    def to_int(self, words: array) -> int:
+        return int.from_bytes(words.tobytes(), "little")
+
+    def indices(self, bits: int, nbits: int) -> List[int]:
+        result = []
+        while bits:
+            low = bits & -bits
+            result.append(low.bit_length() - 1)
+            bits ^= low
+        return result
+
+    def bits_from_indices(self, idx: Sequence[int], nbits: int) -> int:
+        bits = 0
+        for i in idx:
+            bits |= 1 << i
+        return bits
+
+    def bit_table(
+        self,
+        flat: bytes,
+        rows: int,
+        cols: int,
+        want_rows: bool = True,
+        want_cols: bool = True,
+    ) -> Tuple[Optional[List[int]], Optional[List[int]]]:
+        row_ints = [0] * rows
+        col_ints = [0] * cols
+        offset = 0
+        for i in range(rows):
+            packed = 0
+            row = flat[offset : offset + cols]
+            offset += cols
+            for j, bit in enumerate(row):
+                if bit:
+                    packed |= 1 << j
+                    col_ints[j] |= 1 << i
+            row_ints[i] = packed
+        return (
+            row_ints if want_rows else None,
+            col_ints if want_cols else None,
+        )
+
+    def repeat_indices(self, counts: Sequence[int]) -> List[int]:
+        out: List[int] = []
+        for i, count in enumerate(counts):
+            out.extend([i] * count)
+        return out
+
+    def or_table(self, nrows: int, ncols: int, rows, cols) -> List[int]:
+        table = [0] * nrows
+        for r, c in zip(rows, cols):
+            table[r] |= 1 << c
+        return table
+
+    def or_matrix(self, n: int, srcs: Sequence[int], tgts: Sequence[int]):
+        return self.or_table(n, n, srcs, tgts)
+
+    def matrix_or(self, a, b):
+        return [x | y for x, y in zip(a, b)]
+
+    def row_int(self, mat, i: int) -> int:
+        return mat[i]
+
+    def row_ints(self, mat) -> List[int]:
+        return list(mat)
+
+    def union_rows(self, mat, member_bits: int, nbits: int) -> int:
+        # accumulate in word lanes: same shape of work as the numpy
+        # reduction, just one python-level OR per member row
+        acc = array("Q", bytes(words_for(nbits) * 8))
+        nbytes = len(acc) * 8
+        members = member_bits
+        while members:
+            low = members & -members
+            members ^= low
+            row = array("Q", mat[low.bit_length() - 1].to_bytes(nbytes, "little"))
+            for w in range(len(acc)):
+                acc[w] |= row[w]
+        return self.to_int(acc)
+
+    def rows_hitting(
+        self, mat, member_bits: int, target_bits: int, nbits: int
+    ) -> int:
+        hits = 0
+        members = member_bits
+        while members:
+            low = members & -members
+            members ^= low
+            if mat[low.bit_length() - 1] & target_bits:
+                hits |= low
+        return hits
+
+    def first_hit(
+        self, mat, zeros: int, ones: int, nbits: int
+    ) -> Optional[Tuple[int, int]]:
+        while zeros:
+            low = zeros & -zeros
+            i = low.bit_length() - 1
+            inter = mat[i] & ones
+            if inter:
+                return i, inter.bit_length() - 1
+            zeros ^= low
+        return None
+
+    def any_hit(self, mat, zeros: int, ones: int, nbits: int) -> bool:
+        while zeros:
+            low = zeros & -zeros
+            if mat[low.bit_length() - 1] & ones:
+                return True
+            zeros ^= low
+        return False
+
+    def components(self, adj, subset: int, nbits: int) -> List[int]:
+        remaining = subset
+        result: List[int] = []
+        while remaining:
+            seed = remaining & -remaining
+            component = seed
+            remaining ^= seed
+            frontier = seed
+            while frontier:
+                reached = 0
+                while frontier:
+                    low = frontier & -frontier
+                    reached |= adj[low.bit_length() - 1]
+                    frontier ^= low
+                grown = reached & remaining
+                component |= grown
+                remaining &= ~grown
+                frontier = grown
+            result.append(component)
+        return result
+
+    def match_rows(self, row_words, mask: int, value: int, nbits: int) -> int:
+        bits = 0
+        for i, code in enumerate(row_words):
+            if code & mask == value:
+                bits |= 1 << i
+        return bits
+
+    def pack_code_matrix(self, packed: Sequence[int], signal_count: int):
+        return list(packed)
+
+    def or_reduce_subsets(self, rows, combos):
+        return [[self._or_over(rows, combo)] for combo in combos]
+
+    def _or_over(self, rows, combo):
+        acc = 0
+        for i in combo:
+            acc |= rows[i]
+        return acc
+
+
+_NUMPY_KERNEL = NumpyKernel() if HAVE_NUMPY else None
+_PYTHON_KERNEL = PythonKernel()
+
+
+def get_kernel(prefer: Optional[str] = None):
+    """Select the lane kernel: numpy when available, else pure python.
+
+    ``prefer`` (or the ``REPRO_LANE_KERNEL`` environment variable) can
+    force ``"python"`` or request ``"numpy"``; an unavailable numpy
+    request falls back to python and is counted as a fallback.
+    """
+    choice = prefer or os.environ.get(KERNEL_ENV) or ""
+    if choice not in ("", "numpy", "python"):
+        raise ValueError(
+            f"unknown lane kernel {choice!r} (expected 'numpy' or 'python')"
+        )
+    if choice == "python":
+        kernel = _PYTHON_KERNEL
+    elif _NUMPY_KERNEL is not None:
+        kernel = _NUMPY_KERNEL
+    else:
+        if choice == "numpy":
+            KERNEL_SELECTIONS["fallback"] += 1
+            perf.count("lane.kernel.fallback")
+        kernel = _PYTHON_KERNEL
+    if kernel is _PYTHON_KERNEL and choice == "" and not HAVE_NUMPY:
+        KERNEL_SELECTIONS["fallback"] += 1
+        perf.count("lane.kernel.fallback")
+    KERNEL_SELECTIONS[kernel.name] += 1
+    perf.count(f"lane.kernel.{kernel.name}")
+    return kernel

@@ -1,0 +1,640 @@
+"""Word-lane analysis engine: BitEngine lowered onto uint64 lanes.
+
+:class:`LaneEngine` is a drop-in :class:`~repro.sg.bitengine.BitEngine`
+-- same attributes, same big-int bitsets at every interface -- that
+attacks the analysis cost from two sides:
+
+* **bulk construction**: all packed state codes *and* all per-signal
+  literal bitsets come out of one table-packing sweep (kernels in
+  :mod:`repro.sg.lanes`), the succ/pred/adjacency rows out of one fused
+  pass over the frozen adjacency, instead of one lazy python pass per
+  signal position and one big-int OR per arc;
+* **lowered analysis pipeline**: the quiescent/constant-function
+  regions, the forbidden sets of Definition 16 and the monotonous-cover
+  search all run bitset-in / bitset-out, materialising a frozenset only
+  where one actually lands in the report.  The wide-region fallback
+  performs the same greedy literal drops as the shared path with no
+  intermediate ``Cube`` construction at all.
+
+Per-call primitives whose operands are a handful of words -- rise-edge
+scans, flood fills, single cube evaluations -- deliberately *stay* on
+the inherited big-int paths: at typical state counts the fixed per-call
+cost of an array kernel exceeds the whole big-int walk, and the lane
+kernels only take over where whole-frontier batching amortises it
+(construction, successor unions over large member sets, wide candidate
+blocks).
+
+Everything observable -- verdicts, cubes, witnesses, enumeration order,
+region indices, component order -- is bit-for-bit identical to the
+BitEngine path; the differential oracle and the randomized equivalence
+sweep in the test-suite enforce this claim-for-claim.  The engine is
+installed into a graph's analysis cache by :func:`lane_analysis`; shared
+analysis code picks up the lowered entry points by ``getattr`` dispatch,
+so graphs analysed under the ``bitengine`` or ``reference`` backends
+never take (or pay for) these paths.
+"""
+
+from __future__ import annotations
+
+from itertools import chain, combinations, islice
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro import perf
+from repro.boolean.cube import Cube
+from repro.sg import lanes
+from repro.sg.bitengine import BitEngine
+from repro.sg.graph import State, StateGraph
+
+#: literal counts below this run the subset search as plain big-int
+#: loops; the blocked lane reduction only amortises its setup above it
+_SUBSET_LANE_THRESHOLD = 15
+
+#: bitsets no wider than one word decode faster through the inherited
+#: big-int walk than through the lane index kernel's fixed setup
+_DECODE_LANE_THRESHOLD = 64
+
+
+class LaneEngine(BitEngine):
+    """A BitEngine whose bulk operations run on uint64 lane kernels."""
+
+    __slots__ = (
+        "kernel",
+        "nbits",
+    )
+
+    def __init__(self, sg: StateGraph, kernel=None):
+        # BitEngine.__init__ packs state codes one at a time; everything
+        # here is the same field layout with the packing done in bulk.
+        from repro.boolean.compiled import SignalSpace
+
+        self.kernel = kernel if kernel is not None else lanes.get_kernel()
+        self.sg = sg
+        self.space = SignalSpace.of(sg.signals)
+        self.signals = self.space.signals
+        self.position = self.space.position
+        self.states = sg.state_list
+        self.index = dict(zip(self.states, range(len(self.states))))
+        self._excited_bits = {}
+        self.cube_evals = 0
+        self.edge_checks = 0
+        self._succ_bits = None
+        self._pred_bits = None
+        self._adj_bits = None
+        states = self.states
+        n = len(states)
+        self.nbits = n
+        self.all_states_bits = (1 << n) - 1
+        codes = getattr(sg, "_codes", None)
+        if self.kernel.name == "numpy" and codes is not None:
+            # one packing sweep builds every packed code *and* every
+            # literal bitset at once (BitEngine packs per state and
+            # fills literal bitsets lazily, one python pass per signal);
+            # the byte table itself is assembled entirely at C level
+            width = len(self.signals)
+            flat = b"".join(map(bytes, map(codes.__getitem__, states)))
+            row_ints, col_ints = self.kernel.bit_table(flat, n, width)
+            self.packed = dict(zip(states, row_ints))
+            self.packed_list = row_ints
+            self._ones_bits = col_ints
+        else:
+            # the pure-python kernel has no bulk-packing advantage: take
+            # the BitEngine construction verbatim (lazy literal bitsets)
+            pack_vector = self.space.pack_vector
+            packed = {s: pack_vector(sg.code(s)) for s in states}
+            self.packed = packed
+            self.packed_list = [packed[s] for s in states]
+            self._ones_bits = [None] * len(self.signals)
+
+    # ------------------------------------------------------------------
+    # Arc structure (one pass over the frozen adjacency)
+    # ------------------------------------------------------------------
+    def _build_arc_tables(self) -> None:
+        succ_map = getattr(self.sg, "_succ", None)
+        if succ_map is None:
+            BitEngine._build_arc_tables(self)
+            return
+        # a lane scatter-OR builds the arc matrices faster, but turning
+        # the rows back into the big ints the flood fills walk costs
+        # more than this single fused python pass saves
+        index, states = self.index, self.states
+        n = len(states)
+        succ_bits = [0] * n
+        pred_bits = [0] * n
+        one = 1
+        for i, pairs in enumerate(map(succ_map.__getitem__, states)):
+            row = 0
+            src_bit = one << i
+            for _, target in pairs:
+                j = index[target]
+                row |= one << j
+                pred_bits[j] |= src_bit
+            succ_bits[i] = row
+        self._succ_bits = succ_bits
+        self._pred_bits = pred_bits
+        self._adj_bits = [s | p for s, p in zip(succ_bits, pred_bits)]
+
+    @property
+    def succ_bits(self) -> List[int]:
+        if self._succ_bits is None:
+            self._build_arc_tables()
+        return self._succ_bits
+
+    @property
+    def pred_bits(self) -> List[int]:
+        if self._pred_bits is None:
+            self._build_arc_tables()
+        return self._pred_bits
+
+    @property
+    def adj_bits(self) -> List[int]:
+        if self._adj_bits is None:
+            self._build_arc_tables()
+        return self._adj_bits
+
+    # ------------------------------------------------------------------
+    # Lowered bulk primitives
+    # ------------------------------------------------------------------
+    def excited_bits(self, signal: str) -> int:
+        table = self._excited_bits
+        if not table:
+            excited_map = getattr(self.sg, "_excited", None)
+            if self.kernel.name != "numpy" or excited_map is None:
+                return BitEngine.excited_bits(self, signal)
+            # scatter the frozen per-state excited sets into one
+            # signal-by-state bit table; everything before the scatter
+            # is C-level iterator plumbing
+            position = self.position
+            sets = list(map(excited_map.__getitem__, self.states))
+            rows = list(map(position.__getitem__, chain.from_iterable(sets)))
+            kernel = self.kernel
+            cols = kernel.repeat_indices(list(map(len, sets)))
+            mat = kernel.or_table(len(self.signals), len(self.states), rows, cols)
+            for name, bits in zip(self.signals, kernel.row_ints(mat)):
+                table[name] = bits
+        return table[signal]
+
+    def states_of(self, bits: int) -> FrozenSet[State]:
+        """Bitset decode through the lane index kernel for wide sets."""
+        if self.kernel.name != "numpy" or bits.bit_length() <= _DECODE_LANE_THRESHOLD:
+            return BitEngine.states_of(self, bits)
+        idx = self.kernel.indices(bits, self.nbits)
+        return frozenset(map(self.states.__getitem__, idx.tolist()))
+
+    def successors_union(self, member_bits: int) -> int:
+        """OR of the successor bitsets of every member state."""
+        succ = self.succ_bits
+        reach = 0
+        members = member_bits
+        while members:
+            low = members & -members
+            reach |= succ[low.bit_length() - 1]
+            members ^= low
+        return reach
+
+    def minimal_bits(self, er_bits: int) -> int:
+        """Members of ``er_bits`` with no predecessor inside it."""
+        pred = self.pred_bits
+        minima = 0
+        members = er_bits
+        while members:
+            low = members & -members
+            if pred[low.bit_length() - 1] & er_bits == 0:
+                minima |= low
+            members ^= low
+        return minima
+
+    def unique_entry_lowered(self, er) -> bool:
+        """Definition 9 on bitsets: exactly one member without an
+        in-region predecessor.
+
+        A member has an in-region predecessor iff it is a successor of
+        the region, so the successor union computed for QR extraction
+        (and cached there) answers the whole condition without touching
+        the predecessor table or materialising the minima frozenset.
+        """
+        cache = self.sg._analysis_cache
+        er_bits = self.region_bits(("er", er), er.states)
+        reach = cache.get(("reach", er))
+        if reach is None:
+            reach = self.successors_union(er_bits)
+            cache[("reach", er)] = reach
+        minima = er_bits & ~reach
+        return minima != 0 and minima & (minima - 1) == 0
+
+    # ------------------------------------------------------------------
+    # Lowered region pipeline (bitset-in / bitset-out)
+    # ------------------------------------------------------------------
+    def qr_bits_lowered(self, er) -> int:
+        """QR(*a_i) as a bitset; the frozenset is never materialised.
+
+        Mirrors :func:`repro.sg.regions.quiescent_region` exactly,
+        including the shared ``stable_comps`` cache slot.
+        """
+        cache = self.sg._analysis_cache
+        cached = cache.get(("qr_bits", er))
+        if cached is not None:
+            return cached
+        members = self.region_bits(("er", er), er.states)
+        reach = cache.get(("reach", er))
+        if reach is None:
+            reach = self.successors_union(members)
+            cache[("reach", er)] = reach
+        position = self.position[er.signal]
+        value_after = er.event.value_after
+        stable = (
+            self.literal_bits(position, value_after)
+            & ~self.excited_bits(er.signal)
+            & self.all_states_bits
+        )
+        exits = reach & stable
+        bits = 0
+        if exits:
+            # the union of the exit-containing weak components of the
+            # stable set is exactly the flood fill *from* the exits: it
+            # touches only QR members instead of the whole stable set
+            adjacency = self.adj_bits
+            bits = exits
+            frontier = exits
+            rest = stable & ~exits
+            while frontier:
+                reached_adj = 0
+                while frontier:
+                    low = frontier & -frontier
+                    reached_adj |= adjacency[low.bit_length() - 1]
+                    frontier ^= low
+                grown = reached_adj & rest
+                bits |= grown
+                rest &= ~grown
+                frontier = grown
+        cache[("qr_bits", er)] = bits
+        return bits
+
+    def cfr_bits_lowered(self, er) -> int:
+        """CFR(*a_i) = ER u QR as a bitset, cached under the same slot
+        :meth:`BitEngine.region_bits` would use for the frozenset path."""
+        cache = self.sg._analysis_cache
+        key = ("bits", ("cfr", er))
+        cached = cache.get(key)
+        if cached is None:
+            cached = self.region_bits(("er", er), er.states) | self.qr_bits_lowered(er)
+            cache[key] = cached
+        return cached
+
+    def cfr_states(self, er) -> FrozenSet[State]:
+        """The CFR frozenset, decoded from the lowered bitset."""
+        return self.states_of(self.cfr_bits_lowered(er))
+
+    def forbidden_bits_lowered(self, signal: str, direction: int) -> int:
+        """Definition 16's forbidden set from three cached bitsets.
+
+        Rising: 1*-set u 0-set; falling mirrored -- computed directly,
+        without materialising the excited-value-set frozensets.
+        """
+        ones = self.literal_bits(self.position[signal], 1)
+        zeros = self.all_states_bits ^ ones
+        excited = self.excited_bits(signal)
+        if direction == 1:
+            return (ones & excited) | (zeros & ~excited)
+        return (zeros & excited) | (ones & ~excited)
+
+    def excitation_regions_lowered(self, sg: StateGraph, signal: str) -> list:
+        """ER extraction with the BFS discovery order computed lazily.
+
+        The discovery order only breaks ties between *multiple*
+        components of one (signal, direction) pair; with a single
+        component (the overwhelmingly common case) its index is 1 and
+        the whole BFS is skipped.  Multi-component pairs fall back to
+        the exact shared ordering.
+        """
+        from repro.sg.regions import ExcitationRegion, _bfs_order
+
+        position = sg.signal_position(signal)
+        excited_all = self.excited_bits(signal)
+        states_of = self.states_of
+        cache = sg._analysis_cache
+        regions = []
+        for direction in (+1, -1):
+            before = 0 if direction == 1 else 1
+            excited = excited_all & self.literal_bits(position, before)
+            components = [
+                (bits, states_of(bits)) for bits in self.weak_components(excited)
+            ]
+            if len(components) > 1:
+                discovery = _bfs_order(sg)
+                fallback = len(discovery)
+                components.sort(
+                    key=lambda c: min(
+                        discovery.get(s, fallback) for s in c[1]
+                    )
+                )
+            for i, (bits, component) in enumerate(components, start=1):
+                er = ExcitationRegion(signal, direction, i, component)
+                # the component bitset *is* the region's member bitset:
+                # priming region_bits' slot saves the re-pack every
+                # downstream helper would otherwise pay once
+                cache[("bits", ("er", er))] = bits
+                regions.append(er)
+        return regions
+
+    def ordered_signals_lowered(self, er_bits: int) -> FrozenSet[str]:
+        """Definition 11's ordered signals via direct excited-table reads."""
+        if not self.signals:
+            return frozenset()
+        self.excited_bits(self.signals[0])  # warm the whole table
+        table = self._excited_bits
+        return frozenset(
+            signal
+            for signal in self.sg.signals
+            if not table[signal] & er_bits
+        )
+
+    def smallest_cover_cube_lowered(self, sg: StateGraph, er) -> Cube:
+        """Lemma 3's cube with literal values read off the packed code."""
+        from repro.sg.regions import ordered_signals
+
+        packed = self.packed[next(iter(er.states))]
+        position = self.position
+        literals = {}
+        for signal in ordered_signals(sg, er):
+            literals[signal] = packed >> position[signal] & 1
+        return Cube(literals)
+
+    # ------------------------------------------------------------------
+    # Lowered shared-analysis entry points (getattr-dispatched)
+    # ------------------------------------------------------------------
+    def value_sets(self, signal: str) -> Dict[str, FrozenSet[State]]:
+        """The paper's 0/0*/1/1*-sets from three cached bitsets."""
+        ones = self.literal_bits(self.position[signal], 1)
+        zeros = self.all_states_bits ^ ones
+        excited = self.excited_bits(signal)
+        states_of = self.states_of
+        return {
+            "0-set": states_of(zeros & ~excited),
+            "0*-set": states_of(zeros & excited),
+            "1-set": states_of(ones & ~excited),
+            "1*-set": states_of(ones & excited),
+        }
+
+    def bfs_order(self) -> Dict[State, int]:
+        """Deterministic BFS discovery order, with one global arc sort.
+
+        Replicates :func:`repro.sg.regions._bfs_order` exactly: arcs are
+        ordered per source by ``(str(event), str(target))`` with ties
+        broken by original adjacency position (the stable-sort order of
+        the per-state ``sorted`` calls).
+        """
+        sg = self.sg
+        index = self.index
+        # the per-state sort key is (str(event), str(target)); replacing
+        # both strings by their global ranks preserves the order exactly
+        # (str is injective on events and states) and sorts int tuples,
+        # which compare several times faster than strings
+        events = set()
+        for state in self.states:
+            for event, _ in sg.arcs_from(state):
+                events.add(event)
+        # equal strings map to equal ranks, so same-str items still tie
+        # (and fall through to the stable seq order) like the original
+        event_str_rank = {s: r for r, s in enumerate(sorted({str(e) for e in events}))}
+        event_rank = {e: event_str_rank[str(e)] for e in events}
+        state_str_rank = {
+            s: r for r, s in enumerate(sorted({str(s) for s in self.states}))
+        }
+        state_rank = {s: state_str_rank[str(s)] for s in self.states}
+        items: List[Tuple[int, int, int, int, int]] = []
+        append = items.append
+        seq = 0
+        for i, state in enumerate(self.states):
+            for event, target in sg.arcs_from(state):
+                append((i, event_rank[event], state_rank[target], seq, index[target]))
+                seq += 1
+        items.sort()
+        n = len(self.states)
+        succ_sorted: List[List[int]] = [[] for _ in range(n)]
+        for i, _, _, _, j in items:
+            succ_sorted[i].append(j)
+        start = index[sg.initial]
+        seen = bytearray(n)
+        seen[start] = 1
+        discovered = [start]
+        head = 0
+        while head < len(discovered):
+            for j in succ_sorted[discovered[head]]:
+                if not seen[j]:
+                    seen[j] = 1
+                    discovered.append(j)
+            head += 1
+        states = self.states
+        return {states[j]: pos for pos, j in enumerate(discovered)}
+
+    def find_monotonous_cover_lowered(
+        self, sg: StateGraph, er, max_literal_budget: int = 18
+    ) -> Optional[Cube]:
+        """The Definition-17 search of ``covers.find_monotonous_cover``
+        on the lowered region bitsets, with wide candidate blocks
+        evaluated as lane reductions.
+
+        Same lattice, same smallest-first enumeration, same first-winner
+        rule, same counters -- only the per-candidate arithmetic moved.
+        """
+        from repro.core import covers
+
+        cfr_bits = covers._cfr_bits(sg, er)
+        full = covers.smallest_cover_cube(sg, er)
+        outside_all = self.all_states_bits & ~cfr_bits
+        full_ones = self.cube_bits(full)
+        if full_ones & outside_all:
+            return None
+
+        literals = full.literals
+        if len(literals) > max_literal_budget:
+            # the full cube already covers nothing outside the CFR, so
+            # check_monotonous_cover reduces to ER coverage + no rise
+            if self.er_bits_of(sg, er) & ~full_ones == 0 and not self.has_rise_edge(
+                cfr_bits, full_ones
+            ):
+                return full
+            return self._greedy_mc_lowered(sg, er, literals, cfr_bits)
+
+        position = self.position
+        satisfy = [
+            self.literal_bits(position[signal], value)
+            for signal, value in literals
+        ]
+        exclusion = [outside_all & ~bits for bits in satisfy]
+        subset, candidates, mono_checks = self._mc_subset_search(
+            satisfy, exclusion, outside_all, cfr_bits
+        )
+        perf.count("cube.candidates", candidates)
+        perf.count("cube.mono_checks", mono_checks)
+        if subset is None:
+            return None
+        return Cube(dict(literals[i] for i in subset))
+
+    def er_bits_of(self, sg: StateGraph, er) -> int:
+        return self.region_bits(("er", er), er.states)
+
+    def _mc_subset_search(
+        self,
+        satisfy: List[int],
+        exclusion: List[int],
+        need: int,
+        cfr_bits: int,
+    ) -> Tuple[Optional[Tuple[int, ...]], int, int]:
+        """First literal subset (smallest-first, combinations order) that
+        excludes every outside state and has no rise edge in the CFR.
+
+        Returns ``(subset, candidates, mono_checks)`` with the counters
+        the shared python loop would have reported.  Narrow literal sets
+        run the plain big-int loop; wide ones evaluate candidate blocks
+        as one lane OR-reduction per chunk.
+        """
+        count = len(satisfy)
+        candidates = 0
+        mono_checks = 0
+        all_bits = self.all_states_bits
+        has_rise = self.has_rise_edge
+
+        if self.kernel.name != "numpy" or count < _SUBSET_LANE_THRESHOLD:
+            for size in range(0, count + 1):
+                for subset in combinations(range(count), size):
+                    candidates += 1
+                    excluded = 0
+                    for i in subset:
+                        excluded |= exclusion[i]
+                    if excluded != need:
+                        continue
+                    ones = all_bits
+                    for i in subset:
+                        ones &= satisfy[i]
+                    mono_checks += 1
+                    if not has_rise(cfr_bits, ones):
+                        return subset, candidates, mono_checks
+            return None, candidates, mono_checks
+
+        np = lanes._np
+        nbits = self.nbits
+        kernel = self.kernel
+        rows = np.vstack([kernel.to_words(bits, nbits) for bits in exclusion])
+        need_words = kernel.to_words(need, nbits)
+
+        # size 0: the empty cube
+        candidates += 1
+        if need == 0:
+            mono_checks += 1
+            if not has_rise(cfr_bits, all_bits):
+                return (), candidates, mono_checks
+
+        chunk_size = 2048
+        for size in range(1, count + 1):
+            stream = combinations(range(count), size)
+            while True:
+                chunk = list(islice(stream, chunk_size))
+                if not chunk:
+                    break
+                combo = np.asarray(chunk, dtype=np.intp)
+                reduced = np.bitwise_or.reduce(rows[combo], axis=1)
+                passing = np.nonzero((reduced == need_words).all(axis=1))[0]
+                for p in passing:
+                    subset = chunk[int(p)]
+                    ones = all_bits
+                    for i in subset:
+                        ones &= satisfy[i]
+                    mono_checks += 1
+                    if not has_rise(cfr_bits, ones):
+                        return subset, candidates + int(p) + 1, mono_checks
+                candidates += len(chunk)
+        return None, candidates, mono_checks
+
+    def _greedy_mc_lowered(
+        self,
+        sg: StateGraph,
+        er,
+        literals: Tuple[Tuple[str, int], ...],
+        cfr_bits: int,
+    ) -> Optional[Cube]:
+        """``covers._greedy_mc_search`` without intermediate Cubes.
+
+        The literal set lives in one insertion-ordered dict (sorted, like
+        ``Cube.literals``); each iteration recomputes the ones-bitset by
+        AND-ing cached literal lanes, finds the first rise-edge witness,
+        and drops the first changed literal -- the same drop sequence,
+        hence the same final cube or failure, as the shared path.
+        """
+        er_bits = self.er_bits_of(sg, er)
+        all_bits = self.all_states_bits
+        outside_all = all_bits & ~cfr_bits
+        position = self.position
+        literal_bits = self.literal_bits
+        # three aligned lists in Cube.literals (sorted-signal) order; a
+        # drop deletes from all three, preserving relative order like
+        # the shared path's cube.without() does
+        names = [signal for signal, _ in literals]
+        values = dict(literals)
+        masks = [literal_bits(position[s], v) for s, v in literals]
+        posbits = [1 << position[s] for s, _ in literals]
+        packed_list = self.packed_list
+        succ = self.succ_bits
+
+        def ones_of() -> int:
+            bits = all_bits
+            for mask in masks:
+                bits &= mask
+            return bits
+
+        ones = ones_of()
+        for _ in range(len(literals)):
+            # first_rise_edge, inlined: the witness walk is the greedy
+            # loop's hottest step
+            self.edge_checks += 1
+            zeros = cfr_bits & ~ones
+            ones_inside = cfr_bits & ones
+            u2 = -1
+            while zeros:
+                low = zeros & -zeros
+                i = low.bit_length() - 1
+                rising = succ[i] & ones_inside
+                if rising:
+                    u2 = i
+                    v2 = rising.bit_length() - 1
+                    break
+                zeros ^= low
+            if u2 < 0:
+                if er_bits & ~ones == 0 and not ones & outside_all:
+                    return Cube({s: values[s] for s in names})
+                return None
+            diff = packed_list[u2] ^ packed_list[v2]
+            k = -1
+            for idx, posbit in enumerate(posbits):
+                if diff & posbit:
+                    k = idx
+                    break
+            if k < 0:
+                return None
+            del names[k], masks[k], posbits[k]
+            ones = ones_of()
+            if ones & outside_all:
+                return None
+        if (
+            er_bits & ~ones == 0
+            and not ones & outside_all
+            and not self.has_rise_edge(cfr_bits, ones)
+        ):
+            return Cube({s: values[s] for s in names})
+        return None
+
+
+def lane_analysis(sg: StateGraph, kernel=None) -> LaneEngine:
+    """Install (or fetch) the graph's word-lane engine.
+
+    The engine is cached under the same ``"bitengine"`` analysis-cache
+    key :func:`repro.sg.bitengine.bit_analysis` reads, so every shared
+    analysis helper transparently runs on the lane engine afterwards.
+    Replacing an already-built plain BitEngine is safe: all derived
+    caches hold engine-independent values.
+    """
+    engine = sg._analysis_cache.get("bitengine")
+    if not isinstance(engine, LaneEngine):
+        engine = LaneEngine(sg, kernel=kernel)
+        sg._analysis_cache["bitengine"] = engine
+    return engine

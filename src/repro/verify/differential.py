@@ -128,8 +128,14 @@ def diff_state_graph(
     repair_max_states: int = 2_000,
     jobs: Optional[int] = None,
     store=None,
+    backend: str = "bitengine",
 ) -> DiffRecord:
     """Run both analysis paths over one state graph and diff the claims.
+
+    ``backend`` names the fast path's engine (``"bitengine"`` by
+    default, ``"wordlane"`` for the lane engine); the reference path is
+    always the retained dictionary semantics, so every registered fast
+    engine is diffed against the same independent baseline.
 
     ``reference_sg`` may be a *separate* elaboration of the same
     specification so the two paths share no per-graph caches; it
@@ -160,7 +166,7 @@ def diff_state_graph(
     # this campaign shares the campaign's clock/state meter, so each
     # wall-clock second and each elaborated state is charged exactly once.
     fast_pipeline = Pipeline(
-        AnalysisContext(backend="bitengine", budget=budget, jobs=jobs, store=store)
+        AnalysisContext(backend=backend, budget=budget, jobs=jobs, store=store)
     )
     reference_pipeline = Pipeline(
         AnalysisContext(backend="reference", budget=budget, jobs=jobs, store=store)
@@ -239,6 +245,7 @@ def diff_stg(
     repair_seconds: Optional[float] = 5.0,
     jobs: Optional[int] = None,
     store=None,
+    backend: str = "bitengine",
 ) -> DiffRecord:
     """Elaborate a specification twice -- once per path -- and diff."""
     from repro.stg.reachability import ReachabilityError
@@ -261,6 +268,7 @@ def diff_stg(
         repair_seconds=repair_seconds,
         jobs=jobs,
         store=store,
+        backend=backend,
     )
 
 
@@ -328,8 +336,13 @@ def differential_campaign(
     progress: Optional[Callable[[DiffRecord], None]] = None,
     jobs: Optional[int] = None,
     store=None,
+    backend: str = "bitengine",
 ) -> CampaignReport:
     """Sweep ``count`` randomized specifications through the oracle.
+
+    ``backend`` selects the fast path diffed against the reference
+    semantics (any name registered with
+    :mod:`repro.pipeline.backends`, e.g. ``"wordlane"``).
 
     Specs default to :func:`repro.bench.generators.fuzz_specs`, a
     deterministic mix dominated by random series-parallel controllers
@@ -356,6 +369,7 @@ def differential_campaign(
             repair_seconds=repair_seconds,
             jobs=jobs,
             store=store,
+            backend=backend,
         )
         report.records.append(record)
         if progress is not None:

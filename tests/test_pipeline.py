@@ -30,7 +30,7 @@ pytestmark = pytest.mark.smoke
 # ----------------------------------------------------------------------
 class TestBackends:
     def test_both_builtins_registered(self):
-        assert list(available_backends()) == ["bitengine", "reference"]
+        assert list(available_backends()) == ["bitengine", "reference", "wordlane"]
 
     def test_get_backend_by_name_and_default(self):
         assert get_backend(None).name == "bitengine"

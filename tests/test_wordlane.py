@@ -1,0 +1,426 @@
+"""The word-lane analysis backend and its uint64 kernels.
+
+Three layers are pinned here:
+
+* kernel parity -- every :class:`NumpyKernel` primitive against the
+  dependency-free :class:`PythonKernel` on randomized word-boundary
+  crossing inputs;
+* engine equivalence -- the ``wordlane`` backend claim-for-claim against
+  ``bitengine`` and ``reference`` on the paper's figures and a
+  randomized STG sweep, plus a subprocess run with the numpy import
+  blocked so the forced fallback is exercised end to end;
+* the batched netlist paths -- composition BFS and discrete-event
+  simulation with the lane sweep on must be bit-identical to the scalar
+  paths.
+"""
+
+import json
+import os
+import random
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+import repro
+from repro.bench.figures import figure3_sg, figure4_sg
+from repro.bench.generators import fuzz_specs
+from repro.boolean.compiled import CompiledCover, SignalSpace
+from repro.boolean.cube import Cube
+from repro.core.synthesis import synthesize
+from repro.netlist.circuit_sg import (
+    build_circuit_state_graph,
+    build_circuit_state_graph_batched,
+)
+from repro.netlist.netlist import netlist_from_implementation
+from repro.netlist.simulate import simulate
+from repro.pipeline.backends import available_backends, get_backend
+from repro.pipeline.serialize import mc_report_to_json
+from repro.sg import lanes
+from repro.sg.lanes import HAVE_NUMPY, get_kernel
+from repro.sg.wordlane import LaneEngine, lane_analysis
+from repro.stg.reachability import ReachabilityError, stg_to_state_graph
+
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+
+#: every kernel selectable in this interpreter
+KERNELS = ("numpy", "python") if HAVE_NUMPY else ("python",)
+
+BACKENDS = ("reference", "bitengine", "wordlane")
+
+
+def report_blob(backend, sg):
+    """The backend's whole-graph MC claim set as canonical JSON."""
+    report = get_backend(backend).analyze_mc(sg)
+    return json.dumps(mc_report_to_json(report), sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# kernel parity: numpy vs pure python, primitive by primitive
+# ----------------------------------------------------------------------
+@needs_numpy
+class TestKernelParity:
+    NBITS = 150  # crosses two word boundaries
+
+    def setup_method(self):
+        self.np_k = get_kernel("numpy")
+        self.py_k = get_kernel("python")
+        self.rng = random.Random(0xC0FFEE)
+
+    def bitsets(self, count=12):
+        yield 0
+        yield (1 << self.NBITS) - 1
+        for _ in range(count):
+            yield self.rng.getrandbits(self.NBITS)
+
+    def test_bitset_word_round_trip(self):
+        for bits in self.bitsets():
+            for kernel in (self.np_k, self.py_k):
+                assert kernel.to_int(kernel.to_words(bits, self.NBITS)) == bits
+
+    def test_indices_and_back(self):
+        for bits in self.bitsets():
+            np_idx = list(self.np_k.indices(bits, self.NBITS))
+            py_idx = self.py_k.indices(bits, self.NBITS)
+            assert np_idx == py_idx
+            assert self.np_k.bits_from_indices(np_idx, self.NBITS) == bits
+            assert self.py_k.bits_from_indices(py_idx, self.NBITS) == bits
+
+    def test_bit_table_both_axes(self):
+        rows, cols = 9, 70
+        flat = bytes(
+            self.rng.randint(0, 1) for _ in range(rows * cols)
+        )
+        np_rows, np_cols = self.np_k.bit_table(flat, rows, cols)
+        py_rows, py_cols = self.py_k.bit_table(flat, rows, cols)
+        assert np_rows == py_rows
+        assert np_cols == py_cols
+
+    def test_or_table_scatter(self):
+        nrows, ncols = 20, self.NBITS
+        pairs = [
+            (self.rng.randrange(nrows), self.rng.randrange(ncols))
+            for _ in range(200)
+        ]
+        rs = [r for r, _ in pairs]
+        cs = [c for _, c in pairs]
+        np_mat = self.np_k.or_table(nrows, ncols, rs, cs)
+        py_mat = self.py_k.or_table(nrows, ncols, rs, cs)
+        assert self.np_k.row_ints(np_mat) == self.py_k.row_ints(py_mat)
+
+    def test_repeat_indices(self):
+        counts = [self.rng.randrange(4) for _ in range(10)]
+        assert list(self.np_k.repeat_indices(counts)) == self.py_k.repeat_indices(
+            counts
+        )
+
+    def random_graph(self, n=80, arcs=300):
+        srcs = [self.rng.randrange(n) for _ in range(arcs)]
+        tgts = [self.rng.randrange(n) for _ in range(arcs)]
+        return (
+            self.np_k.or_matrix(n, srcs, tgts),
+            self.py_k.or_matrix(n, srcs, tgts),
+            n,
+        )
+
+    def test_row_queries_agree(self):
+        np_mat, py_mat, n = self.random_graph()
+        for _ in range(20):
+            members = self.rng.getrandbits(n)
+            target = self.rng.getrandbits(n)
+            assert self.np_k.union_rows(np_mat, members, n) == self.py_k.union_rows(
+                py_mat, members, n
+            )
+            assert self.np_k.rows_hitting(
+                np_mat, members, target, n
+            ) == self.py_k.rows_hitting(py_mat, members, target, n)
+            assert self.np_k.first_hit(
+                np_mat, members, target, n
+            ) == self.py_k.first_hit(py_mat, members, target, n)
+            assert self.np_k.any_hit(
+                np_mat, members, target, n
+            ) == self.py_k.any_hit(py_mat, members, target, n)
+
+    def test_components_agree(self):
+        n = 60
+        srcs, tgts = [], []
+        for _ in range(90):  # symmetric adjacency, like the engine builds
+            a, b = self.rng.randrange(n), self.rng.randrange(n)
+            srcs += [a, b]
+            tgts += [b, a]
+        np_adj = self.np_k.or_matrix(n, srcs, tgts)
+        py_adj = self.py_k.or_matrix(n, srcs, tgts)
+        for _ in range(10):
+            subset = self.rng.getrandbits(n)
+            assert self.np_k.components(np_adj, subset, n) == self.py_k.components(
+                py_adj, subset, n
+            )
+
+    def test_match_rows_agree(self):
+        width = 90
+        codes = [self.rng.getrandbits(width) for _ in range(40)]
+        np_rows = self.np_k.pack_code_matrix(codes, width)
+        py_rows = self.py_k.pack_code_matrix(codes, width)
+        for _ in range(20):
+            mask = self.rng.getrandbits(width)
+            value = mask & self.rng.getrandbits(width)
+            assert self.np_k.match_rows(
+                np_rows, mask, value, len(codes)
+            ) == self.py_k.match_rows(py_rows, mask, value, len(codes))
+
+
+# ----------------------------------------------------------------------
+# kernel selection, env override, counters
+# ----------------------------------------------------------------------
+class TestKernelSelection:
+    def test_default_matches_availability(self):
+        expected = "numpy" if HAVE_NUMPY else "python"
+        assert get_kernel().name == expected
+
+    def test_explicit_python(self):
+        assert get_kernel("python").name == "python"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(lanes.KERNEL_ENV, "python")
+        assert get_kernel().name == "python"
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            get_kernel("cuda")
+
+    def test_selection_counter_bumps(self):
+        before = lanes.KERNEL_SELECTIONS["python"]
+        get_kernel("python")
+        assert lanes.KERNEL_SELECTIONS["python"] == before + 1
+
+    def test_numpy_request_without_numpy_counts_fallback(self, monkeypatch):
+        monkeypatch.setattr(lanes, "_NUMPY_KERNEL", None)
+        monkeypatch.setattr(lanes, "HAVE_NUMPY", False)
+        before = lanes.KERNEL_SELECTIONS["fallback"]
+        assert get_kernel("numpy").name == "python"
+        assert lanes.KERNEL_SELECTIONS["fallback"] == before + 1
+
+    def test_selection_visible_in_perf_profile(self):
+        from repro import perf
+
+        recorder = perf.PerfRecorder()
+        with perf.recording(recorder):
+            get_kernel("python")
+        assert recorder.as_dict()["counters"]["lane.kernel.python"] >= 1
+
+
+# ----------------------------------------------------------------------
+# engine equivalence: wordlane vs bitengine vs reference
+# ----------------------------------------------------------------------
+class TestEngineEquivalence:
+    def assert_three_way_parity(self, make_sg, label):
+        blobs = {b: report_blob(b, make_sg()) for b in BACKENDS}
+        assert blobs["wordlane"] == blobs["bitengine"], label
+        assert blobs["wordlane"] == blobs["reference"], label
+
+    def test_figure3(self):
+        self.assert_three_way_parity(figure3_sg, "figure 3")
+
+    def test_figure4(self):
+        self.assert_three_way_parity(figure4_sg, "figure 4")
+
+    @pytest.mark.parametrize("kernel_name", KERNELS)
+    def test_kernels_produce_identical_claims(self, kernel_name, monkeypatch):
+        monkeypatch.setenv(lanes.KERNEL_ENV, kernel_name)
+        self.assert_three_way_parity(figure4_sg, f"kernel {kernel_name}")
+
+    def test_randomized_stg_sweep(self):
+        """Claim-for-claim parity across a deterministic fuzz stream."""
+        checked = 0
+        for name, stg in fuzz_specs(10, seed=20260808):
+            graphs = []
+            try:
+                for _ in BACKENDS:
+                    graphs.append(stg_to_state_graph(stg, max_states=4000))
+            except ReachabilityError:
+                continue  # this design outgrew the test budget
+            blobs = {
+                backend: report_blob(backend, sg)
+                for backend, sg in zip(BACKENDS, graphs)
+            }
+            assert blobs["wordlane"] == blobs["bitengine"], name
+            assert blobs["wordlane"] == blobs["reference"], name
+            checked += 1
+        assert checked >= 6  # the stream must not degenerate to skips
+
+    def test_lane_analysis_installs_and_reuses_engine(self):
+        sg = figure3_sg()
+        engine = lane_analysis(sg)
+        assert isinstance(engine, LaneEngine)
+        assert sg._analysis_cache["bitengine"] is engine
+        assert lane_analysis(sg) is engine
+
+
+class TestForcedFallback:
+    def test_wordlane_without_numpy_matches_bitengine(self):
+        """Block numpy at import time; the python kernel must agree."""
+        script = textwrap.dedent(
+            """
+            import json
+            import sys
+
+            class BlockNumpy:
+                def find_spec(self, name, path=None, target=None):
+                    if name == "numpy" or name.startswith("numpy."):
+                        raise ImportError("numpy blocked by fallback test")
+                    return None
+
+            sys.meta_path.insert(0, BlockNumpy())
+
+            from repro.sg import lanes
+            assert not lanes.HAVE_NUMPY
+
+            from repro.bench.figures import figure3_sg, figure4_sg
+            from repro.pipeline.backends import get_backend
+            from repro.pipeline.serialize import mc_report_to_json
+
+            def blob(backend, sg):
+                report = get_backend(backend).analyze_mc(sg)
+                return json.dumps(mc_report_to_json(report), sort_keys=True)
+
+            for make in (figure3_sg, figure4_sg):
+                assert blob("wordlane", make()) == blob("bitengine", make())
+            assert lanes.get_kernel().name == "python"
+            assert lanes.KERNEL_SELECTIONS["fallback"] >= 1
+            print("fallback parity ok")
+            """
+        )
+        src_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env = dict(os.environ, PYTHONPATH=src_root)
+        env.pop(lanes.KERNEL_ENV, None)
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "fallback parity ok" in proc.stdout
+
+
+# ----------------------------------------------------------------------
+# CompiledCover lane import/export
+# ----------------------------------------------------------------------
+class TestCompiledCoverLanes:
+    SIGNALS = tuple("abcdefg")
+
+    def random_cover(self, rng):
+        space = SignalSpace.of(self.SIGNALS)
+        cubes = []
+        for _ in range(rng.randint(1, 5)):
+            literals = {
+                s: rng.randint(0, 1)
+                for s in self.SIGNALS
+                if rng.random() < 0.5
+            }
+            cubes.append(Cube(literals).compiled(space))
+        return CompiledCover(space, cubes)
+
+    @pytest.mark.parametrize("kernel_name", KERNELS)
+    def test_lane_round_trip(self, kernel_name):
+        kernel = get_kernel(kernel_name)
+        rng = random.Random(11)
+        for _ in range(25):
+            cover = self.random_cover(rng)
+            masks, values = cover.to_lanes(kernel)
+            back = CompiledCover.from_lanes(cover.space, masks, values, kernel)
+            assert [(c.mask, c.value) for c in back.cubes] == [
+                (c.mask, c.value) for c in cover.cubes
+            ]
+
+    @pytest.mark.parametrize("kernel_name", KERNELS)
+    def test_covered_rows_matches_scalar(self, kernel_name):
+        kernel = get_kernel(kernel_name)
+        rng = random.Random(12)
+        width = len(self.SIGNALS)
+        for _ in range(25):
+            cover = self.random_cover(rng)
+            codes = [rng.getrandbits(width) for _ in range(30)]
+            rows = kernel.pack_code_matrix(codes, width)
+            bits = cover.covered_rows(rows, len(codes), kernel)
+            for i, code in enumerate(codes):
+                assert bool(bits >> i & 1) == cover.covers_packed(code)
+
+
+# ----------------------------------------------------------------------
+# batched netlist paths: composition BFS and event simulation
+# ----------------------------------------------------------------------
+def composition_snapshot(composition):
+    sg = composition.sg
+    return (
+        sg.state_list,
+        {state: sg.arcs_from(state) for state in sg.state_list},
+        composition.conformance_failures,
+        composition.rs_violations,
+        composition.truncated,
+        composition.parents,
+    )
+
+
+class TestBatchedComposition:
+    @pytest.mark.parametrize("style", ["C", "RS"])
+    def test_batched_bfs_identical(self, fig3, style):
+        netlist = netlist_from_implementation(synthesize(fig3), style)
+        scalar = composition_snapshot(build_circuit_state_graph(netlist, fig3))
+        for kernel_name in KERNELS:
+            batched = build_circuit_state_graph_batched(
+                netlist, fig3, kernel=get_kernel(kernel_name)
+            )
+            assert composition_snapshot(batched) == scalar, kernel_name
+
+    def test_truncation_parity(self, fig3):
+        netlist = netlist_from_implementation(synthesize(fig3), "C")
+        scalar = build_circuit_state_graph(netlist, fig3, max_states=5)
+        batched = build_circuit_state_graph_batched(netlist, fig3, max_states=5)
+        assert scalar.truncated and batched.truncated
+        assert composition_snapshot(batched) == composition_snapshot(scalar)
+
+
+class TestSimulateBatch:
+    def test_batched_sweep_matches_scalar_runs(self, fig3):
+        netlist = netlist_from_implementation(synthesize(fig3), "C")
+        for seed in range(5):
+            scalar = simulate(
+                netlist, fig3, max_events=300, seed=seed, batch=False
+            )
+            batched = simulate(
+                netlist, fig3, max_events=300, seed=seed, batch=True
+            )
+            assert batched.fired_events == scalar.fired_events
+            assert batched.disablings == scalar.disablings
+            assert batched.conformance_failures == scalar.conformance_failures
+
+
+# ----------------------------------------------------------------------
+# CLI backend registry plumbing
+# ----------------------------------------------------------------------
+class TestCliBackendChoices:
+    def test_unknown_backend_exits_2_listing_names(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as exc:
+            main(["diff", "--backend", "nosuch"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        for name in available_backends():
+            assert name in err
+
+    def test_wordlane_is_offered_everywhere(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        for command in ("info", "synth", "verify", "diff", "table1", "batch"):
+            sub = parser._subparsers._group_actions[0].choices[command]
+            backend_actions = [
+                action
+                for action in sub._actions
+                if "--backend" in action.option_strings
+            ]
+            assert backend_actions, command
+            assert list(backend_actions[0].choices) == available_backends()
