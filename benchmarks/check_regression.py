@@ -23,6 +23,14 @@ active: on a runner without numpy the backend falls back to the
 pure-python kernel, whose contract is identity, not speed, so only the
 byte-identity tests gate it there.
 
+The ``service`` section (written by ``benchmarks/bench_service.py``)
+freezes the resident job server's cold-single-shot over warm-p50 win.
+Unlike the paired sections it is gated on an *absolute* floor
+(``--service-floor``, default 10x) rather than a frozen ratio: the warm
+path is hundreds of times faster than the cold one, so a generous
+absolute floor separates "the shared store/memo stopped serving" from
+scheduler noise on a loaded CI runner.
+
 This script re-measures both paths of each pair on the current host and
 fails (exit 1) when a measured advantage falls more than ``--factor``
 (default 1.25, i.e. 25%) below its frozen ratio -- the fast path got
@@ -176,6 +184,37 @@ def measure_wordlane_ratio(case: str, rounds: int = 5) -> tuple:
     return min(wordlane_times) * 1000, min(bitengine_times) * 1000
 
 
+def service_section(path: str = _JSON_PATH) -> dict:
+    """The ``service`` load-test record ({} when never measured)."""
+    with open(path) as handle:
+        document = json.load(handle)
+    section = document.get("service")
+    return section if isinstance(section, dict) else {}
+
+
+def check_service(section: dict, floor: float) -> tuple:
+    """Gate one recorded service measurement -> (ok, message).
+
+    ``warm_speedup`` is recomputed from the recorded latencies (not
+    trusted from the rounded field) and must clear the absolute floor.
+    """
+    try:
+        cold_ms = float(section["cold_ms"])
+        warm_p50_ms = float(section["warm_p50_ms"])
+    except (KeyError, TypeError, ValueError):
+        return False, "service: malformed section (missing latencies)"
+    if warm_p50_ms <= 0:
+        return False, f"service: non-positive warm p50 ({warm_p50_ms}ms)"
+    speedup = cold_ms / warm_p50_ms
+    verdict = "ok" if speedup >= floor else "REGRESSED"
+    message = (
+        f"service/{section.get('design', '?')}: cold {cold_ms:.1f}ms, "
+        f"warm p50 {warm_p50_ms:.1f}ms -> {speedup:.1f}x warm speedup "
+        f"(floor {floor:.0f}x): {verdict}"
+    )
+    return speedup >= floor, message
+
+
 def measure_ratio(case: str, rounds: int = 5) -> tuple:
     """Best-of-N wall times for both backends on a fresh graph per round."""
     stg = CASES[case]()
@@ -208,17 +247,37 @@ def main(argv=None) -> int:
         "--json", default=_JSON_PATH,
         help="path to BENCH_pipeline.json (default: repo root)",
     )
+    parser.add_argument(
+        "--service-floor", type=float, default=10.0,
+        help="minimum recorded warm speedup of the job server "
+        "(default 10.0; the section is skipped when absent)",
+    )
+    parser.add_argument(
+        "--sections", default="hotpath,hazard-sim,wordlane,service",
+        help="comma-separated subset of gates to run (default: all); "
+        "e.g. --sections service against a fresh bench_service output",
+    )
     args = parser.parse_args(argv)
-
-    try:
-        frozen = frozen_ratios(args.json)
-    except (OSError, KeyError, ValueError) as exc:
-        print(f"check_regression: cannot load frozen baseline: {exc}",
-              file=sys.stderr)
+    sections = {name.strip() for name in args.sections.split(",") if name}
+    unknown = sections - {"hotpath", "hazard-sim", "wordlane", "service"}
+    if unknown:
+        print(
+            f"check_regression: unknown section(s) {', '.join(sorted(unknown))}",
+            file=sys.stderr,
+        )
         return 2
 
     failed = []
-    for case in sorted(CASES):
+    if "hotpath" not in sections:
+        frozen = {}
+    else:
+        try:
+            frozen = frozen_ratios(args.json)
+        except (OSError, KeyError, ValueError) as exc:
+            print(f"check_regression: cannot load frozen baseline: {exc}",
+                  file=sys.stderr)
+            return 2
+    for case in sorted(CASES) if "hotpath" in sections else ():
         if case not in frozen:
             print(f"{case}: no frozen baseline, skipped")
             continue
@@ -234,11 +293,12 @@ def main(argv=None) -> int:
         if measured < floor:
             failed.append(case)
 
-    try:
-        frozen_hazard = frozen_hazard_sim_ratios(args.json)
-    except (OSError, KeyError, ValueError):
-        print("hazard-sim: no frozen baseline, skipped")
-        frozen_hazard = {}
+    frozen_hazard = {}
+    if "hazard-sim" in sections:
+        try:
+            frozen_hazard = frozen_hazard_sim_ratios(args.json)
+        except (OSError, KeyError, ValueError):
+            print("hazard-sim: no frozen baseline, skipped")
     if "table1_corpus" in frozen_hazard:
         packed_ms, reference_ms = measure_hazard_sim_ratio(rounds=args.rounds)
         measured = reference_ms / packed_ms
@@ -254,11 +314,12 @@ def main(argv=None) -> int:
         if measured < floor:
             failed.append("hazard-sim/table1_corpus")
 
-    try:
-        frozen_lane = frozen_wordlane_ratios(args.json)
-    except (OSError, KeyError, ValueError):
-        print("wordlane: no frozen baseline, skipped")
-        frozen_lane = {}
+    frozen_lane = {}
+    if "wordlane" in sections:
+        try:
+            frozen_lane = frozen_wordlane_ratios(args.json)
+        except (OSError, KeyError, ValueError):
+            print("wordlane: no frozen baseline, skipped")
     if frozen_lane:
         from repro.sg import lanes
 
@@ -290,6 +351,20 @@ def main(argv=None) -> int:
                 )
                 if measured < floor:
                     failed.append(f"wordlane/{case}")
+
+    service = {}
+    if "service" in sections:
+        try:
+            service = service_section(args.json)
+        except (OSError, ValueError):
+            pass
+    if service:
+        ok, message = check_service(service, args.service_floor)
+        print(message)
+        if not ok:
+            failed.append("service")
+    elif "service" in sections:
+        print("service: no recorded measurement, skipped")
 
     if failed:
         print(

@@ -8,6 +8,8 @@ Subcommands mirror the library pipeline::
     repro-si simulate spec.g      # Monte-Carlo random-delay simulation
     repro-si diff                 # differential oracle sweep (CI gate)
     repro-si table1               # regenerate the paper's Table 1
+    repro-si batch *.g            # corpus synthesis over a process pool
+    repro-si serve                # resident HTTP job server (asyncio)
 
 ``synth`` accepts ``--style C|RS``, ``--share`` (Section-VI gate
 sharing), ``--verilog FILE`` and ``--dot FILE`` exports.  ``verify``
@@ -90,6 +92,36 @@ def parse_jobs(text: str) -> int:
             f"must be a positive integer (got {value})"
         )
     return value
+
+
+def validated_store(path: Optional[str]) -> Optional[str]:
+    """Validate a ``--store`` directory up front (usage error, exit 2).
+
+    Long-running verbs (``batch``, ``serve``) previously surfaced a bad
+    store path as a mid-run :class:`OSError` traceback from
+    ``ArtifactStore`` -- after minutes of work.  This checks the three
+    failure shapes eagerly: the path collides with an existing
+    *file*, the directory cannot be created, or it is not writable.
+    """
+    if path is None:
+        return None
+    import os
+    import tempfile
+
+    if os.path.exists(path) and not os.path.isdir(path):
+        raise CliError(
+            f"--store path {path!r} is a file, not a directory"
+        )
+    try:
+        os.makedirs(path, exist_ok=True)
+    except OSError as exc:
+        raise CliError(f"cannot create --store directory {path!r}: {exc}") from exc
+    try:
+        with tempfile.NamedTemporaryFile(dir=path, prefix=".store-probe-"):
+            pass
+    except OSError as exc:
+        raise CliError(f"--store directory {path!r} is not writable: {exc}") from exc
+    return path
 
 
 def _start_profile(args: argparse.Namespace) -> Optional[perf.PerfRecorder]:
@@ -409,7 +441,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
 
     report = run_batch(
         args.specs,
-        store=args.store,
+        store=validated_store(args.store),
         jobs=args.jobs,
         backend=args.backend,
         style=args.style,
@@ -435,6 +467,25 @@ def cmd_batch(args: argparse.Namespace) -> int:
             handle.write("\n")
         print(f"run stats written to {args.stats}", file=sys.stderr)
     return report.exit_code
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the resident synthesis job server (see docs/API.md)."""
+    from repro.service.server import serve
+
+    return serve(
+        host=args.host,
+        port=args.port,
+        store=validated_store(args.store),
+        backend=args.backend,
+        workers=args.workers,
+        tenant_tokens=args.tenant_tokens,
+        tenant_refill=args.tenant_refill,
+        job_max_states=args.job_max_states,
+        job_max_seconds=args.job_max_seconds,
+        max_queued=args.max_queued,
+        port_file=args.port_file,
+    )
 
 
 def _add_backend_option(parser: argparse.ArgumentParser) -> None:
@@ -697,6 +748,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="write run stats (timings, store hit/miss traffic) here",
     )
     p_batch.set_defaults(func=cmd_batch)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the resident synthesis job server (asyncio HTTP)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8080,
+        help="TCP port (0 binds an ephemeral port; see --port-file)",
+    )
+    p_serve.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="persistent artifact store shared by every request "
+        "(validated up front; a bad path is a usage error)",
+    )
+    _add_backend_option(p_serve)
+    p_serve.add_argument(
+        "--workers", type=parse_jobs, default=1,
+        help="1 (default): one worker thread sharing the in-memory "
+        "artifact cache; >1: a process pool sharing warmth via --store",
+    )
+    p_serve.add_argument(
+        "--tenant-tokens", type=float, default=2_000_000,
+        help="per-tenant token-bucket capacity, in state tokens",
+    )
+    p_serve.add_argument(
+        "--tenant-refill", type=float, default=100_000,
+        help="per-tenant bucket refill rate, state tokens per second",
+    )
+    p_serve.add_argument(
+        "--job-max-states", type=int, default=500_000,
+        help="per-job state-budget cap (blown -> job inconclusive)",
+    )
+    p_serve.add_argument(
+        "--job-max-seconds", type=float, default=None,
+        help="per-job wall-clock budget (blown -> job inconclusive)",
+    )
+    p_serve.add_argument(
+        "--max-queued", type=int, default=256,
+        help="submission queue capacity (full -> HTTP 429)",
+    )
+    p_serve.add_argument(
+        "--port-file", metavar="FILE", default=None,
+        help="write the bound port here once listening (for scripts)",
+    )
+    p_serve.set_defaults(func=cmd_serve)
 
     return parser
 

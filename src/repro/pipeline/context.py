@@ -50,6 +50,13 @@ class AnalysisContext:
         directory path to open one at.  A memo miss consults the store
         before computing, and computed artifacts are spilled to it, so
         separate processes (CLI runs, batch workers) share warm starts.
+    memo:
+        Optional artifact dict *shared between contexts*: several
+        analysis worlds (e.g. the job server's per-request contexts,
+        each carrying its own budget and recorder) can hand in the same
+        dict and reuse one resident in-memory cache.  Memo keys chain
+        the stage name with upstream fingerprints, so sharing is safe
+        across backends and specs.  Defaults to a private dict.
     """
 
     def __init__(
@@ -59,6 +66,7 @@ class AnalysisContext:
         jobs: Optional[int] = None,
         recorder: Optional[perf.PerfRecorder] = None,
         store: Union["ArtifactStore", str, None] = None,
+        memo: Optional[Dict[Tuple, object]] = None,
     ):
         from repro.verify.budget import Budget
 
@@ -71,7 +79,7 @@ class AnalysisContext:
         self.jobs = jobs
         self.recorder = recorder
         self.store: Optional["ArtifactStore"] = store
-        self._memo: Dict[Tuple, object] = {}
+        self._memo: Dict[Tuple, object] = memo if memo is not None else {}
         #: per-stage memo traffic, e.g. ``{"regions": 1}``
         self.cache_hits_by_stage: Dict[str, int] = {}
         self.cache_misses_by_stage: Dict[str, int] = {}

@@ -1,0 +1,47 @@
+"""Synthesis-as-a-service: a resident asyncio job server.
+
+The ``repro-si serve`` verb (and the :func:`repro.service.server.serve`
+entry point) turns the staged pipeline into a long-running process: one
+shared :class:`~repro.pipeline.store.ArtifactStore` plus one in-memory
+artifact memo serve every request, so the ~100x warm-store speedup that
+a CLI invocation only enjoys within a single process is shared across
+all concurrent clients.
+
+Layers::
+
+    protocol.py   wire formats: submit validation, job/result/event JSON
+    jobs.py       async queue, tenant token buckets, thread/process
+                  executors, streaming perf-recorder events
+    server.py     the asyncio HTTP front end + graceful shutdown
+
+See docs/API.md for the endpoint reference and
+``benchmarks/bench_service.py`` for the load-test harness.
+"""
+
+from repro.service.jobs import (
+    DONE,
+    FAILED,
+    INCONCLUSIVE,
+    Job,
+    JobManager,
+    QUEUED,
+    RUNNING,
+    TokenBucket,
+)
+from repro.service.protocol import ProtocolError, parse_submit
+from repro.service.server import ServiceServer, serve
+
+__all__ = [
+    "DONE",
+    "FAILED",
+    "INCONCLUSIVE",
+    "Job",
+    "JobManager",
+    "ProtocolError",
+    "QUEUED",
+    "RUNNING",
+    "ServiceServer",
+    "TokenBucket",
+    "parse_submit",
+    "serve",
+]

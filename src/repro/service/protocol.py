@@ -1,0 +1,309 @@
+"""Wire protocol of the synthesis service: request validation + codecs.
+
+Every byte that crosses the HTTP boundary is defined here, so the
+server (:mod:`repro.service.server`), the job engine
+(:mod:`repro.service.jobs`), the load-test harness
+(``benchmarks/bench_service.py``) and the CI smoke script agree on one
+schema.  Result payloads reuse the repo-wide JSON codecs from
+:mod:`repro.pipeline.serialize` (netlists through
+:mod:`repro.netlist.io`, hazard verdicts through the detached hazard
+codec, Table-1 rows through :func:`pipeline_result_to_json`), so a
+service response is byte-comparable to the matching CLI artifact.
+
+Submit request (``POST /v1/jobs``)::
+
+    {"kind": "synth" | "verify" | "table1" | "diff",
+     "spec": "<.g text>",            # synth/verify only
+     "name": "design",               # optional label
+     "tenant": "team-a",             # optional (or X-Tenant header)
+     "options": {...}}               # per-kind knobs, all optional
+
+Any malformed body -- not JSON, not an object, unknown kind, unknown
+option, wrong type -- raises :class:`ProtocolError`, which the server
+maps to HTTP 400 with ``{"error": ...}``.  Validation happens entirely
+at submit time so a queued job can no longer fail on its parameters.
+
+Event streams (``GET /v1/jobs/<id>/events``) are NDJSON by default
+(one JSON object per line) or SSE (``?format=sse``); each event carries
+an ``"event"`` discriminator (``status`` / ``stage`` / ``phase`` /
+``design`` / ``profile``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional, Tuple
+
+#: job kinds the service accepts, mapping 1:1 onto library entry points
+#: (synth/verify -> ``Pipeline.run``, table1 -> ``run_table1``,
+#: diff -> ``differential_campaign``)
+KINDS = ("synth", "verify", "table1", "diff")
+
+#: netlist styles, mirroring the CLI ``--style`` vocabulary
+STYLES = ("C", "RS", "RS-NOR", "C-INV")
+
+#: largest accepted request body (a fuzz-scale ``.g`` is a few KB)
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_SHARE_VALUES = (False, True, "optimal")
+
+
+class ProtocolError(ValueError):
+    """A malformed request: reported as HTTP 400, never queued."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ProtocolError(message)
+
+
+def _known_backends() -> Tuple[str, ...]:
+    from repro.pipeline.backends import available_backends
+
+    return tuple(available_backends())
+
+
+def _check_backend(value) -> Optional[str]:
+    if value is None:
+        return None
+    names = _known_backends()
+    _require(
+        isinstance(value, str) and value in names,
+        f"unknown backend {value!r}; registered: {', '.join(names)}",
+    )
+    return value
+
+
+def _check_int(value, name: str, minimum: int = 1) -> int:
+    _require(
+        isinstance(value, int) and not isinstance(value, bool)
+        and value >= minimum,
+        f"{name} must be an integer >= {minimum}",
+    )
+    return value
+
+
+def _check_number(value, name: str) -> float:
+    _require(
+        isinstance(value, (int, float)) and not isinstance(value, bool)
+        and value > 0,
+        f"{name} must be a positive number",
+    )
+    return float(value)
+
+
+def _check_options(options, allowed) -> Dict:
+    if options is None:
+        return {}
+    _require(isinstance(options, dict), "options must be an object")
+    unknown = sorted(set(options) - set(allowed))
+    _require(
+        not unknown,
+        f"unknown option(s): {', '.join(unknown)}; "
+        f"allowed: {', '.join(sorted(allowed))}",
+    )
+    return options
+
+
+def _synth_params(body: Dict, kind: str) -> Dict:
+    spec = body.get("spec")
+    _require(
+        isinstance(spec, str) and spec.strip(),
+        "synth/verify jobs need a non-empty 'spec' (.g text)",
+    )
+    options = _check_options(
+        body.get("options"),
+        (
+            "style", "share_gates", "verify", "max_models", "max_states",
+            "backend", "budget_seconds", "verify_max_states",
+        ),
+    )
+    params = {
+        "spec_text": spec,
+        "name": _job_name(body),
+        "style": options.get("style", "C"),
+        "share_gates": options.get("share_gates", False),
+        # verify jobs always model-check; synth jobs may opt out
+        "verify": bool(options.get("verify", True)) or kind == "verify",
+        "max_models": _check_int(options.get("max_models", 400), "max_models"),
+        "max_states": _check_int(
+            options.get("max_states", 200_000), "max_states"
+        ),
+        "verify_max_states": _check_int(
+            options.get("verify_max_states", 500_000), "verify_max_states"
+        ),
+        "backend": _check_backend(options.get("backend")),
+        "budget_seconds": (
+            None
+            if options.get("budget_seconds") is None
+            else _check_number(options["budget_seconds"], "budget_seconds")
+        ),
+    }
+    _require(params["style"] in STYLES, f"style must be one of {STYLES}")
+    _require(
+        params["share_gates"] in _SHARE_VALUES,
+        "share_gates must be false, true or 'optimal'",
+    )
+    return params
+
+
+def _table1_params(body: Dict, kind: str) -> Dict:
+    from repro.bench.suite import BENCHMARKS
+
+    options = _check_options(
+        body.get("options"), ("designs", "verify", "backend", "jobs")
+    )
+    designs = options.get("designs")
+    if designs is not None:
+        _require(
+            isinstance(designs, list)
+            and all(isinstance(name, str) for name in designs)
+            and designs,
+            "designs must be a non-empty list of benchmark names",
+        )
+        unknown = sorted(set(designs) - set(BENCHMARKS))
+        _require(
+            not unknown,
+            f"unknown design(s): {', '.join(unknown)}; "
+            f"available: {', '.join(sorted(BENCHMARKS))}",
+        )
+    return {
+        "name": _job_name(body, default="table1"),
+        "designs": designs,
+        "verify": bool(options.get("verify", True)),
+        "backend": _check_backend(options.get("backend")),
+        "jobs": (
+            None
+            if options.get("jobs") is None
+            else _check_int(options["jobs"], "jobs")
+        ),
+    }
+
+
+def _diff_params(body: Dict, kind: str) -> Dict:
+    options = _check_options(
+        body.get("options"),
+        ("count", "seed", "backend", "max_states", "max_seconds_each"),
+    )
+    count = _check_int(options.get("count", 50), "count")
+    _require(count <= 5000, "count must be <= 5000 per job")
+    seed = options.get("seed", 0)
+    _require(
+        isinstance(seed, int) and not isinstance(seed, bool),
+        "seed must be an integer",
+    )
+    return {
+        "name": _job_name(body, default="diff"),
+        "count": count,
+        "seed": seed,
+        "backend": _check_backend(options.get("backend")) or "bitengine",
+        "max_states": _check_int(
+            options.get("max_states", 20_000), "max_states"
+        ),
+        "max_seconds_each": _check_number(
+            options.get("max_seconds_each", 30.0), "max_seconds_each"
+        ),
+    }
+
+
+def _job_name(body: Dict, default: str = "job") -> str:
+    name = body.get("name", default)
+    _require(
+        isinstance(name, str) and 0 < len(name) <= 120,
+        "name must be a short non-empty string",
+    )
+    return name
+
+
+_PARSERS = {
+    "synth": _synth_params,
+    "verify": _synth_params,
+    "table1": _table1_params,
+    "diff": _diff_params,
+}
+
+_TOP_LEVEL_KEYS = {"kind", "spec", "name", "tenant", "options"}
+
+
+def parse_submit(
+    body: bytes, default_tenant: str = "default"
+) -> Tuple[str, str, Dict]:
+    """Validate one submit body -> ``(kind, tenant, normalized params)``.
+
+    Raises :class:`ProtocolError` on any defect; a returned triple is
+    fully normalized (defaults applied, types checked) and safe to
+    queue.
+    """
+    _require(len(body) <= MAX_BODY_BYTES, "request body too large")
+    try:
+        document = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"body is not valid JSON: {exc}") from exc
+    _require(isinstance(document, dict), "body must be a JSON object")
+    unknown = sorted(set(document) - _TOP_LEVEL_KEYS)
+    _require(not unknown, f"unknown field(s): {', '.join(unknown)}")
+    kind = document.get("kind")
+    _require(kind in KINDS, f"kind must be one of {', '.join(KINDS)}")
+    tenant = document.get("tenant", default_tenant)
+    _require(
+        isinstance(tenant, str) and 0 < len(tenant) <= 120,
+        "tenant must be a short non-empty string",
+    )
+    return kind, tenant, _PARSERS[kind](document, kind)
+
+
+# ----------------------------------------------------------------------
+# Response documents
+# ----------------------------------------------------------------------
+def job_to_json(job) -> Dict:
+    """The job status document (``GET /v1/jobs/<id>``)."""
+    return {
+        "schema": "repro-service-job/1",
+        "id": job.id,
+        "kind": job.kind,
+        "name": job.params.get("name", ""),
+        "tenant": job.tenant,
+        "status": job.status,
+        "detail": job.detail,
+        "events": len(job.events),
+        "cache": dict(job.cache),
+        "charged_states": job.charged_states,
+        "seconds": None if job.seconds is None else round(job.seconds, 6),
+        "result_ready": job.result is not None,
+    }
+
+
+def error_to_json(message: str) -> Dict:
+    return {"error": message}
+
+
+def encode_ndjson(event: Dict) -> bytes:
+    """One NDJSON line (the default event-stream framing)."""
+    return (json.dumps(event, sort_keys=True) + "\n").encode("utf-8")
+
+
+def encode_sse(event: Dict) -> bytes:
+    """One Server-Sent-Events frame (``?format=sse``)."""
+    return (
+        f"event: {event.get('event', 'message')}\n"
+        f"data: {json.dumps(event, sort_keys=True)}\n\n"
+    ).encode("utf-8")
+
+
+def dumps_canonical(document: Dict) -> str:
+    """Canonical JSON text (sorted keys) -- what CI byte-compares."""
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+__all__ = [
+    "KINDS",
+    "MAX_BODY_BYTES",
+    "ProtocolError",
+    "STYLES",
+    "dumps_canonical",
+    "encode_ndjson",
+    "encode_sse",
+    "error_to_json",
+    "job_to_json",
+    "parse_submit",
+]

@@ -1,0 +1,535 @@
+"""The synthesis service: protocol, budgets, job engine, HTTP server.
+
+Each server under test runs in-process: a background thread owns the
+asyncio loop, the test talks real HTTP over a loopback socket, and the
+graceful-shutdown path tears everything down.  This exercises the whole
+stack -- request parsing, routing, the job queue, token buckets, the
+thread/process executors and event streaming -- without subprocesses.
+"""
+
+import http.client
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.service import JobManager, ServiceServer
+from repro.service.jobs import Job, TokenBucket
+from repro.service.protocol import ProtocolError, parse_submit
+
+pytestmark = pytest.mark.smoke
+
+DATA = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "src", "repro", "bench", "data",
+)
+
+with open(os.path.join(DATA, "delement.g"), encoding="utf-8") as _handle:
+    DELEMENT = _handle.read()
+
+TERMINAL = ("done", "failed", "inconclusive")
+
+
+# ----------------------------------------------------------------------
+# In-process server harness
+# ----------------------------------------------------------------------
+class ServiceUnderTest:
+    """One server on a loopback socket, loop on a background thread."""
+
+    def __init__(self, **manager_kwargs):
+        self._kwargs = manager_kwargs
+        self._ready = threading.Event()
+        self._error = None
+        self.manager = None
+        self.port = None
+        self._thread = threading.Thread(target=self._thread_main, daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=30) or self._error:
+            raise RuntimeError(f"server failed to start: {self._error!r}")
+
+    def _thread_main(self):
+        import asyncio
+
+        async def _amain():
+            try:
+                self.manager = JobManager(**self._kwargs)
+                server = ServiceServer(self.manager, host="127.0.0.1", port=0)
+                await server.start()
+                self.port = server.port
+            except Exception as exc:  # surface startup failures to the test
+                self._error = exc
+                self._ready.set()
+                return
+            self._ready.set()
+            await server.serve_until_shutdown()
+            # let the /v1/shutdown handler flush its response
+            await asyncio.sleep(0.05)
+
+        asyncio.run(_amain())
+
+    # -- HTTP client ---------------------------------------------------
+    def request(self, method, path, body=None, headers=None):
+        conn = http.client.HTTPConnection("127.0.0.1", self.port, timeout=60)
+        try:
+            if isinstance(body, dict):
+                body = json.dumps(body)
+            conn.request(method, path, body=body, headers=headers or {})
+            response = conn.getresponse()
+            return response.status, json.loads(response.read())
+        finally:
+            conn.close()
+
+    def stream_lines(self, path):
+        """GET an event stream, return its decoded lines after close."""
+        conn = http.client.HTTPConnection("127.0.0.1", self.port, timeout=60)
+        try:
+            conn.request("GET", path)
+            response = conn.getresponse()
+            return response.read().decode("utf-8").splitlines()
+        finally:
+            conn.close()
+
+    def submit(self, document, headers=None):
+        status, doc = self.request("POST", "/v1/jobs", document, headers)
+        assert status == 202, (status, doc)
+        return doc["id"]
+
+    def wait(self, job_id, timeout=60.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            status, doc = self.request("GET", f"/v1/jobs/{job_id}")
+            assert status == 200
+            if doc["status"] in TERMINAL:
+                return doc
+            time.sleep(0.01)
+        raise AssertionError(f"job {job_id} did not finish in {timeout}s")
+
+    def result(self, job_id):
+        status, doc = self.request("GET", f"/v1/jobs/{job_id}/result")
+        assert status == 200, (status, doc)
+        return doc
+
+    def shutdown(self):
+        status, report = self.request("POST", "/v1/shutdown")
+        assert status == 200
+        self._thread.join(timeout=30)
+        assert not self._thread.is_alive()
+        return report
+
+
+@pytest.fixture()
+def service():
+    """A default thread-mode server (no store, fresh memo)."""
+    handle = ServiceUnderTest()
+    yield handle
+    if handle._thread.is_alive():
+        handle.shutdown()
+
+
+# ----------------------------------------------------------------------
+# TokenBucket semantics (deterministic via a fake clock)
+# ----------------------------------------------------------------------
+class TestTokenBucket:
+    def test_starts_full_and_drains(self):
+        now = [0.0]
+        bucket = TokenBucket(100, 10, clock=lambda: now[0])
+        assert bucket.available() == 100
+        bucket.drain(60)
+        assert bucket.available() == 40
+
+    def test_refills_at_rate_up_to_capacity(self):
+        now = [0.0]
+        bucket = TokenBucket(100, 10, clock=lambda: now[0])
+        bucket.drain(100)
+        now[0] = 3.0
+        assert bucket.available() == pytest.approx(30)
+        now[0] = 1000.0
+        assert bucket.available() == 100  # capped at capacity
+
+    def test_overdraft_is_a_debt_repaid_by_refill(self):
+        now = [0.0]
+        bucket = TokenBucket(50, 10, clock=lambda: now[0])
+        bucket.drain(80)  # a job overshot its snapshot
+        assert bucket.available() == -30
+        now[0] = 4.0
+        assert bucket.available() == pytest.approx(10)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(0, 10)
+        with pytest.raises(ValueError):
+            TokenBucket(10, -1)
+
+
+# ----------------------------------------------------------------------
+# Submit-body validation (HTTP 400 surface)
+# ----------------------------------------------------------------------
+class TestParseSubmit:
+    def test_minimal_synth_body_gets_defaults(self):
+        kind, tenant, params = parse_submit(
+            json.dumps({"kind": "synth", "spec": DELEMENT}).encode()
+        )
+        assert (kind, tenant) == ("synth", "default")
+        assert params["style"] == "C"
+        assert params["max_states"] == 200_000
+        assert params["verify"] is True
+
+    def test_verify_kind_forces_model_checking(self):
+        _, _, params = parse_submit(
+            json.dumps(
+                {
+                    "kind": "verify",
+                    "spec": DELEMENT,
+                    "options": {"verify": False},
+                }
+            ).encode()
+        )
+        assert params["verify"] is True
+
+    def test_tenant_header_default_and_body_override(self):
+        _, tenant, _ = parse_submit(
+            json.dumps({"kind": "synth", "spec": DELEMENT}).encode(),
+            default_tenant="team-a",
+        )
+        assert tenant == "team-a"
+        _, tenant, _ = parse_submit(
+            json.dumps(
+                {"kind": "synth", "spec": DELEMENT, "tenant": "team-b"}
+            ).encode(),
+            default_tenant="team-a",
+        )
+        assert tenant == "team-b"
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            b"{not json",
+            b"[1, 2]",
+            json.dumps({"kind": "zap"}).encode(),
+            json.dumps({"kind": "synth"}).encode(),  # missing spec
+            json.dumps({"kind": "synth", "spec": "  "}).encode(),
+            json.dumps(
+                {"kind": "synth", "spec": "x", "bogus": 1}
+            ).encode(),
+            json.dumps(
+                {"kind": "synth", "spec": "x", "options": {"zap": 1}}
+            ).encode(),
+            json.dumps(
+                {"kind": "synth", "spec": "x", "options": {"style": "NAND"}}
+            ).encode(),
+            json.dumps(
+                {"kind": "synth", "spec": "x", "options": {"max_states": 0}}
+            ).encode(),
+            json.dumps(
+                {"kind": "synth", "spec": "x",
+                 "options": {"max_states": True}}
+            ).encode(),
+            json.dumps(
+                {"kind": "synth", "spec": "x",
+                 "options": {"backend": "quantum"}}
+            ).encode(),
+            json.dumps({"kind": "synth", "spec": "x", "tenant": ""}).encode(),
+            json.dumps(
+                {"kind": "table1", "options": {"designs": ["no-such"]}}
+            ).encode(),
+            json.dumps(
+                {"kind": "table1", "options": {"designs": []}}
+            ).encode(),
+            json.dumps({"kind": "diff", "options": {"count": 10**6}}).encode(),
+        ],
+    )
+    def test_malformed_bodies_are_rejected(self, body):
+        with pytest.raises(ProtocolError):
+            parse_submit(body)
+
+
+# ----------------------------------------------------------------------
+# Job lifecycle over real HTTP (thread mode)
+# ----------------------------------------------------------------------
+class TestLifecycle:
+    def test_synth_job_runs_to_done(self, service):
+        status, doc = service.request(
+            "POST",
+            "/v1/jobs",
+            {"kind": "synth", "spec": DELEMENT, "name": "delement"},
+        )
+        assert status == 202
+        assert doc["schema"] == "repro-service-job/1"
+        assert doc["status"] == "queued"
+        assert doc["kind"] == "synth" and doc["name"] == "delement"
+
+        done = service.wait(doc["id"])
+        assert done["status"] == "done"
+        assert done["charged_states"] > 0
+        assert done["seconds"] is not None
+        assert done["result_ready"] is True
+
+        result = service.result(doc["id"])
+        payload = result["result"]
+        assert payload["schema"] == "repro-service-synth/1"
+        assert payload["hazard"]["hazard_free"] is True
+        assert payload["netlist"]["gates"]
+        assert payload["equations"]
+
+    def test_verify_job_reports_verdict(self, service):
+        job_id = service.submit({"kind": "verify", "spec": DELEMENT})
+        assert service.wait(job_id)["status"] == "done"
+        payload = service.result(job_id)["result"]
+        assert payload["schema"] == "repro-service-verify/1"
+        assert payload["verdict"] == "hazard-free"
+        assert payload["exit_code"] == 0
+
+    def test_bad_specification_fails_cleanly(self, service):
+        job_id = service.submit(
+            {"kind": "synth", "spec": ".model empty\n.inputs a\n.end\n"}
+        )
+        doc = service.wait(job_id)
+        assert doc["status"] == "failed"
+        assert doc["detail"]
+        status, _ = service.request("GET", f"/v1/jobs/{job_id}/result")
+        assert status == 200  # failed is terminal: result doc served
+
+    def test_tiny_state_budget_is_inconclusive(self, service):
+        job_id = service.submit(
+            {
+                "kind": "synth",
+                "spec": DELEMENT,
+                "options": {"max_states": 5},
+            }
+        )
+        doc = service.wait(job_id)
+        assert doc["status"] == "inconclusive"
+
+    def test_event_stream_covers_every_stage(self, service):
+        job_id = service.submit({"kind": "synth", "spec": DELEMENT})
+        service.wait(job_id)
+        events = [
+            json.loads(line)
+            for line in service.stream_lines(f"/v1/jobs/{job_id}/events")
+        ]
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "status" and kinds[-1] == "status"
+        assert events[-1]["status"] == "done"
+        stages = [e["stage"] for e in events if e["event"] == "stage"]
+        assert stages == ["reach", "regions", "mc", "covers", "netlist"]
+        assert any(e["event"] == "phase" for e in events)
+
+    def test_event_stream_sse_framing(self, service):
+        job_id = service.submit({"kind": "synth", "spec": DELEMENT})
+        service.wait(job_id)
+        lines = service.stream_lines(f"/v1/jobs/{job_id}/events?format=sse")
+        assert any(line.startswith("event: status") for line in lines)
+        assert any(line.startswith("data: {") for line in lines)
+
+    def test_result_before_terminal_is_conflict(self, service):
+        # white-box: park a queued job that no worker will ever claim
+        job = Job(id="j-parked", kind="synth", tenant="t", params={})
+        service.manager._jobs[job.id] = job
+        status, doc = service.request("GET", "/v1/jobs/j-parked/result")
+        assert status == 409
+        assert "not ready" in doc["error"]
+
+    def test_unknown_job_and_path_are_404(self, service):
+        assert service.request("GET", "/v1/jobs/j999999")[0] == 404
+        assert service.request("GET", "/v1/nope")[0] == 404
+
+    def test_wrong_method_is_405(self, service):
+        assert service.request("PUT", "/v1/jobs")[0] == 405
+        assert service.request("POST", "/healthz")[0] == 405
+
+    def test_malformed_body_is_400_over_http(self, service):
+        status, doc = service.request("POST", "/v1/jobs", "{not json")
+        assert status == 400 and "error" in doc
+        status, doc = service.request("POST", "/v1/jobs", {"kind": "zap"})
+        assert status == 400
+
+    def test_healthz_and_job_listing(self, service):
+        status, doc = service.request("GET", "/healthz")
+        assert status == 200 and doc["status"] == "ok"
+        job_id = service.submit({"kind": "synth", "spec": DELEMENT})
+        service.wait(job_id)
+        status, doc = service.request("GET", "/v1/jobs")
+        assert status == 200
+        assert job_id in [job["id"] for job in doc["jobs"]]
+
+
+# ----------------------------------------------------------------------
+# The resident cache: concurrent submissions share one warm world
+# ----------------------------------------------------------------------
+class TestWarmSharing:
+    def test_repeat_submission_hits_shared_memo(self, service):
+        first = service.submit({"kind": "synth", "spec": DELEMENT})
+        second = service.submit({"kind": "synth", "spec": DELEMENT})
+        cold = service.wait(first)
+        warm = service.wait(second)
+        assert cold["cache"]["misses"] > 0
+        assert warm["cache"]["hits"] > 0
+        assert warm["cache"]["misses"] == 0
+        # both jobs produced the identical artifact
+        assert (
+            service.result(first)["result"]
+            == service.result(second)["result"]
+        )
+
+    def test_stats_expose_the_resident_world(self, service):
+        job_id = service.submit({"kind": "synth", "spec": DELEMENT})
+        service.wait(job_id)
+        status, stats = service.request("GET", "/v1/stats")
+        assert status == 200
+        assert stats["schema"] == "repro-service-stats/1"
+        assert stats["mode"] == "thread" and stats["workers"] == 1
+        assert stats["memo_entries"] > 0
+        assert stats["cache"]["misses"] > 0
+        assert stats["jobs"]["done"] == 1
+
+    def test_process_mode_shares_warmth_through_store(self, tmp_path):
+        handle = ServiceUnderTest(store=str(tmp_path / "store"), workers=2)
+        try:
+            ids = [
+                handle.submit({"kind": "synth", "spec": DELEMENT})
+                for _ in range(3)
+            ]
+            docs = [handle.wait(job_id) for job_id in ids]
+            assert all(doc["status"] == "done" for doc in docs)
+            # later jobs read artifacts an earlier worker persisted
+            assert any(doc["cache"].get("store_hit", 0) > 0 for doc in docs)
+            results = [handle.result(job_id)["result"] for job_id in ids]
+            assert results[0] == results[1] == results[2]
+        finally:
+            report = handle.shutdown()
+        assert report["pending"] == 0
+
+
+# ----------------------------------------------------------------------
+# Tenant token buckets -> the inconclusive verdict
+# ----------------------------------------------------------------------
+class TestTenantBudget:
+    def test_exhaustion_is_inconclusive_and_per_tenant(self):
+        # capacity 40 with no refill: delement charges ~35 state tokens,
+        # so the first job nearly drains the bucket.  Later jobs must use
+        # *different* designs -- a repeat of delement is served from the
+        # shared memo and cached work charges nothing.
+        with open(os.path.join(DATA, "nak-pa.g"), encoding="utf-8") as fh:
+            nak_pa = fh.read()
+        with open(
+            os.path.join(DATA, "mp-forward-pkt.g"), encoding="utf-8"
+        ) as fh:
+            forward = fh.read()
+        handle = ServiceUnderTest(tenant_tokens=40, tenant_refill=0.0)
+        try:
+            first = handle.submit({"kind": "synth", "spec": DELEMENT})
+            assert handle.wait(first)["status"] == "done"
+
+            # cached repeats stay free: the same spec again still succeeds
+            again = handle.submit({"kind": "synth", "spec": DELEMENT})
+            assert handle.wait(again)["status"] == "done"
+
+            # fresh work only has ~5 tokens left: budget trips mid-run
+            second = handle.submit({"kind": "synth", "spec": nak_pa})
+            starved = handle.wait(second)
+            assert starved["status"] == "inconclusive"
+            assert starved["detail"]
+
+            # an empty bucket never even starts the job
+            handle.manager.bucket("default").drain(40)
+            third = handle.submit({"kind": "synth", "spec": forward})
+            empty = handle.wait(third)
+            assert empty["status"] == "inconclusive"
+            assert "budget exhausted" in empty["detail"]
+
+            # a different tenant has its own untouched bucket
+            other = handle.submit(
+                {"kind": "synth", "spec": DELEMENT},
+                headers={"X-Tenant": "team-b"},
+            )
+            assert handle.wait(other)["status"] == "done"
+
+            _, stats = handle.request("GET", "/v1/stats")
+            assert set(stats["tenants"]) == {"default", "team-b"}
+            assert stats["tenants"]["default"] < 1.0
+        finally:
+            handle.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Graceful shutdown
+# ----------------------------------------------------------------------
+class TestShutdown:
+    def test_drain_finishes_in_flight_jobs(self):
+        handle = ServiceUnderTest()
+        ids = [
+            handle.submit({"kind": "synth", "spec": DELEMENT})
+            for _ in range(3)
+        ]
+        report = handle.shutdown()
+        assert report["drained"] is True
+        assert report["pending"] == 0 and report["pending_ids"] == []
+        assert report["jobs"] == {"done": 3}
+        assert len(ids) == 3
+        # the listener is gone: new connections are refused
+        with pytest.raises(OSError):
+            handle.request("GET", "/healthz")
+
+    def test_submissions_after_drain_are_rejected(self):
+        handle = ServiceUnderTest()
+        import asyncio
+
+        asyncio.run_coroutine_threadsafe(
+            _set_draining(handle.manager), _manager_loop(handle.manager)
+        ).result(timeout=10)
+        status, doc = handle.request(
+            "POST", "/v1/jobs", {"kind": "synth", "spec": DELEMENT}
+        )
+        assert status == 503
+        assert "draining" in doc["error"]
+        handle.shutdown()
+
+
+async def _set_draining(manager):
+    manager._draining = True
+
+
+def _manager_loop(manager):
+    return manager._loop
+
+
+# ----------------------------------------------------------------------
+# CLI --store validation (exit 2, no mid-run traceback)
+# ----------------------------------------------------------------------
+class TestStoreValidation:
+    def test_batch_rejects_file_store_path(self, tmp_path, capsys):
+        bogus = tmp_path / "not-a-dir"
+        bogus.write_text("occupied")
+        code = main(
+            [
+                "batch",
+                os.path.join(DATA, "delement.g"),
+                "--store",
+                str(bogus),
+            ]
+        )
+        assert code == 2
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_serve_rejects_file_store_path(self, tmp_path, capsys):
+        bogus = tmp_path / "not-a-dir"
+        bogus.write_text("occupied")
+        code = main(["serve", "--store", str(bogus)])
+        assert code == 2
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_serve_rejects_unwritable_store(self, tmp_path, capsys):
+        if os.geteuid() == 0:
+            pytest.skip("root ignores directory permissions")
+        locked = tmp_path / "locked"
+        locked.mkdir()
+        locked.chmod(0o500)
+        try:
+            code = main(["serve", "--store", str(locked / "store")])
+        finally:
+            locked.chmod(0o700)
+        assert code == 2
+        assert "store" in capsys.readouterr().err
