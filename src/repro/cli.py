@@ -484,6 +484,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         job_max_states=args.job_max_states,
         job_max_seconds=args.job_max_seconds,
         max_queued=args.max_queued,
+        memo_entries=args.memo_entries,
+        keep_jobs=args.keep_jobs,
         port_file=args.port_file,
     )
 
@@ -788,6 +790,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--max-queued", type=int, default=256,
         help="submission queue capacity (full -> HTTP 429)",
+    )
+    p_serve.add_argument(
+        "--memo-entries", type=int, default=512,
+        help="resident artifact-cache capacity (LRU-evicted beyond it)",
+    )
+    p_serve.add_argument(
+        "--keep-jobs", type=int, default=1024,
+        help="finished jobs retained (oldest pruned beyond it)",
     )
     p_serve.add_argument(
         "--port-file", metavar="FILE", default=None,

@@ -111,12 +111,19 @@ class AnalysisContext:
         self._memo.clear()
 
     # ------------------------------------------------------------------
-    def memoize(self, stage: str, key: Tuple, compute):
+    def memoize(self, stage: str, key: Tuple, compute, cache_if=None):
         """Return the memoised artifact for ``key``, computing on miss.
 
         ``key`` must chain the upstream artifact's fingerprint with every
         option that can change this stage's result; see
         :mod:`repro.pipeline.artifacts`.
+
+        ``cache_if``, when given, is called with a freshly computed
+        artifact; returning False keeps it out of the memo *and* the
+        store.  Stages use it when a run's budget lowered their
+        effective cap below what ``key`` promises: a truncated result
+        must never be served to later full-budget runs sharing the
+        caches.
         """
         full_key = (stage,) + key
         if full_key in self._memo:
@@ -134,6 +141,9 @@ class AnalysisContext:
                 self._memo[full_key] = artifact
                 return artifact
         artifact = compute()
+        if cache_if is not None and not cache_if(artifact):
+            perf.count(f"pipeline-cache-skip:{stage}")
+            return artifact
         self._memo[full_key] = artifact
         if self.store is not None:
             self.store.put(stage, key, artifact)

@@ -164,6 +164,11 @@ class Pipeline:
         def elaborate() -> ReachedSG:
             from repro.stg.reachability import stg_to_state_graph
 
+            # The budget may lower the cap below spec.max_states, but it
+            # cannot poison the shared memo/store: stg_to_state_graph
+            # raises on hitting its cap instead of returning a truncated
+            # graph, so a graph that elaborated successfully is
+            # identical for every cap >= its size.
             cap = ctx.budget.remaining_states(spec.max_states)
             sg = stg_to_state_graph(spec.stg, max_states=min(cap, spec.max_states))
             ctx.budget.charge_states(
@@ -247,6 +252,12 @@ class Pipeline:
             spec.verify,
             spec.verify_max_states,
         )
+        # the cap the hazard check actually runs under: the spec's
+        # request, lowered by whatever the run's budget has left
+        verify_cap = min(
+            spec.verify_max_states,
+            ctx.budget.remaining_states(spec.verify_max_states),
+        )
 
         def build() -> SynthesizedNetlist:
             from repro.netlist.hazards import verify_speed_independence
@@ -260,11 +271,7 @@ class Pipeline:
             if spec.verify:
                 with perf.phase("hazard-check"):
                     report = verify_speed_independence(
-                        netlist,
-                        covers.sg,
-                        max_states=ctx.budget.remaining_states(
-                            spec.verify_max_states
-                        ),
+                        netlist, covers.sg, max_states=verify_cap
                     )
                 ctx.budget.charge_states(
                     len(report.circuit_sg.state_list), "circuit composition"
@@ -278,7 +285,18 @@ class Pipeline:
                 ),
             )
 
-        return ctx.memoize("netlist", key, build)
+        def cap_independent(artifact: SynthesizedNetlist) -> bool:
+            # ``key`` promises the spec's full verify_max_states.  When
+            # the budget lowered the cap, only a complete exploration is
+            # byte-identical to the full-cap artifact; a truncated
+            # report would poison the shared memo/store for later
+            # full-budget runs.
+            if verify_cap >= spec.verify_max_states:
+                return True
+            report = artifact.hazard_report
+            return report is None or not report.composition.truncated
+
+        return ctx.memoize("netlist", key, build, cache_if=cap_independent)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Pipeline(context={self.context!r})"

@@ -35,7 +35,10 @@ CLI's exit code 3.
 from __future__ import annotations
 
 import itertools
+import sys
 import time
+import traceback
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -58,6 +61,38 @@ DEFAULT_TENANT_REFILL = 100_000.0
 
 #: per-job state cap when the request does not lower it further
 DEFAULT_JOB_STATES = 500_000
+
+#: resident-memory bounds: memoised artifacts (LRU) and how many
+#: finished jobs (events + result payloads) the manager keeps around
+DEFAULT_MEMO_ENTRIES = 512
+DEFAULT_KEEP_JOBS = 1024
+
+
+class LRUMemo(OrderedDict):
+    """A bounded artifact memo: recently-used entries survive.
+
+    Shared between every request's :class:`AnalysisContext`; reads
+    refresh an entry, inserts evict the least-recently-used once
+    ``max_entries`` is exceeded, so a long-running server's cache stays
+    warm for the working set without growing with total jobs served.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_MEMO_ENTRIES):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        super().__init__()
+        self.max_entries = max_entries
+
+    def __getitem__(self, key):
+        value = super().__getitem__(key)
+        self.move_to_end(key)
+        return value
+
+    def __setitem__(self, key, value) -> None:
+        super().__setitem__(key, value)
+        self.move_to_end(key)
+        while len(self) > self.max_entries:
+            self.popitem(last=False)
 
 
 class TokenBucket:
@@ -170,12 +205,19 @@ class JobOutcome:
     charged: Optional[int] = None
 
 
+class InvalidSpecification(ValueError):
+    """The submitted ``.g`` text does not parse into a usable STG."""
+
+
 def _parse_spec(params: Dict):
     from repro.stg.parser import parse_g
 
-    stg = parse_g(params["spec_text"], name=params["name"])
+    try:
+        stg = parse_g(params["spec_text"], name=params["name"])
+    except ValueError as exc:
+        raise InvalidSpecification(str(exc)) from exc
     if not stg.net.transitions:
-        raise ValueError("malformed .g specification: no transitions")
+        raise InvalidSpecification("malformed .g specification: no transitions")
     return stg
 
 
@@ -394,8 +436,15 @@ def run_job(kind: str, params: Dict, context, emit) -> Dict:
         status, detail = INCONCLUSIVE, str(exc)
     except (CSCViolation, InsertionError, SynthesisError) as exc:
         status, detail = FAILED, f"synthesis failed: {exc}"
-    except (ValueError, KeyError, OSError) as exc:
+    except InvalidSpecification as exc:
+        # the only parameter submit-time validation cannot vet: .g text
         status, detail = FAILED, f"invalid specification: {exc}"
+    except Exception as exc:  # an internal bug, not a bad request:
+        # keep the traceback visible instead of mislabeling it
+        traceback.print_exc(file=sys.stderr)
+        status, detail = (
+            FAILED, f"internal error: {type(exc).__name__}: {exc}"
+        )
     if charged is None:
         charged = context.budget.charged_states
     return {
@@ -443,14 +492,18 @@ def _process_job(task: Dict) -> Dict:
 
 __all__ = [
     "DEFAULT_JOB_STATES",
+    "DEFAULT_KEEP_JOBS",
+    "DEFAULT_MEMO_ENTRIES",
     "DEFAULT_TENANT_REFILL",
     "DEFAULT_TENANT_TOKENS",
     "DONE",
     "FAILED",
     "INCONCLUSIVE",
+    "InvalidSpecification",
     "Job",
     "JobManager",
     "JobOutcome",
+    "LRUMemo",
     "QUEUED",
     "RUNNING",
     "StreamRecorder",
@@ -487,6 +540,8 @@ class JobManager:
         job_max_states: int = DEFAULT_JOB_STATES,
         job_max_seconds: Optional[float] = None,
         max_queued: int = 256,
+        memo_entries: int = DEFAULT_MEMO_ENTRIES,
+        keep_jobs: int = DEFAULT_KEEP_JOBS,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -509,8 +564,13 @@ class JobManager:
         self.job_max_states = job_max_states
         self.job_max_seconds = job_max_seconds
         self.max_queued = max_queued
+        if keep_jobs < 1:
+            raise ValueError(f"keep_jobs must be >= 1, got {keep_jobs}")
+        self.keep_jobs = keep_jobs
         self.started_at = time.monotonic()
-        self._memo: Dict = {}
+        #: bounded resident caches -- a long-running server must not
+        #: grow with total jobs served (see :class:`LRUMemo`)
+        self._memo: Dict = LRUMemo(memo_entries)
         self._jobs: Dict[str, Job] = {}
         self._buckets: Dict[str, TokenBucket] = {}
         self._ids = itertools.count(1)
@@ -742,6 +802,21 @@ class JobManager:
         bucket.drain(outcome["charged"])
         self._finish(job, outcome, emit)
 
+    def _prune_jobs(self) -> None:
+        """Retention policy: keep at most ``keep_jobs`` finished jobs.
+
+        ``_jobs`` is submission-ordered, so the oldest terminal jobs
+        (with their event lists and result payloads) go first; running
+        and queued jobs are never touched.  Called on the loop thread
+        whenever a job finishes, keeping a long-running server's
+        memory bounded by the retention window, not by jobs served.
+        """
+        terminal = [job.id for job in self._jobs.values() if job.terminal]
+        excess = len(terminal) - self.keep_jobs
+        if excess > 0:
+            for job_id in terminal[:excess]:
+                del self._jobs[job_id]
+
     def _finish(self, job: Job, outcome: Dict, emit) -> None:
         job.status = outcome["status"]
         job.detail = outcome["detail"]
@@ -751,6 +826,7 @@ class JobManager:
         job.finished = time.monotonic()
         for key in ("hits", "misses"):
             self.cache_totals[key] += job.cache.get(key, 0)
+        self._prune_jobs()
         emit(
             {
                 "event": "status",

@@ -70,7 +70,10 @@ async def _read_request(
     """Parse one request -> (method, target, headers, body) or None."""
     try:
         line = await reader.readline()
-    except (ValueError, ConnectionError):
+    except ValueError:
+        # StreamReader's line-length limit (64 KiB) tripped
+        raise HttpError(400, "request line too long") from None
+    except ConnectionError:
         return None
     if not line:
         return None
@@ -80,7 +83,10 @@ async def _read_request(
     method, target = parts[0].upper(), parts[1]
     headers: Dict[str, str] = {}
     while True:
-        raw = await reader.readline()
+        try:
+            raw = await reader.readline()
+        except ValueError:
+            raise HttpError(400, "header line too long") from None
         if raw in (b"\r\n", b"\n", b""):
             break
         if len(headers) > 100:
@@ -130,6 +136,9 @@ class ServiceServer:
         self.port = port
         self._server: Optional[asyncio.AbstractServer] = None
         self._stopped = asyncio.Event()
+        #: serialises shutdown: POST /v1/shutdown and the signal
+        #: handlers may race, and the manager must drain exactly once
+        self._shutdown_lock = asyncio.Lock()
         self.shutdown_report: Optional[Dict] = None
 
     # ------------------------------------------------------------------
@@ -146,13 +155,19 @@ class ServiceServer:
         return self.shutdown_report or {"drained": False, "pending": -1}
 
     async def shutdown(self) -> Dict:
-        """Drain the manager, close the listener, release the waiters."""
-        if self.shutdown_report is None:
-            self.shutdown_report = await self.manager.drain()
-            if self._server is not None:
-                self._server.close()
-                await self._server.wait_closed()
-            self._stopped.set()
+        """Drain the manager, close the listener, release the waiters.
+
+        Idempotent and race-free: concurrent callers (a second POST, a
+        SIGINT during a POST) queue on the lock and get the first
+        drain's report instead of draining twice.
+        """
+        async with self._shutdown_lock:
+            if self.shutdown_report is None:
+                self.shutdown_report = await self.manager.drain()
+                if self._server is not None:
+                    self._server.close()
+                    await self._server.wait_closed()
+                self._stopped.set()
         return self.shutdown_report
 
     # ------------------------------------------------------------------
@@ -339,6 +354,8 @@ def serve(
     job_max_states: int = jobs_mod.DEFAULT_JOB_STATES,
     job_max_seconds: Optional[float] = None,
     max_queued: int = 256,
+    memo_entries: int = jobs_mod.DEFAULT_MEMO_ENTRIES,
+    keep_jobs: int = jobs_mod.DEFAULT_KEEP_JOBS,
     port_file: Optional[str] = None,
 ) -> int:
     """Run the server until a graceful shutdown; the CLI entry point.
@@ -360,6 +377,8 @@ def serve(
             job_max_states=job_max_states,
             job_max_seconds=job_max_seconds,
             max_queued=max_queued,
+            memo_entries=memo_entries,
+            keep_jobs=keep_jobs,
         )
         server = ServiceServer(manager, host=host, port=port)
         await server.start()

@@ -208,6 +208,55 @@ class TestBudgetSingleCharge:
 
 
 # ----------------------------------------------------------------------
+# Budget-lowered caps must not poison shared caches
+# ----------------------------------------------------------------------
+class TestBudgetCapCacheIsolation:
+    def test_truncated_hazard_report_is_not_cached(self, tmp_path):
+        """A drained budget lowers the hazard-check cap below the spec's
+        verify_max_states; the truncated report it produces must not be
+        served to later full-budget runs sharing the memo or store."""
+        stg = load_benchmark("delement")
+        spec = PipelineSpec.from_stg(stg)
+        reach_states = len(stg_to_state_graph(stg).state_list)
+        memo = {}
+        store = str(tmp_path / "store")
+
+        # after elaboration this budget leaves 1 state for the check
+        lean = AnalysisContext(
+            budget=Budget(max_states=reach_states + 1),
+            memo=memo, store=store,
+        )
+        truncated = Pipeline(lean).run(spec)
+        assert truncated.hazard_report.composition.truncated
+        assert not truncated.hazard_report.hazard_free
+
+        # a full-budget run over the same caches must recompute, not
+        # inherit the truncated verdict
+        rich = AnalysisContext(memo=memo, store=store)
+        full = Pipeline(rich).run(spec)
+        assert not full.hazard_report.composition.truncated
+        assert full.hazard_report.hazard_free
+        assert rich.cache_misses_by_stage["netlist"] == 1
+
+    def test_lowered_but_sufficient_cap_still_caches(self):
+        """When the lowered cap does not actually truncate, the artifact
+        is identical to the full-cap one and stays cacheable -- the warm
+        path the service's latency gate depends on."""
+        stg = load_benchmark("delement")
+        spec = PipelineSpec.from_stg(stg)
+        memo = {}
+
+        bounded = AnalysisContext(budget=Budget(max_states=50_000), memo=memo)
+        first = Pipeline(bounded).run(spec)
+        assert not first.hazard_report.composition.truncated
+
+        sharer = AnalysisContext(memo=memo)
+        second = Pipeline(sharer).run(spec)
+        assert second is first
+        assert sharer.cache_hits_by_stage["netlist"] == 1
+
+
+# ----------------------------------------------------------------------
 # JSON round-trips (shared serialization layer)
 # ----------------------------------------------------------------------
 class TestJsonRoundTrip:

@@ -533,3 +533,106 @@ class TestStoreValidation:
             locked.chmod(0o700)
         assert code == 2
         assert "store" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Bounded residency: the memo LRU and the finished-job retention window
+# ----------------------------------------------------------------------
+class TestLRUMemo:
+    def test_evicts_least_recently_used(self):
+        from repro.service.jobs import LRUMemo
+
+        memo = LRUMemo(max_entries=2)
+        memo["a"] = 1
+        memo["b"] = 2
+        assert memo["a"] == 1  # refresh 'a': 'b' is now the oldest
+        memo["c"] = 3
+        assert set(memo) == {"a", "c"}
+
+    def test_rejects_non_positive_capacity(self):
+        from repro.service.jobs import LRUMemo
+
+        with pytest.raises(ValueError, match="max_entries"):
+            LRUMemo(0)
+
+
+class TestJobRetention:
+    def test_oldest_terminal_jobs_are_pruned(self):
+        manager = JobManager(keep_jobs=2)
+        statuses = ["done", "failed", "running", "done", "queued", "done"]
+        for n, status in enumerate(statuses):
+            job = Job(id=f"j{n}", kind="synth", tenant="t", params={})
+            job.status = status
+            manager._jobs[job.id] = job
+        manager._prune_jobs()
+        # 4 terminal jobs -> the 2 oldest go; live jobs are untouchable
+        assert sorted(manager._jobs) == ["j2", "j3", "j4", "j5"]
+
+    def test_retention_must_keep_at_least_one(self):
+        with pytest.raises(ValueError, match="keep_jobs"):
+            JobManager(keep_jobs=0)
+
+
+# ----------------------------------------------------------------------
+# Shutdown is serialized: concurrent callers share one drain
+# ----------------------------------------------------------------------
+class TestShutdownRace:
+    def test_concurrent_shutdowns_drain_once(self):
+        import asyncio
+
+        async def _main():
+            manager = JobManager()
+            server = ServiceServer(manager, port=0)
+            await server.start()
+            calls = []
+            real_drain = manager.drain
+
+            async def counting_drain():
+                calls.append(1)
+                return await real_drain()
+
+            manager.drain = counting_drain
+            reports = await asyncio.gather(
+                server.shutdown(), server.shutdown()
+            )
+            assert calls == [1]
+            assert reports[0] is reports[1]
+
+        asyncio.run(_main())
+
+
+# ----------------------------------------------------------------------
+# Oversized request/header lines are client errors, not 500s
+# ----------------------------------------------------------------------
+class TestOversizedLines:
+    def test_oversized_request_line_is_400(self, service):
+        status, doc = service.request("GET", "/" + "x" * (80 * 1024))
+        assert status == 400
+        assert "too long" in doc["error"]
+
+    def test_oversized_header_line_is_400(self, service):
+        status, doc = service.request(
+            "GET", "/healthz", headers={"X-Pad": "x" * (80 * 1024)}
+        )
+        assert status == 400
+        assert "too long" in doc["error"]
+
+
+# ----------------------------------------------------------------------
+# Internal bugs are labeled as such, with the traceback preserved
+# ----------------------------------------------------------------------
+class TestInternalErrors:
+    def test_internal_bug_is_labeled_and_traced(self, monkeypatch, capsys):
+        from repro.pipeline.context import AnalysisContext
+        from repro.service import jobs as jobs_mod
+
+        def boom(params, context, emit):
+            raise RuntimeError("kaboom")
+
+        monkeypatch.setitem(jobs_mod._RUNNERS, "synth", boom)
+        outcome = jobs_mod.run_job(
+            "synth", {}, AnalysisContext(), lambda event: None
+        )
+        assert outcome["status"] == "failed"
+        assert outcome["detail"] == "internal error: RuntimeError: kaboom"
+        assert "kaboom" in capsys.readouterr().err
