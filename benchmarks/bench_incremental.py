@@ -1,0 +1,139 @@
+"""Single-edit re-synthesis latency: warm (delta) vs cold (from scratch).
+
+For each Table-1 design this measures the paired cost of applying one
+:class:`~repro.pipeline.delta.SpecDelta` — a signal retype that keeps
+the design synthesisable — through ``Pipeline.run(spec, delta=...)``
+against a warmed context, versus a cold from-scratch synthesis of the
+edited spec.  Byte-identity of the two netlist artifacts is asserted on
+every measurement: a speedup obtained by computing something different
+would be meaningless.
+
+The paper's long-tail designs (``nowick``/``berkel3``, dominated by the
+generalized state-assignment search) are where incremental re-synthesis
+pays: the edit leaves the reached state graph content-identical, so the
+reachability replay plus the content-addressed artifact chain turn a
+~1s cold synthesis into a ~1ms warm one.
+
+Results land in the ``incremental`` section of ``BENCH_pipeline.json``
+(see :func:`repro.bench.suite.update_pipeline_json`) and are gated by
+``check_regression.py --sections incremental``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_incremental.py [--rounds 3]
+                                                          [--names nowick,berkel3]
+                                                          [--out BENCH_pipeline.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.suite import BENCHMARKS, load_benchmark, update_pipeline_json
+from repro.pipeline import AnalysisContext, Pipeline, PipelineSpec
+
+#: the designs whose cold synthesis dominates table1 wall time; these
+#: are the ones check_regression gates on the speedup floor
+LONG_TAIL = ("nowick", "berkel3")
+
+
+def single_edit(stg) -> str:
+    """A graph-preserving edit: retype the sort-order-last output.
+
+    Retyping the alphabetically last output to internal keeps the
+    partition-grouped signal order (inputs, outputs, internal — each
+    sorted) unchanged, so the edit changes the interface contract but
+    not the reached state graph's content.  That is the interactive
+    sweet spot the delta path exists for; structural edits (edge
+    add/drop) change the state space and honestly pay for the dirty
+    recomputation downstream.
+    """
+    return f"retype {sorted(stg.outputs)[-1]} internal"
+
+
+def measure_design(name: str, rounds: int = 3) -> dict:
+    """Best-of-N paired (cold, warm) single-edit measurement."""
+    stg = load_benchmark(name)
+    edit = single_edit(stg)
+    cold_best = warm_best = float("inf")
+    for _ in range(rounds):
+        context = AnalysisContext()
+        pipeline = Pipeline(context)
+        spec = PipelineSpec.from_stg(stg, name=name)
+        pipeline.run(spec)  # warm the snapshot + artifact chain (untimed)
+
+        start = time.perf_counter()
+        warm_artifact = pipeline.run(spec, delta=edit)
+        warm_best = min(warm_best, time.perf_counter() - start)
+
+        edited = spec.apply_delta(edit)
+        start = time.perf_counter()
+        cold_artifact = Pipeline(AnalysisContext()).run(edited)
+        cold_best = min(cold_best, time.perf_counter() - start)
+
+        if warm_artifact.fingerprint != cold_artifact.fingerprint:
+            raise AssertionError(
+                f"{name}: warm delta artifact diverged from cold "
+                f"({warm_artifact.fingerprint[:12]} != "
+                f"{cold_artifact.fingerprint[:12]})"
+            )
+    return {
+        "edit": edit,
+        "cold_ms": round(cold_best * 1000, 3),
+        "warm_ms": round(warm_best * 1000, 3),
+        "speedup": round(cold_best / warm_best, 1),
+        "rounds": rounds,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--rounds", type=int, default=3,
+        help="measurement rounds per design (best-of, default 3)",
+    )
+    parser.add_argument(
+        "--names", default=None,
+        help="comma-separated designs (default: the full Table-1 suite)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_pipeline.json",
+        help="trajectory file to merge the 'incremental' section into",
+    )
+    args = parser.parse_args(argv)
+    names = (
+        [n.strip() for n in args.names.split(",") if n.strip()]
+        if args.names
+        else list(BENCHMARKS)
+    )
+    unknown = sorted(set(names) - set(BENCHMARKS))
+    if unknown:
+        print(f"bench_incremental: unknown design(s) {', '.join(unknown)}",
+              file=sys.stderr)
+        return 2
+
+    edits = {}
+    header = f"{'design':<16}{'cold[ms]':>10}{'warm[ms]':>10}{'speedup':>9}  edit"
+    print(header)
+    print("-" * len(header))
+    for name in names:
+        row = measure_design(name, rounds=args.rounds)
+        edits[name] = row
+        print(
+            f"{name:<16}{row['cold_ms']:>10.1f}{row['warm_ms']:>10.2f}"
+            f"{row['speedup']:>8.0f}x  {row['edit']}"
+        )
+
+    payload = {
+        "edits": edits,
+        "long_tail": [name for name in LONG_TAIL if name in edits],
+    }
+    path = update_pipeline_json("incremental", payload, args.out)
+    print(f"\nwrote section 'incremental' to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,6 +23,14 @@ active: on a runner without numpy the backend falls back to the
 pure-python kernel, whose contract is identity, not speed, so only the
 byte-identity tests gate it there.
 
+The ``incremental`` section (written by ``benchmarks/bench_incremental.py``)
+freezes the single-edit warm-vs-cold re-synthesis measurement of the
+delta pipeline.  Like ``service`` it is gated on an absolute floor
+(``--incremental-floor``, default 5x) over the recorded long-tail
+designs (nowick/berkel3): the warm path rides the reachability replay
+plus the content-addressed artifact chain, so anything under the floor
+means delta re-synthesis stopped reusing.
+
 The ``service`` section (written by ``benchmarks/bench_service.py``)
 freezes the resident job server's cold-single-shot over warm-p50 win.
 Unlike the paired sections it is gated on an *absolute* floor
@@ -184,6 +192,47 @@ def measure_wordlane_ratio(case: str, rounds: int = 5) -> tuple:
     return min(wordlane_times) * 1000, min(bitengine_times) * 1000
 
 
+def incremental_section(path: str = _JSON_PATH) -> dict:
+    """The ``incremental`` single-edit record ({} when never measured)."""
+    with open(path) as handle:
+        document = json.load(handle)
+    section = document.get("incremental")
+    return section if isinstance(section, dict) else {}
+
+
+def check_incremental(section: dict, floor: float) -> tuple:
+    """Gate the recorded long-tail single-edit speedups -> (ok, messages).
+
+    The speedup is recomputed from the recorded latencies (not trusted
+    from the rounded field); every design named in ``long_tail`` must
+    clear the absolute floor.
+    """
+    designs = section.get("long_tail") or []
+    edits = section.get("edits") or {}
+    if not designs:
+        return False, ["incremental: no long_tail designs recorded"]
+    ok, messages = True, []
+    for name in designs:
+        row = edits.get(name)
+        try:
+            cold_ms = float(row["cold_ms"])
+            warm_ms = float(row["warm_ms"])
+        except (KeyError, TypeError, ValueError):
+            return False, [f"incremental/{name}: malformed record"]
+        if warm_ms <= 0:
+            return False, [f"incremental/{name}: non-positive warm ({warm_ms}ms)"]
+        speedup = cold_ms / warm_ms
+        verdict = "ok" if speedup >= floor else "REGRESSED"
+        messages.append(
+            f"incremental/{name}: cold {cold_ms:.1f}ms, warm {warm_ms:.2f}ms "
+            f"-> {speedup:.0f}x single-edit speedup (floor {floor:.0f}x): "
+            f"{verdict}"
+        )
+        if speedup < floor:
+            ok = False
+    return ok, messages
+
+
 def service_section(path: str = _JSON_PATH) -> dict:
     """The ``service`` load-test record ({} when never measured)."""
     with open(path) as handle:
@@ -253,13 +302,18 @@ def main(argv=None) -> int:
         "(default 10.0; the section is skipped when absent)",
     )
     parser.add_argument(
-        "--sections", default="hotpath,hazard-sim,wordlane,service",
+        "--incremental-floor", type=float, default=5.0,
+        help="minimum recorded single-edit warm speedup on the long-tail "
+        "designs (default 5.0; the section is skipped when absent)",
+    )
+    parser.add_argument(
+        "--sections", default="hotpath,hazard-sim,wordlane,service,incremental",
         help="comma-separated subset of gates to run (default: all); "
         "e.g. --sections service against a fresh bench_service output",
     )
     args = parser.parse_args(argv)
     sections = {name.strip() for name in args.sections.split(",") if name}
-    unknown = sections - {"hotpath", "hazard-sim", "wordlane", "service"}
+    unknown = sections - {"hotpath", "hazard-sim", "wordlane", "service", "incremental"}
     if unknown:
         print(
             f"check_regression: unknown section(s) {', '.join(sorted(unknown))}",
@@ -351,6 +405,21 @@ def main(argv=None) -> int:
                 )
                 if measured < floor:
                     failed.append(f"wordlane/{case}")
+
+    incremental = {}
+    if "incremental" in sections:
+        try:
+            incremental = incremental_section(args.json)
+        except (OSError, ValueError):
+            pass
+    if incremental:
+        ok, messages = check_incremental(incremental, args.incremental_floor)
+        for message in messages:
+            print(message)
+        if not ok:
+            failed.append("incremental")
+    elif "incremental" in sections:
+        print("incremental: no recorded measurement, skipped")
 
     service = {}
     if "service" in sections:

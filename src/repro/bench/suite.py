@@ -72,6 +72,9 @@ class PipelineResult:
     elapsed_seconds: float
     #: per-phase wall time / op counters when run with ``profile=True``
     profile: Optional[Dict] = None
+    #: per-stage reuse ledger of the run that produced this result:
+    #: stage -> {"mode": "hit" | "miss" | "partial", ...counts}
+    reuse: Optional[Dict] = None
 
     @property
     def added_signals(self) -> int:
@@ -146,7 +149,11 @@ def run_pipeline(
     hazard_report = None
     if verify:
         hazard_report = pipeline.run(spec, until="netlist").hazard_report
-    plan = pipeline.run(spec, until="covers")
+        reuse = {k: dict(v) for k, v in context.last_reuse.items()}
+        plan = pipeline.run(spec, until="covers")
+    else:
+        plan = pipeline.run(spec, until="covers")
+        reuse = {k: dict(v) for k, v in context.last_reuse.items()}
     reached = pipeline.run(spec, until="reach")
     return PipelineResult(
         name=name,
@@ -159,6 +166,7 @@ def run_pipeline(
         profile=(
             context.recorder.as_dict() if context.recorder is not None else None
         ),
+        reuse=reuse,
     )
 
 

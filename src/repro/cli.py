@@ -129,11 +129,40 @@ def _start_profile(args: argparse.Namespace) -> Optional[perf.PerfRecorder]:
     return perf.enable() if getattr(args, "profile", False) else None
 
 
-def _finish_profile(recorder: Optional[perf.PerfRecorder]) -> None:
+def _finish_profile(recorder: Optional[perf.PerfRecorder], context=None) -> None:
     if recorder is not None:
         print()
         print(recorder.report())
+        store = getattr(context, "store", None)
+        if store is not None:
+            print()
+            print(_store_traffic_report(store))
         perf.disable()
+
+
+def _store_traffic_report(store) -> str:
+    """Per-stage artifact-store traffic lines for ``--profile`` output."""
+    lines = ["artifact store traffic:"]
+    stats = store.stats()
+    stages = sorted({s for stages in stats.values() for s in stages})
+    if not stages:
+        lines.append("  (no store traffic)")
+        return "\n".join(lines)
+    events = [e for e in ("hit", "miss", "corrupt", "put", "skip", "evict")
+              if stats.get(e)]
+    for stage in stages:
+        parts = ", ".join(
+            f"{event} {stats[event][stage]}"
+            for event in events
+            if stats[event].get(stage)
+        )
+        lines.append(f"  {stage:<8} {parts}")
+    totals = store.totals()
+    summary = ", ".join(
+        f"{event} {count}" for event, count in sorted(totals.items()) if count
+    )
+    lines.append(f"  total    {summary or '(none)'}")
+    return "\n".join(lines)
 
 
 def cmd_info(args: argparse.Namespace) -> int:
@@ -158,25 +187,73 @@ def cmd_info(args: argparse.Namespace) -> int:
         with open(args.dot, "w") as handle:
             handle.write(sg_to_dot(sg))
         print(f"state graph written to {args.dot}")
-    _finish_profile(recorder)
+    _finish_profile(recorder, context)
     return 0
+
+
+def _edit_synthesis(args, context, stg):
+    """``synth --edit``: base synthesis, then delta re-synthesis.
+
+    Runs the unedited specification first (warming the context's memo
+    cache and exploration snapshot), applies the ``--edit`` lines as a
+    :class:`~repro.pipeline.delta.SpecDelta`, and re-synthesises
+    incrementally.  The returned result is for the *edited* design and
+    is byte-identical to a from-scratch run; a per-stage reuse summary
+    goes to stderr.
+    """
+    from repro import _run_synthesis
+    from repro.pipeline import Pipeline, PipelineSpec
+    from repro.pipeline.delta import DeltaError, SpecDelta
+
+    try:
+        delta = SpecDelta.parse(args.edit)
+    except DeltaError as exc:
+        raise CliError(f"bad --edit: {exc}") from exc
+    spec = PipelineSpec.from_stg(
+        stg,
+        style=args.style,
+        share_gates=args.share,
+        verify=not args.no_verify,
+        max_models=args.max_models,
+    )
+    pipeline = Pipeline(context)
+    pipeline.run(spec)  # base synthesis: warms snapshot + artifacts
+    try:
+        pipeline.run(spec, delta=delta)
+    except DeltaError as exc:
+        raise CliError(f"--edit does not apply: {exc}") from exc
+    reuse = dict(context.last_reuse)
+    print(f"edit: {delta.describe()}", file=sys.stderr)
+    for stage, entry in reuse.items():
+        counts = ", ".join(
+            f"{k}={v}" for k, v in entry.items() if k != "mode"
+        )
+        suffix = f" ({counts})" if counts else ""
+        print(f"  {stage}: {entry['mode']}{suffix}", file=sys.stderr)
+    # package the classic result shape for the edited spec (memo hits)
+    return _run_synthesis(spec.apply_delta(delta), context)
 
 
 def cmd_synth(args: argparse.Namespace) -> int:
     from repro.pipeline import AnalysisContext
 
     recorder = _start_profile(args)
-    _, sg = _load(args.spec)
-    result = synthesize_from_state_graph(
-        sg,
-        style=args.style,
-        share_gates=args.share,
-        verify=not args.no_verify,
-        max_models=args.max_models,
-        context=AnalysisContext(
-            backend=args.backend, jobs=args.jobs, store=args.store
-        ),
+    context = AnalysisContext(
+        backend=args.backend, jobs=args.jobs, store=args.store
     )
+    if getattr(args, "edit", None):
+        stg, _ = _load(args.spec)
+        result = _edit_synthesis(args, context, stg)
+    else:
+        _, sg = _load(args.spec)
+        result = synthesize_from_state_graph(
+            sg,
+            style=args.style,
+            share_gates=args.share,
+            verify=not args.no_verify,
+            max_models=args.max_models,
+            context=context,
+        )
     if result.added_signals:
         print(result.insertion.describe())
     print(result.implementation.equations())
@@ -214,7 +291,7 @@ def cmd_synth(args: argparse.Namespace) -> int:
         with open(args.dot, "w") as handle:
             handle.write(netlist_to_dot(result.netlist))
         print(f"netlist graph written to {args.dot}")
-    _finish_profile(recorder)
+    _finish_profile(recorder, context)
     if result.hazard_report is not None and not result.hazard_free:
         return 1
     return 0
@@ -268,7 +345,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
             exit_code = EXIT_HAZARD
         elif fault_report.truncated and exit_code == EXIT_OK:
             exit_code = EXIT_INCONCLUSIVE
-    _finish_profile(recorder)
+    _finish_profile(recorder, context)
     return exit_code
 
 
@@ -545,6 +622,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="Sec.-VI gate sharing (pass 'optimal' for the exact optimiser)",
     )
     p_synth.add_argument("--no-verify", action="store_true")
+    p_synth.add_argument(
+        "--edit", action="append", metavar="EDIT", default=None,
+        help="delta re-synthesis: synthesise the spec, apply this edit "
+        "('add a+ b- [marked]' | 'drop a+ b-' | 'retype x internal' | "
+        "'marking p1 p2'; repeatable) and re-synthesise incrementally",
+    )
     p_synth.add_argument(
         "--regions", action="store_true",
         help="print the per-region cube mapping report",

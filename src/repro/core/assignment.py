@@ -105,6 +105,10 @@ class LabelEncoding:
             self.cnf.exactly_one(group)
         self._add_edge_rules()
         self._add_switching_rule()
+        # incremental solver shared across solves; clauses added to the
+        # CNF after a solve (forbid_model, require_*) are synced lazily
+        self._solver: Optional[Solver] = None
+        self._synced_clauses = 0
 
     # ------------------------------------------------------------------
     def var(self, state: State, label: str) -> int:
@@ -169,7 +173,14 @@ class LabelEncoding:
         ``deadline`` propagates to the SAT search, which raises
         :class:`repro.sat.solver.SolverTimeout` when it expires.
         """
-        model = Solver.from_cnf(self.cnf).solve(assumptions, deadline=deadline)
+        if self._solver is None:
+            self._solver = Solver.from_cnf(self.cnf)
+        else:
+            self._solver.ensure_vars(self.cnf.num_vars)
+            for clause in self.cnf.clauses[self._synced_clauses :]:
+                self._solver.add_clause(clause)
+        self._synced_clauses = len(self.cnf.clauses)
+        model = self._solver.solve(assumptions, deadline=deadline)
         if model is None:
             return None
         labelling: Dict[State, str] = {}

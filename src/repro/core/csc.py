@@ -81,10 +81,12 @@ def _csc_candidates(sg: StateGraph, conflicts, per_set_budget: int = 30):
                     break
                 produced += 1
                 partition = {s: int(model[var[s]]) for s in states}
-                cnf.forbid(
-                    [var[s] if partition[s] else -var[s] for s in states]
+                # incremental blocking clause: the solver re-prepares its
+                # watch state lazily, so the model sequence matches a
+                # fresh Solver.from_cnf per query exactly
+                solver.add_clause(
+                    [-var[s] if partition[s] else var[s] for s in states]
                 )
-                solver = Solver.from_cnf(cnf)
                 labelling = labelling_from_partition(sg, partition)
                 if labelling is not None:
                     yield labelling

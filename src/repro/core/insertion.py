@@ -34,6 +34,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro import perf
 from repro.core.assignment import LabelEncoding, lifted_phases, phases
 from repro.core.mc import MCReport, RegionVerdict, analyze_mc
 from repro.sg.events import SignalEvent
@@ -484,8 +485,12 @@ def _partition_candidates(
                         break
                     produced += 1
                     partition = {s: int(model[var[s]]) for s in states}
-                    cnf.forbid([var[s] if partition[s] else -var[s] for s in states])
-                    solver = Solver.from_cnf(cnf)
+                    # incremental blocking clause: lazy re-preparation
+                    # keeps the model sequence identical to rebuilding
+                    # the solver per query
+                    solver.add_clause(
+                        [-var[s] if partition[s] else var[s] for s in states]
+                    )
                     labelling = labelling_from_partition(sg, partition)
                     if labelling is not None:
                         yield labelling
@@ -598,6 +603,29 @@ def _failure_signature(report: MCReport) -> Tuple[str, ...]:
     return tuple(sorted(v.er.transition_name for v in report.failed))
 
 
+def _analyze_expanded(
+    expanded: StateGraph, analysis_cache
+) -> Tuple[StateGraph, MCReport]:
+    """MC-analyze a candidate expansion, memoised by graph fingerprint.
+
+    On a hit both the cached graph (with its warm analysis caches) and
+    its report are returned, keeping ``report.sg`` consistent with the
+    graph threaded onwards.
+    """
+    if analysis_cache is None:
+        return expanded, analyze_mc(expanded)
+    from repro.pipeline.artifacts import fingerprint_state_graph
+
+    key = fingerprint_state_graph(expanded)
+    hit = analysis_cache.get(key)
+    if hit is not None:
+        perf.count("insertion.analysis-reuse")
+        return hit
+    report = analyze_mc(expanded)
+    analysis_cache[key] = (expanded, report)
+    return expanded, report
+
+
 @dataclass
 class _BeamNode:
     sg: StateGraph
@@ -617,6 +645,7 @@ def insert_state_signals(
     beam_width: int = 6,
     deadline: Optional[float] = None,
     report: Optional[MCReport] = None,
+    analysis_cache=None,
 ) -> InsertionResult:
     """Insert internal signals until the MC requirement holds.
 
@@ -642,6 +671,14 @@ def insert_state_signals(
 
     ``report`` lets callers that already hold the MC analysis of ``sg``
     (the staged pipeline memoises it) skip the redundant re-analysis.
+
+    ``analysis_cache`` is an optional mapping (``.get``/``__setitem__``)
+    from expanded-graph fingerprints to ``(graph, MCReport)`` pairs; the
+    beam search consults it before analyzing a candidate and reuses
+    *both* cached objects on a hit.  ``analyze_mc`` is deterministic per
+    graph content, so the cache changes nothing about the search outcome
+    — it only skips repeated analyses (duplicate candidates within one
+    search, or re-searches after a spec edit).
     """
     report = report if report is not None else analyze_mc(sg)
     if report.satisfied:
@@ -667,7 +704,7 @@ def insert_state_signals(
                     continue
                 if _new_input_conflicts(node.sg, expanded):
                     continue
-                new_report = analyze_mc(expanded)
+                expanded, new_report = _analyze_expanded(expanded, analysis_cache)
                 child = _BeamNode(
                     sg=expanded,
                     report=new_report,

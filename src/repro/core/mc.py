@@ -200,7 +200,11 @@ def _function_verdicts(
     return verdicts
 
 
-def analyze_mc(sg: StateGraph, jobs: Optional[int] = None) -> MCReport:
+def analyze_mc(
+    sg: StateGraph,
+    jobs: Optional[int] = None,
+    reuse: Optional[Dict[Tuple[str, int], List[RegionVerdict]]] = None,
+) -> MCReport:
     """Check the (generalised) Monotonous Cover requirement per region.
 
     ``jobs`` opts into a parallel fan-out: the per-function verdicts
@@ -211,14 +215,25 @@ def analyze_mc(sg: StateGraph, jobs: Optional[int] = None) -> MCReport:
     function order, and each function's computation is untouched.  The
     shared per-graph caches (regions, bitmask engine, value sets) are
     warmed up front so workers mostly read.
+
+    ``reuse`` maps ``(signal, direction)`` pairs to previously computed
+    verdict lists that are adopted verbatim in place of re-running the
+    function's cover search.  Callers are responsible for only offering
+    verdicts whose input cone is unchanged (the pipeline keys them on
+    the per-function digests of ``pipeline/incremental.py``), which
+    makes adoption indistinguishable from recomputation.
     """
     with perf.phase("mc-analysis"):
         by_function: Dict[Tuple[str, int], List[ExcitationRegion]] = {}
         for er in all_excitation_regions(sg, only_non_inputs=True):
             by_function.setdefault((er.signal, er.direction), []).append(er)
         ordered = sorted(by_function.items())
+        reuse = reuse or {}
+        pending = [item for item in ordered if item[0] not in reuse]
+        if reuse:
+            perf.count("mc.functions-reused", len(ordered) - len(pending))
 
-        if jobs is not None and jobs > 1 and len(ordered) > 1:
+        if jobs is not None and jobs > 1 and len(pending) > 1:
             from concurrent.futures import ThreadPoolExecutor
 
             from repro.sg.bitengine import bit_analysis
@@ -227,20 +242,21 @@ def analyze_mc(sg: StateGraph, jobs: Optional[int] = None) -> MCReport:
             # fills (harmless but wasteful duplicates) stay rare
             engine = bit_analysis(sg)
             engine.succ_bits
-            for (signal, _), _regions in ordered:
+            for (signal, _), _regions in pending:
                 excited_value_sets(sg, signal)
             with ThreadPoolExecutor(max_workers=jobs) as pool:
                 results = list(
                     pool.map(
-                        lambda item: _function_verdicts(sg, item[1]), ordered
+                        lambda item: _function_verdicts(sg, item[1]), pending
                     )
                 )
         else:
             results = [
-                _function_verdicts(sg, regions) for _, regions in ordered
+                _function_verdicts(sg, regions) for _, regions in pending
             ]
 
+        computed = {key: result for (key, _), result in zip(pending, results)}
         verdicts: List[RegionVerdict] = []
-        for function_verdicts in results:
-            verdicts.extend(function_verdicts)
+        for key, _regions in ordered:
+            verdicts.extend(computed[key] if key in computed else list(reuse[key]))
         return MCReport(sg=sg, verdicts=verdicts)

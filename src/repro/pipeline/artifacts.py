@@ -119,6 +119,9 @@ class RegionMap:
 
     regions: Tuple[ExcitationRegion, ...]
     fingerprint: str = ""
+    #: per-signal digests of the region computation's input cone
+    #: (see pipeline/incremental.py); equal digest = identical ER list
+    signal_fingerprints: Tuple[Tuple[str, str], ...] = ()
 
     def of_signal(self, signal: str) -> Tuple[ExcitationRegion, ...]:
         return tuple(er for er in self.regions if er.signal == signal)
@@ -134,6 +137,9 @@ class MCVerdict:
     report: MCReport
     backend: str = "bitengine"
     fingerprint: str = ""
+    #: per-``a+``/``a-`` digests of each function's verdict input cone
+    #: (see pipeline/incremental.py); equal digest = identical verdicts
+    function_fingerprints: Tuple[Tuple[str, str], ...] = ()
 
     @property
     def satisfied(self) -> bool:

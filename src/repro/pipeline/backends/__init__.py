@@ -52,6 +52,13 @@ class AnalysisBackend(Protocol):
     and reports; ``analyze_mc`` performs the whole-graph Monotonous
     Cover analysis and must return the same :class:`MCReport` shape as
     the fast path so reports stay comparable field by field.
+
+    Backends that additionally accept an ``analyze_mc(reuse=...)``
+    mapping of previously computed per-function verdicts (delta
+    re-synthesis, see ``pipeline/incremental.py``) advertise it with a
+    truthy ``supports_reuse`` class attribute; the pipeline only passes
+    ``reuse`` to backends that opt in, so third-party backends are
+    unaffected.
     """
 
     name: str

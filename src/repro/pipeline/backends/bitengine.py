@@ -20,12 +20,15 @@ class BitengineBackend:
     """Bitmask fast path (the synthesis engine the paper's tables use)."""
 
     name = "bitengine"
+    #: accepts analyze_mc(reuse=...) with previously computed per-function
+    #: verdicts (delta re-synthesis); see pipeline/incremental.py
+    supports_reuse = True
 
     def analyze_mc(
-        self, sg: StateGraph, jobs: Optional[int] = None
+        self, sg: StateGraph, jobs: Optional[int] = None, reuse=None
     ) -> MCReport:
         perf.count("backend.bitengine.analyze_mc")
-        return analyze_mc(sg, jobs=jobs)
+        return analyze_mc(sg, jobs=jobs, reuse=reuse)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return "<AnalysisBackend bitengine>"

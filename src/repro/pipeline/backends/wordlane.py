@@ -25,8 +25,13 @@ class WordlaneBackend:
     """AnalysisBackend running the MC analysis on the lane engine."""
 
     name = "wordlane"
+    #: accepts analyze_mc(reuse=...) with previously computed per-function
+    #: verdicts (delta re-synthesis); see pipeline/incremental.py
+    supports_reuse = True
 
-    def analyze_mc(self, sg: StateGraph, jobs: Optional[int] = None) -> MCReport:
+    def analyze_mc(
+        self, sg: StateGraph, jobs: Optional[int] = None, reuse=None
+    ) -> MCReport:
         perf.count("backend.wordlane.analyze_mc")
         lane_analysis(sg)
-        return analyze_mc(sg, jobs=jobs)
+        return analyze_mc(sg, jobs=jobs, reuse=reuse)

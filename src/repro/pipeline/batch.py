@@ -71,6 +71,8 @@ class DesignOutcome:
     seconds: float = 0.0
     #: this design's store traffic, event -> count (stats only)
     store_traffic: Dict[str, int] = field(default_factory=dict)
+    #: per-stage breakdown, event -> {stage: count} (stats only)
+    store_traffic_by_stage: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -140,9 +142,14 @@ class BatchReport:
     def stats(self) -> Dict:
         """Run metadata: timings and aggregated store traffic."""
         traffic: Dict[str, int] = {}
+        by_stage: Dict[str, Dict[str, int]] = {}
         for outcome in self.outcomes:
             for event, count in outcome.store_traffic.items():
                 traffic[event] = traffic.get(event, 0) + count
+            for event, stages in outcome.store_traffic_by_stage.items():
+                bucket = by_stage.setdefault(event, {})
+                for stage, count in stages.items():
+                    bucket[stage] = bucket.get(stage, 0) + count
         return {
             "designs": len(self.outcomes),
             "jobs": self.jobs,
@@ -153,6 +160,7 @@ class BatchReport:
                 o.name: round(o.seconds, 6) for o in self.outcomes
             },
             "store_traffic": traffic,
+            "store_traffic_by_stage": by_stage,
             "store_traffic_by_design": {
                 o.name: dict(o.store_traffic) for o in self.outcomes
             },
@@ -206,6 +214,7 @@ def _run_design(task: Dict) -> Dict:
         "fingerprint": "",
         "seconds": 0.0,
         "store_traffic": {},
+        "store_traffic_by_stage": {},
     }
     budget = Budget(
         max_states=task["max_states"], max_seconds=task["timeout_seconds"]
@@ -276,6 +285,7 @@ def _run_design(task: Dict) -> Dict:
         outcome["seconds"] = time.perf_counter() - started
         if context.store is not None:
             outcome["store_traffic"] = context.store.totals()
+            outcome["store_traffic_by_stage"] = context.store.stats()
 
 
 def _conflict_count(report) -> int:

@@ -83,6 +83,10 @@ class AnalysisContext:
         #: per-stage memo traffic, e.g. ``{"regions": 1}``
         self.cache_hits_by_stage: Dict[str, int] = {}
         self.cache_misses_by_stage: Dict[str, int] = {}
+        #: per-stage reuse ledger of the most recent ``Pipeline.run``:
+        #: stage -> {"mode": "hit"|"miss"|"partial", ...counts}
+        self.last_reuse: Dict[str, Dict[str, object]] = {}
+        self._incremental = None
 
     # ------------------------------------------------------------------
     @property
@@ -111,6 +115,52 @@ class AnalysisContext:
         self._memo.clear()
 
     # ------------------------------------------------------------------
+    @property
+    def incremental(self):
+        """Lazy per-context :class:`~repro.pipeline.incremental.IncrementalIndex`.
+
+        Holds reachability exploration snapshots and the insertion-search
+        analysis cache that power ``Pipeline.run(spec, delta=...)``.
+        """
+        if self._incremental is None:
+            from repro.pipeline.incremental import IncrementalIndex
+
+            self._incremental = IncrementalIndex()
+        return self._incremental
+
+    def note_reuse(self, stage: str, mode: str, **counts) -> None:
+        """Record how much of ``stage``'s latest run was incremental.
+
+        ``mode`` is ``"hit"`` (artifact served from memo/store),
+        ``"miss"`` (computed from scratch) or ``"partial"`` (computed,
+        but with per-signal/per-function/per-marking reuse recorded in
+        ``counts``).  The ledger is reset at the start of each
+        ``Pipeline.run`` and surfaced on ``PipelineResult.reuse`` and
+        the service's stage events.
+        """
+        entry: Dict[str, object] = {"mode": mode}
+        entry.update(counts)
+        self.last_reuse[stage] = entry
+
+    def probe(self, stage: str, key: Tuple):
+        """Look up an artifact without counting a hit or a miss.
+
+        Used by the delta path to fetch *base-spec* artifacts as reuse
+        hints: a probe is not part of the edited run's cache traffic, so
+        it must not skew the hit/miss counters (store ``get`` stats do
+        register, which is accurate — the store was really consulted).
+        """
+        full_key = (stage,) + key
+        if full_key in self._memo:
+            return self._memo[full_key]
+        if self.store is not None:
+            artifact = self.store.get(stage, key)
+            if artifact is not None:
+                self._memo[full_key] = artifact
+                return artifact
+        return None
+
+    # ------------------------------------------------------------------
     def memoize(self, stage: str, key: Tuple, compute, cache_if=None):
         """Return the memoised artifact for ``key``, computing on miss.
 
@@ -131,6 +181,7 @@ class AnalysisContext:
                 self.cache_hits_by_stage.get(stage, 0) + 1
             )
             perf.count(f"pipeline-cache-hit:{stage}")
+            self.note_reuse(stage, "hit")
             return self._memo[full_key]
         self.cache_misses_by_stage[stage] = (
             self.cache_misses_by_stage.get(stage, 0) + 1
@@ -139,7 +190,9 @@ class AnalysisContext:
             artifact = self.store.get(stage, key)
             if artifact is not None:
                 self._memo[full_key] = artifact
+                self.note_reuse(stage, "hit")
                 return artifact
+        self.note_reuse(stage, "miss")
         artifact = compute()
         if cache_if is not None and not cache_if(artifact):
             perf.count(f"pipeline-cache-skip:{stage}")

@@ -105,6 +105,42 @@ class PipelineSpec:
     def with_options(self, **options) -> "PipelineSpec":
         return replace(self, **options)
 
+    def apply_delta(self, delta) -> "PipelineSpec":
+        """The spec with a :class:`~repro.pipeline.delta.SpecDelta` applied.
+
+        ``delta`` may be a ``SpecDelta``, edit text (``"add a+ b-"``
+        lines) or the JSON form; only STG-based specs can be edited.
+        """
+        delta = _coerce_delta(delta)
+        if self.stg is None:
+            raise ValueError("apply_delta needs an STG-based spec")
+        return replace(self, stg=delta.apply_to_stg(self.stg))
+
+
+def _coerce_delta(delta):
+    from repro.pipeline.delta import SpecDelta
+
+    if isinstance(delta, SpecDelta):
+        return delta
+    if isinstance(delta, dict):
+        return SpecDelta.from_json(delta)
+    return SpecDelta.parse(delta)
+
+
+@dataclass
+class _DeltaHints:
+    """Base-spec artifacts offered to the stages of a delta run.
+
+    Every field is optional: absent hints degrade each stage to its
+    plain from-scratch compute.  Hints never change results — they only
+    let stages skip recomputing sub-results whose input cone provably
+    matches the base (see :mod:`repro.pipeline.incremental`).
+    """
+
+    snapshot: object = None  # ExplorationSnapshot of the base STG
+    base_regions: Optional[RegionMap] = None
+    base_mc: Optional[MCVerdict] = None
+
 
 class Pipeline:
     """Drives the staged flow over one :class:`AnalysisContext`."""
@@ -119,6 +155,7 @@ class Pipeline:
         self,
         spec: Union[PipelineSpec, STG, StateGraph],
         until: str = "netlist",
+        delta=None,
     ):
         """Run the pipeline up to (and including) stage ``until``.
 
@@ -126,6 +163,16 @@ class Pipeline:
         context's memo cache, so a later ``run`` of an earlier stage (or
         a re-run) is a cache hit.  Raw ``STG`` / ``StateGraph`` inputs
         are coerced to a default :class:`PipelineSpec`.
+
+        ``delta`` switches to incremental re-synthesis: ``spec`` is the
+        *base*, the pipeline runs on ``spec.apply_delta(delta)``, and
+        the base spec's artifacts (probed from the context caches, plus
+        the base exploration snapshot when this context elaborated it)
+        are offered to each stage as reuse hints.  Incremental results
+        are byte-identical to running the edited spec from scratch — the
+        hints only scope *recomputation* to what the edit dirtied.
+        ``delta`` accepts a :class:`~repro.pipeline.delta.SpecDelta`,
+        edit text lines or the JSON form.
         """
         if until not in STAGES:
             raise ValueError(f"unknown stage {until!r}; stages are {STAGES}")
@@ -133,14 +180,22 @@ class Pipeline:
             spec = PipelineSpec.from_stg(spec)
         elif isinstance(spec, StateGraph):
             spec = PipelineSpec.from_state_graph(spec)
+        hints: Optional[_DeltaHints] = None
+        if delta is not None:
+            if spec.stg is None:
+                raise ValueError("delta re-synthesis needs an STG-based spec")
+            base_spec = spec
+            spec = base_spec.apply_delta(delta)
+            hints = self._delta_hints(base_spec)
+        self.context.last_reuse = {}
         with perf.recording(self.context.recorder):
-            reached = self._reach(spec)
+            reached = self._reach(spec, hints)
             if until == "reach":
                 return reached
-            regions = self._regions(reached)
+            regions = self._regions(reached, hints)
             if until == "regions":
                 return regions
-            mc = self._mc(reached, regions)
+            mc = self._mc(reached, regions, hints)
             if until == "mc":
                 return mc
             covers = self._covers(spec, reached, mc)
@@ -148,8 +203,33 @@ class Pipeline:
                 return covers
             return self._netlist(spec, covers)
 
+    def _delta_hints(self, base_spec: PipelineSpec) -> _DeltaHints:
+        """Probe the context caches for the base spec's artifacts.
+
+        Probes bypass the hit/miss counters (they are not part of the
+        edited run's traffic).  Anything not found simply leaves the
+        corresponding hint empty.
+        """
+        ctx = self.context
+        hints = _DeltaHints()
+        if base_spec.sg is not None:
+            base_reached = ctx.probe("reach", (fingerprint_state_graph(base_spec.sg),))
+        else:
+            base_stg_fp = fingerprint_stg(base_spec.stg)
+            hints.snapshot = ctx.incremental.reach_snapshot(base_stg_fp)
+            base_reached = ctx.probe("reach", (base_stg_fp, base_spec.max_states))
+        if base_reached is not None:
+            hints.base_regions = ctx.probe("regions", (base_reached.fingerprint,))
+            if hints.base_regions is not None:
+                hints.base_mc = ctx.probe(
+                    "mc", (hints.base_regions.fingerprint, ctx.backend.name)
+                )
+        return hints
+
     # ------------------------------------------------------------------
-    def _reach(self, spec: PipelineSpec) -> ReachedSG:
+    def _reach(
+        self, spec: PipelineSpec, hints: Optional[_DeltaHints] = None
+    ) -> ReachedSG:
         ctx = self.context
         if spec.sg is not None:
             key = (fingerprint_state_graph(spec.sg),)
@@ -170,46 +250,131 @@ class Pipeline:
             # graph, so a graph that elaborated successfully is
             # identical for every cap >= its size.
             cap = ctx.budget.remaining_states(spec.max_states)
-            sg = stg_to_state_graph(spec.stg, max_states=min(cap, spec.max_states))
+            snapshot = hints.snapshot if hints is not None else None
+            stats: dict = {}
+            sg = stg_to_state_graph(
+                spec.stg,
+                max_states=min(cap, spec.max_states),
+                snapshot=snapshot,
+                on_snapshot=lambda snap: ctx.incremental.put_reach_snapshot(
+                    key[0], snap
+                ),
+                stats=stats,
+            )
             ctx.budget.charge_states(
                 len(sg.state_list), "specification elaboration"
             )
+            if snapshot is not None:
+                ctx.note_reuse(
+                    "reach",
+                    "partial",
+                    replayed_markings=stats.get("replayed", 0),
+                    expanded_markings=stats.get("expanded", 0),
+                )
             return ReachedSG(
                 sg=sg, source=spec.stg, fingerprint=fingerprint_state_graph(sg)
             )
 
         return ctx.memoize("reach", key, elaborate)
 
-    def _regions(self, reached: ReachedSG) -> RegionMap:
+    def _regions(
+        self, reached: ReachedSG, hints: Optional[_DeltaHints] = None
+    ) -> RegionMap:
         ctx = self.context
         key = (reached.fingerprint,)
 
         def compute() -> RegionMap:
-            from repro.sg.regions import all_excitation_regions
+            from repro.pipeline.incremental import signal_region_digest
+            from repro.sg.regions import excitation_regions
 
+            sg = reached.sg
+            base_digests = {}
+            base_by_signal: dict = {}
+            if hints is not None and hints.base_regions is not None:
+                base_digests = dict(hints.base_regions.signal_fingerprints)
+                for er in hints.base_regions.regions:
+                    base_by_signal.setdefault(er.signal, []).append(er)
+            regions_list = []
+            fingerprints = []
+            reused = fresh = 0
             with perf.phase("regions"):
-                regions = tuple(
-                    all_excitation_regions(reached.sg, only_non_inputs=True)
+                for signal in sorted(sg.non_inputs):
+                    digest = signal_region_digest(sg, signal)
+                    fingerprints.append((signal, digest))
+                    base_ers = base_by_signal.get(signal)
+                    if base_ers is not None and base_digests.get(signal) == digest:
+                        # identical input cone: adopt the base ER list and
+                        # seed the graph's region cache so downstream
+                        # analyses agree object-for-object
+                        ers = list(base_ers)
+                        sg._analysis_cache.setdefault(("regions", signal), ers)
+                        reused += 1
+                    else:
+                        ers = excitation_regions(sg, signal)
+                        fresh += 1
+                    regions_list.extend(ers)
+            if reused:
+                ctx.note_reuse(
+                    "regions", "partial", reused_signals=reused, computed_signals=fresh
                 )
+            regions = tuple(regions_list)
             return RegionMap(
                 regions=regions,
                 fingerprint=fingerprint_region_map(reached.fingerprint, regions),
+                signal_fingerprints=tuple(fingerprints),
             )
 
         return ctx.memoize("regions", key, compute)
 
-    def _mc(self, reached: ReachedSG, regions: RegionMap) -> MCVerdict:
+    def _mc(
+        self,
+        reached: ReachedSG,
+        regions: RegionMap,
+        hints: Optional[_DeltaHints] = None,
+    ) -> MCVerdict:
         ctx = self.context
         key = (regions.fingerprint, ctx.backend.name)
 
         def analyze() -> MCVerdict:
-            report = ctx.backend.analyze_mc(reached.sg, jobs=ctx.jobs)
+            from repro.pipeline.incremental import function_digest, function_name
+
+            sg = reached.sg
+            by_function: dict = {}
+            for er in regions.regions:
+                by_function.setdefault((er.signal, er.direction), []).append(er)
+            base_digests = {}
+            base_verdicts: dict = {}
+            if hints is not None and hints.base_mc is not None:
+                base_digests = dict(hints.base_mc.function_fingerprints)
+                for verdict in hints.base_mc.report.verdicts:
+                    base_verdicts.setdefault(
+                        function_name(verdict.er.signal, verdict.er.direction), []
+                    ).append(verdict)
+            fingerprints = []
+            reuse_map: dict = {}
+            for (signal, direction), ers in sorted(by_function.items()):
+                fname = function_name(signal, direction)
+                digest = function_digest(sg, signal, direction, ers)
+                fingerprints.append((fname, digest))
+                if base_digests.get(fname) == digest and fname in base_verdicts:
+                    reuse_map[(signal, direction)] = base_verdicts[fname]
+            if reuse_map and getattr(ctx.backend, "supports_reuse", False):
+                report = ctx.backend.analyze_mc(sg, jobs=ctx.jobs, reuse=reuse_map)
+                ctx.note_reuse(
+                    "mc",
+                    "partial",
+                    reused_functions=len(reuse_map),
+                    computed_functions=len(by_function) - len(reuse_map),
+                )
+            else:
+                report = ctx.backend.analyze_mc(sg, jobs=ctx.jobs)
             return MCVerdict(
                 report=report,
                 backend=ctx.backend.name,
                 fingerprint=fingerprint_mc_report(
                     regions.fingerprint, ctx.backend.name, report
                 ),
+                function_fingerprints=tuple(fingerprints),
             )
 
         return ctx.memoize("mc", key, analyze)
@@ -226,7 +391,10 @@ class Pipeline:
 
             with perf.phase("insertion"):
                 insertion = insert_state_signals(
-                    reached.sg, max_models=spec.max_models, report=mc.report
+                    reached.sg,
+                    max_models=spec.max_models,
+                    report=mc.report,
+                    analysis_cache=ctx.incremental.insertion_cache,
                 )
             with perf.phase("synthesis"):
                 implementation = synthesize(

@@ -1,0 +1,336 @@
+"""First-class STG edits for delta-aware incremental re-synthesis.
+
+A :class:`SpecDelta` is an ordered sequence of small, named edits to a
+specification STG — add/remove a causality edge between two transitions,
+retype a signal (input / output / internal), or replace the initial
+marking.  Deltas are applied through :meth:`SpecDelta.apply_to_stg`
+(surfaced as ``PipelineSpec.apply_delta``), which rebuilds the STG
+through its validating constructor so an edited spec obeys exactly the
+same invariants as a freshly parsed one.
+
+The delta also knows which transitions it *dirtied*
+(:meth:`SpecDelta.dirty_transitions`): transitions whose preset or
+postset differ between the base and edited nets.  The incremental
+reachability replay (``stg/reachability.py``) uses that set to decide
+which cached state expansions are still valid.
+
+Deltas have three interchangeable forms:
+
+- programmatic: ``SpecDelta((AddEdge("a+", "b-"),))``
+- text (CLI ``--edit``): ``"add a+ b-"``, ``"drop a+ b-"``,
+  ``"retype x internal"``, ``"marking p1 p2"``
+- JSON (service wire): ``{"ops": [{"op": "add", ...}]}``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Set, Tuple, Union
+
+from repro.stg.petrinet import PetriNet
+from repro.stg.stg import STG, parse_transition_id
+
+__all__ = [
+    "AddEdge",
+    "RemoveEdge",
+    "RetypeSignal",
+    "SetMarking",
+    "SpecDelta",
+    "DeltaError",
+]
+
+_ROLES = ("input", "output", "internal")
+
+
+class DeltaError(ValueError):
+    """A delta cannot be applied to (or parsed for) the given STG."""
+
+
+@dataclass(frozen=True)
+class AddEdge:
+    """Add a causal edge ``source -> target`` via a fresh place.
+
+    ``marked`` puts an initial token on the new place.
+    """
+
+    source: str
+    target: str
+    marked: bool = False
+
+    op = "add"
+
+    def to_json(self) -> Dict[str, object]:
+        data: Dict[str, object] = {"op": "add", "source": self.source, "target": self.target}
+        if self.marked:
+            data["marked"] = True
+        return data
+
+
+@dataclass(frozen=True)
+class RemoveEdge:
+    """Remove one place whose only predecessor/successor are source/target."""
+
+    source: str
+    target: str
+
+    op = "drop"
+
+    def to_json(self) -> Dict[str, object]:
+        return {"op": "drop", "source": self.source, "target": self.target}
+
+
+@dataclass(frozen=True)
+class RetypeSignal:
+    """Move a signal between the input / output / internal partitions."""
+
+    signal: str
+    role: str
+
+    op = "retype"
+
+    def __post_init__(self) -> None:
+        if self.role not in _ROLES:
+            raise DeltaError(f"unknown signal role {self.role!r}; expected one of {_ROLES}")
+
+    def to_json(self) -> Dict[str, object]:
+        return {"op": "retype", "signal": self.signal, "role": self.role}
+
+
+@dataclass(frozen=True)
+class SetMarking:
+    """Replace the initial marking with the given places."""
+
+    places: Tuple[str, ...]
+
+    op = "marking"
+
+    def to_json(self) -> Dict[str, object]:
+        return {"op": "marking", "places": list(self.places)}
+
+
+DeltaOp = Union[AddEdge, RemoveEdge, RetypeSignal, SetMarking]
+
+
+def _fresh_place_name(source: str, target: str, taken: Set[str]) -> str:
+    """Deterministic place id for an added edge, avoiding collisions."""
+    base = "p_%s__%s" % (
+        source.replace("+", "p").replace("-", "m").replace("/", "_"),
+        target.replace("+", "p").replace("-", "m").replace("/", "_"),
+    )
+    name = base
+    while name in taken:
+        name += "_"
+    return name
+
+
+class SpecDelta:
+    """An ordered sequence of STG edits."""
+
+    def __init__(self, ops: Iterable[DeltaOp]):
+        self.ops: Tuple[DeltaOp, ...] = tuple(ops)
+        if not self.ops:
+            raise DeltaError("a SpecDelta needs at least one operation")
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def parse(cls, edits: Union[str, Sequence[str]]) -> "SpecDelta":
+        """Parse one edit line or a sequence of edit lines.
+
+        Grammar (one op per line / list element)::
+
+            add <source> <target> [marked]
+            drop <source> <target>
+            retype <signal> input|output|internal
+            marking <place> [<place> ...]
+        """
+        if isinstance(edits, str):
+            lines = [line.strip() for line in edits.splitlines()]
+        else:
+            lines = [str(line).strip() for line in edits]
+        ops: List[DeltaOp] = []
+        for line in lines:
+            if not line:
+                continue
+            words = line.split()
+            verb, rest = words[0], words[1:]
+            if verb == "add" and len(rest) in (2, 3):
+                marked = False
+                if len(rest) == 3:
+                    if rest[2] != "marked":
+                        raise DeltaError(f"bad edit {line!r}: trailing word must be 'marked'")
+                    marked = True
+                _require_transition_id(rest[0], line)
+                _require_transition_id(rest[1], line)
+                ops.append(AddEdge(rest[0], rest[1], marked=marked))
+            elif verb == "drop" and len(rest) == 2:
+                _require_transition_id(rest[0], line)
+                _require_transition_id(rest[1], line)
+                ops.append(RemoveEdge(rest[0], rest[1]))
+            elif verb == "retype" and len(rest) == 2:
+                if rest[1] not in _ROLES:
+                    raise DeltaError(
+                        f"bad edit {line!r}: role must be one of {', '.join(_ROLES)}"
+                    )
+                ops.append(RetypeSignal(rest[0], rest[1]))
+            elif verb == "marking" and rest:
+                ops.append(SetMarking(tuple(rest)))
+            else:
+                raise DeltaError(
+                    f"bad edit {line!r}: expected 'add S T [marked]', 'drop S T', "
+                    "'retype SIG ROLE' or 'marking P...'"
+                )
+        return cls(ops)
+
+    @classmethod
+    def from_json(cls, data: object) -> "SpecDelta":
+        if not isinstance(data, dict) or not isinstance(data.get("ops"), list):
+            raise DeltaError("delta JSON must be an object with an 'ops' list")
+        ops: List[DeltaOp] = []
+        for entry in data["ops"]:
+            if not isinstance(entry, dict):
+                raise DeltaError(f"delta op must be an object, got {entry!r}")
+            kind = entry.get("op")
+            try:
+                if kind == "add":
+                    ops.append(
+                        AddEdge(
+                            str(entry["source"]),
+                            str(entry["target"]),
+                            marked=bool(entry.get("marked", False)),
+                        )
+                    )
+                elif kind == "drop":
+                    ops.append(RemoveEdge(str(entry["source"]), str(entry["target"])))
+                elif kind == "retype":
+                    ops.append(RetypeSignal(str(entry["signal"]), str(entry["role"])))
+                elif kind == "marking":
+                    places = entry["places"]
+                    if not isinstance(places, list) or not places:
+                        raise DeltaError("'marking' op needs a non-empty 'places' list")
+                    ops.append(SetMarking(tuple(str(p) for p in places)))
+                else:
+                    raise DeltaError(f"unknown delta op {kind!r}")
+            except KeyError as exc:
+                raise DeltaError(f"delta op {kind!r} is missing field {exc}") from None
+        return cls(ops)
+
+    def to_json(self) -> Dict[str, object]:
+        return {"ops": [op.to_json() for op in self.ops]}
+
+    def describe(self) -> str:
+        parts = []
+        for op in self.ops:
+            if isinstance(op, AddEdge):
+                parts.append(f"add {op.source} {op.target}" + (" marked" if op.marked else ""))
+            elif isinstance(op, RemoveEdge):
+                parts.append(f"drop {op.source} {op.target}")
+            elif isinstance(op, RetypeSignal):
+                parts.append(f"retype {op.signal} {op.role}")
+            else:
+                parts.append("marking " + " ".join(op.places))
+        return "; ".join(parts)
+
+    # -- application ---------------------------------------------------
+    def apply_to_stg(self, stg: STG) -> STG:
+        """Return a new STG with the edits applied, in order.
+
+        The result goes back through the STG/PetriNet constructors, so
+        an edited spec is validated exactly like a parsed one.
+        """
+        net = stg.net
+        places = set(net.places)
+        transitions = set(net.transitions)
+        preset = {t: set(net.preset[t]) for t in transitions}
+        postset = {t: set(net.postset[t]) for t in transitions}
+        marking = set(stg.initial_marking)
+        inputs = set(stg.inputs)
+        outputs = set(stg.outputs)
+        internal = set(stg.internal)
+
+        for op in self.ops:
+            if isinstance(op, AddEdge):
+                for transition in (op.source, op.target):
+                    if transition not in transitions:
+                        raise DeltaError(
+                            f"cannot add edge: transition {transition!r} is not in the STG"
+                        )
+                place = _fresh_place_name(op.source, op.target, places | transitions)
+                places.add(place)
+                postset[op.source].add(place)
+                preset[op.target].add(place)
+                if op.marked:
+                    marking.add(place)
+            elif isinstance(op, RemoveEdge):
+                candidates = sorted(
+                    p
+                    for p in places
+                    if {t for t in transitions if p in postset[t]} == {op.source}
+                    and {t for t in transitions if p in preset[t]} == {op.target}
+                )
+                if not candidates:
+                    raise DeltaError(
+                        f"cannot drop edge: no place connects exactly "
+                        f"{op.source!r} -> {op.target!r}"
+                    )
+                place = candidates[0]
+                places.discard(place)
+                marking.discard(place)
+                postset[op.source].discard(place)
+                preset[op.target].discard(place)
+            elif isinstance(op, RetypeSignal):
+                if op.signal not in inputs | outputs | internal:
+                    raise DeltaError(f"cannot retype unknown signal {op.signal!r}")
+                inputs.discard(op.signal)
+                outputs.discard(op.signal)
+                internal.discard(op.signal)
+                {"input": inputs, "output": outputs, "internal": internal}[op.role].add(
+                    op.signal
+                )
+            else:  # SetMarking
+                missing = set(op.places) - places
+                if missing:
+                    raise DeltaError(
+                        f"cannot set marking: unknown places {sorted(missing)}"
+                    )
+                marking = set(op.places)
+
+        arcs: List[Tuple[str, str]] = []
+        for transition in sorted(transitions):
+            for place in sorted(preset[transition]):
+                arcs.append((place, transition))
+            for place in sorted(postset[transition]):
+                arcs.append((transition, place))
+        try:
+            new_net = PetriNet(places, transitions, arcs)
+            return STG(
+                new_net,
+                inputs=inputs,
+                outputs=outputs,
+                initial_marking=frozenset(marking),
+                internal=internal,
+                initial_values=dict(stg.initial_values),
+                name=stg.name,
+            )
+        except ValueError as exc:
+            raise DeltaError(f"delta produces an invalid STG: {exc}") from exc
+
+    def dirty_transitions(self, base: STG, edited: STG) -> frozenset:
+        """Transitions whose preset or postset differ between base and edited."""
+        dirty = set()
+        old, new = base.net, edited.net
+        for transition in old.transitions | new.transitions:
+            if transition not in old.transitions or transition not in new.transitions:
+                dirty.add(transition)
+            elif (
+                old.preset[transition] != new.preset[transition]
+                or old.postset[transition] != new.postset[transition]
+            ):
+                dirty.add(transition)
+        return frozenset(dirty)
+
+
+def _require_transition_id(text: str, line: str) -> None:
+    try:
+        parse_transition_id(text)
+    except ValueError:
+        raise DeltaError(f"bad edit {line!r}: {text!r} is not a transition id") from None

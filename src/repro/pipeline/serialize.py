@@ -28,8 +28,9 @@ state sets, MC diagnostics, cover ordering and degenerate flags are all
 preserved exactly.  Cubes inside stage payloads are stored in the
 compiled IR form -- a ``[mask, value]`` big-int pair resolved against
 the embedded state graph's signal order (store envelope
-``repro-artifact-store/2``; the literal-list dialect of envelope ``/1``
-is no longer read, old entries degrade to counted misses).  The only intentionally detached piece is the hazard
+``repro-artifact-store/3``, which also carries the per-signal and
+per-function fingerprints backing delta re-synthesis; older envelopes
+are no longer read, old entries degrade to counted misses).  The only intentionally detached piece is the hazard
 report inside a loaded ``SynthesizedNetlist`` (the final stage -- no
 downstream stage consumes it, only its verdict is kept).  State ids may
 be strings, ints or arbitrarily nested tuples thereof (state-signal
@@ -329,6 +330,8 @@ def pipeline_result_to_json(result) -> Dict:
     }
     if result.profile is not None:
         row["profile"] = result.profile
+    if result.reuse is not None:
+        row["reuse"] = result.reuse
     return row
 
 
@@ -357,6 +360,7 @@ def pipeline_result_from_json(data: Dict):
         hazard_report=hazard,
         elapsed_seconds=data["elapsed_seconds"],
         profile=data.get("profile"),
+        reuse=data.get("reuse"),
     )
 
 
@@ -559,6 +563,7 @@ def region_map_to_json(artifact) -> Dict:
     return {
         "regions": [_er_to_json(er) for er in artifact.regions],
         "fingerprint": artifact.fingerprint,
+        "signal_fingerprints": [list(pair) for pair in artifact.signal_fingerprints],
     }
 
 
@@ -568,6 +573,10 @@ def region_map_from_json(data: Dict):
     return RegionMap(
         regions=tuple(_er_from_json(er) for er in data["regions"]),
         fingerprint=data["fingerprint"],
+        signal_fingerprints=tuple(
+            (str(signal), str(digest))
+            for signal, digest in data.get("signal_fingerprints", ())
+        ),
     )
 
 
@@ -584,6 +593,9 @@ def mc_verdict_to_json(artifact) -> Dict:
         "report": _mc_report_to_full_json(artifact.report, space),
         "backend": artifact.backend,
         "fingerprint": artifact.fingerprint,
+        "function_fingerprints": [
+            list(pair) for pair in artifact.function_fingerprints
+        ],
     }
 
 
@@ -596,6 +608,10 @@ def mc_verdict_from_json(data: Dict):
         report=_mc_report_from_full_json(data["report"], sg, space),
         backend=data["backend"],
         fingerprint=data["fingerprint"],
+        function_fingerprints=tuple(
+            (str(name), str(digest))
+            for name, digest in data.get("function_fingerprints", ())
+        ),
     )
 
 

@@ -14,13 +14,15 @@ One entry per ``(stage, memo-key)`` pair::
 Each entry is a JSON envelope stamped with a schema version and the key
 it answers for::
 
-    {"schema": "repro-artifact-store/2", "stage": "mc",
+    {"schema": "repro-artifact-store/3", "stage": "mc",
      "key": ["'<fp>'", "'bitengine'"], "artifact": {...}}
 
-Envelope ``/2`` stores cubes in the compiled IR form (``[mask, value]``
-big-int pairs against the embedded graph's signal order); ``/1`` entries
-(literal-list cubes) are not migrated -- the schema check degrades them
-to counted ``corrupt`` misses and they are rewritten on the next put.
+Envelope ``/3`` adds per-signal region fingerprints and per-function MC
+fingerprints to the ``regions``/``mc`` payloads (delta re-synthesis
+hints); ``/2`` stored cubes in the compiled IR form (``[mask, value]``
+big-int pairs against the embedded graph's signal order).  Older
+envelopes are not migrated -- the schema check degrades them to counted
+``corrupt`` misses and they are rewritten on the next put.
 
 The store is **content-addressed**: the digest is computed over the
 ``repr`` of every key component, and the memo keys chain upstream
@@ -64,7 +66,7 @@ from repro.pipeline.serialize import (
 
 #: envelope schema stamp; bump on any incompatible payload change (old
 #: entries then read as corrupt misses and are rewritten, never crash)
-STORE_SCHEMA = "repro-artifact-store/2"
+STORE_SCHEMA = "repro-artifact-store/3"
 
 _EVENTS = ("hit", "miss", "corrupt", "put", "skip", "evict")
 

@@ -44,6 +44,16 @@ class Solver:
         self._watched: List[List[int]] = []
         self._activity = [0.0] * (num_vars + 1)
         self._build_watches()
+        # A solve() mutates the watch lists and the activity scores, so a
+        # later solve() (after add_clause/ensure_vars, or re-running the
+        # same instance) must first restore the pristine state a fresh
+        # Solver would start from; ``_prepared`` tracks whether that
+        # restoration is needed.  Result-preserving by construction: the
+        # rebuilt state is exactly what ``Solver(num_vars, clauses)``
+        # builds, so incremental enumeration (add a blocking clause,
+        # solve again) yields the same model sequence as constructing a
+        # new solver per query.
+        self._prepared = True
 
     # ------------------------------------------------------------------
     def _build_watches(self) -> None:
@@ -60,6 +70,24 @@ class Solver:
         return cls(cnf.num_vars, cnf.clauses)
 
     # ------------------------------------------------------------------
+    def add_clause(self, clause: Sequence[int]) -> None:
+        """Add one clause incrementally (same normalization as __init__)."""
+        unique = tuple(dict.fromkeys(clause))
+        if any(-lit in unique for lit in unique):
+            return  # tautological clause
+        if not unique:
+            self._trivially_unsat = True
+            return
+        self.clauses.append(unique)
+        self._prepared = False
+
+    def ensure_vars(self, num_vars: int) -> None:
+        """Grow the variable range (no-op if already large enough)."""
+        if num_vars > self.num_vars:
+            self.num_vars = num_vars
+            self._prepared = False
+
+    # ------------------------------------------------------------------
     def solve(
         self,
         assumptions: Sequence[int] = (),
@@ -74,6 +102,11 @@ class Solver:
         """
         if self._trivially_unsat:
             return None
+        if not self._prepared:
+            self._build_watches()
+            self._activity = [0.0] * (self.num_vars + 1)
+        # the search below mutates watches and activity
+        self._prepared = False
         assign: List[Optional[bool]] = [None] * (self.num_vars + 1)
         trail: List[int] = []
         levels: List[int] = []  # indices into trail at each decision

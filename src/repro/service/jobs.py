@@ -267,26 +267,39 @@ def _synth_result(pipeline, spec) -> Dict:
     }
 
 
-def _stage_events(pipeline, spec, emit: Callable[[Dict], None]) -> None:
-    """Run the pipeline stage by stage, emitting one event per stage."""
+def _stage_events(
+    pipeline, spec, emit: Callable[[Dict], None], delta=None
+) -> Dict[str, Dict]:
+    """Run the pipeline stage by stage, emitting one event per stage.
+
+    Each event carries the stage's reuse ledger entry (``mode`` of
+    ``hit`` / ``miss`` / ``partial`` plus per-signal/function/marking
+    counts) captured right after the stage first ran, so delta jobs
+    stream exactly how much of each stage was recomputed.
+    """
     from repro.pipeline.core import STAGES
 
     context = pipeline.context
+    collected: Dict[str, Dict] = {}
     for stage in STAGES:
         before = dict(context.cache_misses_by_stage)
         started = time.perf_counter()
-        pipeline.run(spec, until=stage)
+        pipeline.run(spec, until=stage, delta=delta)
         computed = sum(context.cache_misses_by_stage.values()) - sum(
             before.values()
         )
-        emit(
-            {
-                "event": "stage",
-                "stage": stage,
-                "cached": computed == 0,
-                "ms": round((time.perf_counter() - started) * 1000, 3),
-            }
-        )
+        event = {
+            "event": "stage",
+            "stage": stage,
+            "cached": computed == 0,
+            "ms": round((time.perf_counter() - started) * 1000, 3),
+        }
+        reuse = context.last_reuse.get(stage)
+        if reuse is not None:
+            event["reuse"] = dict(reuse)
+            collected[stage] = dict(reuse)
+        emit(event)
+    return collected
 
 
 def _run_synth(params: Dict, context, emit) -> JobOutcome:
@@ -295,6 +308,16 @@ def _run_synth(params: Dict, context, emit) -> JobOutcome:
     stg = _parse_spec(params)
     spec = _pipeline_spec(params, stg)
     pipeline = Pipeline(context)
+    delta = params.get("delta")
+    if delta:
+        reuse = _stage_events(pipeline, spec, emit, delta=delta)
+        # package the edited design's result (memo hits throughout)
+        spec = spec.apply_delta(delta)
+        result = _synth_result(pipeline, spec)
+        result["base_job"] = params["base_job"]
+        result["delta"] = delta
+        result["reuse"] = reuse
+        return JobOutcome(result=result)
     _stage_events(pipeline, spec, emit)
     return JobOutcome(result=_synth_result(pipeline, spec))
 
@@ -423,6 +446,7 @@ def run_job(kind: str, params: Dict, context, emit) -> Dict:
     from repro.core.complexgate import CSCViolation
     from repro.core.insertion import InsertionError
     from repro.core.synthesis import SynthesisError
+    from repro.pipeline.delta import DeltaError
     from repro.stg.reachability import ReachabilityError
 
     status, detail, result, charged = DONE, "", None, None
@@ -432,6 +456,10 @@ def run_job(kind: str, params: Dict, context, emit) -> Dict:
         result, charged = outcome.result, outcome.charged
     except BudgetExceeded as exc:
         status, detail = INCONCLUSIVE, exc.reason or str(exc)
+    except DeltaError as exc:
+        # the delta parsed at submit time but does not apply to the
+        # base specification (e.g. dropping an edge it does not have)
+        status, detail = FAILED, f"edit does not apply: {exc}"
     except ReachabilityError as exc:
         status, detail = INCONCLUSIVE, str(exc)
     except (CSCViolation, InsertionError, SynthesisError) as exc:
@@ -571,6 +599,9 @@ class JobManager:
         #: bounded resident caches -- a long-running server must not
         #: grow with total jobs served (see :class:`LRUMemo`)
         self._memo: Dict = LRUMemo(memo_entries)
+        #: shared across thread-mode request contexts so delta jobs can
+        #: replay the base job's reachability exploration snapshot
+        self._incremental = None
         self._jobs: Dict[str, Job] = {}
         self._buckets: Dict[str, TokenBucket] = {}
         self._ids = itertools.count(1)
@@ -776,6 +807,13 @@ class JobManager:
                 recorder=StreamRecorder(emit),
                 memo=self._memo,
             )
+            if self._incremental is None:
+                from repro.pipeline.incremental import IncrementalIndex
+
+                self._incremental = IncrementalIndex()
+            # one resident index (single worker thread): snapshots taken
+            # by earlier jobs replay in later delta jobs
+            context._incremental = self._incremental
             outcome = await self._loop.run_in_executor(
                 self._pool, _thread_job, job.kind, job.params, context, emit
             )

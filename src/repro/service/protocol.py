@@ -18,6 +18,15 @@ Submit request (``POST /v1/jobs``)::
      "tenant": "team-a",             # optional (or X-Tenant header)
      "options": {...}}               # per-kind knobs, all optional
 
+Delta re-synthesis (synth/verify only): replace ``spec`` with a
+``base_job`` id plus a ``delta`` -- edit text lines (``"add a+ b-"``,
+``"drop a+ b-"``, ``"retype x internal"``, ``"marking p1 p2"``), a list
+of such lines, or the ``{"ops": [...]}`` JSON form of
+:class:`repro.pipeline.delta.SpecDelta`.  The job inherits the base
+job's specification and options (explicit options override) and runs
+incrementally against the resident caches; the result is byte-identical
+to synthesising the edited specification from scratch.
+
 Any malformed body -- not JSON, not an object, unknown kind, unknown
 option, wrong type -- raises :class:`ProtocolError`, which the server
 maps to HTTP 400 with ``{"error": ...}``.  Validation happens entirely
@@ -105,12 +114,52 @@ def _check_options(options, allowed) -> Dict:
     return options
 
 
+def _check_delta(value) -> Dict:
+    from repro.pipeline.delta import DeltaError, SpecDelta
+
+    try:
+        if isinstance(value, dict):
+            delta = SpecDelta.from_json(value)
+        elif isinstance(value, str) or (
+            isinstance(value, list)
+            and all(isinstance(item, str) for item in value)
+        ):
+            delta = SpecDelta.parse(value)
+        else:
+            raise ProtocolError(
+                "delta must be edit text, a list of edit lines or an "
+                "{'ops': [...]} object"
+            )
+    except DeltaError as exc:
+        raise ProtocolError(f"bad delta: {exc}") from exc
+    _require(bool(delta.ops), "delta must contain at least one edit")
+    return delta.to_json()
+
+
 def _synth_params(body: Dict, kind: str) -> Dict:
     spec = body.get("spec")
-    _require(
-        isinstance(spec, str) and spec.strip(),
-        "synth/verify jobs need a non-empty 'spec' (.g text)",
-    )
+    base_job = body.get("base_job")
+    delta = body.get("delta")
+    if base_job is not None or delta is not None:
+        _require(
+            base_job is not None and delta is not None,
+            "delta re-synthesis needs both 'base_job' and 'delta'",
+        )
+        _require(
+            isinstance(base_job, str) and 0 < len(base_job) <= 120,
+            "base_job must be a job id string",
+        )
+        _require(
+            spec is None,
+            "'spec' and 'base_job' are mutually exclusive "
+            "(the specification comes from the base job)",
+        )
+        delta = _check_delta(delta)
+    else:
+        _require(
+            isinstance(spec, str) and spec.strip(),
+            "synth/verify jobs need a non-empty 'spec' (.g text)",
+        )
     options = _check_options(
         body.get("options"),
         (
@@ -144,6 +193,13 @@ def _synth_params(body: Dict, kind: str) -> Dict:
         params["share_gates"] in _SHARE_VALUES,
         "share_gates must be false, true or 'optimal'",
     )
+    if base_job is not None:
+        params["base_job"] = base_job
+        params["delta"] = delta
+        # the server overlays these explicit fields onto the base job's
+        # params before queueing (underscore keys are dropped there)
+        params["_explicit_options"] = sorted(options)
+        params["_explicit_name"] = "name" in body
     return params
 
 
@@ -222,7 +278,7 @@ _PARSERS = {
     "diff": _diff_params,
 }
 
-_TOP_LEVEL_KEYS = {"kind", "spec", "name", "tenant", "options"}
+_TOP_LEVEL_KEYS = {"kind", "spec", "name", "tenant", "options", "base_job", "delta"}
 
 
 def parse_submit(
@@ -244,6 +300,11 @@ def parse_submit(
     _require(not unknown, f"unknown field(s): {', '.join(unknown)}")
     kind = document.get("kind")
     _require(kind in KINDS, f"kind must be one of {', '.join(KINDS)}")
+    if kind not in ("synth", "verify"):
+        _require(
+            "base_job" not in document and "delta" not in document,
+            "base_job/delta apply only to synth/verify jobs",
+        )
     tenant = document.get("tenant", default_tenant)
     _require(
         isinstance(tenant, str) and 0 < len(tenant) <= 120,

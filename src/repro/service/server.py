@@ -13,6 +13,8 @@ Endpoints (all JSON; see :mod:`repro.service.protocol` for schemas)::
     GET  /v1/stats              resident-world stats (queue, caches,
                                 store traffic, tenant buckets)
     POST /v1/jobs               submit (body: the submit document)
+                                (``base_job`` + ``delta`` submits a
+                                delta re-synthesis of a finished job)
     GET  /v1/jobs               all jobs, summary documents
     GET  /v1/jobs/<id>          one job's status document
     GET  /v1/jobs/<id>/result   terminal result (409 while running)
@@ -277,6 +279,8 @@ class ServiceServer:
             )
         except ProtocolError as error:
             raise HttpError(400, str(error)) from error
+        if params.get("base_job"):
+            params = self._resolve_base(kind, params)
         try:
             job = self.manager.submit(kind, tenant, params)
         except Draining as error:
@@ -284,6 +288,46 @@ class ServiceServer:
         except QueueFull as error:
             raise HttpError(429, str(error)) from error
         await self._send_json(writer, 202, job_to_json(job))
+
+    def _resolve_base(self, kind: str, params: Dict) -> Dict:
+        """Expand a ``base_job`` + ``delta`` submit against the registry.
+
+        The new job inherits the base job's specification text and
+        options; explicitly supplied options (and name) override.  A
+        base that itself was a delta job chains: its edit ops are
+        prepended so the combined delta applies to the original
+        specification.  Resolution happens before queueing, so a bad
+        base id is HTTP 400, never a queued-then-failed job.
+        """
+        base = self.manager.get(params["base_job"])
+        if base is None:
+            raise HttpError(400, f"base_job {params['base_job']!r} not found")
+        if base.kind not in ("synth", "verify"):
+            raise HttpError(
+                400,
+                f"base_job {base.id} is a {base.kind} job; delta "
+                "re-synthesis needs a synth or verify base",
+            )
+        merged = dict(base.params)
+        for key in params.get("_explicit_options") or ():
+            merged[key] = params[key]
+        if params.get("_explicit_name"):
+            merged["name"] = params["name"]
+        else:
+            merged["name"] = f"{base.params.get('name', 'job')}+edit"
+        if kind == "verify":
+            merged["verify"] = True
+        base_delta = base.params.get("delta")
+        if base_delta:
+            merged["delta"] = {
+                "ops": list(base_delta["ops"]) + list(params["delta"]["ops"])
+            }
+        else:
+            merged["delta"] = params["delta"]
+        merged["base_job"] = params["base_job"]
+        merged.pop("_explicit_options", None)
+        merged.pop("_explicit_name", None)
+        return merged
 
     async def _job_route(
         self,

@@ -16,15 +16,28 @@ values are computed in two passes:
 
 The construction enforces 1-safeness (via the Petri net firing rule) and
 an exploration bound to keep pathological inputs from running away.
+
+Incremental replay
+------------------
+``explore`` can replay an :class:`ExplorationSnapshot` captured from a
+previous run on an edited net.  A cached marking's successor list is
+reused verbatim when no *dirty* transition (one whose preset/postset
+changed between the nets) appears in it and no dirty transition is
+enabled at that marking under the new net; otherwise the marking is
+re-expanded from scratch.  Because the snapshot stores successors in
+``net.enabled`` order and the BFS bookkeeping below is shared between
+both paths, the replayed exploration discovers markings in *exactly* the
+order a cold run would — state names ``m{i}``, codes, arcs, cap errors
+and consistency errors are all byte-identical.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro import perf
 from repro.sg.graph import StateGraph
-from repro.stg.petrinet import Marking, SafenessViolation
+from repro.stg.petrinet import Marking, PetriNet, SafenessViolation
 from repro.stg.stg import STG
 
 
@@ -32,17 +45,90 @@ class ReachabilityError(ValueError):
     """The STG is unbounded/unsafe, inconsistent, or too large."""
 
 
-def explore(stg: STG, max_states: int = 200_000):
+class ExplorationSnapshot:
+    """Cached marking expansions of a completed :func:`explore` run.
+
+    Stores, per reached marking, its ``(transition, successor)`` pairs in
+    ``net.enabled`` (sorted) order, plus the preset/postset of every
+    transition of the net the snapshot was taken from — enough to decide,
+    against an edited net, which expansions are still valid.  Parities
+    are deliberately *not* cached: a signal retype reorders
+    ``stg.signals``, so parities are recomputed during replay (cheap
+    tuple surgery) while the expensive enabledness/firing work is reused.
+    """
+
+    __slots__ = ("successors", "preset", "postset", "initial")
+
+    def __init__(
+        self,
+        successors: Dict[Marking, Tuple[Tuple[str, Marking], ...]],
+        preset: Dict[str, FrozenSet[str]],
+        postset: Dict[str, FrozenSet[str]],
+        initial: Marking,
+    ):
+        self.successors = successors
+        self.preset = preset
+        self.postset = postset
+        self.initial = initial
+
+    @classmethod
+    def capture(cls, stg: STG, order, arcs) -> "ExplorationSnapshot":
+        """Capture from ``explore`` results (arcs are grouped per marking
+        in expansion order, which is ``net.enabled`` order)."""
+        successors: Dict[Marking, List[Tuple[str, Marking]]] = {m: [] for m in order}
+        for marking, transition, after in arcs:
+            successors[marking].append((transition, after))
+        net = stg.net
+        return cls(
+            {m: tuple(pairs) for m, pairs in successors.items()},
+            {t: frozenset(net.preset[t]) for t in net.transitions},
+            {t: frozenset(net.postset[t]) for t in net.transitions},
+            stg.initial_marking,
+        )
+
+    def dirty_transitions(self, net: PetriNet) -> FrozenSet[str]:
+        """Transitions whose preset/postset differ from the snapshot's net."""
+        dirty = set()
+        for transition in set(self.preset) | net.transitions:
+            if transition not in self.preset or transition not in net.transitions:
+                dirty.add(transition)
+            elif (
+                self.preset[transition] != net.preset[transition]
+                or self.postset[transition] != net.postset[transition]
+            ):
+                dirty.add(transition)
+        return frozenset(dirty)
+
+
+def explore(
+    stg: STG,
+    max_states: int = 200_000,
+    snapshot: Optional[ExplorationSnapshot] = None,
+    stats: Optional[Dict[str, int]] = None,
+):
     """Enumerate reachable markings with per-signal parities.
 
     Returns ``(order, parities, arcs)`` where ``order`` maps each marking
     to a dense index (BFS discovery order), ``parities[marking]`` is a
     tuple over ``stg.signals`` of 0/1 toggle parities, and ``arcs`` lists
     ``(marking, transition, marking')``.
+
+    ``snapshot`` (from a previous exploration of a related net) lets
+    clean markings replay their cached successor lists instead of
+    re-running enabledness and firing; the result is identical either
+    way.
     """
     signals = stg.signals
     position = {s: i for i, s in enumerate(signals)}
     net = stg.net
+
+    cached_successors: Dict[Marking, Tuple[Tuple[str, Marking], ...]] = {}
+    dirty: FrozenSet[str] = frozenset()
+    dirty_present: List[str] = []
+    if snapshot is not None:
+        cached_successors = snapshot.successors
+        dirty = snapshot.dirty_transitions(net)
+        dirty_present = sorted(t for t in dirty if t in net.transitions)
 
     initial = stg.initial_marking
     zero = tuple(0 for _ in signals)
@@ -51,15 +137,33 @@ def explore(stg: STG, max_states: int = 200_000):
     arcs: List[Tuple[Marking, str, Marking]] = []
     queue: List[Marking] = [initial]
     head = 0
+    replayed = 0
+    expanded = 0
     while head < len(queue):
         marking = queue[head]
         head += 1
         parity = parities[marking]
-        for transition in net.enabled(marking):
-            try:
-                after = net.fire(marking, transition)
-            except SafenessViolation as exc:
-                raise ReachabilityError(str(exc)) from exc
+        expansions: Optional[Tuple[Tuple[str, Marking], ...]] = None
+        cached = cached_successors.get(marking)
+        if cached is not None:
+            if not dirty:
+                expansions = cached
+            elif not any(t in dirty for t, _ in cached) and not any(
+                net.preset[t] <= marking for t in dirty_present
+            ):
+                expansions = cached
+        if expansions is None:
+            fresh: List[Tuple[str, Marking]] = []
+            for transition in net.enabled(marking):
+                try:
+                    fresh.append((transition, net.fire(marking, transition)))
+                except SafenessViolation as exc:
+                    raise ReachabilityError(str(exc)) from exc
+            expansions = tuple(fresh)
+            expanded += 1
+        else:
+            replayed += 1
+        for transition, after in expansions:
             event = stg.event_of(transition)
             i = position[event.signal]
             new_parity = parity[:i] + (parity[i] ^ 1,) + parity[i + 1 :]
@@ -78,6 +182,12 @@ def explore(stg: STG, max_states: int = 200_000):
                     f"signal parities {known} and {new_parity}"
                 )
             arcs.append((marking, transition, after))
+    if snapshot is not None:
+        perf.count("reach.replayed", replayed)
+        perf.count("reach.expanded", expanded)
+    if stats is not None:
+        stats["replayed"] = replayed
+        stats["expanded"] = expanded
     return order, parities, arcs
 
 
@@ -113,9 +223,25 @@ def _infer_initial_values(stg: STG, parities, arcs) -> Dict[str, int]:
 
 
 @perf.timed("reachability")
-def stg_to_state_graph(stg: STG, max_states: int = 200_000) -> StateGraph:
-    """Build the state graph of an STG (markings become states ``m0, m1, ...``)."""
-    order, parities, arcs = explore(stg, max_states=max_states)
+def stg_to_state_graph(
+    stg: STG,
+    max_states: int = 200_000,
+    snapshot: Optional[ExplorationSnapshot] = None,
+    on_snapshot=None,
+    stats: Optional[Dict[str, int]] = None,
+) -> StateGraph:
+    """Build the state graph of an STG (markings become states ``m0, m1, ...``).
+
+    ``snapshot`` replays cached expansions from a previous exploration of
+    a related net (see :class:`ExplorationSnapshot`); ``on_snapshot``, if
+    given, receives a snapshot of *this* exploration for future replay;
+    ``stats``, if given, is filled with replayed/expanded marking counts.
+    """
+    order, parities, arcs = explore(
+        stg, max_states=max_states, snapshot=snapshot, stats=stats
+    )
+    if on_snapshot is not None:
+        on_snapshot(ExplorationSnapshot.capture(stg, order, arcs))
     initial_values = _infer_initial_values(stg, parities, arcs)
     signals = stg.signals
 

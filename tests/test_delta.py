@@ -1,0 +1,236 @@
+"""SpecDelta: the first-class STG edit vocabulary of delta re-synthesis."""
+
+import pytest
+
+from repro.bench.generators import token_ring
+from repro.bench.suite import load_benchmark
+from repro.pipeline import PipelineSpec
+from repro.pipeline.delta import (
+    AddEdge,
+    DeltaError,
+    RemoveEdge,
+    RetypeSignal,
+    SetMarking,
+    SpecDelta,
+)
+
+pytestmark = pytest.mark.smoke
+
+
+# ----------------------------------------------------------------------
+# Parsing
+# ----------------------------------------------------------------------
+class TestParse:
+    def test_all_verbs(self):
+        delta = SpecDelta.parse(
+            "add a+ b-\ndrop c+ d-\nretype x internal\nmarking p1 p2"
+        )
+        assert delta.ops == (
+            AddEdge("a+", "b-"),
+            RemoveEdge("c+", "d-"),
+            RetypeSignal("x", "internal"),
+            SetMarking(("p1", "p2")),
+        )
+
+    def test_list_of_lines_equals_multiline_text(self):
+        text = SpecDelta.parse("add a+ b-\nretype x output")
+        as_list = SpecDelta.parse(["add a+ b-", "retype x output"])
+        assert text.ops == as_list.ops
+
+    def test_add_marked(self):
+        delta = SpecDelta.parse("add a+ b- marked")
+        assert delta.ops == (AddEdge("a+", "b-", marked=True),)
+
+    def test_blank_lines_skipped(self):
+        delta = SpecDelta.parse("\n  add a+ b-  \n\n")
+        assert len(delta.ops) == 1
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "frobnicate a+ b-",
+            "add a+",
+            "add a+ b- extra",
+            "drop a+ b- c-",
+            "retype x sideways",
+            "marking",
+            "add notatransition b-",
+        ],
+    )
+    def test_rejects_malformed_lines(self, bad):
+        with pytest.raises(DeltaError):
+            SpecDelta.parse(bad)
+
+    def test_empty_delta_rejected(self):
+        with pytest.raises(DeltaError, match="at least one"):
+            SpecDelta.parse("")
+
+    def test_bad_role_in_constructor(self):
+        with pytest.raises(DeltaError, match="role"):
+            RetypeSignal("x", "sideways")
+
+
+# ----------------------------------------------------------------------
+# JSON round-trip
+# ----------------------------------------------------------------------
+class TestJson:
+    def test_round_trip(self):
+        delta = SpecDelta.parse(
+            "add a+ b- marked\ndrop c+ d-\nretype x input\nmarking p0"
+        )
+        again = SpecDelta.from_json(delta.to_json())
+        assert again.ops == delta.ops
+        assert again.to_json() == delta.to_json()
+
+    def test_unmarked_add_omits_marked_key(self):
+        assert AddEdge("a+", "b-").to_json() == {
+            "op": "add",
+            "source": "a+",
+            "target": "b-",
+        }
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "not an object",
+            {},
+            {"ops": "not a list"},
+            {"ops": [{"op": "teleport"}]},
+            {"ops": [{"op": "add", "source": "a+"}]},
+            {"ops": [{"op": "marking", "places": []}]},
+            {"ops": ["not an op object"]},
+        ],
+    )
+    def test_rejects_malformed_json(self, bad):
+        with pytest.raises(DeltaError):
+            SpecDelta.from_json(bad)
+
+    def test_describe_mentions_every_op(self):
+        delta = SpecDelta.parse("add a+ b- marked\nretype x internal")
+        text = delta.describe()
+        assert "add a+ b- marked" in text
+        assert "retype x internal" in text
+
+
+# ----------------------------------------------------------------------
+# Application
+# ----------------------------------------------------------------------
+class TestApply:
+    def test_add_edge_creates_fresh_place(self):
+        stg = token_ring(2)
+        ts = sorted(stg.net.transitions)
+        edited = SpecDelta((AddEdge(ts[0], ts[1]),)).apply_to_stg(stg)
+        new_places = edited.net.places - stg.net.places
+        assert len(new_places) == 1
+        place = next(iter(new_places))
+        assert place in edited.net.postset[ts[0]]
+        assert place in edited.net.preset[ts[1]]
+        assert place not in edited.initial_marking
+
+    def test_add_marked_edge_tokens_the_place(self):
+        stg = token_ring(2)
+        ts = sorted(stg.net.transitions)
+        edited = SpecDelta((AddEdge(ts[0], ts[1], marked=True),)).apply_to_stg(stg)
+        place = next(iter(edited.net.places - stg.net.places))
+        assert place in edited.initial_marking
+
+    def test_drop_inverts_add(self):
+        stg = token_ring(2)
+        ts = sorted(stg.net.transitions)
+        added = SpecDelta((AddEdge(ts[0], ts[1]),)).apply_to_stg(stg)
+        dropped = SpecDelta((RemoveEdge(ts[0], ts[1]),)).apply_to_stg(added)
+        assert dropped.net.places == stg.net.places
+        assert dropped.net.preset == stg.net.preset
+        assert dropped.net.postset == stg.net.postset
+
+    def test_retype_moves_partition(self):
+        stg = load_benchmark("nowick")
+        edited = SpecDelta((RetypeSignal("y", "internal"),)).apply_to_stg(stg)
+        assert "y" in edited.internal
+        assert "y" not in edited.outputs
+        # signals are re-sorted by partition, the set is unchanged
+        assert set(edited.signals) == set(stg.signals)
+
+    def test_set_marking(self):
+        stg = token_ring(2)
+        place = next(iter(stg.initial_marking))
+        edited = SpecDelta((SetMarking((place,)),)).apply_to_stg(stg)
+        assert edited.initial_marking == frozenset({place})
+
+    def test_ops_apply_in_order(self):
+        stg = token_ring(2)
+        ts = sorted(stg.net.transitions)
+        delta = SpecDelta((AddEdge(ts[0], ts[1]), RemoveEdge(ts[0], ts[1])))
+        edited = delta.apply_to_stg(stg)
+        assert edited.net.places == stg.net.places
+
+    def test_unknown_transition_rejected(self):
+        stg = token_ring(2)
+        with pytest.raises(DeltaError, match="not in the STG"):
+            SpecDelta((AddEdge("zz+", sorted(stg.net.transitions)[0]),)).apply_to_stg(stg)
+
+    def test_drop_missing_edge_rejected(self):
+        stg = token_ring(2)
+        ts = sorted(stg.net.transitions)
+        with pytest.raises(DeltaError, match="no place connects"):
+            SpecDelta((RemoveEdge(ts[0], ts[0]),)).apply_to_stg(stg)
+
+    def test_retype_unknown_signal_rejected(self):
+        stg = token_ring(2)
+        with pytest.raises(DeltaError, match="unknown signal"):
+            SpecDelta((RetypeSignal("ghost", "internal"),)).apply_to_stg(stg)
+
+    def test_marking_unknown_place_rejected(self):
+        stg = token_ring(2)
+        with pytest.raises(DeltaError, match="unknown places"):
+            SpecDelta((SetMarking(("ghost",)),)).apply_to_stg(stg)
+
+    def test_dirty_transitions(self):
+        stg = token_ring(2)
+        ts = sorted(stg.net.transitions)
+        delta = SpecDelta((AddEdge(ts[0], ts[1]),))
+        edited = delta.apply_to_stg(stg)
+        assert delta.dirty_transitions(stg, edited) == frozenset({ts[0], ts[1]})
+        retype = SpecDelta((RetypeSignal(stg.signals[0], "internal"),))
+        retyped = retype.apply_to_stg(stg)
+        assert retype.dirty_transitions(stg, retyped) == frozenset()
+
+    def test_fresh_place_name_avoids_collision(self):
+        stg = token_ring(2)
+        ts = sorted(stg.net.transitions)
+        once = SpecDelta((AddEdge(ts[0], ts[1]),)).apply_to_stg(stg)
+        twice = SpecDelta((AddEdge(ts[0], ts[1]),)).apply_to_stg(once)
+        fresh = twice.net.places - stg.net.places
+        assert len(fresh) == 2
+
+
+# ----------------------------------------------------------------------
+# PipelineSpec.apply_delta
+# ----------------------------------------------------------------------
+class TestSpecApplyDelta:
+    def test_accepts_text_json_and_object(self):
+        spec = PipelineSpec.from_stg(token_ring(2))
+        ts = sorted(spec.stg.net.transitions)
+        delta = SpecDelta((AddEdge(ts[0], ts[1]),))
+        by_object = spec.apply_delta(delta)
+        by_text = spec.apply_delta(f"add {ts[0]} {ts[1]}")
+        by_json = spec.apply_delta(delta.to_json())
+        assert (
+            by_object.stg.net.places
+            == by_text.stg.net.places
+            == by_json.stg.net.places
+        )
+
+    def test_needs_stg_based_spec(self):
+        from repro.stg.reachability import stg_to_state_graph
+
+        sg = stg_to_state_graph(token_ring(2))
+        spec = PipelineSpec.from_state_graph(sg)
+        with pytest.raises(ValueError, match="STG-based"):
+            spec.apply_delta("retype a0 internal")
+
+    def test_options_preserved(self):
+        spec = PipelineSpec.from_stg(token_ring(2), style="RS", max_models=7)
+        edited = spec.apply_delta("retype a0 internal")
+        assert edited.style == "RS"
+        assert edited.max_models == 7
