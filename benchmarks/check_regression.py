@@ -241,6 +241,48 @@ def service_section(path: str = _JSON_PATH) -> dict:
     return section if isinstance(section, dict) else {}
 
 
+def batch_section(path: str = _JSON_PATH) -> dict:
+    """The ``batch`` cold-vs-resumed record ({} when never measured)."""
+    with open(path) as handle:
+        document = json.load(handle)
+    section = document.get("batch")
+    return section if isinstance(section, dict) else {}
+
+
+def check_batch(section: dict, floor: float) -> tuple:
+    """Gate one recorded batch measurement -> (ok, message).
+
+    The resumed speedup is recomputed from the recorded wall-clocks
+    (not trusted from the rounded field) and must clear the absolute
+    floor; the bench also records whether every design resume-skipped
+    and whether the three manifests were byte-identical, and a
+    recording that says otherwise fails outright.
+    """
+    try:
+        cold_ms = float(section["cold_ms"])
+        resumed_ms = float(section["resumed_ms"])
+    except (KeyError, TypeError, ValueError):
+        return False, "batch: malformed section (missing wall-clocks)"
+    if resumed_ms <= 0:
+        return False, f"batch: non-positive resumed time ({resumed_ms}ms)"
+    if not section.get("manifests_identical", False):
+        return False, "batch: recorded manifests were not byte-identical"
+    if section.get("resume_skips") != section.get("designs"):
+        return False, (
+            f"batch: only {section.get('resume_skips')}/"
+            f"{section.get('designs')} designs resume-skipped"
+        )
+    speedup = cold_ms / resumed_ms
+    verdict = "ok" if speedup >= floor else "REGRESSED"
+    message = (
+        f"batch: cold {cold_ms:.0f}ms, resumed {resumed_ms:.1f}ms over "
+        f"{section.get('designs', '?')} designs / "
+        f"{section.get('shards', '?')} shards -> {speedup:.0f}x resumed "
+        f"speedup (floor {floor:.0f}x): {verdict}"
+    )
+    return speedup >= floor, message
+
+
 def check_service(section: dict, floor: float) -> tuple:
     """Gate one recorded service measurement -> (ok, message).
 
@@ -307,13 +349,21 @@ def main(argv=None) -> int:
         "designs (default 5.0; the section is skipped when absent)",
     )
     parser.add_argument(
-        "--sections", default="hotpath,hazard-sim,wordlane,service,incremental",
+        "--batch-floor", type=float, default=5.0,
+        help="minimum recorded resumed-vs-cold batch speedup "
+        "(default 5.0; the section is skipped when absent)",
+    )
+    parser.add_argument(
+        "--sections",
+        default="hotpath,hazard-sim,wordlane,service,incremental,batch",
         help="comma-separated subset of gates to run (default: all); "
         "e.g. --sections service against a fresh bench_service output",
     )
     args = parser.parse_args(argv)
     sections = {name.strip() for name in args.sections.split(",") if name}
-    unknown = sections - {"hotpath", "hazard-sim", "wordlane", "service", "incremental"}
+    unknown = sections - {
+        "hotpath", "hazard-sim", "wordlane", "service", "incremental", "batch",
+    }
     if unknown:
         print(
             f"check_regression: unknown section(s) {', '.join(sorted(unknown))}",
@@ -434,6 +484,20 @@ def main(argv=None) -> int:
             failed.append("service")
     elif "service" in sections:
         print("service: no recorded measurement, skipped")
+
+    batch = {}
+    if "batch" in sections:
+        try:
+            batch = batch_section(args.json)
+        except (OSError, ValueError):
+            pass
+    if batch:
+        ok, message = check_batch(batch, args.batch_floor)
+        print(message)
+        if not ok:
+            failed.append("batch")
+    elif "batch" in sections:
+        print("batch: no recorded measurement, skipped")
 
     if failed:
         print(

@@ -3,18 +3,42 @@
 One batch run fans a corpus of ``.g`` specifications across worker
 processes, each running the full staged pipeline (reach -> regions ->
 mc -> covers -> netlist) under a per-design cooperative budget.  All
-workers share one :class:`~repro.pipeline.store.ArtifactStore`, so a
+workers share one store root -- flat
+(:class:`~repro.pipeline.store.ArtifactStore`) or sharded
+(:class:`~repro.pipeline.shard.ShardedStore`, ``--shards``) -- so a
 repeated sweep -- the second CI invocation, a bench re-run, an edited
 corpus -- recomputes only the designs whose specifications changed.
 
 Determinism contract
 --------------------
-The **manifest** (:meth:`BatchReport.manifest`) contains only
-reproducible facts -- design name, verdict, state counts, equations,
-fingerprints -- ordered by design name.  A warm re-run over an unchanged
-corpus produces a byte-identical manifest; CI asserts exactly that.
-Wall-clock timings and store traffic are deliberately kept apart in
-:meth:`BatchReport.stats`.
+The **manifest** (:meth:`BatchReport.manifest`, schema
+``repro-batch-manifest/2``) contains only reproducible facts -- an
+options echo with its fingerprint, then per design: name, verdict,
+state counts, equations, pipeline fingerprint, specification
+fingerprint and shard key -- ordered by design name.  The shard key is
+derived from the *specification content* (first byte of its SHA-256),
+never from runtime placement, so a sharded run, a flat run and a
+resumed run over the same corpus all emit byte-identical manifests; CI
+asserts exactly that.  Wall-clock timings, store traffic and scheduler
+counters are deliberately kept apart in :meth:`BatchReport.stats`.
+
+Resumption
+----------
+``run_batch(..., resume=<manifest path>)`` reloads a previous manifest
+(and/or its ``<manifest>.journal`` sidecar, written one NDJSON row per
+completed design so an interrupted sweep loses nothing) and re-runs
+only designs that are absent or whose specification fingerprint went
+stale.  A resume source with incompatible options or no usable rows
+raises :class:`ResumeError` instead of silently re-running everything.
+
+Scheduling
+----------
+``jobs > 1`` fans designs across a ``ProcessPoolExecutor`` through
+shard-affine queues: each worker slot drains the queue of "its" shard
+(clustering store I/O per shard directory) and **steals** from the
+longest queue when its own runs dry, so stragglers never idle the
+pool.  ``steals`` / ``resume_skips`` land in the stats sidecar and the
+perf counters (``batch-steal`` / ``batch-resume-skip``).
 
 Per-design failures never abort the batch: a malformed file, a blown
 budget or a synthesis error each become one manifest row with
@@ -28,9 +52,22 @@ from __future__ import annotations
 import json
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Union,
+)
+
+from repro import perf
+from repro.pipeline.serialize import fingerprint_document, fingerprint_file
+from repro.pipeline.shard import SHARD_EVENTS
+from repro.pipeline.store import EVENTS
 
 # the CLI-wide exit vocabulary (mirrored from repro.cli, which imports
 # this module's report; see the exit-code table in that docstring)
@@ -38,8 +75,15 @@ EXIT_OK = 0
 EXIT_HAZARD = 1
 EXIT_INCONCLUSIVE = 3
 
-#: manifest schema stamp (see :meth:`BatchReport.manifest`)
-MANIFEST_SCHEMA = "repro-batch-manifest/1"
+#: manifest schema stamp (see :meth:`BatchReport.manifest`); ``/2``
+#: added the options echo and per-design ``spec_fingerprint``/``shard``
+MANIFEST_SCHEMA = "repro-batch-manifest/2"
+
+#: journal schema stamp (one NDJSON row per completed design)
+JOURNAL_SCHEMA = "repro-batch-journal/1"
+
+#: suffix appended to the manifest path for the resume journal
+JOURNAL_SUFFIX = ".journal"
 
 _STATUS_OK = "hazard-free"
 _STATUS_UNVERIFIED = "synthesised"
@@ -47,6 +91,55 @@ _STATUS_HAZARD = "hazardous"
 _STATUS_INCONCLUSIVE = "inconclusive"
 _STATUS_FAILED = "failed"
 _STATUS_ERROR = "error"
+
+
+class ResumeError(ValueError):
+    """``--resume`` input unusable: unreadable, foreign or incompatible."""
+
+
+def batch_options(
+    backend: Optional[str] = None,
+    style: str = "C",
+    share_gates: object = False,
+    verify: bool = True,
+    max_models: int = 400,
+    max_states: Optional[int] = None,
+    timeout_seconds: Optional[float] = None,
+) -> Dict:
+    """The manifest's options echo: every knob that shapes a row.
+
+    ``backend`` is included because the netlist fingerprint chain
+    contains the backend name; ``jobs``, ``shards`` and the store root
+    are deliberately absent -- they are placement facts that must not
+    change the manifest bytes.
+    """
+    return {
+        "backend": backend or "bitengine",
+        "style": style,
+        "share_gates": share_gates,
+        "verify": verify,
+        "max_models": max_models,
+        "max_states": max_states,
+        "timeout_seconds": timeout_seconds,
+    }
+
+
+def _stamped_options(options: Dict) -> Dict:
+    """The options echo plus its own canonical-JSON fingerprint."""
+    bare = {k: v for k, v in options.items() if k != "fingerprint"}
+    stamped = dict(bare)
+    stamped["fingerprint"] = fingerprint_document(bare)
+    return stamped
+
+
+def _spec_shard(spec_fingerprint: str) -> str:
+    """The design's shard key: first byte of its spec fingerprint.
+
+    Store-independent by construction (pure function of the ``.g``
+    file's bytes), so manifests agree across flat, sharded and resumed
+    runs.  Unreadable specs get an empty key.
+    """
+    return spec_fingerprint[:2] if spec_fingerprint else ""
 
 
 @dataclass
@@ -67,12 +160,20 @@ class DesignOutcome:
     hazard_free: Optional[bool] = None
     circuit_states: int = 0
     fingerprint: str = ""
+    #: SHA-256 of the specification file's bytes (resume staleness test)
+    spec_fingerprint: str = ""
+    #: content-derived shard key (see :func:`_spec_shard`)
+    shard: str = ""
+    #: True when this row was reused from a resume source (stats only)
+    resumed: bool = False
     #: wall seconds in the worker (stats only, never in the manifest)
     seconds: float = 0.0
     #: this design's store traffic, event -> count (stats only)
     store_traffic: Dict[str, int] = field(default_factory=dict)
     #: per-stage breakdown, event -> {stage: count} (stats only)
     store_traffic_by_stage: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: per-shard breakdown, shard -> {event: count} (stats only)
+    store_traffic_by_shard: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -94,14 +195,17 @@ class DesignOutcome:
             "hazard_free": self.hazard_free,
             "circuit_states": self.circuit_states,
             "fingerprint": self.fingerprint,
+            "spec_fingerprint": self.spec_fingerprint,
+            "shard": self.shard,
         }
 
     def describe(self) -> str:
         extra = f" ({self.detail})" if self.detail else ""
         added = f", +{len(self.added_signals)} signal(s)" if self.added_signals else ""
+        resumed = ", resumed" if self.resumed else ""
         return (
             f"{self.name}: {self.status}{extra} "
-            f"[{self.states} states{added}, {self.seconds:.2f}s]"
+            f"[{self.states} states{added}, {self.seconds:.2f}s{resumed}]"
         )
 
 
@@ -113,6 +217,12 @@ class BatchReport:
     jobs: int = 1
     store_root: Optional[str] = None
     backend: Optional[str] = None
+    #: the options echo (see :func:`batch_options`); defaulted lazily
+    options: Dict = field(default_factory=dict)
+    #: shard count of the store root (None for a flat store)
+    shards: Optional[int] = None
+    #: scheduler counters: affine dispatches, steals, resume skips
+    scheduler: Dict[str, int] = field(default_factory=dict)
 
     @property
     def exit_code(self) -> int:
@@ -127,6 +237,9 @@ class BatchReport:
         """The deterministic corpus manifest, rows ordered by name."""
         return {
             "schema": MANIFEST_SCHEMA,
+            "options": _stamped_options(
+                self.options or batch_options(backend=self.backend)
+            ),
             "designs": [
                 outcome.manifest_entry()
                 for outcome in sorted(
@@ -140,9 +253,10 @@ class BatchReport:
         return json.dumps(self.manifest(), indent=2, sort_keys=True) + "\n"
 
     def stats(self) -> Dict:
-        """Run metadata: timings and aggregated store traffic."""
-        traffic: Dict[str, int] = {}
+        """Run metadata: timings, store traffic, scheduler counters."""
+        traffic: Dict[str, int] = {e: 0 for e in EVENTS + SHARD_EVENTS}
         by_stage: Dict[str, Dict[str, int]] = {}
+        by_shard: Dict[str, Dict[str, int]] = {}
         for outcome in self.outcomes:
             for event, count in outcome.store_traffic.items():
                 traffic[event] = traffic.get(event, 0) + count
@@ -150,11 +264,22 @@ class BatchReport:
                 bucket = by_stage.setdefault(event, {})
                 for stage, count in stages.items():
                     bucket[stage] = bucket.get(stage, 0) + count
+            for shard, events in outcome.store_traffic_by_shard.items():
+                bucket = by_shard.setdefault(shard, {})
+                for event, count in events.items():
+                    bucket[event] = bucket.get(event, 0) + count
+        scheduler = {"affine": 0, "steals": 0, "resume_skips": 0}
+        scheduler.update(self.scheduler)
         return {
             "designs": len(self.outcomes),
             "jobs": self.jobs,
             "backend": self.backend or "bitengine",
             "store": self.store_root,
+            "shards": self.shards,
+            "scheduler": scheduler,
+            "resumed_designs": sorted(
+                o.name for o in self.outcomes if o.resumed
+            ),
             "seconds_total": sum(o.seconds for o in self.outcomes),
             "seconds_by_design": {
                 o.name: round(o.seconds, 6) for o in self.outcomes
@@ -164,6 +289,7 @@ class BatchReport:
             "store_traffic_by_design": {
                 o.name: dict(o.store_traffic) for o in self.outcomes
             },
+            "store_traffic_by_shard": by_shard,
         }
 
     def describe(self) -> str:
@@ -171,6 +297,8 @@ class BatchReport:
         for outcome in self.outcomes:
             counts[outcome.status] = counts.get(outcome.status, 0) + 1
         summary = ", ".join(f"{n} {s}" for s, n in sorted(counts.items()))
+        resumed = sum(1 for o in self.outcomes if o.resumed)
+        skipped = f"; {resumed} resumed" if resumed else ""
         traffic = self.stats()["store_traffic"]
         hits, misses = traffic.get("hit", 0), traffic.get("miss", 0)
         store = (
@@ -178,11 +306,193 @@ class BatchReport:
             if self.store_root
             else ""
         )
-        return f"batch: {len(self.outcomes)} design(s): {summary}{store}"
+        return f"batch: {len(self.outcomes)} design(s): {summary}{skipped}{store}"
 
 
+# ----------------------------------------------------------------------
+# Resume sources: prior manifests and journals
+# ----------------------------------------------------------------------
+class BatchJournal:
+    """Append-only NDJSON sidecar making an interrupted batch resumable.
+
+    One self-contained row per completed design (each row repeats the
+    stamped options block, so a torn tail line never poisons the rest).
+    The CLI appends through ``progress`` and removes the journal once
+    the manifest itself is written.
+    """
+
+    def __init__(self, path: str, options: Dict):
+        self.path = str(path)
+        self._options = _stamped_options(options)
+        self._handle = None
+
+    def append(self, outcome: DesignOutcome) -> None:
+        entry = {
+            "schema": JOURNAL_SCHEMA,
+            "options": self._options,
+            "design": outcome.manifest_entry(),
+        }
+        if self._handle is None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+        self._handle.write(
+            json.dumps(entry, sort_keys=True, separators=(",", ":")) + "\n"
+        )
+        self._handle.flush()
+        try:
+            os.fsync(self._handle.fileno())
+        except OSError:  # pragma: no cover - fsync-less filesystems
+            pass
+
+    def close(self, remove: bool = False) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        if remove:
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
+
+
+def _read_resume_manifest(path: str) -> Dict:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise ResumeError(f"cannot read resume manifest {path}: {exc}")
+    schema = document.get("schema") if isinstance(document, dict) else None
+    if schema != MANIFEST_SCHEMA:
+        raise ResumeError(
+            f"resume manifest {path} has schema {schema!r}; "
+            f"resuming needs {MANIFEST_SCHEMA!r}"
+        )
+    return document
+
+def _read_journal(path: str) -> List[Dict]:
+    """Journal rows, tolerating a torn final line (interrupted write)."""
+    entries: List[Dict] = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+    except OSError as exc:
+        raise ResumeError(f"cannot read resume journal {path}: {exc}")
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except ValueError:
+            break  # torn tail from an interrupted append; rows above are good
+        if not isinstance(entry, dict) or entry.get("schema") != JOURNAL_SCHEMA:
+            raise ResumeError(
+                f"resume journal {path} has schema "
+                f"{entry.get('schema') if isinstance(entry, dict) else None!r}; "
+                f"expected {JOURNAL_SCHEMA!r}"
+            )
+        entries.append(entry)
+    return entries
+
+
+def _check_options(recorded: Optional[Dict], expected: Dict, source: str) -> None:
+    expected_fp = fingerprint_document(expected)
+    recorded = recorded or {}
+    if recorded.get("fingerprint") == expected_fp:
+        return
+    bare = {k: v for k, v in recorded.items() if k != "fingerprint"}
+    diffs = sorted(
+        k
+        for k in set(bare) | set(expected)
+        if bare.get(k) != expected.get(k)
+    )
+    raise ResumeError(
+        f"{source} was produced with incompatible options "
+        f"(differs in: {', '.join(diffs) or 'options fingerprint'}); "
+        f"resume only applies to runs with identical synthesis options"
+    )
+
+
+def resume_plan(path: str, options: Dict) -> Dict[str, Dict]:
+    """Reusable rows by design name from a manifest and/or its journal.
+
+    ``path`` names the manifest of the interrupted or previous run; its
+    ``<path>.journal`` sidecar is merged in (manifest rows win).  Raises
+    :class:`ResumeError` when neither exists, either is foreign, or the
+    recorded options don't fingerprint-match ``options``.
+    """
+    rows: Dict[str, Dict] = {}
+    found = False
+    if os.path.exists(path):
+        document = _read_resume_manifest(path)
+        _check_options(document.get("options"), options, f"resume manifest {path}")
+        for row in document.get("designs", []):
+            if isinstance(row, dict) and row.get("name"):
+                rows[row["name"]] = row
+        found = True
+    journal_path = path + JOURNAL_SUFFIX
+    if os.path.exists(journal_path):
+        for entry in _read_journal(journal_path):
+            _check_options(
+                entry.get("options"), options, f"resume journal {journal_path}"
+            )
+            row = entry.get("design")
+            if isinstance(row, dict) and row.get("name"):
+                rows.setdefault(row["name"], row)
+        found = True
+    if not found:
+        raise ResumeError(
+            f"nothing to resume: neither {path} nor {journal_path} exists"
+        )
+    return rows
+
+
+def _outcome_from_row(row: Dict, spec: str, spec_fingerprint: str) -> DesignOutcome:
+    """A resumed outcome rebuilt from a recorded manifest/journal row.
+
+    ``spec``/``spec_fingerprint`` come from the *current* input (the
+    fingerprints are equal by the staleness test; the path may differ),
+    so the merged manifest matches a cold run over the current corpus.
+    """
+    return DesignOutcome(
+        name=row["name"],
+        spec=spec,
+        status=row["status"],
+        detail=row.get("detail", ""),
+        states=row.get("states", 0),
+        inputs=row.get("inputs", 0),
+        outputs=row.get("outputs", 0),
+        added_signals=list(row.get("added_signals", [])),
+        equations=row.get("equations", ""),
+        gates=row.get("gates", 0),
+        hazard_free=row.get("hazard_free"),
+        circuit_states=row.get("circuit_states", 0),
+        fingerprint=row.get("fingerprint", ""),
+        spec_fingerprint=spec_fingerprint,
+        shard=_spec_shard(spec_fingerprint),
+        resumed=True,
+    )
+
+
+# ----------------------------------------------------------------------
+# The worker body
+# ----------------------------------------------------------------------
 def _design_name(path: str) -> str:
     return os.path.splitext(os.path.basename(path))[0]
+
+
+def _open_task_store(task: Dict):
+    """The worker's store handle (flat or sharded), or ``None``."""
+    root = task.get("store_root")
+    if root is None:
+        return None
+    from repro.pipeline.shard import open_store
+
+    return open_store(
+        root,
+        shards=task.get("store_shards"),
+        remote=task.get("remote_root"),
+        max_put_rate=task.get("max_put_rate"),
+    )
 
 
 def _run_design(task: Dict) -> Dict:
@@ -212,15 +522,19 @@ def _run_design(task: Dict) -> Dict:
         "hazard_free": None,
         "circuit_states": 0,
         "fingerprint": "",
+        "spec_fingerprint": task.get("spec_fingerprint", ""),
+        "shard": task.get("shard", ""),
+        "resumed": False,
         "seconds": 0.0,
         "store_traffic": {},
         "store_traffic_by_stage": {},
+        "store_traffic_by_shard": {},
     }
     budget = Budget(
         max_states=task["max_states"], max_seconds=task["timeout_seconds"]
     )
     context = AnalysisContext(
-        backend=task["backend"], budget=budget, store=task["store_root"]
+        backend=task["backend"], budget=budget, store=_open_task_store(task)
     )
     try:
         try:
@@ -286,6 +600,8 @@ def _run_design(task: Dict) -> Dict:
         if context.store is not None:
             outcome["store_traffic"] = context.store.totals()
             outcome["store_traffic_by_stage"] = context.store.stats()
+            if hasattr(context.store, "shard_totals"):
+                outcome["store_traffic_by_shard"] = context.store.shard_totals()
 
 
 def _conflict_count(report) -> int:
@@ -308,6 +624,73 @@ def _truncated_without_witness(report) -> bool:
     )
 
 
+# ----------------------------------------------------------------------
+# The work-stealing scheduler
+# ----------------------------------------------------------------------
+def _queue_index(task: Dict, queues: int) -> int:
+    shard = task.get("shard") or ""
+    try:
+        return int(shard, 16) % queues
+    except ValueError:
+        return 0
+
+
+def _run_scheduled(
+    tasks: List[Dict],
+    jobs: int,
+    shards: Optional[int],
+    scheduler: Dict[str, int],
+    collect: Callable[[Dict], None],
+) -> None:
+    """Run ``tasks`` over shard-affine queues with work stealing.
+
+    With a sharded store there is one queue per shard (clustering each
+    worker's I/O in one shard directory); otherwise a single queue.  A
+    freed worker slot pops its home queue first and steals from the
+    longest queue when its own is dry -- counted under ``steals``.
+    """
+    if jobs == 1 or len(tasks) == 1:
+        for task in tasks:
+            scheduler["affine"] += 1
+            collect(_run_design(task))
+        return
+    queue_count = shards if shards and shards > 1 else 1
+    queues: List[List[Dict]] = [[] for _ in range(queue_count)]
+    for task in tasks:
+        queues[_queue_index(task, queue_count)].append(task)
+    slots = min(jobs, len(tasks))
+    with ProcessPoolExecutor(max_workers=slots) as pool:
+        running: Dict = {}
+
+        def launch(slot: int) -> bool:
+            home = slot % queue_count
+            queue = queues[home]
+            stolen = False
+            if not queue:
+                donor = max(range(queue_count), key=lambda i: len(queues[i]))
+                queue = queues[donor]
+                if not queue:
+                    return False
+                stolen = donor != home
+            task = queue.pop(0)
+            running[pool.submit(_run_design, task)] = slot
+            if stolen:
+                scheduler["steals"] += 1
+                perf.count("batch-steal")
+            else:
+                scheduler["affine"] += 1
+            return True
+
+        for slot in range(slots):
+            launch(slot)
+        while running:
+            done, _ = wait(set(running), return_when=FIRST_COMPLETED)
+            for future in done:
+                slot = running.pop(future)
+                collect(future.result())
+                launch(slot)
+
+
 def run_batch(
     specs: Sequence[str],
     store: Union[str, None] = None,
@@ -319,6 +702,10 @@ def run_batch(
     max_models: int = 400,
     max_states: Optional[int] = None,
     timeout_seconds: Optional[float] = None,
+    shards: Optional[int] = None,
+    remote_store: Union[str, None] = None,
+    max_put_rate: Optional[float] = None,
+    resume: Union[str, Mapping, None] = None,
     progress: Optional[Callable[[DesignOutcome], None]] = None,
 ) -> BatchReport:
     """Synthesise every ``.g`` specification in ``specs``.
@@ -327,28 +714,40 @@ def run_batch(
     ``timeout_seconds`` / ``max_states`` bound each design *separately*
     (a blown budget marks that design inconclusive, the batch goes on).
     ``jobs`` > 1 fans designs across a :class:`ProcessPoolExecutor`;
-    ``store`` (a directory path) is shared by all workers.  ``progress``
-    is called with each :class:`DesignOutcome` as it completes, in
-    completion order.
+    ``store`` (a directory path) is shared by all workers, partitioned
+    into ``shards`` shard directories when given (with ``remote_store``
+    as an optional read-through tier and ``max_put_rate`` as per-shard
+    put backpressure).  ``resume`` names a previous manifest (or passes
+    its loaded rows): designs whose spec fingerprint matches a recorded
+    row are reused without running; an unusable resume source raises
+    :class:`ResumeError`.  ``progress`` is called with each
+    :class:`DesignOutcome` as it completes, in completion order
+    (resumed rows first).
     """
     if jobs < 1:
         raise ValueError(f"jobs must be a positive integer, got {jobs}")
+    if shards is not None and shards < 1:
+        raise ValueError(f"shards must be a positive integer, got {shards}")
     if not specs:
         raise ValueError("no specifications given")
-    tasks = [
-        {
-            "spec": str(path),
-            "store_root": None if store is None else str(store),
-            "backend": backend,
-            "style": style,
-            "share_gates": share_gates,
-            "verify": verify,
-            "max_models": max_models,
-            "max_states": max_states,
-            "timeout_seconds": timeout_seconds,
-        }
-        for path in specs
-    ]
+    options = batch_options(
+        backend=backend,
+        style=style,
+        share_gates=share_gates,
+        verify=verify,
+        max_models=max_models,
+        max_states=max_states,
+        timeout_seconds=timeout_seconds,
+    )
+    reusable: Optional[Dict[str, Dict]] = None
+    if resume is not None:
+        reusable = (
+            dict(resume)
+            if isinstance(resume, Mapping)
+            else resume_plan(str(resume), options)
+        )
+
+    scheduler = {"affine": 0, "steals": 0, "resume_skips": 0}
     outcomes: List[DesignOutcome] = []
 
     def collect(raw: Dict) -> None:
@@ -357,25 +756,74 @@ def run_batch(
         if progress is not None:
             progress(outcome)
 
-    if jobs == 1 or len(tasks) == 1:
-        for task in tasks:
-            collect(_run_design(task))
-    else:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
-            futures = [pool.submit(_run_design, task) for task in tasks]
-            for future in as_completed(futures):
-                collect(future.result())
+    tasks: List[Dict] = []
+    overlap = 0
+    for path in specs:
+        path = str(path)
+        name = _design_name(path)
+        spec_fp = fingerprint_file(path)
+        row = None if reusable is None else reusable.get(name)
+        if row is not None:
+            overlap += 1
+            if spec_fp and row.get("spec_fingerprint") == spec_fp:
+                scheduler["resume_skips"] += 1
+                perf.count("batch-resume-skip")
+                outcome = _outcome_from_row(row, path, spec_fp)
+                outcomes.append(outcome)
+                if progress is not None:
+                    progress(outcome)
+                continue
+        tasks.append(
+            {
+                "spec": path,
+                "spec_fingerprint": spec_fp,
+                "shard": _spec_shard(spec_fp),
+                "store_root": None if store is None else str(store),
+                "store_shards": shards,
+                "remote_root": None if remote_store is None else str(remote_store),
+                "max_put_rate": max_put_rate,
+                "backend": backend,
+                "style": style,
+                "share_gates": share_gates,
+                "verify": verify,
+                "max_models": max_models,
+                "max_states": max_states,
+                "timeout_seconds": timeout_seconds,
+            }
+        )
+    if reusable is not None and not scheduler["resume_skips"]:
+        if overlap:
+            raise ResumeError(
+                f"resume source matches no current specification: {overlap} "
+                f"design name(s) overlap but every spec fingerprint is stale; "
+                f"drop --resume to re-run the corpus"
+            )
+        raise ResumeError(
+            "resume source shares no design names with the input set"
+        )
+
+    if tasks:
+        _run_scheduled(tasks, jobs, shards, scheduler, collect)
     return BatchReport(
         outcomes=outcomes,
         jobs=jobs,
         store_root=None if store is None else str(store),
         backend=backend,
+        options=options,
+        shards=shards,
+        scheduler=scheduler,
     )
 
 
 __all__ = [
+    "BatchJournal",
     "BatchReport",
     "DesignOutcome",
+    "JOURNAL_SCHEMA",
+    "JOURNAL_SUFFIX",
     "MANIFEST_SCHEMA",
+    "ResumeError",
+    "batch_options",
+    "resume_plan",
     "run_batch",
 ]

@@ -41,6 +41,8 @@ id type raise :class:`ArtifactCodingError`, which the store treats as
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
@@ -792,12 +794,47 @@ def stage_artifact_from_json(stage: str, data: Dict):
     return decode(data)
 
 
+# ----------------------------------------------------------------------
+# Canonical-JSON fingerprints (batch manifests / resume journals)
+# ----------------------------------------------------------------------
+def canonical_json(document) -> str:
+    """``document`` as canonical compact JSON (sorted keys, no spaces).
+
+    This is the byte form that fingerprints are computed over, so it
+    must stay stable: the batch resume check compares fingerprints of
+    option blocks recorded by *earlier* runs.
+    """
+    return json.dumps(document, sort_keys=True, separators=(",", ":"))
+
+
+def fingerprint_document(document) -> str:
+    """SHA-256 hex digest of ``document``'s canonical JSON form."""
+    return hashlib.sha256(canonical_json(document).encode("utf-8")).hexdigest()
+
+
+def fingerprint_file(path: str) -> str:
+    """SHA-256 hex digest of a file's bytes, ``""`` if unreadable.
+
+    Identifies a batch design's *specification content* independently
+    of its path, mtime or store placement -- the staleness test behind
+    ``repro-si batch --resume``.
+    """
+    try:
+        with open(path, "rb") as handle:
+            return hashlib.sha256(handle.read()).hexdigest()
+    except OSError:
+        return ""
+
+
 __all__ = [
     "ArtifactCodingError",
     "DetachedHazardReport",
     "DetachedImplementation",
     "DetachedInsertion",
     "STAGE_CODECS",
+    "canonical_json",
+    "fingerprint_document",
+    "fingerprint_file",
     "mc_report_from_json",
     "mc_report_to_json",
     "pipeline_result_from_json",

@@ -1,0 +1,361 @@
+"""Key-space sharded composition of :class:`~repro.pipeline.store.ArtifactStore`.
+
+One :class:`ShardedStore` partitions a store root into ``N`` shard
+directories, each an ordinary content-addressed store::
+
+    <root>/shards.json            {"schema": "repro-shard-layout/1", "shards": 4}
+    <root>/shard-00/<stage>/<digest>.json
+    <root>/shard-01/<stage>/<digest>.json
+    ...
+
+Routing is by entry digest -- ``int(digest[:2], 16) % shards`` over the
+same SHA-256 that names the entry file -- so placement is a pure
+function of the memo key: any process opening the root with the same
+shard count reads and writes the same files, and batch workers racing
+on one key still land on one path (atomic-write semantics unchanged).
+
+The layout marker (``shards.json``) records the shard count so later
+opens -- ``repro-si serve`` over a sharded root, a resumed batch, a
+remote tier -- can autodetect it via :func:`open_store`.  Opening a
+root whose marker disagrees with an explicit ``shards=`` request raises
+``ValueError`` (a silent mismatch would re-route every key and degrade
+the whole store to misses); a marker that is unreadable or foreign is
+rewritten.  Entries of a *flat* store living at the same root are never
+read by the sharded composition (they simply age out) and foreign files
+inside shard directories degrade per the flat store's rules: corrupt
+entries are counted misses and deleted best-effort.
+
+Composed policies:
+
+* **Per-shard LRU budgets.**  ``max_entries`` is the whole-store cap,
+  split evenly across shards; each shard trims itself oldest-first
+  exactly as a flat store does.
+* **Remote read-through tier.**  ``remote`` names a second store root
+  (flat or sharded, autodetected, never trimmed) consulted on local
+  miss; a remote hit is promoted -- written into the owning local
+  shard -- and counted under ``remote-hit``/``promote``.
+* **Put-rate backpressure.**  Per-shard put timestamps are kept over a
+  one-second sliding window; with ``max_put_rate`` set, puts beyond the
+  rate are dropped and counted under ``throttle``.  Dropping a put is
+  always safe: the store is a cache, the memo keeps the artifact
+  in-memory and the next sweep re-offers it.
+
+Traffic counters keep the flat store's ``stats()``/``totals()`` shape
+with three extra events (``remote-hit``, ``promote``, ``throttle``), so
+everything that consumes store traffic -- ``repro-si --profile``, batch
+sidecars, the service stats endpoint -- works unchanged over either
+layout.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro import perf
+from repro.pipeline.store import EVENTS, ArtifactStore
+
+#: layout marker schema (``<root>/shards.json``)
+LAYOUT_SCHEMA = "repro-shard-layout/1"
+LAYOUT_FILE = "shards.json"
+
+#: events counted by the sharded composition itself, on top of the
+#: per-shard :data:`repro.pipeline.store.EVENTS`
+SHARD_EVENTS = ("remote-hit", "promote", "throttle")
+
+#: seconds of put history per shard backing the put-rate accounting
+PUT_RATE_WINDOW = 1.0
+
+
+def shard_name(index: int) -> str:
+    """Directory name of shard ``index`` (``shard-00`` .. ``shard-NN``)."""
+    return f"shard-{index:02d}"
+
+
+def shard_index(digest: str, shards: int) -> int:
+    """The shard owning an entry digest (pure function of the key)."""
+    return int(digest[:2], 16) % shards
+
+
+def detect_layout(root: Union[str, os.PathLike]) -> Optional[int]:
+    """The shard count of an existing sharded root, or ``None`` if flat.
+
+    The ``shards.json`` marker wins; without one (or with an unreadable
+    or foreign marker) the shard directories themselves are counted.
+    """
+    root = str(root)
+    marker = os.path.join(root, LAYOUT_FILE)
+    try:
+        with open(marker, "r", encoding="utf-8") as handle:
+            envelope = json.load(handle)
+        count = envelope["shards"]
+        if envelope["schema"] == LAYOUT_SCHEMA and isinstance(count, int) and count >= 1:
+            return count
+    except (OSError, ValueError, KeyError, TypeError):
+        pass
+    try:
+        names = sorted(os.listdir(root))
+    except OSError:
+        return None
+    found = [
+        name
+        for name in names
+        if name.startswith("shard-") and os.path.isdir(os.path.join(root, name))
+    ]
+    return len(found) or None
+
+
+class ShardedStore:
+    """``N`` flat stores behind the one-store cache protocol.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the shard directories and the layout marker.
+    shards:
+        Shard count (>= 1); ``None`` autodetects from an existing
+        layout and raises ``ValueError`` when there is none.
+    max_entries:
+        Whole-store LRU cap, split evenly across shards; ``None``
+        disables eviction.
+    remote:
+        Optional read-through tier: a second store root (flat or
+        sharded, autodetected) consulted on local miss, never trimmed.
+    max_put_rate:
+        Optional per-shard put ceiling (puts per second); excess puts
+        are dropped and counted under ``throttle``.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, os.PathLike],
+        shards: Optional[int] = None,
+        max_entries: Optional[int] = 4096,
+        remote: Union[str, os.PathLike, None] = None,
+        max_put_rate: Optional[float] = None,
+    ):
+        self.root = str(root)
+        if shards is None:
+            shards = detect_layout(self.root)
+            if shards is None:
+                raise ValueError(
+                    f"no sharded layout at {self.root!r} and no shard count given"
+                )
+        if shards < 1:
+            raise ValueError(f"shards must be positive, got {shards}")
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        if max_put_rate is not None and max_put_rate <= 0:
+            raise ValueError(f"max_put_rate must be positive, got {max_put_rate}")
+        self.shards = shards
+        self.max_entries = max_entries
+        self.max_put_rate = max_put_rate
+        self.remote_root = None if remote is None else str(remote)
+        self._ensure_layout()
+        per_shard = (
+            None
+            if max_entries is None
+            else max(1, -(-max_entries // shards))  # ceil division
+        )
+        self._stores: List[ArtifactStore] = [
+            ArtifactStore(
+                os.path.join(self.root, shard_name(i)), max_entries=per_shard
+            )
+            for i in range(shards)
+        ]
+        # eager shard directories: the layout stays detectable by
+        # directory scan even if the marker file is lost or corrupted
+        for store in self._stores:
+            try:
+                os.makedirs(store.root, exist_ok=True)
+            except OSError:  # pragma: no cover - unwritable root
+                pass
+        #: the read-through tier; opened lazily so a sharded remote is
+        #: autodetected and a missing remote just misses
+        self._remote = (
+            None
+            if self.remote_root is None
+            else open_store(self.remote_root, max_entries=None)
+        )
+        self._counters: Dict[str, Dict[str, int]] = {e: {} for e in SHARD_EVENTS}
+        #: per-shard put timestamps within :data:`PUT_RATE_WINDOW`
+        self._put_times: List[List[float]] = [[] for _ in range(shards)]
+
+    # ------------------------------------------------------------------
+    # Layout
+    # ------------------------------------------------------------------
+    def _ensure_layout(self) -> None:
+        recorded = detect_layout(self.root)
+        if recorded is not None and recorded != self.shards:
+            raise ValueError(
+                f"shard layout mismatch at {self.root!r}: "
+                f"laid out with {recorded} shard(s), requested {self.shards}"
+            )
+        marker = os.path.join(self.root, LAYOUT_FILE)
+        if recorded == self.shards and os.path.exists(marker):
+            return
+        os.makedirs(self.root, exist_ok=True)
+        tmp = os.path.join(self.root, f".tmp-{LAYOUT_FILE}-{os.getpid()}")
+        envelope = {"schema": LAYOUT_SCHEMA, "shards": self.shards}
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(envelope, handle, separators=(",", ":"))
+            os.replace(tmp, marker)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def shard_for(self, stage: str, key: Tuple) -> int:
+        """The shard index owning ``(stage, key)``."""
+        return shard_index(ArtifactStore.entry_digest(stage, key), self.shards)
+
+    def path_for(self, stage: str, key: Tuple) -> str:
+        """The entry path answering for ``(stage, key)``."""
+        return self._stores[self.shard_for(stage, key)].path_for(stage, key)
+
+    # ------------------------------------------------------------------
+    # Counters
+    # ------------------------------------------------------------------
+    def _count(self, event: str, stage: str) -> None:
+        bucket = self._counters[event]
+        bucket[stage] = bucket.get(stage, 0) + 1
+        perf.count(f"store-{event}:{stage}")
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-stage traffic merged over shards, plus the shard events."""
+        merged: Dict[str, Dict[str, int]] = {e: {} for e in EVENTS + SHARD_EVENTS}
+        sources = [store.stats() for store in self._stores]
+        sources.append({e: dict(s) for e, s in self._counters.items()})
+        for stats in sources:
+            for event, stages in stats.items():
+                bucket = merged.setdefault(event, {})
+                for stage, count in stages.items():
+                    bucket[stage] = bucket.get(stage, 0) + count
+        return merged
+
+    def totals(self) -> Dict[str, int]:
+        """Whole-store traffic: event -> count summed over stages."""
+        return {
+            event: sum(stages.values()) for event, stages in self.stats().items()
+        }
+
+    def shard_totals(self) -> Dict[str, Dict[str, int]]:
+        """Per-shard traffic: ``{"shard-00": {"hit": 3, ...}, ...}``."""
+        return {
+            shard_name(i): store.totals()
+            for i, store in enumerate(self._stores)
+        }
+
+    def put_rates(self) -> Dict[str, int]:
+        """Puts within the last rate window, per shard (backpressure view)."""
+        now = time.monotonic()
+        rates = {}
+        for i, times in enumerate(self._put_times):
+            rates[shard_name(i)] = sum(
+                1 for t in times if now - t <= PUT_RATE_WINDOW
+            )
+        return rates
+
+    # ------------------------------------------------------------------
+    # The cache protocol
+    # ------------------------------------------------------------------
+    def get(self, stage: str, key: Tuple):
+        """The artifact for ``(stage, key)`` from its shard or the remote tier."""
+        shard = self._stores[self.shard_for(stage, key)]
+        artifact = shard.get(stage, key)
+        if artifact is not None or self._remote is None:
+            return artifact
+        artifact = self._remote.get(stage, key)
+        if artifact is None:
+            return None
+        self._count("remote-hit", stage)
+        if shard.put(stage, key, artifact):
+            self._count("promote", stage)
+        return artifact
+
+    def put(self, stage: str, key: Tuple, artifact) -> bool:
+        """Persist into the owning shard, subject to the put-rate cap."""
+        index = self.shard_for(stage, key)
+        if self._throttled(index):
+            self._count("throttle", stage)
+            return False
+        written = self._stores[index].put(stage, key, artifact)
+        if written:
+            self._put_times[index].append(time.monotonic())
+        return written
+
+    def _throttled(self, index: int) -> bool:
+        times = self._put_times[index]
+        now = time.monotonic()
+        while times and now - times[0] > PUT_RATE_WINDOW:
+            times.pop(0)
+        if self.max_put_rate is None:
+            return False
+        return len(times) >= self.max_put_rate
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def trim(self, protect: Optional[str] = None) -> int:
+        """Trim every shard to its budget; returns entries evicted."""
+        return sum(store.trim(protect=protect) for store in self._stores)
+
+    def clear(self) -> int:
+        """Delete every entry in every shard; returns the number removed."""
+        return sum(store.clear() for store in self._stores)
+
+    def __len__(self) -> int:
+        return sum(len(store) for store in self._stores)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ShardedStore(root={self.root!r}, shards={self.shards}, "
+            f"max_entries={self.max_entries!r}, remote={self.remote_root!r})"
+        )
+
+
+def open_store(
+    root: Union[str, os.PathLike],
+    shards: Optional[int] = None,
+    max_entries: Optional[int] = 4096,
+    remote: Union[str, os.PathLike, None] = None,
+    max_put_rate: Optional[float] = None,
+) -> Union[ArtifactStore, ShardedStore]:
+    """Open ``root`` with the right layout.
+
+    An explicit ``shards`` count (or a ``remote`` tier, which only the
+    sharded composition supports) opens a :class:`ShardedStore`;
+    otherwise an existing sharded layout is autodetected and a plain
+    flat :class:`~repro.pipeline.store.ArtifactStore` is the default.
+    This is what the CLI, the batch workers and the service use, so one
+    store root keeps its layout across entry points.
+    """
+    if shards is None and remote is None and max_put_rate is None:
+        detected = detect_layout(root)
+        if detected is None:
+            return ArtifactStore(str(root), max_entries=max_entries)
+        shards = detected
+    return ShardedStore(
+        root,
+        shards=shards if shards is not None else (detect_layout(root) or 1),
+        max_entries=max_entries,
+        remote=remote,
+        max_put_rate=max_put_rate,
+    )
+
+
+__all__ = [
+    "LAYOUT_FILE",
+    "LAYOUT_SCHEMA",
+    "PUT_RATE_WINDOW",
+    "SHARD_EVENTS",
+    "ShardedStore",
+    "detect_layout",
+    "open_store",
+    "shard_index",
+    "shard_name",
+]

@@ -68,7 +68,10 @@ from repro.pipeline.serialize import (
 #: entries then read as corrupt misses and are rewritten, never crash)
 STORE_SCHEMA = "repro-artifact-store/3"
 
-_EVENTS = ("hit", "miss", "corrupt", "put", "skip", "evict")
+#: the store event vocabulary, in reporting order (the sharded
+#: composition in :mod:`repro.pipeline.shard` appends its own events)
+EVENTS = ("hit", "miss", "corrupt", "put", "skip", "evict")
+_EVENTS = EVENTS  # backwards-compatible alias
 
 
 class ArtifactStore:
@@ -97,13 +100,25 @@ class ArtifactStore:
     def _key_reprs(stage: str, key: Tuple) -> Tuple[str, ...]:
         return tuple(repr(part) for part in (stage,) + tuple(key))
 
-    def path_for(self, stage: str, key: Tuple) -> str:
-        """The entry path answering for ``(stage, key)``."""
+    @classmethod
+    def entry_digest(cls, stage: str, key: Tuple) -> str:
+        """The content digest addressing ``(stage, key)``.
+
+        This is the file basename of the entry and also the routing key
+        of the sharded composition (:mod:`repro.pipeline.shard`), so it
+        must stay stable across store layouts.
+        """
         hasher = hashlib.sha256()
-        for part in self._key_reprs(stage, key):
+        for part in cls._key_reprs(stage, key):
             hasher.update(part.encode("utf-8"))
             hasher.update(b"\x1f")
-        return os.path.join(self.root, stage, hasher.hexdigest() + ".json")
+        return hasher.hexdigest()
+
+    def path_for(self, stage: str, key: Tuple) -> str:
+        """The entry path answering for ``(stage, key)``."""
+        return os.path.join(
+            self.root, stage, self.entry_digest(stage, key) + ".json"
+        )
 
     # ------------------------------------------------------------------
     # Counters
@@ -287,4 +302,4 @@ class ArtifactStore:
         )
 
 
-__all__ = ["ArtifactStore", "STORE_SCHEMA"]
+__all__ = ["ArtifactStore", "EVENTS", "STORE_SCHEMA"]

@@ -505,10 +505,19 @@ def _process_job(task: Dict) -> Dict:
     budget = Budget(
         max_states=task["max_states"], max_seconds=task["max_seconds"]
     )
+    store = task["store_root"]
+    if store is not None:
+        from repro.pipeline.shard import open_store
+
+        store = open_store(
+            store,
+            shards=task.get("store_shards"),
+            remote=task.get("remote_root"),
+        )
     context = AnalysisContext(
         backend=task["backend"],
         budget=budget,
-        store=task["store_root"],
+        store=store,
         recorder=StreamRecorder(events.append),
     )
     outcome = run_job(task["kind"], task["params"], context, events.append)
@@ -561,6 +570,8 @@ class JobManager:
     def __init__(
         self,
         store: Optional[str] = None,
+        shards: Optional[int] = None,
+        remote_store: Optional[str] = None,
         backend: Optional[str] = None,
         workers: int = 1,
         tenant_tokens: float = DEFAULT_TENANT_TOKENS,
@@ -582,11 +593,19 @@ class JobManager:
         #: warmth through the store directory.
         self.mode = "thread" if workers == 1 else "process"
         self.store_root = None if store is None else str(store)
+        self.shards = shards
+        self.remote_store = None if remote_store is None else str(remote_store)
+        if self.store_root is None and (shards or remote_store):
+            raise ValueError("shards/remote_store need a store root")
         self.store = None
         if self.store_root is not None:
-            from repro.pipeline.store import ArtifactStore
+            # flat or sharded, autodetected -- one server can sit on the
+            # root a ``repro-si batch --shards`` sweep warmed
+            from repro.pipeline.shard import open_store
 
-            self.store = ArtifactStore(self.store_root)
+            self.store = open_store(
+                self.store_root, shards=shards, remote=self.remote_store
+            )
         self.tenant_tokens = float(tenant_tokens)
         self.tenant_refill = float(tenant_refill)
         self.job_max_states = job_max_states
@@ -717,7 +736,13 @@ class JobManager:
             "memo_entries": len(self._memo),
             "store": None if self.store is None else {
                 "root": self.store.root,
+                "shards": getattr(self.store, "shards", None),
                 "traffic": self.store.totals(),
+                "traffic_by_shard": (
+                    self.store.shard_totals()
+                    if hasattr(self.store, "shard_totals")
+                    else None
+                ),
             },
             "tenants": {
                 tenant: round(bucket.available(), 1)
@@ -823,6 +848,8 @@ class JobManager:
                 "params": job.params,
                 "backend": job.params.get("backend") or self.backend,
                 "store_root": self.store_root,
+                "store_shards": self.shards,
+                "remote_root": self.remote_store,
                 "max_states": state_cap,
                 "max_seconds": max_seconds,
             }

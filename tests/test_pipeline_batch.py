@@ -1,12 +1,20 @@
-"""Batch orchestration (`repro-si batch`) and --jobs validation."""
+"""Batch orchestration (`repro-si batch`): manifests, resume, sharding."""
 
 import json
 import os
+import shutil
 
 import pytest
 
 from repro.cli import main
-from repro.pipeline.batch import MANIFEST_SCHEMA, run_batch
+from repro.pipeline.batch import (
+    JOURNAL_SUFFIX,
+    MANIFEST_SCHEMA,
+    BatchJournal,
+    ResumeError,
+    batch_options,
+    run_batch,
+)
 
 pytestmark = pytest.mark.smoke
 
@@ -119,6 +127,236 @@ class TestBatchCli:
 
 
 # ----------------------------------------------------------------------
+# Sharded batch: placement-independent manifests, stealing scheduler
+# ----------------------------------------------------------------------
+class TestShardedBatch:
+    def test_sharded_manifest_matches_flat_byte_for_byte(self, tmp_path):
+        flat = run_batch(SPECS, store=str(tmp_path / "flat"))
+        sharded = run_batch(
+            SPECS, store=str(tmp_path / "sh"), jobs=2, shards=4
+        )
+        assert sharded.manifest_text() == flat.manifest_text()
+        for entry in sharded.manifest()["designs"]:
+            assert entry["spec_fingerprint"]
+            assert entry["shard"] == entry["spec_fingerprint"][:2]
+
+    def test_scheduler_counters_cover_every_dispatch(self, tmp_path):
+        report = run_batch(SPECS, store=str(tmp_path / "s"), jobs=2, shards=4)
+        scheduler = report.stats()["scheduler"]
+        assert scheduler["affine"] + scheduler["steals"] == len(SPECS)
+        assert scheduler["resume_skips"] == 0
+
+    def test_stats_sidecar_has_shard_and_traffic_sections(self, tmp_path):
+        report = run_batch(SPECS, store=str(tmp_path / "s"), shards=2)
+        stats = report.stats()
+        assert stats["shards"] == 2
+        assert "evict" in stats["store_traffic"]
+        assert set(stats["store_traffic_by_shard"]) <= {"shard-00", "shard-01"}
+        assert sum(
+            t.get("put", 0) for t in stats["store_traffic_by_shard"].values()
+        ) == stats["store_traffic"]["put"]
+
+    def test_shards_validation(self):
+        with pytest.raises(ValueError, match="shards"):
+            run_batch(SPECS, shards=0)
+
+
+# ----------------------------------------------------------------------
+# Resume: skip-if-done over manifests and journals
+# ----------------------------------------------------------------------
+class TestResume:
+    def _cold(self, tmp_path, **kwargs):
+        manifest = tmp_path / "manifest.json"
+        report = run_batch(SPECS, store=str(tmp_path / "store"), **kwargs)
+        manifest.write_text(report.manifest_text())
+        return report, manifest
+
+    def test_resume_skips_everything_fresh(self, tmp_path):
+        cold, manifest = self._cold(tmp_path)
+        resumed = run_batch(SPECS, resume=str(manifest))
+        assert resumed.manifest_text() == cold.manifest_text()
+        assert resumed.stats()["scheduler"]["resume_skips"] == len(SPECS)
+        assert resumed.stats()["resumed_designs"] == sorted(
+            o.name for o in cold.outcomes
+        )
+        assert resumed.stats()["store_traffic"]["miss"] == 0  # never ran
+
+    def test_stale_spec_reruns_only_that_design(self, tmp_path):
+        corpus = tmp_path / "corpus"
+        corpus.mkdir()
+        local = [str(corpus / os.path.basename(p)) for p in SPECS]
+        for src, dst in zip(SPECS, local):
+            shutil.copy(src, dst)
+        cold = run_batch(local, store=str(tmp_path / "store"))
+        manifest = tmp_path / "manifest.json"
+        manifest.write_text(cold.manifest_text())
+        # a comment edit changes the bytes (fingerprint) but nothing else
+        with open(local[0], "a", encoding="utf-8") as handle:
+            handle.write("# touched\n")
+        resumed = run_batch(local, store=str(tmp_path / "store"),
+                            resume=str(manifest))
+        touched = os.path.splitext(os.path.basename(local[0]))[0]
+        by_name = {o.name: o for o in resumed.outcomes}
+        assert not by_name[touched].resumed
+        assert all(o.resumed for n, o in by_name.items() if n != touched)
+        # the re-run matches a from-scratch sweep over the edited corpus
+        fresh = run_batch(local, store=str(tmp_path / "store2"))
+        assert resumed.manifest_text() == fresh.manifest_text()
+
+    def test_interrupted_sweep_resumes_from_journal(self, tmp_path):
+        """Kill mid-batch, resume, merged manifest byte-identical."""
+        cold = run_batch(SPECS, store=str(tmp_path / "flat"))
+        manifest = tmp_path / "sweep.json"
+        journal = BatchJournal(str(manifest) + JOURNAL_SUFFIX, batch_options())
+        completed = []
+
+        class Die(Exception):
+            pass
+
+        def crash_after_two(outcome):
+            journal.append(outcome)
+            completed.append(outcome.name)
+            if len(completed) == 2:
+                raise Die()
+
+        with pytest.raises(Die):
+            run_batch(SPECS, store=str(tmp_path / "sh"), shards=4,
+                      progress=crash_after_two)
+        journal.close()
+        assert not manifest.exists()  # died before the manifest was written
+        resumed = run_batch(SPECS, store=str(tmp_path / "sh"), shards=4,
+                            resume=str(manifest))
+        assert resumed.manifest_text() == cold.manifest_text()
+        assert resumed.stats()["scheduler"]["resume_skips"] == 2
+
+    def test_journal_tolerates_torn_tail(self, tmp_path):
+        cold = run_batch(SPECS, store=str(tmp_path / "s"))
+        manifest = tmp_path / "m.json"
+        journal = BatchJournal(str(manifest) + JOURNAL_SUFFIX, batch_options())
+        for outcome in cold.outcomes:
+            journal.append(outcome)
+        journal.close()
+        with open(str(manifest) + JOURNAL_SUFFIX, "a") as handle:
+            handle.write('{"schema": "repro-batch-jour')  # torn mid-write
+        resumed = run_batch(SPECS, resume=str(manifest))
+        assert resumed.manifest_text() == cold.manifest_text()
+
+    def test_incompatible_options_rejected(self, tmp_path):
+        _, manifest = self._cold(tmp_path)
+        with pytest.raises(ResumeError, match="style"):
+            run_batch(SPECS, resume=str(manifest), style="RS")
+
+    def test_disjoint_corpus_rejected(self, tmp_path):
+        _, manifest = self._cold(tmp_path)
+        other = tmp_path / "other.g"
+        shutil.copy(SPECS[0], other)
+        with pytest.raises(ResumeError, match="no design names"):
+            run_batch([str(other)], resume=str(manifest))
+
+    def test_all_stale_rejected_not_silently_rerun(self, tmp_path):
+        _, manifest = self._cold(tmp_path)
+        document = json.loads(manifest.read_text())
+        for row in document["designs"]:
+            row["spec_fingerprint"] = "0" * 64
+        manifest.write_text(json.dumps(document))
+        with pytest.raises(ResumeError, match="stale"):
+            run_batch(SPECS, resume=str(manifest))
+
+    def test_v1_manifest_rejected(self, tmp_path):
+        _, manifest = self._cold(tmp_path)
+        document = json.loads(manifest.read_text())
+        document["schema"] = "repro-batch-manifest/1"
+        manifest.write_text(json.dumps(document))
+        with pytest.raises(ResumeError, match="schema"):
+            run_batch(SPECS, resume=str(manifest))
+
+    def test_missing_source_rejected(self, tmp_path):
+        with pytest.raises(ResumeError, match="nothing to resume"):
+            run_batch(SPECS, resume=str(tmp_path / "absent.json"))
+
+
+# ----------------------------------------------------------------------
+# The CLI verb: sharded + resumable end to end
+# ----------------------------------------------------------------------
+class TestBatchCliResume:
+    def test_journal_removed_after_clean_run(self, tmp_path, capsys):
+        manifest = tmp_path / "m.json"
+        assert main(["batch", *SPECS, "--manifest", str(manifest)]) == 0
+        assert manifest.exists()
+        assert not os.path.exists(str(manifest) + JOURNAL_SUFFIX)
+
+    def test_resume_over_sharded_store(self, tmp_path, capsys):
+        cold = tmp_path / "cold.json"
+        warm = tmp_path / "warm.json"
+        stats = tmp_path / "stats.json"
+        assert main(["batch", *SPECS, "--manifest", str(cold)]) == 0
+        code = main(
+            ["batch", *SPECS, "--store", str(tmp_path / "sh"), "--shards", "4",
+             "--jobs", "2", "--resume", str(cold), "--manifest", str(warm),
+             "--stats", str(stats)]
+        )
+        assert code == 0
+        assert warm.read_text() == cold.read_text()
+        sidecar = json.loads(stats.read_text())
+        assert sidecar["scheduler"]["resume_skips"] == len(SPECS)
+        assert "resumed" in capsys.readouterr().out
+
+    def test_journal_only_resume(self, tmp_path, capsys):
+        # as if the run died after every design but before the manifest
+        report = run_batch(SPECS, store=str(tmp_path / "s"))
+        manifest = tmp_path / "m.json"
+        journal = BatchJournal(str(manifest) + JOURNAL_SUFFIX, batch_options())
+        for outcome in report.outcomes:
+            journal.append(outcome)
+        journal.close()
+        code = main(
+            ["batch", *SPECS, "--resume", str(manifest),
+             "--manifest", str(manifest)]
+        )
+        assert code == 0
+        assert manifest.read_text() == report.manifest_text()
+        assert not os.path.exists(str(manifest) + JOURNAL_SUFFIX)
+
+    def test_cli_rejects_unusable_resume(self, tmp_path, capsys):
+        code = main(["batch", *SPECS, "--resume", str(tmp_path / "no.json")])
+        assert code == 2
+        assert "nothing to resume" in capsys.readouterr().err
+
+    def test_cli_rejects_shard_layout_mismatch(self, tmp_path, capsys):
+        # laid out with 2 shards; --shards 3 must be a loud usage error
+        # before any design runs, not a mid-run worker traceback
+        store = tmp_path / "sh"
+        assert main(["batch", SPECS[0], "--store", str(store),
+                     "--shards", "2"]) == 0
+        capsys.readouterr()
+        code = main(["batch", SPECS[0], "--store", str(store),
+                     "--shards", "3"])
+        assert code == 2
+        assert "laid out with 2 shard(s)" in capsys.readouterr().err
+
+    def test_cli_rejects_missing_remote(self, tmp_path, capsys):
+        code = main(
+            ["batch", *SPECS, "--remote-store", str(tmp_path / "absent")]
+        )
+        assert code == 2
+        assert "--remote-store" in capsys.readouterr().err
+
+    def test_remote_tier_end_to_end(self, tmp_path, capsys):
+        remote = tmp_path / "remote"
+        stats = tmp_path / "stats.json"
+        assert main(["batch", *SPECS, "--store", str(remote)]) == 0
+        code = main(
+            ["batch", *SPECS, "--store", str(tmp_path / "local"),
+             "--shards", "2", "--remote-store", str(remote),
+             "--stats", str(stats)]
+        )
+        assert code == 0
+        traffic = json.loads(stats.read_text())["store_traffic"]
+        assert traffic["remote-hit"] >= 1
+        assert traffic["promote"] >= 1
+
+
+# ----------------------------------------------------------------------
 # --jobs validation across verbs (exit 2, loud)
 # ----------------------------------------------------------------------
 class TestJobsValidation:
@@ -135,6 +373,11 @@ class TestJobsValidation:
         ["verify", "x.g", "--jobs", "2.5"],
         ["diff", "--count", "1", "--jobs", "0"],
         ["diff", "--count", "1", "--jobs", "-1"],
+        ["batch", "x.g", "--shards", "0"],
+        ["batch", "x.g", "--shards", "-4"],
+        ["batch", "x.g", "--shards", "many"],
+        ["serve", "--shards", "0"],
+        ["serve", "--shards", "2.5"],
     ])
     def test_non_positive_jobs_rejected(self, argv, capsys):
         with pytest.raises(SystemExit) as excinfo:

@@ -1,0 +1,237 @@
+"""The sharded store: routing, layouts, remote tier, backpressure."""
+
+import json
+import os
+
+import pytest
+
+from repro.pipeline import AnalysisContext, ArtifactStore, Pipeline, PipelineSpec
+from repro.pipeline.shard import (
+    LAYOUT_FILE,
+    LAYOUT_SCHEMA,
+    SHARD_EVENTS,
+    ShardedStore,
+    detect_layout,
+    open_store,
+    shard_index,
+    shard_name,
+)
+from repro.pipeline.store import EVENTS
+
+pytestmark = pytest.mark.smoke
+
+
+def _run(store, name="delement", until="netlist"):
+    return Pipeline(AnalysisContext(store=store)).run(
+        PipelineSpec.from_benchmark(name), until=until
+    )
+
+
+# ----------------------------------------------------------------------
+# Routing is a pure function of the key
+# ----------------------------------------------------------------------
+class TestRouting:
+    def test_shard_index_is_first_digest_byte_mod_n(self):
+        assert shard_index("00" + "a" * 62, 4) == 0
+        assert shard_index("ff" + "a" * 62, 4) == 255 % 4
+        assert shard_index("2b" + "a" * 62, 7) == 0x2B % 7
+
+    def test_entries_land_in_their_computed_shard(self, tmp_path):
+        store = ShardedStore(str(tmp_path / "s"), shards=4)
+        _run(store)
+        for mid, sub in enumerate(sorted(os.listdir(store.root))):
+            if not sub.startswith("shard-"):
+                continue
+            for stage in os.listdir(os.path.join(store.root, sub)):
+                stage_dir = os.path.join(store.root, sub, stage)
+                for entry in os.listdir(stage_dir):
+                    digest = os.path.splitext(entry)[0]
+                    assert shard_name(shard_index(digest, 4)) == sub
+
+    def test_path_for_targets_the_owning_shard(self, tmp_path):
+        store = ShardedStore(str(tmp_path / "s"), shards=4)
+        path = store.path_for("mc", ("fp", "bitengine"))
+        digest = ArtifactStore.entry_digest("mc", ("fp", "bitengine"))
+        assert shard_name(shard_index(digest, 4)) in path
+
+    def test_same_layout_reads_across_handles(self, tmp_path):
+        root = str(tmp_path / "s")
+        warm = _run(ShardedStore(root, shards=3))
+        second = ShardedStore(root, shards=3)
+        again = _run(second)
+        assert again.fingerprint == warm.fingerprint
+        totals = second.totals()
+        assert totals["miss"] == 0 and totals["hit"] >= 1
+
+
+# ----------------------------------------------------------------------
+# Pipeline parity with the flat store
+# ----------------------------------------------------------------------
+class TestParity:
+    def test_sharded_results_match_flat(self, tmp_path):
+        flat = _run(ArtifactStore(str(tmp_path / "flat")))
+        sharded = _run(ShardedStore(str(tmp_path / "sh"), shards=4))
+        assert sharded.fingerprint == flat.fingerprint
+
+    def test_entry_count_preserved(self, tmp_path):
+        flat = ArtifactStore(str(tmp_path / "flat"))
+        sharded = ShardedStore(str(tmp_path / "sh"), shards=4)
+        _run(flat)
+        _run(sharded)
+        assert len(sharded) == len(flat)
+
+    def test_stats_shape_superset_of_flat(self, tmp_path):
+        store = ShardedStore(str(tmp_path / "s"), shards=2)
+        _run(store)
+        assert set(store.totals()) == set(EVENTS) | set(SHARD_EVENTS)
+        by_shard = store.shard_totals()
+        assert sorted(by_shard) == [shard_name(0), shard_name(1)]
+        assert sum(t["put"] for t in by_shard.values()) == store.totals()["put"]
+
+
+# ----------------------------------------------------------------------
+# Layout marker and autodetection
+# ----------------------------------------------------------------------
+class TestLayout:
+    def test_marker_written_and_detected(self, tmp_path):
+        root = str(tmp_path / "s")
+        ShardedStore(root, shards=5)
+        marker = json.loads((tmp_path / "s" / LAYOUT_FILE).read_text())
+        assert marker == {"schema": LAYOUT_SCHEMA, "shards": 5}
+        assert detect_layout(root) == 5
+
+    def test_open_store_defaults_flat(self, tmp_path):
+        assert isinstance(open_store(str(tmp_path / "new")), ArtifactStore)
+
+    def test_open_store_autodetects_sharded_root(self, tmp_path):
+        root = str(tmp_path / "s")
+        ShardedStore(root, shards=3)
+        reopened = open_store(root)
+        assert isinstance(reopened, ShardedStore)
+        assert reopened.shards == 3
+
+    def test_explicit_mismatch_rejected(self, tmp_path):
+        root = str(tmp_path / "s")
+        ShardedStore(root, shards=4)
+        with pytest.raises(ValueError, match="mismatch"):
+            ShardedStore(root, shards=8)
+
+    def test_corrupt_marker_falls_back_to_directory_scan(self, tmp_path):
+        root = str(tmp_path / "s")
+        ShardedStore(root, shards=2)
+        (tmp_path / "s" / LAYOUT_FILE).write_text("not json{")
+        assert detect_layout(root) == 2  # shard-00/shard-01 still there
+
+    def test_sharded_store_requires_a_layout_or_count(self, tmp_path):
+        with pytest.raises(ValueError, match="shard count"):
+            ShardedStore(str(tmp_path / "nothing"))
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="shards"):
+            ShardedStore(str(tmp_path / "s"), shards=0)
+        with pytest.raises(ValueError, match="max_entries"):
+            ShardedStore(str(tmp_path / "s"), shards=2, max_entries=0)
+        with pytest.raises(ValueError, match="max_put_rate"):
+            ShardedStore(str(tmp_path / "s"), shards=2, max_put_rate=0)
+
+
+# ----------------------------------------------------------------------
+# Degradation: a corrupt shard is misses, never wrong answers
+# ----------------------------------------------------------------------
+class TestCorruptShard:
+    def test_corrupt_shard_degrades_to_counted_misses(self, tmp_path):
+        root = str(tmp_path / "s")
+        warm = _run(ShardedStore(root, shards=2))
+        # trash every entry of every populated shard directory
+        corrupted = 0
+        for sub in sorted(os.listdir(root)):
+            if not sub.startswith("shard-"):
+                continue
+            for dirpath, _, names in os.walk(os.path.join(root, sub)):
+                for name in names:
+                    if name.endswith(".json"):
+                        with open(os.path.join(dirpath, name), "w") as handle:
+                            handle.write("{torn")
+                        corrupted += 1
+        assert corrupted >= 1
+        store = ShardedStore(root, shards=2)
+        again = _run(store)
+        assert again.fingerprint == warm.fingerprint  # verdict unchanged
+        totals = store.totals()
+        assert totals["corrupt"] == corrupted
+        assert totals["hit"] == 0
+
+    def test_foreign_files_in_root_ignored(self, tmp_path):
+        root = str(tmp_path / "s")
+        store = ShardedStore(root, shards=2)
+        _run(store)
+        (tmp_path / "s" / "README.txt").write_text("not a shard")
+        assert detect_layout(root) == 2
+        reopened = ShardedStore(root, shards=2)
+        assert len(reopened) == len(store)
+
+
+# ----------------------------------------------------------------------
+# The remote read-through tier
+# ----------------------------------------------------------------------
+class TestRemoteTier:
+    def test_remote_hits_promote_locally(self, tmp_path):
+        remote_root = str(tmp_path / "remote")
+        warm = _run(ArtifactStore(remote_root))  # pre-warmed flat tier
+        store = ShardedStore(str(tmp_path / "local"), shards=2, remote=remote_root)
+        again = _run(store)
+        assert again.fingerprint == warm.fingerprint
+        totals = store.totals()
+        assert totals["remote-hit"] >= 1
+        assert totals["promote"] == totals["remote-hit"]
+        assert totals["put"] == totals["promote"]  # nothing recomputed
+        # promoted entries now answer locally
+        rerun_store = ShardedStore(
+            str(tmp_path / "local"), shards=2, remote=str(tmp_path / "gone")
+        )
+        _run(rerun_store)
+        assert rerun_store.totals()["hit"] >= 1
+        assert rerun_store.totals()["remote-hit"] == 0
+
+    def test_sharded_remote_autodetected(self, tmp_path):
+        remote_root = str(tmp_path / "remote")
+        _run(ShardedStore(remote_root, shards=3))
+        store = ShardedStore(str(tmp_path / "local"), shards=2, remote=remote_root)
+        _run(store)
+        assert store.totals()["remote-hit"] >= 1
+
+    def test_missing_remote_is_just_misses(self, tmp_path):
+        store = ShardedStore(
+            str(tmp_path / "local"), shards=2, remote=str(tmp_path / "absent")
+        )
+        result = _run(store)
+        assert result.fingerprint
+        assert store.totals()["remote-hit"] == 0
+
+
+# ----------------------------------------------------------------------
+# Backpressure and eviction
+# ----------------------------------------------------------------------
+class TestBackpressure:
+    def test_put_rate_throttles_excess_writes(self, tmp_path):
+        store = ShardedStore(str(tmp_path / "s"), shards=1, max_put_rate=2)
+        result = _run(store)
+        assert result.fingerprint  # synthesis unaffected
+        totals = store.totals()
+        assert totals["put"] == 2
+        assert totals["throttle"] == 3  # 5 stage artifacts - 2 allowed
+        assert len(store) == 2
+
+    def test_put_rate_accounting_visible(self, tmp_path):
+        store = ShardedStore(str(tmp_path / "s"), shards=2)
+        _run(store)
+        rates = store.put_rates()
+        assert sorted(rates) == [shard_name(0), shard_name(1)]
+        assert sum(rates.values()) == store.totals()["put"]
+
+    def test_per_shard_budgets_evict_oldest_first(self, tmp_path):
+        store = ShardedStore(str(tmp_path / "s"), shards=2, max_entries=2)
+        _run(store)
+        totals = store.totals()
+        assert totals["evict"] == totals["put"] - len(store)
+        assert len(store) <= 2

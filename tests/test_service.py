@@ -404,6 +404,64 @@ class TestWarmSharing:
 
 
 # ----------------------------------------------------------------------
+# Serving over a sharded store root
+# ----------------------------------------------------------------------
+class TestShardedService:
+    def test_thread_mode_over_sharded_store(self, tmp_path):
+        handle = ServiceUnderTest(store=str(tmp_path / "store"), shards=2)
+        try:
+            first = handle.wait(
+                handle.submit({"kind": "synth", "spec": DELEMENT})
+            )
+            assert first["status"] == "done"
+            status, stats = handle.request("GET", "/v1/stats")
+            assert status == 200
+            assert stats["store"]["shards"] == 2
+            by_shard = stats["store"]["traffic_by_shard"]
+            assert sorted(by_shard) == ["shard-00", "shard-01"]
+            assert sum(t["put"] for t in by_shard.values()) >= 1
+        finally:
+            handle.shutdown()
+        assert os.path.isdir(tmp_path / "store" / "shard-01")
+
+    def test_process_mode_shares_warmth_through_shards(self, tmp_path):
+        handle = ServiceUnderTest(
+            store=str(tmp_path / "store"), shards=2, workers=2
+        )
+        try:
+            ids = [
+                handle.submit({"kind": "synth", "spec": DELEMENT})
+                for _ in range(3)
+            ]
+            docs = [handle.wait(job_id) for job_id in ids]
+            assert all(doc["status"] == "done" for doc in docs)
+            assert any(doc["cache"].get("store_hit", 0) > 0 for doc in docs)
+        finally:
+            handle.shutdown()
+
+    def test_sharded_layout_autodetected_without_flag(self, tmp_path):
+        root = str(tmp_path / "store")
+        from repro.pipeline.shard import ShardedStore
+
+        ShardedStore(root, shards=3)  # as a batch --shards sweep leaves it
+        handle = ServiceUnderTest(store=root)
+        try:
+            assert handle.manager.store.shards == 3
+            doc = handle.wait(
+                handle.submit({"kind": "synth", "spec": DELEMENT})
+            )
+            assert doc["status"] == "done"
+        finally:
+            handle.shutdown()
+
+    def test_shards_without_store_rejected(self):
+        with pytest.raises(ValueError, match="store root"):
+            JobManager(shards=2)
+        with pytest.raises(ValueError, match="store root"):
+            JobManager(remote_store="/tmp/nope")
+
+
+# ----------------------------------------------------------------------
 # Tenant token buckets -> the inconclusive verdict
 # ----------------------------------------------------------------------
 class TestTenantBudget:
