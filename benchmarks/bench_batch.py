@@ -34,7 +34,7 @@ import time
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO, "src"))
 
-from repro.bench.generators import alternator, concurrent_fork, token_ring  # noqa: E402
+from repro.corpus import alternator, concurrent_fork, token_ring  # noqa: E402
 from repro.bench.suite import update_pipeline_json  # noqa: E402
 from repro.pipeline.batch import run_batch  # noqa: E402
 from repro.stg.writer import dumps_g  # noqa: E402

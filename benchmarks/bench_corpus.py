@@ -1,0 +1,108 @@
+"""Corpus factory throughput: seeded generation with the admission bar on.
+
+Drains one :class:`repro.corpus.CorpusSpec` stream over the fast
+deterministic families (token rings, linear pipelines, arbiters,
+concurrent forks, alternators) and records what the factory did:
+
+* **designs/s** -- admitted designs per second of wall-clock, with the
+  structural admission bar (consistency, free choice, bounded
+  live-and-safe exploration) running on every candidate;
+* **admission counters** -- candidates tried, designs admitted, and the
+  per-reason rejection histogram, so a drifting admission bar (e.g. a
+  family builder starting to emit structurally bad nets) shows up in
+  the trajectory even when throughput stays healthy.
+
+Determinism is asserted on every measurement: the stream is drained
+twice and the fingerprint sequences must match exactly.  The record
+lands in the ``corpus`` section of ``BENCH_pipeline.json``, gated by
+``check_regression.py --sections corpus``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_corpus.py [--count 300] [--seed 7]
+                                                     [--out BENCH_pipeline.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.bench.suite import update_pipeline_json  # noqa: E402
+from repro.corpus import (  # noqa: E402
+    CorpusSpec,
+    CorpusStats,
+    FamilySpec,
+    corpus_stream,
+)
+
+
+def bench_spec(count: int, seed: int) -> CorpusSpec:
+    """The measured mix: every fast deterministic family."""
+    return CorpusSpec(
+        count=count,
+        seed=seed,
+        families=(
+            FamilySpec("token_ring", params={"channels": (2, 6)}),
+            FamilySpec("linear_pipeline", params={"stages": (2, 6)}),
+            FamilySpec("arbiter", params={"clients": (2, 4)}),
+            FamilySpec("concurrent_fork", params={"branches": (2, 4)}),
+            FamilySpec("alternator", params={"ways": (2, 3)}),
+        ),
+        name_prefix="bench",
+    )
+
+
+def drain(spec: CorpusSpec):
+    """One timed drain -> (seconds, fingerprints, stats)."""
+    stats = CorpusStats()
+    started = time.perf_counter()
+    fingerprints = [design.fingerprint for design in corpus_stream(spec, stats)]
+    return time.perf_counter() - started, fingerprints, stats
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--count", type=int, default=300)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--out", default="BENCH_pipeline.json",
+        help="trajectory file to merge the 'corpus' section into",
+    )
+    args = parser.parse_args(argv)
+
+    spec = bench_spec(args.count, args.seed)
+    seconds, fingerprints, stats = drain(spec)
+    recheck_seconds, recheck, _ = drain(spec)
+    if fingerprints != recheck:
+        print("bench_corpus: FAIL: stream is not deterministic", file=sys.stderr)
+        return 1
+    seconds = min(seconds, recheck_seconds)
+
+    designs_per_s = stats.admitted / seconds if seconds > 0 else 0.0
+    payload = {
+        "count": args.count,
+        "seed": args.seed,
+        "seconds": round(seconds, 4),
+        "designs_per_s": round(designs_per_s, 1),
+        "deterministic": True,
+        **stats.to_json(),
+    }
+    print(
+        f"corpus: {stats.admitted} designs in {seconds * 1000:.0f}ms "
+        f"-> {designs_per_s:.0f} designs/s "
+        f"({stats.candidates} candidates, {stats.rejected} rejected: "
+        f"{payload['rejections']})"
+    )
+    out = update_pipeline_json("corpus", payload, path=args.out)
+    print(f"bench_corpus: wrote 'corpus' section to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

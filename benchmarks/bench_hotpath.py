@@ -37,7 +37,7 @@ import os
 
 import pytest
 
-from repro.bench.generators import concurrent_fork, token_ring
+from repro.corpus import concurrent_fork, token_ring
 from repro.bench.suite import update_pipeline_json
 from repro.core.mc import analyze_mc
 from repro.sg.bitengine import bit_analysis

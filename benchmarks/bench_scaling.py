@@ -16,7 +16,7 @@ import os
 
 import pytest
 
-from repro.bench.generators import alternator, concurrent_fork, token_ring
+from repro.corpus import alternator, concurrent_fork, token_ring
 from repro.bench.suite import update_pipeline_json
 from repro.core.insertion import insert_state_signals
 from repro.core.mc import analyze_mc

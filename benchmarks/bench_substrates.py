@@ -9,7 +9,7 @@ two-level minimiser, BDD construction, and state-graph elaboration.
 import itertools
 
 
-from repro.bench.generators import concurrent_fork, token_ring
+from repro.corpus import concurrent_fork, token_ring
 from repro.boolean.bdd import BDD
 from repro.boolean.minimize import minimize_onset
 from repro.sat.cnf import CNF

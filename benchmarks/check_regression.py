@@ -61,7 +61,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict
 
-from repro.bench.generators import concurrent_fork, token_ring
+from repro.corpus import concurrent_fork, token_ring
 from repro.pipeline.backends import get_backend
 from repro.stg.reachability import stg_to_state_graph
 
@@ -249,6 +249,50 @@ def batch_section(path: str = _JSON_PATH) -> dict:
     return section if isinstance(section, dict) else {}
 
 
+def corpus_section(path: str = _JSON_PATH) -> dict:
+    """The ``corpus`` factory-throughput record ({} when never measured)."""
+    with open(path) as handle:
+        document = json.load(handle)
+    section = document.get("corpus")
+    return section if isinstance(section, dict) else {}
+
+
+def check_corpus(section: dict, floor: float) -> tuple:
+    """Gate one recorded corpus measurement -> (ok, message).
+
+    Throughput is recomputed from the recorded wall-clock and admitted
+    count (not trusted from the rounded field) and must clear the
+    absolute floor; the bench also records stream determinism and the
+    full admission ledger, and a recording where the stream was not
+    deterministic or the counters do not add up fails outright.
+    """
+    try:
+        seconds = float(section["seconds"])
+        admitted = int(section["admitted"])
+        candidates = int(section["candidates"])
+        rejected = int(section["rejected"])
+    except (KeyError, TypeError, ValueError):
+        return False, "corpus: malformed section (missing counters)"
+    if seconds <= 0:
+        return False, f"corpus: non-positive wall-clock ({seconds}s)"
+    if not section.get("deterministic", False):
+        return False, "corpus: recorded stream was not deterministic"
+    if candidates != admitted + rejected:
+        return False, (
+            f"corpus: admission ledger does not add up "
+            f"({candidates} candidates != {admitted} admitted "
+            f"+ {rejected} rejected)"
+        )
+    designs_per_s = admitted / seconds
+    verdict = "ok" if designs_per_s >= floor else "REGRESSED"
+    message = (
+        f"corpus: {admitted} designs in {seconds * 1000:.0f}ms "
+        f"-> {designs_per_s:.0f} designs/s with the admission bar on "
+        f"(floor {floor:.0f}/s): {verdict}"
+    )
+    return designs_per_s >= floor, message
+
+
 def check_batch(section: dict, floor: float) -> tuple:
     """Gate one recorded batch measurement -> (ok, message).
 
@@ -354,15 +398,21 @@ def main(argv=None) -> int:
         "(default 5.0; the section is skipped when absent)",
     )
     parser.add_argument(
+        "--corpus-floor", type=float, default=25.0,
+        help="minimum recorded corpus-factory throughput in designs/s "
+        "(default 25.0; the section is skipped when absent)",
+    )
+    parser.add_argument(
         "--sections",
-        default="hotpath,hazard-sim,wordlane,service,incremental,batch",
+        default="hotpath,hazard-sim,wordlane,service,incremental,batch,corpus",
         help="comma-separated subset of gates to run (default: all); "
         "e.g. --sections service against a fresh bench_service output",
     )
     args = parser.parse_args(argv)
     sections = {name.strip() for name in args.sections.split(",") if name}
     unknown = sections - {
-        "hotpath", "hazard-sim", "wordlane", "service", "incremental", "batch",
+        "hotpath", "hazard-sim", "wordlane", "service", "incremental",
+        "batch", "corpus",
     }
     if unknown:
         print(
@@ -498,6 +548,20 @@ def main(argv=None) -> int:
             failed.append("batch")
     elif "batch" in sections:
         print("batch: no recorded measurement, skipped")
+
+    corpus = {}
+    if "corpus" in sections:
+        try:
+            corpus = corpus_section(args.json)
+        except (OSError, ValueError):
+            pass
+    if corpus:
+        ok, message = check_corpus(corpus, args.corpus_floor)
+        print(message)
+        if not ok:
+            failed.append("corpus")
+    elif "corpus" in sections:
+        print("corpus: no recorded measurement, skipped")
 
     if failed:
         print(

@@ -1,7 +1,7 @@
 """Randomized edit-sequence oracle: incremental == from-scratch, always.
 
 Applies chains of random :class:`~repro.pipeline.delta.SpecDelta` s to
-generated STG families (``bench/generators.py``) and the Table-1
+generated STG families (``repro.corpus``) and the Table-1
 designs, and checks on every edit that
 
 - an edit that *applies* yields a warm ``Pipeline.run(spec, delta=...)``
@@ -30,7 +30,7 @@ import random
 import sys
 import time
 
-from repro.bench.generators import (
+from repro.corpus import (
     alternator,
     concurrent_fork,
     random_series_parallel,

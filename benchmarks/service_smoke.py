@@ -12,7 +12,14 @@ produces for the same inputs:
 * ``verify``: the service verdict/exit code against the CLI process's
   actual exit code for clean, hazardous-truncated and budget cases;
 * ``table1``: the service rows against ``repro-si table1 --json`` rows,
-  volatile keys (``elapsed_seconds``, ``profile``) stripped from both.
+  volatile keys (``elapsed_seconds``, ``profile``, ``reuse``) stripped
+  from both;
+* ``corpus``: the service's corpus-sweep manifest against the one
+  ``repro-si batch --corpus`` writes for the same spec + seed,
+  canonical JSON to canonical JSON;
+* keep-alive: several requests pumped through one
+  ``http.client.HTTPConnection`` must reuse the same socket (asserted
+  by identity), and a ``Connection: close`` request must end it.
 
 Finally the smoke POSTs ``/v1/shutdown`` and fails unless the drain
 reports zero pending jobs **and** the server process exits 0 -- the
@@ -131,10 +138,13 @@ def cli(args, expect_codes=(0,)) -> subprocess.CompletedProcess:
 
 
 def strip_volatile(row: dict) -> dict:
+    # ``reuse`` records cache placement (hit vs miss), which depends on
+    # what the resident server ran earlier -- the CLI process is always
+    # cold, so it is as volatile as the timings.
     return {
         key: value
         for key, value in row.items()
-        if key not in ("elapsed_seconds", "profile")
+        if key not in ("elapsed_seconds", "profile", "reuse")
     }
 
 
@@ -214,14 +224,97 @@ def smoke_table1(server: Server, scratch: str) -> None:
     )
 
 
+#: the corpus sweep both faces run (fast families, pinned seed)
+CORPUS_SPEC = {
+    "schema": "repro-corpus-spec/1",
+    "count": 5,
+    "seed": 2,
+    "name_prefix": "smoke",
+    "families": [
+        {"family": "token_ring", "params": {"channels": [2, 4]}},
+        {"family": "linear_pipeline", "params": {"stages": [2, 4]}},
+        {"family": "arbiter", "params": {"clients": [2, 3]}},
+    ],
+}
+
+
+def smoke_corpus(server: Server, scratch: str) -> None:
+    result = server.run_job(
+        {"kind": "corpus", "corpus": CORPUS_SPEC,
+         "options": {"max_states": 20_000}}
+    )
+    check(result["status"] == "done", f"corpus job: {result['status']}")
+    service_manifest = canonical(result["result"]["manifest"])
+
+    spec_path = os.path.join(scratch, "corpus.json")
+    manifest_path = os.path.join(scratch, "corpus-manifest.json")
+    with open(spec_path, "w", encoding="utf-8") as handle:
+        json.dump(CORPUS_SPEC, handle)
+    cli(["batch", "--corpus", spec_path, "--max-states", "20000",
+         "--manifest", manifest_path])
+    with open(manifest_path, encoding="utf-8") as handle:
+        cli_manifest = handle.read()
+    check(
+        service_manifest == cli_manifest,
+        "corpus manifest differs from the CLI:\n"
+        f"service: {service_manifest[:400]}\ncli: {cli_manifest[:400]}",
+    )
+    print(
+        f"  corpus: {result['result']['designs']} designs, manifest "
+        f"identical to repro-si batch --corpus ({len(cli_manifest)} bytes)"
+    )
+
+
+def smoke_keepalive(server: Server) -> None:
+    """Persistent connections: one socket, many requests."""
+    conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=60)
+    try:
+        conn.request("GET", "/healthz")
+        response = conn.getresponse()
+        response.read()
+        check(response.status == 200, f"healthz returned {response.status}")
+        check(
+            response.getheader("Connection") == "keep-alive",
+            "first response not marked keep-alive: "
+            f"{response.getheader('Connection')!r}",
+        )
+        sock = conn.sock
+        check(sock is not None, "connection dropped after first response")
+        for path in ("/v1/stats", "/v1/jobs", "/healthz"):
+            conn.request("GET", path)
+            response = conn.getresponse()
+            response.read()
+            check(response.status == 200, f"{path} returned {response.status}")
+            check(
+                conn.sock is sock,
+                f"socket was not reused for {path} (new connection opened)",
+            )
+        conn.request("GET", "/healthz", headers={"Connection": "close"})
+        response = conn.getresponse()
+        response.read()
+        check(
+            response.getheader("Connection") == "close",
+            "Connection: close request not honoured in the response",
+        )
+        check(
+            conn.sock is None,
+            "server kept the connection open after Connection: close",
+        )
+        print("  keep-alive: 4 requests on one socket, close opt-out honoured")
+    finally:
+        conn.close()
+
+
 def main() -> int:
     with tempfile.TemporaryDirectory(prefix="service-smoke-") as scratch:
         server = Server(scratch)
         try:
             print(f"service-smoke: server up on port {server.port}")
+            smoke_keepalive(server)
             smoke_synth(server, scratch)
             smoke_verify(server)
             smoke_table1(server, scratch)
+            smoke_corpus(server, scratch)
 
             status, report = server.request("POST", "/v1/shutdown")
             check(status == 200, f"shutdown returned {status}")

@@ -1,205 +1,41 @@
-"""Parameterised specification families for scaling experiments.
+"""Deprecated forwarding shim — the generators live in :mod:`repro.corpus`.
 
-The paper's Table 1 uses fixed moderate-size designs; these generators
-provide families whose size is a parameter, used by the scaling
-benchmarks (``benchmarks/bench_scaling.py``) and as fuzz fodder for the
-property tests:
-
-* :func:`token_ring` -- n handshake channels served round-robin
-  (sequential; state count grows linearly; MC-clean as specified);
-* :func:`concurrent_fork` -- one request forked to n concurrent
-  downstream handshakes with a full join (state count grows
-  exponentially in n; exercises region analysis under concurrency);
-* :func:`alternator` -- one input whose successive pulses are steered
-  to n different outputs (the ``luciano`` pattern generalised; needs
-  ~log2(n) inserted state signals, exercising the insertion engine).
+The parametric STG families (``token_ring``, ``concurrent_fork``,
+``alternator``, ``random_series_parallel``) and the ``fuzz_specs``
+stream moved verbatim to :mod:`repro.corpus.families` when design
+generation was unified under the corpus subsystem.  Importing them
+from here still works but emits a :class:`DeprecationWarning`; new
+code should import from :mod:`repro.corpus` (which also carries the
+newer families and the seeded, structurally-admitted corpus factory).
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List, Tuple
+import warnings
 
-from repro.stg.parser import parse_g
-from repro.stg.stg import STG
+_FORWARDED = (
+    "token_ring",
+    "concurrent_fork",
+    "alternator",
+    "random_series_parallel",
+    "fuzz_specs",
+)
 
+__all__ = list(_FORWARDED)
 
-def token_ring(channels: int) -> STG:
-    """n sequential 4-phase handshakes served in a fixed rotation."""
-    if channels < 1:
-        raise ValueError("need at least one channel")
-    inputs = [f"r{i}" for i in range(channels)]
-    outputs = [f"a{i}" for i in range(channels)]
-    events: List[str] = []
-    for i in range(channels):
-        events += [f"r{i}+", f"a{i}+", f"r{i}-", f"a{i}-"]
-    lines = [
-        ".model token_ring",
-        ".inputs " + " ".join(inputs),
-        ".outputs " + " ".join(outputs),
-        ".graph",
-    ]
-    for i, event in enumerate(events):
-        lines.append(f"{event} {events[(i + 1) % len(events)]}")
-    lines.append(f".marking {{ <{events[-1]},{events[0]}> }}")
-    lines.append(".end")
-    return parse_g("\n".join(lines), name=f"token_ring_{channels}")
+def __getattr__(name: str):
+    if name in _FORWARDED:
+        warnings.warn(
+            f"repro.bench.generators.{name} is deprecated; "
+            f"import it from repro.corpus instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.corpus import families
+
+        return getattr(families, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
-def concurrent_fork(branches: int) -> STG:
-    """One request forks to n concurrent handshakes, then a full join.
-
-    ``r+`` enables all ``qi+`` concurrently; each is acknowledged by the
-    input ``di+``; when all acknowledgements are in, ``done+`` fires and
-    the whole structure resets symmetrically.
-    """
-    if branches < 1:
-        raise ValueError("need at least one branch")
-    inputs = ["r"] + [f"d{i}" for i in range(branches)]
-    outputs = [f"q{i}" for i in range(branches)] + ["done"]
-    lines = [
-        ".model concurrent_fork",
-        ".inputs " + " ".join(inputs),
-        ".outputs " + " ".join(outputs),
-        ".graph",
-    ]
-    ups = " ".join(f"q{i}+" for i in range(branches))
-    lines.append(f"r+ {ups}")
-    for i in range(branches):
-        lines.append(f"q{i}+ d{i}+")
-        lines.append(f"d{i}+ done+")
-    lines.append("done+ r-")
-    downs = " ".join(f"q{i}-" for i in range(branches))
-    lines.append(f"r- {downs}")
-    for i in range(branches):
-        lines.append(f"q{i}- d{i}-")
-        lines.append(f"d{i}- done-")
-    lines.append("done- r+")
-    lines.append(".marking { <done-,r+> }")
-    lines.append(".end")
-    return parse_g("\n".join(lines), name=f"concurrent_fork_{branches}")
-
-
-def alternator(ways: int) -> STG:
-    """Successive pulses of one input steered to n outputs in rotation.
-
-    For n >= 2 the idle code repeats between rounds, so the controller
-    needs inserted state signals to count -- about log2(n) of them.
-    """
-    if ways < 2:
-        raise ValueError("need at least two outputs to alternate")
-    outputs = [f"y{i}" for i in range(ways)]
-    lines = [
-        ".model alternator",
-        ".inputs r",
-        ".outputs " + " ".join(outputs),
-        ".graph",
-    ]
-    events: List[str] = []
-    for i in range(ways):
-        occurrence = "" if i == 0 else f"/{i + 1}"
-        events += [
-            f"r+{occurrence}",
-            f"y{i}+",
-            f"r-{occurrence}",
-            f"y{i}-",
-        ]
-    for i, event in enumerate(events):
-        lines.append(f"{event} {events[(i + 1) % len(events)]}")
-    lines.append(f".marking {{ <{events[-1]},{events[0]}> }}")
-    lines.append(".end")
-    return parse_g("\n".join(lines), name=f"alternator_{ways}")
-
-
-def random_series_parallel(seed: int, leaves: int = 4) -> STG:
-    """A random series-parallel controller over fresh handshake channels.
-
-    A process term over SEQ and PAR combinators with handshake leaves is
-    sampled (``leaves`` leaf channels ``q_i``/``d_i``), wrapped in a
-    parent handshake ``r``/``a``.  The resulting STGs are live, 1-safe
-    and output semi-modular by construction -- fuzz fodder for the whole
-    pipeline.
-    """
-    import random as _random
-
-    rng = _random.Random(seed)
-    lines: List[str] = []
-    counter = [0]
-
-    def leaf() -> Tuple[str, str]:
-        i = counter[0]
-        counter[0] += 1
-        lines.append(f"q{i}+ d{i}+")
-        lines.append(f"d{i}+ q{i}-")
-        lines.append(f"q{i}- d{i}-")
-        return f"q{i}+", f"d{i}-"
-
-    def build(remaining: int) -> Tuple[str, str]:
-        if remaining <= 1:
-            return leaf()
-        split = rng.randint(1, remaining - 1)
-        left_start, left_end = build(split)
-        right_start, right_end = build(remaining - split)
-        if rng.random() < 0.5:  # SEQ
-            lines.append(f"{left_end} {right_start}")
-            return left_start, right_end
-        # PAR: forked by a shared predecessor, joined by a shared successor
-        i = counter[0]
-        counter[0] += 1
-        fork, join = f"q{i}+", f"q{i}-"  # a bracketing output pulse
-        lines.append(f"{fork} {left_start} {right_start}")
-        lines.append(f"{left_end} {join}")
-        lines.append(f"{right_end} {join}")
-        return fork, join
-
-    start, end = build(leaves)
-    lines.append(f"r+ {start}")
-    lines.append(f"{end} a+")
-    lines.append("a+ r-")
-    lines.append("r- a-")
-    lines.append("a- r+")
-
-    used = set()
-    for line in lines:
-        for token in line.split():
-            used.add(token[:-1].split("/")[0])
-    outputs = sorted(s for s in used if s.startswith("q")) + ["a"]
-    inputs = sorted(s for s in used if s.startswith("d")) + ["r"]
-    text = "\n".join(
-        [
-            ".model series_parallel",
-            ".inputs " + " ".join(inputs),
-            ".outputs " + " ".join(outputs),
-            ".graph",
-        ]
-        + lines
-        + [".marking { <a-,r+> }", ".end"]
-    )
-    return parse_g(text, name=f"sp_{seed}")
-
-
-def fuzz_specs(count: int, seed: int = 0) -> Iterator[Tuple[str, STG]]:
-    """A deterministic stream of ``count`` named fuzz specifications.
-
-    The mix feeding the differential-verification oracle
-    (:mod:`repro.verify.differential`): seven in ten designs are random
-    series-parallel controllers (each with a fresh seed and a varying
-    leaf count), the rest rotate through the parametric families so the
-    sweep also exercises sequential rings, exponential forks and
-    insertion-heavy alternators.  The stream depends only on
-    ``(count, seed)``.
-    """
-    for i in range(count):
-        slot = i % 10
-        if slot < 7:
-            leaves = 2 + (seed + i) % 5
-            stg = random_series_parallel(seed * 100_003 + i, leaves=leaves)
-            yield f"sp_{seed}_{i}(leaves={leaves})", stg
-        elif slot == 7:
-            n = 2 + (i // 10) % 6
-            yield f"token_ring({n})", token_ring(n)
-        elif slot == 8:
-            n = 2 + (i // 10) % 3
-            yield f"concurrent_fork({n})", concurrent_fork(n)
-        else:
-            n = 2 + (i // 10) % 4
-            yield f"alternator({n})", alternator(n)
+def __dir__():
+    return sorted(set(globals()) | set(_FORWARDED))

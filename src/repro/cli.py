@@ -9,6 +9,7 @@ Subcommands mirror the library pipeline::
     repro-si diff                 # differential oracle sweep (CI gate)
     repro-si table1               # regenerate the paper's Table 1
     repro-si batch *.g            # corpus synthesis over a process pool
+    repro-si batch --corpus c.json  # ... over a generated design stream
     repro-si serve                # resident HTTP job server (asyncio)
 
 ``synth`` accepts ``--style C|RS``, ``--share`` (Section-VI gate
@@ -91,6 +92,28 @@ def parse_jobs(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(
             f"must be a positive integer (got {value})"
+        )
+    return value
+
+
+def parse_seed(text: str) -> int:
+    """argparse type for ``--seed``: non-negative int (usage error, exit 2).
+
+    The one shared validator for every verb that seeds pseudo-random
+    generation (``verify``, ``simulate``, ``diff``, ``batch``): garbage
+    like ``--seed banana`` or ``--seed -3`` is a loud exit-2 usage
+    error instead of a mid-run traceback, and seed 0 stays legal (the
+    CI gates pin it).
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid integer value: {text!r}"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a non-negative integer (got {value})"
         )
     return value
 
@@ -352,24 +375,45 @@ def cmd_verify(args: argparse.Namespace) -> int:
     context = AnalysisContext(
         backend=args.backend, budget=budget, jobs=args.jobs, store=args.store
     )
+    run_si = args.oracle in ("si", "both")
     result = synthesize_from_state_graph(
         sg,
         style=args.style,
-        verify=True,
+        verify=run_si,
         context=context,
     )
-    print(result.hazard_report.describe())
-    exit_code = EXIT_OK if result.hazard_free else EXIT_HAZARD
-    report = result.hazard_report
-    if report.composition.truncated and not result.hazard_free:
-        # truncated with no hazard witness so far: nothing is proven
-        if not report.conflicts and not report.composition.conformance_failures:
-            print(
-                "repro-si: inconclusive: circuit state space truncated "
-                "before full exploration",
-                file=sys.stderr,
+    exit_code = EXIT_OK
+    if run_si:
+        print(result.hazard_report.describe())
+        exit_code = EXIT_OK if result.hazard_free else EXIT_HAZARD
+        report = result.hazard_report
+        if report.composition.truncated and not result.hazard_free:
+            # truncated with no hazard witness so far: nothing is proven
+            if not report.conflicts and not report.composition.conformance_failures:
+                print(
+                    "repro-si: inconclusive: circuit state space truncated "
+                    "before full exploration",
+                    file=sys.stderr,
+                )
+                exit_code = EXIT_INCONCLUSIVE
+    if args.oracle in ("demorgan", "both"):
+        from repro.verify.hazard_free import cross_check_verdicts, demorgan_check
+
+        demorgan = demorgan_check(result.implementation)
+        print(demorgan.describe())
+        if args.oracle == "demorgan":
+            if demorgan.claims:
+                exit_code = EXIT_HAZARD
+            elif not demorgan.conclusive:
+                exit_code = EXIT_INCONCLUSIVE
+        elif exit_code != EXIT_INCONCLUSIVE:
+            # only cross-check against a *conclusive* SI verdict
+            mismatch = cross_check_verdicts(
+                args.spec, demorgan, result.hazard_free
             )
-            exit_code = EXIT_INCONCLUSIVE
+            if mismatch is not None:
+                print(f"repro-si: {mismatch}", file=sys.stderr)
+                exit_code = EXIT_HAZARD
     if args.fault_model:
         from repro.verify.faults import run_fault_injection
 
@@ -553,6 +597,7 @@ def cmd_table1(args: argparse.Namespace) -> int:
 
 def cmd_batch(args: argparse.Namespace) -> int:
     """Corpus synthesis: every ``.g`` spec through the full pipeline."""
+    from repro.corpus import CorpusError, CorpusSpecError, load_corpus_spec
     from repro.pipeline.batch import (
         JOURNAL_SUFFIX,
         BatchJournal,
@@ -560,6 +605,21 @@ def cmd_batch(args: argparse.Namespace) -> int:
         batch_options,
         run_batch,
     )
+
+    corpus = None
+    if args.corpus:
+        if args.specs:
+            raise CliError("give .g specifications or --corpus, not both")
+        try:
+            corpus = load_corpus_spec(args.corpus)
+        except (OSError, CorpusSpecError) as exc:
+            raise CliError(f"cannot load corpus spec: {exc}") from exc
+        if args.seed is not None:
+            corpus = corpus.with_seed(args.seed)
+    elif args.seed is not None:
+        raise CliError("--seed only applies to --corpus runs")
+    elif not args.specs:
+        raise CliError("no specifications given (pass .g files or --corpus)")
 
     journal = None
     if args.manifest:
@@ -601,8 +661,9 @@ def cmd_batch(args: argparse.Namespace) -> int:
             max_put_rate=args.store_put_rate,
             resume=args.resume,
             progress=stream,
+            corpus=corpus,
         )
-    except ResumeError as exc:
+    except (ResumeError, CorpusError) as exc:
         raise CliError(str(exc)) from exc
     finally:
         if journal is not None:
@@ -765,8 +826,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulation runs per fault model (default 20)",
     )
     p_verify.add_argument(
-        "--seed", type=int, default=0,
-        help="random seed for fault injection",
+        "--seed", type=parse_seed, default=0,
+        help="random seed for fault injection (non-negative integer)",
+    )
+    p_verify.add_argument(
+        "--oracle", choices=["si", "demorgan", "both"], default="si",
+        help="hazard oracle: 'si' composes the circuit state graph "
+        "(default), 'demorgan' runs the derivation-independent ternary "
+        "check on the SOP covers, 'both' runs the two and fails on any "
+        "disagreement",
     )
     _add_backend_option(p_verify)
     p_verify.add_argument(
@@ -792,7 +860,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--count", type=int, default=200,
         help="number of randomized specifications (default 200)",
     )
-    p_diff.add_argument("--seed", type=int, default=0)
+    p_diff.add_argument(
+        "--seed", type=parse_seed, default=0,
+        help="corpus generation seed (non-negative integer)",
+    )
     p_diff.add_argument(
         "--max-states", type=int, default=20_000,
         help="per-design state budget (blown -> design skipped)",
@@ -837,7 +908,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--style", choices=["C", "RS"], default="C")
     p_sim.add_argument("--runs", type=int, default=20)
     p_sim.add_argument("--events", type=int, default=1000)
-    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument("--seed", type=parse_seed, default=0)
     p_sim.set_defaults(func=cmd_simulate)
 
     p_check = sub.add_parser(
@@ -874,7 +945,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="synthesise a corpus of .g specs (process pool + shared "
         "artifact store)",
     )
-    p_batch.add_argument("specs", nargs="+", help=".g files")
+    p_batch.add_argument(
+        "specs", nargs="*",
+        help=".g files (or none with --corpus)",
+    )
+    p_batch.add_argument(
+        "--corpus", metavar="FILE",
+        help="generate the corpus from a repro-corpus-spec/1 JSON file "
+        "(see docs/FORMATS.md) instead of reading .g files; designs "
+        "stream into the scheduler without touching the filesystem",
+    )
+    p_batch.add_argument(
+        "--seed", type=parse_seed, default=None,
+        help="override the corpus spec's generation seed "
+        "(non-negative integer; only valid with --corpus)",
+    )
     p_batch.add_argument(
         "--jobs", type=parse_jobs, default=1,
         help="worker processes (default 1: run inline)",

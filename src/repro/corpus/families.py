@@ -1,0 +1,471 @@
+"""Parametric STG families: the building blocks of every generated corpus.
+
+Each family is a function from a handful of integer parameters to an
+:class:`~repro.stg.stg.STG`.  Together they span the behavioural axes
+the paper's method must handle:
+
+* :func:`token_ring` -- n handshake channels served round-robin
+  (sequential; state count grows linearly; MC-clean as specified);
+* :func:`concurrent_fork` -- one request forked to n concurrent
+  downstream handshakes with a full join (state count grows
+  exponentially in n; exercises region analysis under concurrency);
+* :func:`alternator` -- one input whose successive pulses are steered
+  to n different outputs (the ``luciano`` pattern generalised; needs
+  ~log2(n) inserted state signals, exercising the insertion engine);
+* :func:`linear_pipeline` -- n stages passing one request from a left
+  to a right environment handshake (the micropipeline control skeleton);
+* :func:`arbiter` -- n clients served through a free-choice input
+  arbitration place (the paper's Example-1 input-choice pattern,
+  generalised: the *environment* decides who goes next);
+* :func:`modulo_counter` -- a divide-by-n pulse counter (repeated
+  input occurrences; CSC violations force inserted state signals);
+* :func:`random_series_parallel` -- random SEQ/PAR process terms over
+  handshake leaves (live, 1-safe, output semi-modular by construction);
+* :func:`random_free_choice` -- the series-parallel grammar extended
+  with a CHOICE combinator realised as an explicit free-choice place
+  between two input-initiated branches.
+
+The :data:`FAMILIES` registry at the bottom maps family names to
+builders plus default parameter ranges; the corpus factory
+(:mod:`repro.corpus.factory`) samples from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Mapping, Tuple
+
+from repro.stg.parser import parse_g
+from repro.stg.stg import STG
+
+
+def token_ring(channels: int) -> STG:
+    """n sequential 4-phase handshakes served in a fixed rotation."""
+    if channels < 1:
+        raise ValueError("need at least one channel")
+    inputs = [f"r{i}" for i in range(channels)]
+    outputs = [f"a{i}" for i in range(channels)]
+    events: List[str] = []
+    for i in range(channels):
+        events += [f"r{i}+", f"a{i}+", f"r{i}-", f"a{i}-"]
+    lines = [
+        ".model token_ring",
+        ".inputs " + " ".join(inputs),
+        ".outputs " + " ".join(outputs),
+        ".graph",
+    ]
+    for i, event in enumerate(events):
+        lines.append(f"{event} {events[(i + 1) % len(events)]}")
+    lines.append(f".marking {{ <{events[-1]},{events[0]}> }}")
+    lines.append(".end")
+    return parse_g("\n".join(lines), name=f"token_ring_{channels}")
+
+
+def concurrent_fork(branches: int) -> STG:
+    """One request forks to n concurrent handshakes, then a full join.
+
+    ``r+`` enables all ``qi+`` concurrently; each is acknowledged by the
+    input ``di+``; when all acknowledgements are in, ``done+`` fires and
+    the whole structure resets symmetrically.
+    """
+    if branches < 1:
+        raise ValueError("need at least one branch")
+    inputs = ["r"] + [f"d{i}" for i in range(branches)]
+    outputs = [f"q{i}" for i in range(branches)] + ["done"]
+    lines = [
+        ".model concurrent_fork",
+        ".inputs " + " ".join(inputs),
+        ".outputs " + " ".join(outputs),
+        ".graph",
+    ]
+    ups = " ".join(f"q{i}+" for i in range(branches))
+    lines.append(f"r+ {ups}")
+    for i in range(branches):
+        lines.append(f"q{i}+ d{i}+")
+        lines.append(f"d{i}+ done+")
+    lines.append("done+ r-")
+    downs = " ".join(f"q{i}-" for i in range(branches))
+    lines.append(f"r- {downs}")
+    for i in range(branches):
+        lines.append(f"q{i}- d{i}-")
+        lines.append(f"d{i}- done-")
+    lines.append("done- r+")
+    lines.append(".marking { <done-,r+> }")
+    lines.append(".end")
+    return parse_g("\n".join(lines), name=f"concurrent_fork_{branches}")
+
+
+def alternator(ways: int) -> STG:
+    """Successive pulses of one input steered to n outputs in rotation.
+
+    For n >= 2 the idle code repeats between rounds, so the controller
+    needs inserted state signals to count -- about log2(n) of them.
+    """
+    if ways < 2:
+        raise ValueError("need at least two outputs to alternate")
+    outputs = [f"y{i}" for i in range(ways)]
+    lines = [
+        ".model alternator",
+        ".inputs r",
+        ".outputs " + " ".join(outputs),
+        ".graph",
+    ]
+    events: List[str] = []
+    for i in range(ways):
+        occurrence = "" if i == 0 else f"/{i + 1}"
+        events += [
+            f"r+{occurrence}",
+            f"y{i}+",
+            f"r-{occurrence}",
+            f"y{i}-",
+        ]
+    for i, event in enumerate(events):
+        lines.append(f"{event} {events[(i + 1) % len(events)]}")
+    lines.append(f".marking {{ <{events[-1]},{events[0]}> }}")
+    lines.append(".end")
+    return parse_g("\n".join(lines), name=f"alternator_{ways}")
+
+
+def linear_pipeline(stages: int) -> STG:
+    """n pipeline stages between a left and a right environment handshake.
+
+    The micropipeline control skeleton flattened to its sequential core:
+    the left request ``r+`` ripples through the stage outputs
+    ``s0+ .. s{n-1}+`` to the right-hand request ``q+``; the right
+    environment acknowledges with ``d+``, the controller acknowledges
+    left with ``a+``, and the falling phase retraces the same path.
+    Linear state count (2n + 8 states), MC-clean, marked-graph.
+    """
+    if stages < 1:
+        raise ValueError("need at least one stage")
+    inputs = ["r", "d"]
+    outputs = [f"s{i}" for i in range(stages)] + ["q", "a"]
+    rises = [f"s{i}+" for i in range(stages)]
+    falls = [f"s{i}-" for i in range(stages)]
+    events = ["r+"] + rises + ["q+", "d+", "a+", "r-"] + falls + ["q-", "d-", "a-"]
+    lines = [
+        ".model linear_pipeline",
+        ".inputs " + " ".join(inputs),
+        ".outputs " + " ".join(outputs),
+        ".graph",
+    ]
+    for i, event in enumerate(events):
+        lines.append(f"{event} {events[(i + 1) % len(events)]}")
+    lines.append(f".marking {{ <{events[-1]},{events[0]}> }}")
+    lines.append(".end")
+    return parse_g("\n".join(lines), name=f"linear_pipeline_{stages}")
+
+
+def arbiter(clients: int) -> STG:
+    """n clients served through one free-choice arbitration place.
+
+    The *environment* resolves the choice: an explicit place ``idle``
+    is the unique input place of every ``ri+``, so firing one request
+    withdraws the others -- clean input choice (free choice by
+    construction, the paper's Example-1 pattern).  Each granted client
+    runs a full 4-phase handshake ``ri+ gi+ ri- gi-`` before the token
+    returns to ``idle``.
+    """
+    if clients < 2:
+        raise ValueError("need at least two clients to arbitrate")
+    inputs = [f"r{i}" for i in range(clients)]
+    outputs = [f"g{i}" for i in range(clients)]
+    lines = [
+        ".model arbiter",
+        ".inputs " + " ".join(inputs),
+        ".outputs " + " ".join(outputs),
+        ".graph",
+        "idle " + " ".join(f"r{i}+" for i in range(clients)),
+    ]
+    for i in range(clients):
+        lines.append(f"r{i}+ g{i}+")
+        lines.append(f"g{i}+ r{i}-")
+        lines.append(f"r{i}- g{i}-")
+        lines.append(f"g{i}- idle")
+    lines.append(".marking { idle }")
+    lines.append(".end")
+    return parse_g("\n".join(lines), name=f"arbiter_{clients}")
+
+
+def modulo_counter(period: int) -> STG:
+    """A divide-by-n pulse counter: ``y`` toggles every ``period`` pulses.
+
+    ``period`` full ``c+ c-`` pulses raise ``y``; the next ``period``
+    pulses lower it again.  The idle code repeats between pulses, so
+    synthesis must insert ~log2(2*period) state signals to count --
+    the insertion-heavy cousin of :func:`alternator` with a single
+    output.
+    """
+    if period < 1:
+        raise ValueError("need a positive period")
+    events: List[str] = []
+    for k in range(2 * period):
+        occurrence = "" if k == 0 else f"/{k + 1}"
+        events += [f"c+{occurrence}", f"c-{occurrence}"]
+        if k == period - 1:
+            events.append("y+")
+        elif k == 2 * period - 1:
+            events.append("y-")
+    lines = [
+        ".model modulo_counter",
+        ".inputs c",
+        ".outputs y",
+        ".graph",
+    ]
+    for i, event in enumerate(events):
+        lines.append(f"{event} {events[(i + 1) % len(events)]}")
+    lines.append(f".marking {{ <{events[-1]},{events[0]}> }}")
+    lines.append(".end")
+    return parse_g("\n".join(lines), name=f"modulo_counter_{period}")
+
+
+def random_series_parallel(seed: int, leaves: int = 4) -> STG:
+    """A random series-parallel controller over fresh handshake channels.
+
+    A process term over SEQ and PAR combinators with handshake leaves is
+    sampled (``leaves`` leaf channels ``q_i``/``d_i``), wrapped in a
+    parent handshake ``r``/``a``.  The resulting STGs are live, 1-safe
+    and output semi-modular by construction -- fuzz fodder for the whole
+    pipeline.
+    """
+    import random as _random
+
+    rng = _random.Random(seed)
+    lines: List[str] = []
+    counter = [0]
+
+    def leaf() -> Tuple[str, str]:
+        i = counter[0]
+        counter[0] += 1
+        lines.append(f"q{i}+ d{i}+")
+        lines.append(f"d{i}+ q{i}-")
+        lines.append(f"q{i}- d{i}-")
+        return f"q{i}+", f"d{i}-"
+
+    def build(remaining: int) -> Tuple[str, str]:
+        if remaining <= 1:
+            return leaf()
+        split = rng.randint(1, remaining - 1)
+        left_start, left_end = build(split)
+        right_start, right_end = build(remaining - split)
+        if rng.random() < 0.5:  # SEQ
+            lines.append(f"{left_end} {right_start}")
+            return left_start, right_end
+        # PAR: forked by a shared predecessor, joined by a shared successor
+        i = counter[0]
+        counter[0] += 1
+        fork, join = f"q{i}+", f"q{i}-"  # a bracketing output pulse
+        lines.append(f"{fork} {left_start} {right_start}")
+        lines.append(f"{left_end} {join}")
+        lines.append(f"{right_end} {join}")
+        return fork, join
+
+    start, end = build(leaves)
+    lines.append(f"r+ {start}")
+    lines.append(f"{end} a+")
+    lines.append("a+ r-")
+    lines.append("r- a-")
+    lines.append("a- r+")
+
+    used = set()
+    for line in lines:
+        for token in line.split():
+            used.add(token[:-1].split("/")[0])
+    outputs = sorted(s for s in used if s.startswith("q")) + ["a"]
+    inputs = sorted(s for s in used if s.startswith("d")) + ["r"]
+    text = "\n".join(
+        [
+            ".model series_parallel",
+            ".inputs " + " ".join(inputs),
+            ".outputs " + " ".join(outputs),
+            ".graph",
+        ]
+        + lines
+        + [".marking { <a-,r+> }", ".end"]
+    )
+    return parse_g(text, name=f"sp_{seed}")
+
+
+def random_free_choice(seed: int, leaves: int = 4, choice_bias: float = 0.3) -> STG:
+    """A random free-choice controller: SEQ / PAR / CHOICE process terms.
+
+    Extends the series-parallel grammar with a CHOICE combinator: an
+    explicit place whose consumers are two fresh *input* transitions
+    (the environment picks the branch), bracketed by an output pulse
+    ``gk+ .. gk-`` so every combinator still composes through plain
+    transition-to-transition arcs.  The choice place is the unique
+    input place of both branch openers, so the net is free-choice by
+    construction; liveness holds because the loop re-marks the choice
+    on every round.  ``choice_bias`` is the probability that an
+    internal node becomes a CHOICE rather than a SEQ/PAR split.
+    """
+    import random as _random
+
+    if leaves < 1:
+        raise ValueError("need at least one leaf")
+    rng = _random.Random(seed)
+    lines: List[str] = []
+    counter = [0]
+    choices = [0]
+
+    def leaf() -> Tuple[str, str]:
+        i = counter[0]
+        counter[0] += 1
+        lines.append(f"q{i}+ d{i}+")
+        lines.append(f"d{i}+ q{i}-")
+        lines.append(f"q{i}- d{i}-")
+        return f"q{i}+", f"d{i}-"
+
+    def build(remaining: int) -> Tuple[str, str]:
+        if remaining <= 1:
+            return leaf()
+        split = rng.randint(1, remaining - 1)
+        if rng.random() < choice_bias:
+            # CHOICE: an explicit free-choice place between two
+            # input-initiated branches, bracketed by an output pulse
+            k = choices[0]
+            choices[0] += 1
+            entry, exit_ = f"pc{k}", f"pm{k}"
+            lines.append(f"g{k}+ {entry}")
+            lines.append(f"{entry} u{k}a+ u{k}b+")
+            for tag, size in (("a", split), ("b", remaining - split)):
+                body_start, body_end = build(size)
+                lines.append(f"u{k}{tag}+ {body_start}")
+                lines.append(f"{body_end} u{k}{tag}-")
+                lines.append(f"u{k}{tag}- {exit_}")
+            lines.append(f"{exit_} g{k}-")
+            return f"g{k}+", f"g{k}-"
+        left_start, left_end = build(split)
+        right_start, right_end = build(remaining - split)
+        if rng.random() < 0.5:  # SEQ
+            lines.append(f"{left_end} {right_start}")
+            return left_start, right_end
+        i = counter[0]
+        counter[0] += 1
+        fork, join = f"q{i}+", f"q{i}-"
+        lines.append(f"{fork} {left_start} {right_start}")
+        lines.append(f"{left_end} {join}")
+        lines.append(f"{right_end} {join}")
+        return fork, join
+
+    start, end = build(leaves)
+    lines.append(f"r+ {start}")
+    lines.append(f"{end} a+")
+    lines.append("a+ r-")
+    lines.append("r- a-")
+    lines.append("a- r+")
+
+    used = set()
+    for line in lines:
+        for token in line.split():
+            if token.startswith(("pc", "pm")):
+                continue  # explicit places are not signals
+            used.add(token[:-1].split("/")[0])
+    outputs = sorted(
+        s for s in used if s.startswith("q") or s.startswith("g")
+    ) + ["a"]
+    inputs = sorted(
+        s for s in used if s.startswith("d") or s.startswith("u")
+    ) + ["r"]
+    text = "\n".join(
+        [
+            ".model free_choice",
+            ".inputs " + " ".join(inputs),
+            ".outputs " + " ".join(outputs),
+            ".graph",
+        ]
+        + lines
+        + [".marking { <a-,r+> }", ".end"]
+    )
+    return parse_g(text, name=f"fc_{seed}")
+
+
+# ----------------------------------------------------------------------
+# The family registry the corpus factory samples from
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Family:
+    """One registered STG family: a builder plus default parameter ranges.
+
+    ``defaults`` maps parameter names to either a fixed value or an
+    inclusive ``(lo, hi)`` integer range the factory samples from.
+    ``seeded`` families additionally receive a derived ``seed``
+    parameter (randomized builders); unseeded families are pure
+    functions of their integer parameters.
+    """
+
+    name: str
+    build: Callable[..., STG]
+    defaults: Mapping[str, object] = field(default_factory=dict)
+    seeded: bool = False
+
+
+FAMILIES: Dict[str, Family] = {
+    family.name: family
+    for family in (
+        Family("token_ring", token_ring, {"channels": (2, 7)}),
+        Family("concurrent_fork", concurrent_fork, {"branches": (2, 4)}),
+        Family("alternator", alternator, {"ways": (2, 3)}),
+        Family("linear_pipeline", linear_pipeline, {"stages": (2, 6)}),
+        Family("arbiter", arbiter, {"clients": (2, 4)}),
+        Family("modulo_counter", modulo_counter, {"period": (1, 3)}),
+        Family(
+            "series_parallel",
+            random_series_parallel,
+            {"leaves": (2, 5)},
+            seeded=True,
+        ),
+        Family(
+            "free_choice",
+            random_free_choice,
+            {"leaves": (2, 4)},
+            seeded=True,
+        ),
+    )
+}
+
+
+def fuzz_specs(count: int, seed: int = 0) -> Iterator[Tuple[str, STG]]:
+    """A deterministic stream of ``count`` named fuzz specifications.
+
+    The historical mix feeding the differential-verification oracle
+    (:mod:`repro.verify.differential`): seven in ten designs are random
+    series-parallel controllers (each with a fresh seed and a varying
+    leaf count), the rest rotate through the parametric families so the
+    sweep also exercises sequential rings, exponential forks and
+    insertion-heavy alternators.  The stream depends only on
+    ``(count, seed)`` and is byte-for-byte stable across releases --
+    CI seeds reference this exact sequence.  New sweeps should prefer a
+    :class:`~repro.corpus.spec.CorpusSpec` stream, which covers the
+    newer families and records admission statistics.
+    """
+    for i in range(count):
+        slot = i % 10
+        if slot < 7:
+            leaves = 2 + (seed + i) % 5
+            stg = random_series_parallel(seed * 100_003 + i, leaves=leaves)
+            yield f"sp_{seed}_{i}(leaves={leaves})", stg
+        elif slot == 7:
+            n = 2 + (i // 10) % 6
+            yield f"token_ring({n})", token_ring(n)
+        elif slot == 8:
+            n = 2 + (i // 10) % 3
+            yield f"concurrent_fork({n})", concurrent_fork(n)
+        else:
+            n = 2 + (i // 10) % 4
+            yield f"alternator({n})", alternator(n)
+
+
+__all__ = [
+    "FAMILIES",
+    "Family",
+    "alternator",
+    "arbiter",
+    "concurrent_fork",
+    "fuzz_specs",
+    "linear_pipeline",
+    "modulo_counter",
+    "random_free_choice",
+    "random_series_parallel",
+    "token_ring",
+]

@@ -1,0 +1,318 @@
+"""Corpus specifications: the seeded recipe a design stream is grown from.
+
+A :class:`CorpusSpec` names *what* to generate (a weighted mix of STG
+families with parameter ranges), *how much* (an admitted-design count),
+and *under which admission bar* (structural checks from
+``repro.stg.structural`` / ``repro.stg.invariants`` with a state-space
+cap).  Fixed spec + seed ⇒ a byte-identical design stream, wherever it
+is evaluated — that determinism is the contract everything downstream
+(batch manifests, resume, CI gates) leans on.
+
+Specs round-trip through a small JSON dialect (``repro-corpus-spec/1``,
+documented in docs/FORMATS.md) so sweeps can be launched from files via
+``repro-si batch --corpus spec.json`` or posted to the service.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Sequence, Tuple, Union
+
+from repro.corpus.families import FAMILIES
+
+CORPUS_SPEC_SCHEMA = "repro-corpus-spec/1"
+
+ParamValue = Union[int, Tuple[int, int]]
+
+
+class CorpusSpecError(ValueError):
+    """A corpus specification is malformed."""
+
+
+def _check_param(family: str, key: str, value: object) -> ParamValue:
+    if isinstance(value, bool):
+        raise CorpusSpecError(f"{family}.{key}: expected an int or [lo, hi] range")
+    if isinstance(value, int):
+        return value
+    if isinstance(value, (list, tuple)) and len(value) == 2:
+        lo, hi = value
+        if (
+            isinstance(lo, int)
+            and isinstance(hi, int)
+            and not isinstance(lo, bool)
+            and not isinstance(hi, bool)
+        ):
+            if lo > hi:
+                raise CorpusSpecError(f"{family}.{key}: empty range [{lo}, {hi}]")
+            return (lo, hi)
+    raise CorpusSpecError(f"{family}.{key}: expected an int or [lo, hi] range")
+
+
+@dataclass(frozen=True)
+class FamilySpec:
+    """One family's slice of the mix: name, relative weight, parameters.
+
+    ``params`` overrides the registry defaults per parameter; each value
+    is either a fixed int or an inclusive ``(lo, hi)`` range sampled per
+    candidate.  Unmentioned parameters keep their registry defaults.
+    """
+
+    family: str
+    weight: int = 1
+    params: Mapping[str, ParamValue] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.family not in FAMILIES:
+            known = ", ".join(sorted(FAMILIES))
+            raise CorpusSpecError(f"unknown family {self.family!r} (known: {known})")
+        if not isinstance(self.weight, int) or isinstance(self.weight, bool) or self.weight < 1:
+            raise CorpusSpecError(f"{self.family}: weight must be a positive int")
+        checked = {
+            key: _check_param(self.family, key, value) for key, value in self.params.items()
+        }
+        allowed = set(FAMILIES[self.family].defaults)
+        unknown = set(checked) - allowed
+        if unknown:
+            raise CorpusSpecError(
+                f"{self.family}: unknown parameter(s) {sorted(unknown)} "
+                f"(allowed: {sorted(allowed)})"
+            )
+        object.__setattr__(self, "params", dict(sorted(checked.items())))
+
+    def resolved_params(self) -> Mapping[str, ParamValue]:
+        """Registry defaults overlaid with this spec's overrides."""
+        merged = dict(FAMILIES[self.family].defaults)
+        merged.update(self.params)
+        return merged
+
+
+@dataclass(frozen=True)
+class AdmissionSpec:
+    """The structural bar every candidate must clear before admission.
+
+    Checks run in cost order: signal/consistency (T-invariants), free
+    choice, then bounded live-and-safe exploration capped at
+    ``max_states``.  Each can be disabled for targeted corpora; the
+    factory counts rejections by reason either way.
+    """
+
+    max_states: int = 20_000
+    require_free_choice: bool = True
+    require_consistent: bool = True
+    require_live_safe: bool = True
+
+    def __post_init__(self) -> None:
+        if (
+            not isinstance(self.max_states, int)
+            or isinstance(self.max_states, bool)
+            or self.max_states < 1
+        ):
+            raise CorpusSpecError("admission.max_states must be a positive int")
+
+
+def default_families() -> Tuple[FamilySpec, ...]:
+    """The stock mix: every registered family, seeded fuzzers weighted up.
+
+    ``modulo_counter`` is excluded: its state cycles repeat codes with
+    nothing to distinguish them, which makes the CSC insertion search
+    pathologically hard — it is a deliberate stress family for the
+    insertion engine, opted into explicitly rather than blended into
+    synthesis sweeps by default.
+    """
+    specs = []
+    for name, family in sorted(FAMILIES.items()):
+        if name == "modulo_counter":
+            continue
+        specs.append(FamilySpec(name, weight=3 if family.seeded else 1))
+    return tuple(specs)
+
+
+@dataclass(frozen=True)
+class CorpusSpec:
+    """A complete corpus recipe: count, seed, family mix, admission bar.
+
+    ``count`` is the number of *admitted* designs the stream yields;
+    ``max_attempts`` (default ``20 * count``) bounds how many candidates
+    may be tried before the factory gives up, so an over-strict
+    admission bar fails loudly instead of spinning forever.
+    """
+
+    count: int
+    seed: int = 0
+    families: Sequence[FamilySpec] = field(default_factory=default_families)
+    admission: AdmissionSpec = field(default_factory=AdmissionSpec)
+    name_prefix: str = "corpus"
+    max_attempts: int = 0  # 0 ⇒ 20 * count
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.count, int) or isinstance(self.count, bool) or self.count < 0:
+            raise CorpusSpecError("count must be a non-negative int")
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool) or self.seed < 0:
+            raise CorpusSpecError("seed must be a non-negative int")
+        if (
+            not isinstance(self.max_attempts, int)
+            or isinstance(self.max_attempts, bool)
+            or self.max_attempts < 0
+        ):
+            raise CorpusSpecError("max_attempts must be a non-negative int")
+        families = tuple(self.families)
+        if not families:
+            raise CorpusSpecError("families must be non-empty")
+        for entry in families:
+            if not isinstance(entry, FamilySpec):
+                raise CorpusSpecError("families entries must be FamilySpec instances")
+        if not self.name_prefix or not all(
+            ch.isalnum() or ch in "_-" for ch in self.name_prefix
+        ):
+            raise CorpusSpecError(
+                "name_prefix must be non-empty and use only [A-Za-z0-9_-]"
+            )
+        object.__setattr__(self, "families", families)
+
+    @property
+    def attempts_cap(self) -> int:
+        return self.max_attempts if self.max_attempts else max(20 * self.count, 1)
+
+    def with_seed(self, seed: int) -> "CorpusSpec":
+        """The same recipe re-seeded (e.g. by ``repro-si batch --seed``)."""
+        return CorpusSpec(
+            count=self.count,
+            seed=seed,
+            families=self.families,
+            admission=self.admission,
+            name_prefix=self.name_prefix,
+            max_attempts=self.max_attempts,
+        )
+
+    # ------------------------------------------------------------------
+    # JSON dialect (repro-corpus-spec/1)
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        return {
+            "schema": CORPUS_SPEC_SCHEMA,
+            "count": self.count,
+            "seed": self.seed,
+            "name_prefix": self.name_prefix,
+            "max_attempts": self.max_attempts,
+            "admission": {
+                "max_states": self.admission.max_states,
+                "require_free_choice": self.admission.require_free_choice,
+                "require_consistent": self.admission.require_consistent,
+                "require_live_safe": self.admission.require_live_safe,
+            },
+            "families": [
+                {
+                    "family": entry.family,
+                    "weight": entry.weight,
+                    "params": {
+                        key: list(value) if isinstance(value, tuple) else value
+                        for key, value in entry.params.items()
+                    },
+                }
+                for entry in self.families
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, document: object) -> "CorpusSpec":
+        if not isinstance(document, dict):
+            raise CorpusSpecError("corpus spec must be a JSON object")
+        schema = document.get("schema")
+        if schema != CORPUS_SPEC_SCHEMA:
+            raise CorpusSpecError(
+                f"unsupported corpus spec schema {schema!r} (want {CORPUS_SPEC_SCHEMA!r})"
+            )
+        known = {
+            "schema",
+            "count",
+            "seed",
+            "name_prefix",
+            "max_attempts",
+            "admission",
+            "families",
+        }
+        unknown = set(document) - known
+        if unknown:
+            raise CorpusSpecError(f"unknown corpus spec field(s): {sorted(unknown)}")
+        if "count" not in document:
+            raise CorpusSpecError("corpus spec needs a count")
+        admission_doc = document.get("admission", {})
+        if not isinstance(admission_doc, dict):
+            raise CorpusSpecError("admission must be a JSON object")
+        admission_known = {
+            "max_states",
+            "require_free_choice",
+            "require_consistent",
+            "require_live_safe",
+        }
+        admission_unknown = set(admission_doc) - admission_known
+        if admission_unknown:
+            raise CorpusSpecError(
+                f"unknown admission field(s): {sorted(admission_unknown)}"
+            )
+        admission = AdmissionSpec(**admission_doc)
+        families_doc = document.get("families")
+        if families_doc is None:
+            families: Sequence[FamilySpec] = default_families()
+        else:
+            if not isinstance(families_doc, list) or not families_doc:
+                raise CorpusSpecError("families must be a non-empty JSON array")
+            families = []
+            for entry in families_doc:
+                if not isinstance(entry, dict) or "family" not in entry:
+                    raise CorpusSpecError("each family entry needs a 'family' name")
+                entry_unknown = set(entry) - {"family", "weight", "params"}
+                if entry_unknown:
+                    raise CorpusSpecError(
+                        f"unknown family field(s): {sorted(entry_unknown)}"
+                    )
+                params = entry.get("params", {})
+                if not isinstance(params, dict):
+                    raise CorpusSpecError(f"{entry['family']}: params must be an object")
+                families.append(
+                    FamilySpec(
+                        family=entry["family"],
+                        weight=entry.get("weight", 1),
+                        params={
+                            key: tuple(value) if isinstance(value, list) else value
+                            for key, value in params.items()
+                        },
+                    )
+                )
+        return cls(
+            count=document["count"],
+            seed=document.get("seed", 0),
+            families=families,
+            admission=admission,
+            name_prefix=document.get("name_prefix", "corpus"),
+            max_attempts=document.get("max_attempts", 0),
+        )
+
+
+def dumps_corpus_spec(spec: CorpusSpec) -> str:
+    """Canonical one-true-rendering of a spec (stable key order)."""
+    return json.dumps(spec.to_json(), indent=2, sort_keys=True) + "\n"
+
+
+def load_corpus_spec(path: Union[str, Path]) -> CorpusSpec:
+    """Load and validate a ``repro-corpus-spec/1`` JSON file."""
+    text = Path(path).read_text(encoding="utf-8")
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CorpusSpecError(f"{path}: not valid JSON ({exc})") from exc
+    return CorpusSpec.from_json(document)
+
+
+__all__ = [
+    "CORPUS_SPEC_SCHEMA",
+    "AdmissionSpec",
+    "CorpusSpec",
+    "CorpusSpecError",
+    "FamilySpec",
+    "default_families",
+    "dumps_corpus_spec",
+    "load_corpus_spec",
+]

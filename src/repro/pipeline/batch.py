@@ -1,9 +1,13 @@
 """Corpus-level batch synthesis: ``repro-si batch``.
 
-One batch run fans a corpus of ``.g`` specifications across worker
-processes, each running the full staged pipeline (reach -> regions ->
-mc -> covers -> netlist) under a per-design cooperative budget.  All
-workers share one store root -- flat
+One batch run fans a corpus of specifications across worker processes,
+each running the full staged pipeline (reach -> regions -> mc ->
+covers -> netlist) under a per-design cooperative budget.  The corpus
+is either a list of ``.g`` files or a :class:`repro.corpus.CorpusSpec`
+(``run_batch(corpus=...)`` / ``repro-si batch --corpus spec.json``)
+whose admitted designs are *streamed* into the scheduler with a
+bounded prefetch -- a 100k-design sweep never materialises 100k task
+dicts, let alone 100k files.  All workers share one store root -- flat
 (:class:`~repro.pipeline.store.ArtifactStore`) or sharded
 (:class:`~repro.pipeline.shard.ShardedStore`, ``--shards``) -- so a
 repeated sweep -- the second CI invocation, a bench re-run, an edited
@@ -19,7 +23,10 @@ fingerprint and shard key -- ordered by design name.  The shard key is
 derived from the *specification content* (first byte of its SHA-256),
 never from runtime placement, so a sharded run, a flat run and a
 resumed run over the same corpus all emit byte-identical manifests; CI
-asserts exactly that.  Wall-clock timings, store traffic and scheduler
+asserts exactly that.  Corpus-backed rows identify their source as
+``corpus:<design name>`` and fingerprint the generated ``.g`` text
+itself, so the same spec + seed reproduces the same manifest bytes on
+any machine.  Wall-clock timings, store traffic and scheduler
 counters are deliberately kept apart in :meth:`BatchReport.stats`.
 
 Resumption
@@ -55,8 +62,11 @@ import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import (
+    TYPE_CHECKING,
     Callable,
     Dict,
+    Iterable,
+    Iterator,
     List,
     Mapping,
     Optional,
@@ -68,6 +78,9 @@ from repro import perf
 from repro.pipeline.serialize import fingerprint_document, fingerprint_file
 from repro.pipeline.shard import SHARD_EVENTS
 from repro.pipeline.store import EVENTS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.corpus.spec import CorpusSpec
 
 # the CLI-wide exit vocabulary (mirrored from repro.cli, which imports
 # this module's report; see the exit-code table in that docstring)
@@ -223,6 +236,9 @@ class BatchReport:
     shards: Optional[int] = None
     #: scheduler counters: affine dispatches, steals, resume skips
     scheduler: Dict[str, int] = field(default_factory=dict)
+    #: the generation seed for corpus-backed runs (None for file input);
+    #: recorded in :meth:`stats`, never in the manifest
+    seed: Optional[int] = None
 
     @property
     def exit_code(self) -> int:
@@ -273,6 +289,7 @@ class BatchReport:
         return {
             "designs": len(self.outcomes),
             "jobs": self.jobs,
+            "seed": self.seed,
             "backend": self.backend or "bitengine",
             "store": self.store_root,
             "shards": self.shards,
@@ -502,14 +519,15 @@ def _run_design(task: Dict) -> Dict:
     from repro.core.synthesis import SynthesisError
     from repro.pipeline.context import AnalysisContext
     from repro.pipeline.core import Pipeline, PipelineSpec
-    from repro.stg.parser import load_g
+    from repro.stg.parser import load_g, parse_g
     from repro.stg.reachability import ReachabilityError
     from repro.verify.budget import Budget, BudgetExceeded
 
     path = task["spec"]
+    spec_text = task.get("spec_text")
     started = time.perf_counter()
     outcome = {
-        "name": _design_name(path),
+        "name": task.get("name") or _design_name(path),
         "spec": path,
         "status": _STATUS_ERROR,
         "detail": "",
@@ -538,7 +556,10 @@ def _run_design(task: Dict) -> Dict:
     )
     try:
         try:
-            stg = load_g(path)
+            if spec_text is not None:
+                stg = parse_g(spec_text, name=outcome["name"])
+            else:
+                stg = load_g(path)
         except (OSError, ValueError) as exc:
             outcome["detail"] = f"cannot load specification: {exc}"
             return outcome
@@ -636,7 +657,7 @@ def _queue_index(task: Dict, queues: int) -> int:
 
 
 def _run_scheduled(
-    tasks: List[Dict],
+    tasks: Iterable[Dict],
     jobs: int,
     shards: Optional[int],
     scheduler: Dict[str, int],
@@ -648,21 +669,48 @@ def _run_scheduled(
     worker's I/O in one shard directory); otherwise a single queue.  A
     freed worker slot pops its home queue first and steals from the
     longest queue when its own is dry -- counted under ``steals``.
+
+    ``tasks`` may be a lazy iterator (corpus streaming): the queues are
+    topped up to a bounded prefetch window as slots free, so an
+    arbitrarily long stream costs O(jobs) buffered tasks, not O(corpus).
     """
-    if jobs == 1 or len(tasks) == 1:
-        for task in tasks:
+    task_iter: Iterator[Dict] = iter(tasks)
+    if jobs == 1:
+        for task in task_iter:
             scheduler["affine"] += 1
             collect(_run_design(task))
         return
     queue_count = shards if shards and shards > 1 else 1
     queues: List[List[Dict]] = [[] for _ in range(queue_count)]
-    for task in tasks:
-        queues[_queue_index(task, queue_count)].append(task)
-    slots = min(jobs, len(tasks))
+    prefetch = max(4 * jobs, 2 * queue_count)
+    exhausted = False
+
+    def refill() -> None:
+        nonlocal exhausted
+        while not exhausted and sum(len(q) for q in queues) < prefetch:
+            try:
+                task = next(task_iter)
+            except StopIteration:
+                exhausted = True
+                return
+            queues[_queue_index(task, queue_count)].append(task)
+
+    refill()
+    buffered = sum(len(q) for q in queues)
+    if buffered == 0:
+        return
+    if buffered == 1 and exhausted:
+        scheduler["affine"] += 1
+        collect(_run_design(next(q for q in queues if q).pop(0)))
+        return
+    # prefetch >= 4 * jobs, so a post-refill buffer below ``jobs`` means
+    # the stream is already exhausted and the pool can size to it
+    slots = min(jobs, buffered)
     with ProcessPoolExecutor(max_workers=slots) as pool:
         running: Dict = {}
 
         def launch(slot: int) -> bool:
+            refill()
             home = slot % queue_count
             queue = queues[home]
             stolen = False
@@ -692,7 +740,7 @@ def _run_scheduled(
 
 
 def run_batch(
-    specs: Sequence[str],
+    specs: Sequence[str] = (),
     store: Union[str, None] = None,
     jobs: int = 1,
     backend: Optional[str] = None,
@@ -707,8 +755,9 @@ def run_batch(
     max_put_rate: Optional[float] = None,
     resume: Union[str, Mapping, None] = None,
     progress: Optional[Callable[[DesignOutcome], None]] = None,
+    corpus: Optional["CorpusSpec"] = None,
 ) -> BatchReport:
-    """Synthesise every ``.g`` specification in ``specs``.
+    """Synthesise every specification in ``specs`` or in ``corpus``.
 
     Parameters mirror one ``repro-si synth`` run applied per design;
     ``timeout_seconds`` / ``max_states`` bound each design *separately*
@@ -723,12 +772,24 @@ def run_batch(
     :class:`ResumeError`.  ``progress`` is called with each
     :class:`DesignOutcome` as it completes, in completion order
     (resumed rows first).
+
+    ``corpus`` (a :class:`repro.corpus.CorpusSpec`, exclusive with
+    ``specs``) streams generated designs straight into the scheduler:
+    the ``.g`` text travels in the task dict, fingerprints are taken
+    over that text, and rows identify their source as
+    ``corpus:<name>``.  Resume skips happen inline as the stream is
+    drawn, so a mostly-resumed sweep touches only the stale designs;
+    because overlap with the resume source is only known once the
+    stream ends, a corpus resume that matches nothing raises
+    :class:`ResumeError` *after* the run instead of before it.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be a positive integer, got {jobs}")
     if shards is not None and shards < 1:
         raise ValueError(f"shards must be a positive integer, got {shards}")
-    if not specs:
+    if corpus is not None and specs:
+        raise ValueError("give .g specifications or corpus=, not both")
+    if corpus is None and not specs:
         raise ValueError("no specifications given")
     options = batch_options(
         backend=backend,
@@ -749,58 +810,105 @@ def run_batch(
 
     scheduler = {"affine": 0, "steals": 0, "resume_skips": 0}
     outcomes: List[DesignOutcome] = []
+    overlap = {"count": 0}
 
     def collect(raw: Dict) -> None:
-        outcome = DesignOutcome(**raw)
+        emit(DesignOutcome(**raw))
+
+    def emit(outcome: DesignOutcome) -> None:
         outcomes.append(outcome)
         if progress is not None:
             progress(outcome)
 
+    def placement() -> Dict:
+        """The task-dict fields shared by every design of this run."""
+        return {
+            "store_root": None if store is None else str(store),
+            "store_shards": shards,
+            "remote_root": None if remote_store is None else str(remote_store),
+            "max_put_rate": max_put_rate,
+            "backend": backend,
+            "style": style,
+            "share_gates": share_gates,
+            "verify": verify,
+            "max_models": max_models,
+            "max_states": max_states,
+            "timeout_seconds": timeout_seconds,
+        }
+
+    def reuse(name: str, spec_id: str, spec_fp: str) -> bool:
+        """Emit the recorded row for ``name`` if it is still fresh."""
+        row = None if reusable is None else reusable.get(name)
+        if row is None:
+            return False
+        overlap["count"] += 1
+        if not spec_fp or row.get("spec_fingerprint") != spec_fp:
+            return False
+        scheduler["resume_skips"] += 1
+        perf.count("batch-resume-skip")
+        emit(_outcome_from_row(row, spec_id, spec_fp))
+        return True
+
+    def no_overlap_error() -> ResumeError:
+        if overlap["count"]:
+            return ResumeError(
+                f"resume source matches no current specification: "
+                f"{overlap['count']} design name(s) overlap but every spec "
+                f"fingerprint is stale; drop --resume to re-run the corpus"
+            )
+        return ResumeError(
+            "resume source shares no design names with the input set"
+        )
+
+    if corpus is not None:
+
+        def corpus_tasks() -> Iterator[Dict]:
+            from repro.corpus.factory import corpus_stream
+
+            for design in corpus_stream(corpus):
+                spec_id = f"corpus:{design.name}"
+                if reuse(design.name, spec_id, design.fingerprint):
+                    continue
+                task = placement()
+                task.update(
+                    spec=spec_id,
+                    name=design.name,
+                    spec_text=design.g_text,
+                    spec_fingerprint=design.fingerprint,
+                    shard=_spec_shard(design.fingerprint),
+                )
+                yield task
+
+        _run_scheduled(corpus_tasks(), jobs, shards, scheduler, collect)
+        if reusable is not None and not scheduler["resume_skips"]:
+            raise no_overlap_error()
+        return BatchReport(
+            outcomes=outcomes,
+            jobs=jobs,
+            store_root=None if store is None else str(store),
+            backend=backend,
+            options=options,
+            shards=shards,
+            scheduler=scheduler,
+            seed=corpus.seed,
+        )
+
     tasks: List[Dict] = []
-    overlap = 0
     for path in specs:
         path = str(path)
         name = _design_name(path)
         spec_fp = fingerprint_file(path)
-        row = None if reusable is None else reusable.get(name)
-        if row is not None:
-            overlap += 1
-            if spec_fp and row.get("spec_fingerprint") == spec_fp:
-                scheduler["resume_skips"] += 1
-                perf.count("batch-resume-skip")
-                outcome = _outcome_from_row(row, path, spec_fp)
-                outcomes.append(outcome)
-                if progress is not None:
-                    progress(outcome)
-                continue
-        tasks.append(
-            {
-                "spec": path,
-                "spec_fingerprint": spec_fp,
-                "shard": _spec_shard(spec_fp),
-                "store_root": None if store is None else str(store),
-                "store_shards": shards,
-                "remote_root": None if remote_store is None else str(remote_store),
-                "max_put_rate": max_put_rate,
-                "backend": backend,
-                "style": style,
-                "share_gates": share_gates,
-                "verify": verify,
-                "max_models": max_models,
-                "max_states": max_states,
-                "timeout_seconds": timeout_seconds,
-            }
+        if reuse(name, path, spec_fp):
+            continue
+        task = placement()
+        task.update(
+            spec=path,
+            spec_fingerprint=spec_fp,
+            shard=_spec_shard(spec_fp),
         )
+        tasks.append(task)
     if reusable is not None and not scheduler["resume_skips"]:
-        if overlap:
-            raise ResumeError(
-                f"resume source matches no current specification: {overlap} "
-                f"design name(s) overlap but every spec fingerprint is stale; "
-                f"drop --resume to re-run the corpus"
-            )
-        raise ResumeError(
-            "resume source shares no design names with the input set"
-        )
+        raise no_overlap_error()
 
     if tasks:
         _run_scheduled(tasks, jobs, shards, scheduler, collect)

@@ -428,11 +428,78 @@ def _run_diff(params: Dict, context, emit) -> JobOutcome:
     )
 
 
+def _run_corpus(params: Dict, context, emit) -> JobOutcome:
+    """A corpus-backed batch sweep (``run_batch(corpus=...)``).
+
+    The generated design stream runs through the batch scheduler
+    against the resident store; the result carries the deterministic
+    manifest document (byte-comparable to ``repro-si batch --corpus``)
+    plus the run's status tally and scheduler counters.
+    """
+    from repro.corpus import CorpusError, CorpusSpec
+    from repro.pipeline.batch import run_batch
+
+    spec = CorpusSpec.from_json(params["corpus"])
+
+    def progress(outcome) -> None:
+        emit(
+            {
+                "event": "design",
+                "design": outcome.name,
+                "status": outcome.status,
+                "resumed": outcome.resumed,
+            }
+        )
+
+    store_root = None if context.store is None else context.store.root
+    emit({"event": "stage", "stage": "corpus", "designs": spec.count})
+    try:
+        report = run_batch(
+            corpus=spec,
+            store=store_root,
+            jobs=params["jobs"] or 1,
+            backend=params["backend"] or context.backend.name,
+            style=params["style"],
+            verify=params["verify"],
+            max_states=params["max_states"],
+            timeout_seconds=params["timeout_seconds"],
+            progress=progress,
+        )
+    except CorpusError as exc:
+        return JobOutcome(status=FAILED, detail=str(exc), charged=0)
+    counts: Dict[str, int] = {}
+    for outcome in report.outcomes:
+        counts[outcome.status] = counts.get(outcome.status, 0) + 1
+    result = {
+        "schema": "repro-service-corpus/1",
+        "seed": report.seed,
+        "designs": len(report.outcomes),
+        "statuses": counts,
+        "scheduler": dict(report.scheduler),
+        "manifest": report.manifest(),
+        "exit_code": report.exit_code,
+        "summary": report.describe(),
+    }
+    status, detail = DONE, ""
+    if report.exit_code == 3:
+        status = INCONCLUSIVE
+        detail = "at least one design blew its budget"
+    elif report.exit_code != 0:
+        detail = "hazardous or failed design(s) in the sweep"
+    return JobOutcome(
+        result=result,
+        status=status,
+        detail=detail,
+        charged=sum(o.states for o in report.outcomes),
+    )
+
+
 _RUNNERS = {
     "synth": _run_synth,
     "verify": _run_verify,
     "table1": _run_table1,
     "diff": _run_diff,
+    "corpus": _run_corpus,
 }
 
 

@@ -12,11 +12,19 @@ service response is byte-comparable to the matching CLI artifact.
 
 Submit request (``POST /v1/jobs``)::
 
-    {"kind": "synth" | "verify" | "table1" | "diff",
+    {"kind": "synth" | "verify" | "table1" | "diff" | "corpus",
      "spec": "<.g text>",            # synth/verify only
+     "corpus": {...},                # corpus only: repro-corpus-spec/1
      "name": "design",               # optional label
      "tenant": "team-a",             # optional (or X-Tenant header)
      "options": {...}}               # per-kind knobs, all optional
+
+Corpus sweep jobs carry an inline ``repro-corpus-spec/1`` document
+(see docs/FORMATS.md): the admitted design stream runs through the
+batch machinery and the result is the deterministic batch manifest
+plus the generation stats.  ``options.seed`` re-seeds the spec,
+``options.max_states`` / ``options.timeout_seconds`` bound each design
+separately; the admitted-design count is capped per job.
 
 Delta re-synthesis (synth/verify only): replace ``spec`` with a
 ``base_job`` id plus a ``delta`` -- edit text lines (``"add a+ b-"``,
@@ -45,8 +53,11 @@ from typing import Dict, Optional, Tuple
 
 #: job kinds the service accepts, mapping 1:1 onto library entry points
 #: (synth/verify -> ``Pipeline.run``, table1 -> ``run_table1``,
-#: diff -> ``differential_campaign``)
-KINDS = ("synth", "verify", "table1", "diff")
+#: diff -> ``differential_campaign``, corpus -> ``run_batch(corpus=...)``)
+KINDS = ("synth", "verify", "table1", "diff", "corpus")
+
+#: largest admitted-design count one corpus job may request
+MAX_CORPUS_COUNT = 5000
 
 #: netlist styles, mirroring the CLI ``--style`` vocabulary
 STYLES = ("C", "RS", "RS-NOR", "C-INV")
@@ -262,6 +273,68 @@ def _diff_params(body: Dict, kind: str) -> Dict:
     }
 
 
+def _corpus_params(body: Dict, kind: str) -> Dict:
+    """A corpus sweep: an inline repro-corpus-spec/1 + batch knobs.
+
+    The spec document is validated (and normalized) at submit time via
+    :meth:`repro.corpus.CorpusSpec.from_json`, so a queued corpus job
+    can no longer fail on its recipe; the per-job design count is
+    capped at :data:`MAX_CORPUS_COUNT`.
+    """
+    from repro.corpus import CorpusSpec, CorpusSpecError
+
+    document = body.get("corpus")
+    _require(
+        isinstance(document, dict),
+        "corpus jobs need a 'corpus' object (repro-corpus-spec/1)",
+    )
+    try:
+        spec = CorpusSpec.from_json(document)
+    except CorpusSpecError as exc:
+        raise ProtocolError(f"bad corpus spec: {exc}") from exc
+    _require(
+        spec.count <= MAX_CORPUS_COUNT,
+        f"corpus count must be <= {MAX_CORPUS_COUNT} per job",
+    )
+    options = _check_options(
+        body.get("options"),
+        (
+            "seed", "backend", "style", "verify", "max_states",
+            "timeout_seconds", "jobs",
+        ),
+    )
+    seed = options.get("seed")
+    if seed is not None:
+        _require(
+            isinstance(seed, int) and not isinstance(seed, bool)
+            and seed >= 0,
+            "seed must be a non-negative integer",
+        )
+        spec = spec.with_seed(seed)
+    style = options.get("style", "C")
+    _require(style in STYLES, f"style must be one of {STYLES}")
+    return {
+        "name": _job_name(body, default="corpus"),
+        "corpus": spec.to_json(),
+        "style": style,
+        "verify": bool(options.get("verify", True)),
+        "backend": _check_backend(options.get("backend")),
+        "max_states": _check_int(
+            options.get("max_states", 20_000), "max_states"
+        ),
+        "timeout_seconds": (
+            None
+            if options.get("timeout_seconds") is None
+            else _check_number(options["timeout_seconds"], "timeout_seconds")
+        ),
+        "jobs": (
+            None
+            if options.get("jobs") is None
+            else _check_int(options["jobs"], "jobs")
+        ),
+    }
+
+
 def _job_name(body: Dict, default: str = "job") -> str:
     name = body.get("name", default)
     _require(
@@ -276,9 +349,12 @@ _PARSERS = {
     "verify": _synth_params,
     "table1": _table1_params,
     "diff": _diff_params,
+    "corpus": _corpus_params,
 }
 
-_TOP_LEVEL_KEYS = {"kind", "spec", "name", "tenant", "options", "base_job", "delta"}
+_TOP_LEVEL_KEYS = {
+    "kind", "spec", "corpus", "name", "tenant", "options", "base_job", "delta",
+}
 
 
 def parse_submit(
@@ -304,6 +380,15 @@ def parse_submit(
         _require(
             "base_job" not in document and "delta" not in document,
             "base_job/delta apply only to synth/verify jobs",
+        )
+    if kind != "corpus":
+        _require(
+            "corpus" not in document, "'corpus' applies only to corpus jobs"
+        )
+    else:
+        _require(
+            "spec" not in document,
+            "corpus jobs take a 'corpus' object, not a 'spec'",
         )
     tenant = document.get("tenant", default_tenant)
     _require(
@@ -359,6 +444,7 @@ def dumps_canonical(document: Dict) -> str:
 __all__ = [
     "KINDS",
     "MAX_BODY_BYTES",
+    "MAX_CORPUS_COUNT",
     "ProtocolError",
     "STYLES",
     "dumps_canonical",

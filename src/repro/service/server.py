@@ -3,9 +3,17 @@
 One process, one :class:`~repro.service.jobs.JobManager`, many
 concurrent clients.  The HTTP layer is deliberately minimal --
 ``asyncio.start_server`` plus a hand-rolled HTTP/1.1 request parser
-(request line, headers, ``Content-Length`` body; every response closes
-its connection) -- so the service stays dependency-free like the rest
-of the repo.
+(request line, headers, ``Content-Length`` body) -- so the service
+stays dependency-free like the rest of the repo.
+
+Connections are persistent per HTTP/1.1 semantics: a client can pump
+its whole submit/poll/result conversation through one socket.  A
+``Connection: close`` request header opts out, HTTP/1.0 clients
+default to one-shot, event streams close when the stream ends (their
+length is unknown up front), and once a graceful shutdown has begun
+every response carries ``Connection: close`` so draining is never
+held up by idle keep-alive sockets.  Between requests an idle
+keep-alive socket is dropped after :data:`KEEPALIVE_IDLE_SECONDS`.
 
 Endpoints (all JSON; see :mod:`repro.service.protocol` for schemas)::
 
@@ -56,6 +64,10 @@ _REASONS = {
     503: "Service Unavailable",
 }
 
+#: idle keep-alive sockets are dropped after this many seconds between
+#: requests (generous: clients poll far more often than this)
+KEEPALIVE_IDLE_SECONDS = 75.0
+
 
 class HttpError(Exception):
     """Maps straight to one JSON error response."""
@@ -67,22 +79,30 @@ class HttpError(Exception):
 
 
 async def _read_request(
-    reader: asyncio.StreamReader,
-) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
-    """Parse one request -> (method, target, headers, body) or None."""
+    reader: asyncio.StreamReader, idle_timeout: Optional[float] = None
+) -> Optional[Tuple[str, str, str, Dict[str, str], bytes]]:
+    """Parse one request -> (method, target, version, headers, body) or None.
+
+    ``idle_timeout`` bounds the wait for the *first byte* of a
+    follow-up request on a kept-alive socket; an expiry reads as
+    end-of-connection (None), not an error.
+    """
     try:
-        line = await reader.readline()
+        if idle_timeout is not None:
+            line = await asyncio.wait_for(reader.readline(), idle_timeout)
+        else:
+            line = await reader.readline()
     except ValueError:
         # StreamReader's line-length limit (64 KiB) tripped
         raise HttpError(400, "request line too long") from None
-    except ConnectionError:
+    except (ConnectionError, asyncio.TimeoutError):
         return None
     if not line:
         return None
     parts = line.decode("latin-1").strip().split()
     if len(parts) != 3 or not parts[2].startswith("HTTP/"):
         raise HttpError(400, "malformed request line")
-    method, target = parts[0].upper(), parts[1]
+    method, target, version = parts[0].upper(), parts[1], parts[2]
     headers: Dict[str, str] = {}
     while True:
         try:
@@ -108,16 +128,28 @@ async def _read_request(
         if length > MAX_BODY_BYTES:
             raise HttpError(413, "request body too large")
         body = await reader.readexactly(length)
-    return method, target, headers, body
+    return method, target, version, headers, body
+
+
+def _wants_keep_alive(version: str, headers: Dict[str, str]) -> bool:
+    """HTTP/1.1 defaults to persistent, HTTP/1.0 to one-shot."""
+    connection = headers.get("connection", "").lower()
+    if version == "HTTP/1.0":
+        return connection == "keep-alive"
+    return connection != "close"
 
 
 def _response_head(
-    status: int, content_type: str, length: Optional[int]
+    status: int, content_type: str, length: Optional[int],
+    close: bool = True,
 ) -> bytes:
     lines = [
         f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
         f"Content-Type: {content_type}",
-        "Connection: close",
+        # a response without a Content-Length (event stream) is
+        # delimited by the connection closing, so it must never be
+        # marked persistent
+        "Connection: close" if close or length is None else "Connection: keep-alive",
     ]
     if length is not None:
         lines.append(f"Content-Length: {length}")
@@ -176,27 +208,53 @@ class ServiceServer:
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        """Serve one connection: a loop of requests until it closes.
+
+        ``keep`` is False while a request is still being parsed (a
+        parse error leaves the stream position unreliable, so those
+        responses always close) and is recomputed per request from the
+        HTTP version and ``Connection`` header; a begun shutdown
+        forces the connection shut after the in-flight response.
+        """
         try:
-            try:
-                request = await _read_request(reader)
-                if request is None:
-                    return
-                method, target, headers, body = request
-                await self._route(writer, method, target, headers, body)
-            except HttpError as error:
-                await self._send_json(
-                    writer, error.status, error_to_json(error.message)
-                )
-            except (ConnectionError, asyncio.IncompleteReadError):
-                pass
-            except Exception as error:  # never kill the accept loop
-                print(f"repro-si serve: error: {error!r}", file=sys.stderr)
+            first = True
+            while True:
+                keep = False
                 try:
-                    await self._send_json(
-                        writer, 500, error_to_json("internal server error")
+                    request = await _read_request(
+                        reader, None if first else KEEPALIVE_IDLE_SECONDS
                     )
-                except (ConnectionError, OSError):
-                    pass
+                    if request is None:
+                        return
+                    first = False
+                    method, target, version, headers, body = request
+                    keep = (
+                        _wants_keep_alive(version, headers)
+                        and self.shutdown_report is None
+                    )
+                    streamed = await self._route(
+                        writer, method, target, headers, body, keep
+                    )
+                    if streamed or not keep or self.shutdown_report is not None:
+                        return
+                except HttpError as error:
+                    await self._send_json(
+                        writer, error.status, error_to_json(error.message),
+                        keep=keep,
+                    )
+                    if not keep:
+                        return
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    return
+                except Exception as error:  # never kill the accept loop
+                    print(f"repro-si serve: error: {error!r}", file=sys.stderr)
+                    try:
+                        await self._send_json(
+                            writer, 500, error_to_json("internal server error")
+                        )
+                    except (ConnectionError, OSError):
+                        pass
+                    return
         finally:
             try:
                 writer.close()
@@ -205,11 +263,15 @@ class ServiceServer:
                 pass
 
     async def _send_json(
-        self, writer: asyncio.StreamWriter, status: int, document: Dict
+        self, writer: asyncio.StreamWriter, status: int, document: Dict,
+        keep: bool = False,
     ) -> None:
         payload = (json.dumps(document, sort_keys=True) + "\n").encode("utf-8")
         writer.write(
-            _response_head(status, "application/json", len(payload)) + payload
+            _response_head(
+                status, "application/json", len(payload), close=not keep
+            )
+            + payload
         )
         await writer.drain()
 
@@ -221,7 +283,10 @@ class ServiceServer:
         target: str,
         headers: Dict[str, str],
         body: bytes,
-    ) -> None:
+        keep: bool,
+    ) -> bool:
+        """Dispatch one request; returns True when the response was a
+        stream (the connection is already committed to closing)."""
         split = urlsplit(target)
         path = split.path.rstrip("/") or "/"
         query = parse_qs(split.query)
@@ -236,13 +301,14 @@ class ServiceServer:
                     "backend": self.manager.backend,
                     "mode": self.manager.mode,
                 },
+                keep=keep,
             )
         elif path == "/v1/stats":
             self._expect(method, "GET")
-            await self._send_json(writer, 200, self.manager.stats())
+            await self._send_json(writer, 200, self.manager.stats(), keep=keep)
         elif path == "/v1/jobs":
             if method == "POST":
-                await self._submit(writer, headers, body)
+                await self._submit(writer, headers, body, keep)
             elif method == "GET":
                 await self._send_json(
                     writer,
@@ -252,6 +318,7 @@ class ServiceServer:
                             job_to_json(job) for job in self.manager.jobs()
                         ]
                     },
+                    keep=keep,
                 )
             else:
                 raise HttpError(405, "use GET or POST")
@@ -260,9 +327,10 @@ class ServiceServer:
             report = await self.shutdown()
             await self._send_json(writer, 200, report)
         elif path.startswith("/v1/jobs/"):
-            await self._job_route(writer, method, path, query)
+            return await self._job_route(writer, method, path, query, keep)
         else:
             raise HttpError(404, f"no such path: {path}")
+        return False
 
     @staticmethod
     def _expect(method: str, expected: str) -> None:
@@ -271,7 +339,7 @@ class ServiceServer:
 
     async def _submit(
         self, writer: asyncio.StreamWriter, headers: Dict[str, str],
-        body: bytes,
+        body: bytes, keep: bool = False,
     ) -> None:
         try:
             kind, tenant, params = parse_submit(
@@ -287,7 +355,7 @@ class ServiceServer:
             raise HttpError(503, str(error)) from error
         except QueueFull as error:
             raise HttpError(429, str(error)) from error
-        await self._send_json(writer, 202, job_to_json(job))
+        await self._send_json(writer, 202, job_to_json(job), keep=keep)
 
     def _resolve_base(self, kind: str, params: Dict) -> Dict:
         """Expand a ``base_job`` + ``delta`` submit against the registry.
@@ -335,7 +403,8 @@ class ServiceServer:
         method: str,
         path: str,
         query: Dict,
-    ) -> None:
+        keep: bool,
+    ) -> bool:
         parts = path.split("/")  # ['', 'v1', 'jobs', '<id>', ...]
         job = self.manager.get(parts[3])
         if job is None:
@@ -343,7 +412,7 @@ class ServiceServer:
         tail = parts[4:]
         if not tail:
             self._expect(method, "GET")
-            await self._send_json(writer, 200, job_to_json(job))
+            await self._send_json(writer, 200, job_to_json(job), keep=keep)
         elif tail == ["result"]:
             self._expect(method, "GET")
             if not job.terminal:
@@ -359,12 +428,15 @@ class ServiceServer:
                     "detail": job.detail,
                     "result": job.result,
                 },
+                keep=keep,
             )
         elif tail == ["events"]:
             self._expect(method, "GET")
             await self._stream_events(writer, job, query)
+            return True
         else:
             raise HttpError(404, f"no such path: {path}")
+        return False
 
     async def _stream_events(
         self, writer: asyncio.StreamWriter, job, query: Dict

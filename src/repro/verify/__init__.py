@@ -11,7 +11,11 @@ Three pillars, none imported by the synthesis pipeline itself:
   negative control for Theorem 2;
 * :mod:`repro.verify.budget` -- cooperative state-count / wall-clock
   guards turning exponential blowups into *inconclusive* partial
-  results instead of hung runs.
+  results instead of hung runs;
+* :mod:`repro.verify.hazard_free` -- the DeMorgan/Eichelberger ternary
+  oracle over SOP covers: a derivation-independent second opinion on
+  hazard freedom, cross-checked claim-for-claim against the
+  circuit-level verdicts.
 
 The pure dict-based reference analysis itself lives at
 :mod:`repro.pipeline.backends.reference`; its old names under
@@ -29,6 +33,15 @@ from repro.verify.differential import (
     diff_stg,
     differential_campaign,
 )
+from repro.verify.hazard_free import (
+    DeMorganClaim,
+    DeMorganReport,
+    cross_check_verdicts,
+    demorgan_check,
+    suggest_glitch_injections,
+    ternary_cover,
+    ternary_cube,
+)
 from repro.verify.faults import (
     FaultOutcome,
     FaultReport,
@@ -44,10 +57,14 @@ __all__ = [
     "Budget",
     "BudgetExceeded",
     "CampaignReport",
+    "DeMorganClaim",
+    "DeMorganReport",
     "DiffRecord",
     "FaultOutcome",
     "FaultReport",
+    "cross_check_verdicts",
     "delay_storm",
+    "demorgan_check",
     "diff_reports",
     "diff_state_graph",
     "diff_stg",
@@ -57,6 +74,9 @@ __all__ = [
     "run_fault_injection",
     "stuck_at",
     "stuck_campaign",
+    "suggest_glitch_injections",
+    "ternary_cover",
+    "ternary_cube",
 ]
 
 

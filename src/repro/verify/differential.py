@@ -15,10 +15,12 @@ per registered analysis backend (``bitengine`` and ``reference``, see
   reference path's independent confirmation that the repaired graph now
   satisfies MC.
 
-A campaign (:func:`differential_campaign`) sweeps randomized STGs from
-the hypothesis-style generators in :mod:`repro.bench.generators` under a
+A campaign (:func:`differential_campaign`) sweeps randomized STGs drawn
+from the unified corpus subsystem (:mod:`repro.corpus`) under a
 per-design :class:`~repro.verify.budget.Budget`; designs that blow the
-budget are reported as *skipped*, never silently dropped.
+budget are reported as *skipped*, never silently dropped.  Pass a
+``corpus=CorpusSpec(...)`` to sweep a structurally-admitted corpus
+stream instead of the legacy ``fuzz_specs`` mix.
 """
 
 from __future__ import annotations
@@ -277,6 +279,10 @@ class CampaignReport:
     """Aggregate outcome of a differential sweep."""
 
     records: List[DiffRecord] = field(default_factory=list)
+    #: the seed the sweep's design stream was grown from (None when the
+    #: caller supplied explicit specs), recorded so any campaign is
+    #: reproducible from its report alone
+    seed: Optional[int] = None
 
     @property
     def divergent(self) -> List[DiffRecord]:
@@ -296,10 +302,11 @@ class CampaignReport:
         return not self.divergent and self.checked > 0
 
     def describe(self) -> str:
+        seeded = f" [seed {self.seed}]" if self.seed is not None else ""
         lines = [
             f"differential oracle: {len(self.records)} design(s), "
             f"{self.checked} checked, {len(self.skipped)} skipped, "
-            f"{len(self.divergent)} DIVERGENT"
+            f"{len(self.divergent)} DIVERGENT{seeded}"
         ]
         repaired = [r for r in self.records if r.inserted_signals]
         if repaired:
@@ -329,6 +336,7 @@ def differential_campaign(
     count: int = 200,
     seed: int = 0,
     specs: Optional[Iterable[Tuple[str, STG]]] = None,
+    corpus=None,
     repair: bool = True,
     max_states: Optional[int] = 20_000,
     max_seconds_each: Optional[float] = 30.0,
@@ -344,9 +352,14 @@ def differential_campaign(
     semantics (any name registered with
     :mod:`repro.pipeline.backends`, e.g. ``"wordlane"``).
 
-    Specs default to :func:`repro.bench.generators.fuzz_specs`, a
-    deterministic mix dominated by random series-parallel controllers
-    with the parametric families (rings, forks, alternators) blended in.
+    The design source, in priority order: explicit ``specs`` (an
+    iterable of ``(name, stg)`` pairs); a ``corpus``
+    (:class:`~repro.corpus.CorpusSpec`, streamed through the
+    structurally-admitted factory — ``count``/``seed`` arguments are
+    ignored in favour of the spec's own); else the legacy
+    :func:`repro.corpus.fuzz_specs` mix, a deterministic stream
+    dominated by random series-parallel controllers with the parametric
+    families (rings, forks, alternators) blended in.
     Each design gets a fresh budget of ``max_states`` states and
     ``max_seconds_each`` seconds; blown budgets become *skipped* records.
     ``repair_seconds`` bounds the per-design insertion cross-check (the
@@ -354,11 +367,21 @@ def differential_campaign(
     repair deadline skips that design's cross-check, it does not skip
     the design).
     """
-    from repro.bench.generators import fuzz_specs
-
+    report_seed: Optional[int] = None
+    if specs is not None and corpus is not None:
+        raise ValueError("pass either specs or corpus, not both")
     if specs is None:
-        specs = fuzz_specs(count, seed=seed)
-    report = CampaignReport()
+        if corpus is not None:
+            from repro.corpus import corpus_stream
+
+            report_seed = corpus.seed
+            specs = ((d.name, d.stg) for d in corpus_stream(corpus))
+        else:
+            from repro.corpus import fuzz_specs
+
+            report_seed = seed
+            specs = fuzz_specs(count, seed=seed)
+    report = CampaignReport(seed=report_seed)
     for name, stg in specs:
         budget = Budget(max_states=max_states, max_seconds=max_seconds_each)
         record = diff_stg(

@@ -200,22 +200,34 @@ def glitch_campaign(
     seed: int = 0,
     window: Tuple[float, float] = (5.0, 150.0),
     budget: Optional[Budget] = None,
+    injections: Optional[Sequence[Tuple[float, str]]] = None,
 ) -> List[FaultOutcome]:
     """Inject one single-event upset per run and triage the fallout.
 
     Each run flips one randomly chosen gate output at a random time in
     ``window``, then compares against a fault-free run with the same
     delay seed so a stalled handshake is distinguishable from a short
-    trace.
+    trace.  Pass ``injections`` (``[(at, gate), ...]``, e.g. from
+    :func:`repro.verify.hazard_free.suggest_glitch_injections`) to aim
+    one upset per scenario at specific gates instead of sampling them;
+    ``runs`` then caps how many scenarios are used.
     """
     budget = budget or Budget()
     rng = random.Random(seed)
     targets = sorted(netlist.gates)
+    if injections is not None:
+        for at, target in injections:
+            if target not in netlist.gates:
+                raise ValueError(f"no gate drives {target!r}")
+        injections = list(injections)[:runs]
     outcomes = []
-    for run in range(runs):
+    for run in range(len(injections) if injections is not None else runs):
         budget.check_time(f"glitch run {run}", partial=outcomes)
-        target = rng.choice(targets)
-        at = rng.uniform(*window)
+        if injections is not None:
+            at, target = injections[run]
+        else:
+            target = rng.choice(targets)
+            at = rng.uniform(*window)
         run_seed = seed + 7919 * run
         clean = simulate(netlist, spec, max_events=max_events, seed=run_seed)
         faulty = simulate(

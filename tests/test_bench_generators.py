@@ -1,8 +1,18 @@
-"""Tests for the parameterised specification generators."""
+"""Tests for the parameterised specification generators.
+
+The families themselves now live in :mod:`repro.corpus.families`; this
+module keeps importing the classic trio through the deprecated
+``repro.bench.generators`` shim on purpose, so the forwarding path
+stays exercised alongside the generators it forwards to.
+"""
+
+import warnings
 
 import pytest
 
-from repro.bench.generators import alternator, concurrent_fork, token_ring
+with warnings.catch_warnings():
+    warnings.simplefilter("ignore", DeprecationWarning)
+    from repro.bench.generators import alternator, concurrent_fork, token_ring
 from repro.core.mc import analyze_mc
 from repro.sg.csc import has_csc
 from repro.sg.properties import is_output_semi_modular
@@ -80,7 +90,7 @@ class TestAlternator:
 class TestSeriesParallel:
     @pytest.mark.parametrize("seed", range(8))
     def test_generated_specs_are_wellformed(self, seed):
-        from repro.bench.generators import random_series_parallel
+        from repro.corpus import random_series_parallel
         from repro.stg.structural import is_live_and_safe
 
         stg = random_series_parallel(seed, leaves=4)
@@ -93,7 +103,7 @@ class TestSeriesParallel:
 
     @pytest.mark.parametrize("seed", range(5))
     def test_regions_synthesis_roundtrips_generated_specs(self, seed):
-        from repro.bench.generators import random_series_parallel
+        from repro.corpus import random_series_parallel
         from repro.sg.conformance import trace_equivalent
         from repro.stg.synthesis import NotSynthesizableError, stg_from_state_graph
 
@@ -105,7 +115,7 @@ class TestSeriesParallel:
         assert trace_equivalent(stg_to_state_graph(stg), sg)
 
     def test_deterministic_per_seed(self):
-        from repro.bench.generators import random_series_parallel
+        from repro.corpus import random_series_parallel
         from repro.stg.writer import dumps_g
 
         assert dumps_g(random_series_parallel(3)) == dumps_g(
@@ -116,9 +126,42 @@ class TestSeriesParallel:
         """End-to-end on a generated controller: two signals inserted,
         hazard-free (seed chosen for speed; larger seeds work too)."""
         from repro import synthesize_from_state_graph
-        from repro.bench.generators import random_series_parallel
+        from repro.corpus import random_series_parallel
 
         sg = stg_to_state_graph(random_series_parallel(2, leaves=2))
         result = synthesize_from_state_graph(sg, max_models=300)
         assert len(result.added_signals) == 2
         assert result.hazard_free
+
+
+class TestDeprecatedShim:
+    """``repro.bench.generators`` forwards to ``repro.corpus`` with a warning."""
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "token_ring",
+            "concurrent_fork",
+            "alternator",
+            "random_series_parallel",
+            "fuzz_specs",
+        ],
+    )
+    def test_forwarded_names_warn_and_match(self, name):
+        import repro.bench.generators as shim
+        import repro.corpus as corpus
+
+        with pytest.warns(DeprecationWarning, match=f"{name} is deprecated"):
+            forwarded = getattr(shim, name)
+        assert forwarded is getattr(corpus, name)
+
+    def test_unknown_name_raises(self):
+        import repro.bench.generators as shim
+
+        with pytest.raises(AttributeError):
+            shim.no_such_generator
+
+    def test_dir_lists_forwarded_names(self):
+        import repro.bench.generators as shim
+
+        assert {"token_ring", "fuzz_specs"} <= set(dir(shim))

@@ -17,7 +17,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.bench.figures import figure1_sg, figure3_sg
-from repro.bench.generators import alternator, concurrent_fork, token_ring
+from repro.corpus import alternator, concurrent_fork, token_ring
 from repro.bench.suite import BENCHMARKS, load_benchmark
 from repro.boolean.cube import Cube
 from repro.core.mc import analyze_mc

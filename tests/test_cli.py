@@ -210,3 +210,47 @@ class TestDiffCommand:
         assert code == 3
         out = capsys.readouterr().out
         assert "skipped" in out
+
+
+class TestSeedValidation:
+    """--seed must be a non-negative integer everywhere it appears."""
+
+    @pytest.mark.parametrize("argv", [
+        ["verify", "x.g", "--seed", "-1"],
+        ["verify", "x.g", "--seed", "banana"],
+        ["verify", "x.g", "--seed", "2.5"],
+        ["simulate", "x.g", "--seed", "-3"],
+        ["simulate", "x.g", "--seed", "many"],
+        ["diff", "--count", "1", "--seed", "-1"],
+        ["diff", "--count", "1", "--seed", "x"],
+        ["batch", "--corpus", "c.json", "--seed", "-2"],
+        ["batch", "--corpus", "c.json", "--seed", "abc"],
+    ])
+    def test_garbage_seeds_exit_2(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "non-negative integer" in err or "invalid" in err
+
+    def test_zero_seed_accepted(self, capsys):
+        # seed 0 is legal (CI pins it); smallest diff run as a carrier
+        assert main(["diff", "--count", "1", "--seed", "0"]) == 0
+
+
+class TestVerifyOracle:
+    def test_demorgan_only_clean(self, capsys):
+        assert main(["verify", spec("luciano.g"), "--oracle", "demorgan"]) == 0
+        out = capsys.readouterr().out
+        assert "HAZARD-FREE (DeMorgan)" in out
+
+    def test_both_oracles_agree(self, capsys):
+        assert main(["verify", spec("nowick.g"), "--oracle", "both"]) == 0
+        out = capsys.readouterr().out
+        assert "demorgan oracle" in out
+        assert "hazard-free" in out.lower()
+
+    def test_unknown_oracle_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["verify", spec("nowick.g"), "--oracle", "psychic"])
+        assert excinfo.value.code == 2

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.bench.generators import token_ring
+from repro.corpus import token_ring
 from repro.bench.suite import load_benchmark
 from repro.pipeline import PipelineSpec
 from repro.pipeline.delta import (

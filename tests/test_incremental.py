@@ -14,7 +14,7 @@ import random
 
 import pytest
 
-from repro.bench.generators import concurrent_fork, token_ring
+from repro.corpus import concurrent_fork, token_ring
 from repro.bench.suite import _DATA_DIR, load_benchmark
 from repro.pipeline import AnalysisContext, Pipeline, PipelineSpec
 from repro.pipeline.delta import (

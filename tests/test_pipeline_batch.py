@@ -395,3 +395,143 @@ class TestJobsValidation:
 
     def test_diff_accepts_jobs(self, capsys):
         assert main(["diff", "--count", "1", "--jobs", "2"]) == 0
+
+
+# ----------------------------------------------------------------------
+# Corpus-backed sweeps (--corpus): streaming generation into the batch
+# ----------------------------------------------------------------------
+def _fast_corpus(count=6, seed=11):
+    from repro.corpus import CorpusSpec, FamilySpec
+
+    return CorpusSpec(
+        count=count,
+        seed=seed,
+        families=(
+            FamilySpec("token_ring", params={"channels": (2, 4)}),
+            FamilySpec("linear_pipeline", params={"stages": (2, 4)}),
+            FamilySpec("arbiter", params={"clients": (2, 3)}),
+        ),
+        name_prefix="batchcorp",
+    )
+
+
+class TestCorpusBatch:
+    def test_flat_sharded_and_resumed_manifests_identical(self, tmp_path):
+        spec = _fast_corpus()
+        flat = run_batch(corpus=spec, store=str(tmp_path / "a"))
+        assert flat.exit_code == 0
+        assert len(flat.outcomes) == spec.count
+
+        sharded = run_batch(
+            corpus=spec, store=str(tmp_path / "b"), jobs=2, shards=2
+        )
+        assert flat.manifest_text() == sharded.manifest_text()
+
+        manifest = tmp_path / "corpus-manifest.json"
+        manifest.write_text(flat.manifest_text())
+        resumed = run_batch(
+            corpus=spec, store=str(tmp_path / "a"), resume=str(manifest)
+        )
+        assert resumed.manifest_text() == flat.manifest_text()
+        assert resumed.stats()["scheduler"]["resume_skips"] == spec.count
+
+    def test_spec_ids_and_seed_in_stats(self, tmp_path):
+        spec = _fast_corpus(count=3)
+        report = run_batch(corpus=spec, store=str(tmp_path / "s"))
+        assert report.stats()["seed"] == spec.seed
+        for entry in report.manifest()["designs"]:
+            assert entry["spec"].startswith("corpus:batchcorp-")
+        # file-based sweeps have no generation seed to record
+        plain = run_batch(SPECS[:1])
+        assert plain.stats()["seed"] is None
+
+    def test_corpus_and_specs_are_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            run_batch(SPECS[:1], corpus=_fast_corpus(count=1))
+
+    def test_neither_specs_nor_corpus_rejected(self):
+        with pytest.raises(ValueError, match="no specifications"):
+            run_batch()
+
+    def test_unrelated_resume_fails_loudly(self, tmp_path):
+        from repro.corpus import CorpusSpec, FamilySpec
+
+        first = run_batch(corpus=_fast_corpus(seed=11))
+        manifest = tmp_path / "m.json"
+        manifest.write_text(first.manifest_text())
+        # disjoint design names: nothing to skip, and (only discoverable
+        # post-run for a streamed corpus) that is a loud error
+        other = CorpusSpec(
+            count=2,
+            seed=11,
+            families=(FamilySpec("token_ring", params={"channels": 2}),),
+            name_prefix="unrelated",
+        )
+        with pytest.raises(ResumeError, match="no design names"):
+            run_batch(corpus=other, resume=str(manifest))
+
+    def test_reseeded_resume_reruns_changed_designs(self, tmp_path):
+        first = run_batch(corpus=_fast_corpus(seed=11))
+        manifest = tmp_path / "m.json"
+        manifest.write_text(first.manifest_text())
+        # a different seed regenerates the stream; designs that happen to
+        # coincide (same family, same sampled parameters -> same
+        # fingerprint) are skipped, everything else re-runs
+        resumed = run_batch(corpus=_fast_corpus(seed=12), resume=str(manifest))
+        assert len(resumed.outcomes) == 6
+        assert resumed.stats()["seed"] == 12
+
+
+class TestCorpusBatchCli:
+    def _spec_file(self, tmp_path, **overrides):
+        from repro.corpus import dumps_corpus_spec
+
+        path = tmp_path / "corpus.json"
+        path.write_text(dumps_corpus_spec(_fast_corpus(**overrides)))
+        return str(path)
+
+    def test_cli_matches_library_run(self, tmp_path, capsys):
+        spec_path = self._spec_file(tmp_path, count=4)
+        manifest = tmp_path / "manifest.json"
+        stats = tmp_path / "stats.json"
+        code = main([
+            "batch", "--corpus", spec_path,
+            "--manifest", str(manifest), "--stats", str(stats),
+        ])
+        assert code == 0
+        library = run_batch(corpus=_fast_corpus(count=4))
+        assert manifest.read_text() == library.manifest_text()
+        assert json.loads(stats.read_text())["seed"] == 11
+
+    def test_cli_seed_override_recorded(self, tmp_path, capsys):
+        spec_path = self._spec_file(tmp_path, count=2)
+        stats = tmp_path / "stats.json"
+        manifest = tmp_path / "m.json"
+        code = main([
+            "batch", "--corpus", spec_path, "--seed", "42",
+            "--manifest", str(manifest), "--stats", str(stats),
+        ])
+        assert code == 0
+        assert json.loads(stats.read_text())["seed"] == 42
+
+    def test_seed_without_corpus_rejected(self, capsys):
+        assert main(["batch", SPECS[0], "--seed", "1"]) == 2
+        assert "--seed only applies" in capsys.readouterr().err
+
+    def test_corpus_with_specs_rejected(self, tmp_path, capsys):
+        spec_path = self._spec_file(tmp_path, count=1)
+        assert main(["batch", SPECS[0], "--corpus", spec_path]) == 2
+
+    def test_missing_corpus_file_rejected(self, capsys):
+        assert main(["batch", "--corpus", "/no/such/corpus.json"]) == 2
+        assert "cannot load corpus spec" in capsys.readouterr().err
+
+    def test_malformed_corpus_file_rejected(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": "repro-corpus-spec/1"}')
+        assert main(["batch", "--corpus", str(path)]) == 2
+        assert "cannot load corpus spec" in capsys.readouterr().err
+
+    def test_no_inputs_at_all_rejected(self, capsys):
+        assert main(["batch"]) == 2
+        assert "no specifications" in capsys.readouterr().err

@@ -694,3 +694,166 @@ class TestInternalErrors:
         assert outcome["status"] == "failed"
         assert outcome["detail"] == "internal error: RuntimeError: kaboom"
         assert "kaboom" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# HTTP keep-alive: persistent connections, opt-out, HTTP/1.0
+# ----------------------------------------------------------------------
+class TestKeepAlive:
+    def test_requests_reuse_one_socket(self, service):
+        conn = http.client.HTTPConnection("127.0.0.1", service.port, timeout=60)
+        try:
+            conn.request("GET", "/healthz")
+            response = conn.getresponse()
+            assert response.status == 200
+            assert response.getheader("Connection") == "keep-alive"
+            response.read()
+            sock = conn.sock
+            assert sock is not None
+            for path in ("/v1/stats", "/v1/jobs", "/healthz"):
+                conn.request("GET", path)
+                response = conn.getresponse()
+                assert response.status == 200
+                assert response.getheader("Connection") == "keep-alive"
+                response.read()
+                assert conn.sock is sock  # same socket, no reconnect
+        finally:
+            conn.close()
+
+    def test_connection_close_honoured(self, service):
+        conn = http.client.HTTPConnection("127.0.0.1", service.port, timeout=60)
+        try:
+            conn.request("GET", "/healthz", headers={"Connection": "close"})
+            response = conn.getresponse()
+            assert response.status == 200
+            assert response.getheader("Connection") == "close"
+            response.read()
+            # http.client drops the socket once the server closes
+            assert conn.sock is None
+        finally:
+            conn.close()
+
+    def test_http_10_defaults_to_close(self, service):
+        import socket
+
+        with socket.create_connection(
+            ("127.0.0.1", service.port), timeout=60
+        ) as sock:
+            sock.sendall(b"GET /healthz HTTP/1.0\r\n\r\n")
+            payload = b""
+            while True:
+                chunk = sock.recv(4096)
+                if not chunk:
+                    break  # server closed: HTTP/1.0 is one-shot
+                payload += chunk
+        head = payload.split(b"\r\n\r\n", 1)[0].decode("latin-1").lower()
+        assert "connection: close" in head
+
+    def test_errors_on_kept_connection_do_not_kill_it(self, service):
+        conn = http.client.HTTPConnection("127.0.0.1", service.port, timeout=60)
+        try:
+            conn.request("GET", "/no/such/path")
+            response = conn.getresponse()
+            assert response.status == 404
+            assert response.getheader("Connection") == "keep-alive"
+            response.read()
+            sock = conn.sock
+            conn.request("GET", "/healthz")
+            response = conn.getresponse()
+            assert response.status == 200
+            response.read()
+            assert conn.sock is sock
+        finally:
+            conn.close()
+
+
+# ----------------------------------------------------------------------
+# Corpus sweep jobs
+# ----------------------------------------------------------------------
+CORPUS_DOC = {
+    "schema": "repro-corpus-spec/1",
+    "count": 3,
+    "seed": 5,
+    "name_prefix": "svc",
+    "families": [
+        {"family": "token_ring", "params": {"channels": [2, 3]}},
+        {"family": "linear_pipeline", "params": {"stages": [2, 3]}},
+    ],
+}
+
+
+class TestCorpusJobs:
+    def test_parse_submit_defaults(self):
+        kind, _, params = parse_submit(
+            json.dumps({"kind": "corpus", "corpus": CORPUS_DOC}).encode()
+        )
+        assert kind == "corpus"
+        assert params["corpus"]["count"] == 3
+        assert params["corpus"]["seed"] == 5
+        assert params["max_states"] == 20_000
+        assert params["jobs"] is None
+
+    def test_seed_option_overrides_spec(self):
+        _, _, params = parse_submit(
+            json.dumps(
+                {
+                    "kind": "corpus",
+                    "corpus": CORPUS_DOC,
+                    "options": {"seed": 99},
+                }
+            ).encode()
+        )
+        assert params["corpus"]["seed"] == 99
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            json.dumps({"kind": "corpus"}).encode(),  # no corpus doc
+            json.dumps({"kind": "corpus", "corpus": 7}).encode(),
+            json.dumps(
+                {"kind": "corpus", "corpus": {"schema": "repro-corpus-spec/1"}}
+            ).encode(),  # missing count
+            json.dumps(
+                {"kind": "corpus", "corpus": CORPUS_DOC, "spec": "x"}
+            ).encode(),  # spec is for file-backed kinds
+            json.dumps(
+                {"kind": "synth", "spec": "x", "corpus": CORPUS_DOC}
+            ).encode(),  # corpus doc on a non-corpus kind
+            json.dumps(
+                {"kind": "corpus", "corpus": dict(CORPUS_DOC, count=10**6)}
+            ).encode(),  # above MAX_CORPUS_COUNT
+            json.dumps(
+                {"kind": "corpus", "corpus": CORPUS_DOC,
+                 "options": {"seed": -1}}
+            ).encode(),
+            json.dumps(
+                {"kind": "corpus", "corpus": CORPUS_DOC,
+                 "options": {"style": "NAND"}}
+            ).encode(),
+        ],
+    )
+    def test_malformed_corpus_submissions_rejected(self, body):
+        with pytest.raises(ProtocolError):
+            parse_submit(body)
+
+    def test_corpus_job_runs_to_done(self, service):
+        job_id = service.submit({"kind": "corpus", "corpus": CORPUS_DOC})
+        doc = service.wait(job_id)
+        assert doc["status"] == "done", doc
+        result = service.result(job_id)["result"]
+        assert result["schema"] == "repro-service-corpus/1"
+        assert result["seed"] == 5
+        assert result["designs"] == 3
+        assert result["statuses"] == {"hazard-free": 3}
+        manifest = result["manifest"]
+        assert len(manifest["designs"]) == 3
+        for entry in manifest["designs"]:
+            assert entry["spec"].startswith("corpus:svc-")
+
+    def test_corpus_job_streams_design_events(self, service):
+        job_id = service.submit({"kind": "corpus", "corpus": CORPUS_DOC})
+        service.wait(job_id)
+        lines = service.stream_lines(f"/v1/jobs/{job_id}/events")
+        events = [json.loads(line) for line in lines if line.strip()]
+        designs = [e["design"] for e in events if e.get("event") == "design"]
+        assert len(designs) == 3

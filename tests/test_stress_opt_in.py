@@ -16,7 +16,7 @@ if not os.environ.get("REPRO_STRESS"):
     )
 
 from repro import synthesize_from_state_graph
-from repro.bench.generators import alternator, concurrent_fork, random_series_parallel
+from repro.corpus import alternator, concurrent_fork, random_series_parallel
 from repro.core.insertion import InsertionError
 from repro.core.mc import analyze_mc
 from repro.stg.reachability import stg_to_state_graph

@@ -1,0 +1,182 @@
+"""Tests for the DeMorgan/Eichelberger ternary hazard-freedom oracle."""
+
+import pytest
+
+from repro.bench.figures import figure4_sg
+from repro.boolean.cover import Cover
+from repro.boolean.cube import Cube
+from repro.core.baseline import baseline_synthesize
+from repro.netlist.netlist import netlist_from_implementation
+from repro.verify.hazard_free import (
+    DeMorganClaim,
+    DeMorganReport,
+    cross_check_verdicts,
+    demorgan_check,
+    suggest_glitch_injections,
+    ternary_cover,
+    ternary_cube,
+)
+
+
+class TestTernaryHelpers:
+    def test_cube_definite_one(self):
+        assert ternary_cube(Cube({"a": 1, "b": 0}), {"a": 1, "b": 0}) == 1
+
+    def test_cube_definite_zero_beats_unknown(self):
+        # one falsified literal decides the AND even with another in flight
+        assert ternary_cube(Cube({"a": 1, "b": 0}), {"a": 0, "b": None}) == 0
+
+    def test_cube_unknown(self):
+        assert ternary_cube(Cube({"a": 1, "b": 0}), {"a": 1, "b": None}) is None
+
+    def test_cube_missing_signal_is_unknown(self):
+        assert ternary_cube(Cube({"a": 1}), {}) is None
+
+    def test_empty_cube_is_one(self):
+        assert ternary_cube(Cube({}), {"a": None}) == 1
+
+    def test_cover_one_beats_unknown(self):
+        cover = Cover([Cube({"a": 1}), Cube({"b": 1})])
+        assert ternary_cover(cover, {"a": 1, "b": None}) == 1
+
+    def test_cover_unknown(self):
+        cover = Cover([Cube({"a": 1}), Cube({"b": 1})])
+        assert ternary_cover(cover, {"a": 0, "b": None}) is None
+
+    def test_cover_zero(self):
+        cover = Cover([Cube({"a": 1}), Cube({"b": 1})])
+        assert ternary_cover(cover, {"a": 0, "b": 0}) == 0
+
+    def test_empty_cover_is_zero(self):
+        assert ternary_cover(Cover(), {"a": None}) == 0
+
+
+class TestFigure4:
+    """Example 2: the non-MC baseline glitches, the repaired circuit does not."""
+
+    def test_baseline_is_flagged(self):
+        impl = baseline_synthesize(figure4_sg())
+        report = demorgan_check(impl)
+        assert not report.hazard_free
+        assert report.conclusive
+        kinds = {claim.kind for claim in report.claims}
+        assert "monotonicity" in kinds
+        # the paper's culprit: a set cube of b rising after b already fired
+        assert any(
+            claim.signal == "b" and claim.cover == "set" for claim in report.claims
+        )
+        assert "HAZARDOUS" in report.describe()
+
+    def test_baseline_agrees_with_si_check(self):
+        from repro.netlist.hazards import verify_speed_independence
+
+        sg = figure4_sg()
+        impl = baseline_synthesize(sg)
+        netlist = netlist_from_implementation(impl, style="C")
+        si = verify_speed_independence(netlist, sg, max_states=200_000)
+        report = demorgan_check(impl)
+        assert not si.hazard_free and not report.hazard_free
+        assert cross_check_verdicts("fig4", report, si.hazard_free) is None
+
+    def test_repaired_circuit_is_clean(self):
+        from repro import synthesize_from_state_graph
+
+        result = synthesize_from_state_graph(figure4_sg(), max_models=400)
+        assert result.hazard_free
+        report = demorgan_check(result.implementation)
+        assert report.hazard_free
+        assert report.conclusive
+        assert "HAZARD-FREE (DeMorgan)" in report.describe()
+
+    def test_suggestions_target_real_gates(self):
+        impl = baseline_synthesize(figure4_sg())
+        netlist = netlist_from_implementation(impl, style="C")
+        report = demorgan_check(impl)
+        suggestions = suggest_glitch_injections(netlist, report, per_claim=2)
+        assert suggestions
+        lo, hi = 5.0, 150.0
+        for at, gate in suggestions:
+            assert lo <= at <= hi
+            assert gate in netlist.gates
+        # deterministic: same report, same scenarios
+        assert suggestions == suggest_glitch_injections(netlist, report, per_claim=2)
+
+    def test_suggestions_empty_without_claims(self):
+        from repro import synthesize_from_state_graph
+
+        result = synthesize_from_state_graph(figure4_sg(), max_models=400)
+        report = demorgan_check(result.implementation)
+        netlist = result.netlist
+        assert suggest_glitch_injections(netlist, report) == []
+
+
+class TestCrossCheck:
+    def _report(self, claims=(), truncated=()):
+        return DeMorganReport(
+            name="x",
+            claims=list(claims),
+            truncated_states=list(truncated),
+        )
+
+    def _claim(self):
+        return DeMorganClaim(
+            signal="a", cover="set", state="s0", kind="static", detail="d"
+        )
+
+    def test_agreeing_clean(self):
+        assert cross_check_verdicts("x", self._report(), True) is None
+
+    def test_agreeing_hazardous(self):
+        report = self._report(claims=[self._claim()])
+        assert cross_check_verdicts("x", report, False) is None
+
+    def test_inconclusive_si_never_disagrees(self):
+        report = self._report(claims=[self._claim()])
+        assert cross_check_verdicts("x", report, None) is None
+
+    def test_truncated_demorgan_never_disagrees(self):
+        report = self._report(truncated=["s9"])
+        assert not report.conclusive
+        assert cross_check_verdicts("x", report, False) is None
+
+    def test_disagreement_demorgan_claims(self):
+        report = self._report(claims=[self._claim()])
+        message = cross_check_verdicts("x", report, True)
+        assert message is not None and "DeMorgan oracle claims" in message
+
+    def test_disagreement_si_claims(self):
+        message = cross_check_verdicts("x", self._report(), False)
+        assert message is not None and "hazard-free" in message
+
+
+class TestTruncation:
+    def test_corner_cap_marks_inconclusive(self):
+        impl = baseline_synthesize(figure4_sg())
+        # a cap of 0 in-flight signals forces every static check to punt
+        report = demorgan_check(impl, max_corner_signals=0)
+        assert report.truncated_states
+        assert not report.conclusive
+        assert not report.hazard_free
+        if not report.claims:
+            assert "INCONCLUSIVE" in report.describe()
+        assert "above the corner cap" in report.describe()
+
+
+class TestTable1Agreement:
+    """Spot-check a paper benchmark end to end against the SI verdict."""
+
+    @pytest.mark.parametrize("name", ["nowick", "delement"])
+    def test_benchmark_agrees(self, name):
+        from repro.bench.suite import load_benchmark
+        from repro.pipeline import Pipeline, PipelineSpec
+
+        stg = load_benchmark(name)
+        pipe = Pipeline()
+        spec = PipelineSpec.from_stg(stg, name=name)
+        plan = pipe.run(spec, until="covers")
+        synthesized = pipe.run(spec)
+        report = demorgan_check(plan.implementation)
+        assert report.conclusive
+        assert (
+            cross_check_verdicts(name, report, synthesized.hazard_free) is None
+        )

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.bench.generators import alternator, concurrent_fork, token_ring
+from repro.corpus import alternator, concurrent_fork, token_ring
 from repro.bench.suite import load_benchmark
 from repro.core.mc import analyze_mc
 from repro.stg.reachability import stg_to_state_graph

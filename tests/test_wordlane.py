@@ -25,7 +25,7 @@ import pytest
 
 import repro
 from repro.bench.figures import figure3_sg, figure4_sg
-from repro.bench.generators import fuzz_specs
+from repro.corpus import fuzz_specs
 from repro.boolean.compiled import CompiledCover, SignalSpace
 from repro.boolean.cube import Cube
 from repro.core.synthesis import synthesize
